@@ -1,0 +1,103 @@
+//===- bench/ablation_multioutput.cpp - Multi-destination extension --------------===//
+//
+// Ablation of the single-destination restriction (Section II-B: "only the
+// input of the source kernel and the output of the destination kernel are
+// preserved"). The multi-destination extension lets a fused kernel write
+// one global output per sink, which widens the legal search space --
+// e.g. the two Sobel derivative kernels of a gradient-field pipeline can
+// fuse even when both results are pipeline outputs. This bench measures
+// what the restriction costs across the paper applications and random
+// pipelines: launches, objective value (Eq. 1), and simulated time.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/common/BenchCommon.h"
+#include "fusion/MinCutPartitioner.h"
+#include "support/CommandLine.h"
+#include "support/StringUtils.h"
+#include "support/TablePrinter.h"
+
+#include <cstdio>
+
+using namespace kf;
+
+namespace {
+
+struct VariantNumbers {
+  unsigned Launches = 0;
+  double Benefit = 0.0;
+  double TimeMs = 0.0; // GTX680.
+};
+
+VariantNumbers evaluate(const Program &P, const HardwareModel &HW,
+                        const LegalityOptions &Options) {
+  VariantNumbers Result;
+  MinCutFusionResult Fusion = runMinCutFusion(P, HW, Options);
+  FusedProgram FP = fuseProgram(P, Fusion.Blocks, FusionStyle::Optimized);
+  Result.Launches = FP.numLaunches();
+  Result.Benefit = Fusion.TotalBenefit;
+  CostModelParams Params;
+  Result.TimeMs = estimateProgramTimeMs(accountFusedProgram(FP),
+                                        DeviceSpec::gtx680(), Params);
+  return Result;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  CommandLine Cl(Argc, Argv);
+  int Trials = static_cast<int>(Cl.getIntOption("trials", 30));
+  HardwareModel HW = paperHardwareModel();
+  LegalityOptions Single;
+  LegalityOptions Multi;
+  Multi.AllowMultipleDestinations = true;
+
+  std::printf("=== Ablation: single- vs multi-destination fusion (GTX680 "
+              "times) ===\n\n");
+
+  std::printf("-- the six paper applications --\n");
+  TablePrinter Table({"app", "launches single", "launches multi",
+                      "beta single", "beta multi", "ms single", "ms multi",
+                      "gain"});
+  for (const PipelineSpec &Spec : paperPipelines()) {
+    Program P = Spec.build();
+    VariantNumbers S = evaluate(P, HW, Single);
+    VariantNumbers M = evaluate(P, HW, Multi);
+    Table.addRow({Spec.Name, std::to_string(S.Launches),
+                  std::to_string(M.Launches), formatDouble(S.Benefit, 0),
+                  formatDouble(M.Benefit, 0), formatDouble(S.TimeMs, 3),
+                  formatDouble(M.TimeMs, 3),
+                  formatDouble(S.TimeMs / M.TimeMs, 3)});
+  }
+  std::fputs(Table.render().c_str(), stdout);
+
+  std::printf("\n-- random pipelines (%d trials per size) --\n", Trials);
+  TablePrinter Rand({"kernels", "avg launches single", "avg launches multi",
+                     "avg ms single", "avg ms multi", "gain"});
+  Rng Gen(8844);
+  for (unsigned NumKernels : {6u, 10u, 16u}) {
+    double LS = 0, LM = 0, TS = 0, TM = 0;
+    for (int Trial = 0; Trial != Trials; ++Trial) {
+      Program P = makeRandomPipeline(NumKernels, 0.35, 512, 512, Gen);
+      VariantNumbers S = evaluate(P, HW, Single);
+      VariantNumbers M = evaluate(P, HW, Multi);
+      LS += S.Launches;
+      LM += M.Launches;
+      TS += S.TimeMs;
+      TM += M.TimeMs;
+    }
+    Rand.addRow({std::to_string(NumKernels),
+                 formatDouble(LS / Trials, 2), formatDouble(LM / Trials, 2),
+                 formatDouble(TS / Trials, 3), formatDouble(TM / Trials, 3),
+                 formatDouble(TS / TM, 3)});
+  }
+  std::fputs(Rand.render().c_str(), stdout);
+
+  std::printf("\nReading: the six paper pipelines have single outputs, so "
+              "the extension mostly helps\nwhere several sinks share "
+              "producers (Harris's square kernels); random DAGs with "
+              "multiple\nterminal outputs gain more. The paper's "
+              "restriction is cheap on its own benchmark set --\nwhich "
+              "this ablation quantifies.\n");
+  return 0;
+}

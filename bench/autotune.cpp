@@ -1,0 +1,67 @@
+//===- bench/autotune.cpp - Tuning the fusion knobs -------------------------------===//
+//
+// Mechanizes the tradeoff exploration of the paper's Figure 1: sweeps the
+// Eq. 2 shared-memory threshold and the thread-block tile shape per
+// application and device, and reports the best configuration against the
+// paper's hand-picked defaults (cMshared = 2, 32x4 tiles). Shows where
+// the default is already optimal and where a different resource budget
+// pays.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/common/BenchCommon.h"
+#include "sim/Tuner.h"
+#include "support/CommandLine.h"
+#include "support/StringUtils.h"
+#include "support/TablePrinter.h"
+
+#include <cstdio>
+
+using namespace kf;
+
+int main(int Argc, char **Argv) {
+  CommandLine Cl(Argc, Argv);
+  HardwareModel HW = paperHardwareModel();
+  CostModelParams Params;
+
+  std::printf("=== Autotuning cMshared and the tile shape (grid of %zu "
+              "candidates) ===\n\n",
+              defaultTuneGrid().size());
+
+  for (const DeviceSpec &Device : DeviceSpec::paperDevices()) {
+    std::printf("-- %s --\n", Device.Name.c_str());
+    TablePrinter Table({"app", "default ms", "best ms", "gain",
+                        "best cMshared", "best tile", "launches"});
+    for (const PipelineSpec &Spec : paperPipelines()) {
+      Program P = Spec.build();
+      // The paper's default configuration.
+      TuneCandidate Default;
+      TuneResult DefaultRun =
+          tuneFusion(P, Device, HW, Params, {Default});
+      TuneResult Tuned = tuneFusion(P, Device, HW, Params);
+      Table.addRow(
+          {Spec.Name, formatDouble(DefaultRun.Best.TimeMs, 3),
+           formatDouble(Tuned.Best.TimeMs, 3),
+           formatDouble(DefaultRun.Best.TimeMs / Tuned.Best.TimeMs, 3),
+           formatDouble(Tuned.Best.Candidate.SharedMemThreshold, 1),
+           std::to_string(Tuned.Best.Candidate.Tile.Width) + "x" +
+               std::to_string(Tuned.Best.Candidate.Tile.Height),
+           std::to_string(Tuned.Best.Launches)});
+    }
+    std::fputs(Table.render().c_str(), stdout);
+    std::printf("\n");
+  }
+
+  std::printf(
+      "Reading: Night is insensitive (compute-bound) and the chain "
+      "pipelines tune mildly. The\nlarge Harris/ShiTomasi gains at "
+      "cMshared = 8 say the *analytic* model would fuse deeper\nthan the "
+      "paper's threshold of 2: its occupancy penalty for stacked shared "
+      "tiles is milder\nthan real hardware's (no register-pressure or "
+      "instruction-cache effects), so it happily\ntrades a 9x recompute "
+      "chain for the eliminated traffic. The paper's conservative\n"
+      "threshold guards exactly the effects the model does not see -- "
+      "which is what makes this\nsweep a useful sensitivity analysis "
+      "rather than a tuning recipe.\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+//===- bench/crossover_sweep.cpp - Locality/recompute crossover ------------------===//
+//
+// Regenerates the compute-boundedness discussion of Section V (the Night
+// filter analysis): sweeping the arithmetic cost of a point producer
+// feeding a 3x3 local consumer shows where the estimated benefit of
+// point-to-local fusion (Eq. 8: w = delta_reg - cost_op * IS_ks * sz)
+// crosses zero, and that the benefit model's fuse/skip decision tracks the
+// simulated execution times -- fusing past the crossover would slow the
+// pipeline down ("compute-bound applications benefit less from kernel
+// fusion").
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/common/BenchCommon.h"
+#include "fusion/MinCutPartitioner.h"
+#include "support/CommandLine.h"
+#include "support/StringUtils.h"
+#include "support/TablePrinter.h"
+
+#include <cstdio>
+
+using namespace kf;
+
+int main(int Argc, char **Argv) {
+  CommandLine Cl(Argc, Argv);
+  HardwareModel HW = paperHardwareModel();
+  CostModelParams Params;
+  DeviceSpec Device = DeviceSpec::gtx680();
+
+  std::printf("=== Crossover sweep: point-to-local fusion vs producer cost "
+              "(GTX680, 2048x2048) ===\n\n");
+  std::printf("Eq. 8: w = %.0f - (%.0f * (nALU+1)) * 1 * 9; the model "
+              "predicts the crossover at\nnALU+1 > %.1f operations.\n\n",
+              HW.GlobalAccessCycles, HW.AluCost,
+              HW.GlobalAccessCycles / (HW.AluCost * 9.0));
+
+  TablePrinter Table({"producer ALU ops", "edge weight w", "model fuses?",
+                      "t_base ms", "t_fused ms", "fused/base speedup"});
+
+  for (int AluOps : {1, 2, 4, 6, 8, 10, 11, 12, 16, 24, 48, 96}) {
+    Program P = makePointToLocal(2048, 2048, AluOps);
+
+    // What the model decides.
+    MinCutFusionResult Decision = runMinCutFusion(P, HW);
+    bool Fused = Decision.Blocks.Blocks.size() == 1;
+    LegalityChecker Checker(P, HW);
+    BenefitModel Model(Checker);
+    EdgeBenefit Edge = Model.edgeBenefit(0, 1);
+
+    // Simulated times of both choices, regardless of the decision.
+    double TBase = estimateProgramTimeMs(
+        accountFusedProgram(unfusedProgram(P)), Device, Params);
+    Partition Whole;
+    Whole.Blocks.push_back(PartitionBlock{{0, 1}});
+    double TFused = estimateProgramTimeMs(
+        accountFusedProgram(fuseProgram(P, Whole, FusionStyle::Optimized)),
+        Device, Params);
+
+    Table.addRow({std::to_string(AluOps + 1), // +1: the store (Eq. 6).
+                  Edge.Weight <= HW.Epsilon ? "eps"
+                                            : formatDouble(Edge.Weight, 0),
+                  Fused ? "yes" : "no", formatDouble(TBase, 3),
+                  formatDouble(TFused, 3),
+                  formatDouble(TBase / TFused, 3)});
+  }
+  std::fputs(Table.render().c_str(), stdout);
+
+  std::printf("\nReading: while the producer is cheap, fusing wins and the "
+              "model fuses; as the producer\ngrows, the 9x recompute makes "
+              "the fused kernel compute-bound and the speedup decays\n"
+              "below 1.0 -- the model stops fusing near the analytic "
+              "crossover. This is the mechanism\nbehind the Night filter's "
+              "flat Table I row.\n");
+  return 0;
+}

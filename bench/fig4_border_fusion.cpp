@@ -1,0 +1,130 @@
+//===- bench/fig4_border_fusion.cpp - Figure 4 reproduction --------------------===//
+//
+// Regenerates the paper's Figure 4: local-to-local fusion of two 3x3
+// binomial convolutions on the 5x5 example matrix under clamp borders.
+//   (a) body fusion: the interior value 992,
+//   (b) incorrect border fusion (no index exchange): the figure's
+//       intermediate matrix 16/24/56/... and the wrong corner value,
+//   (c) correct border fusion (index exchange): 763, identical to the
+//       unfused reference everywhere.
+// Also sweeps all border modes to show exactness of the exchange.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/common/BenchCommon.h"
+#include "image/Compare.h"
+#include "image/Generators.h"
+#include "sim/Executor.h"
+#include "support/StringUtils.h"
+#include "support/TablePrinter.h"
+
+#include <cstdio>
+
+using namespace kf;
+
+static void printMatrix(const char *Title, const Image &Img) {
+  std::printf("%s\n", Title);
+  for (int Y = 0; Y != Img.height(); ++Y) {
+    for (int X = 0; X != Img.width(); ++X)
+      std::printf("%7.1f", Img.at(X, Y));
+    std::printf("\n");
+  }
+}
+
+static Partition wholePartition(const Program &P) {
+  Partition S;
+  PartitionBlock Block;
+  for (KernelId Id = 0; Id != P.numKernels(); ++Id)
+    Block.Kernels.push_back(Id);
+  S.Blocks.push_back(std::move(Block));
+  return S;
+}
+
+int main() {
+  std::printf("=== Figure 4: local-to-local fusion with border handling "
+              "===\n\n");
+
+  Program P = makeFigure4Program();
+  FusedProgram FP =
+      fuseProgram(P, wholePartition(P), FusionStyle::Optimized);
+
+  std::vector<Image> Reference = makeImagePool(P);
+  Reference[0] = makeFigure4Matrix();
+  runUnfused(P, Reference);
+
+  printMatrix("input matrix (Figure 4a):", Reference[0]);
+  printMatrix("\nintermediate after conv0 (unfused):", Reference[1]);
+  printMatrix("\noutput after conv1 (unfused reference):", Reference[2]);
+
+  std::printf("\n(a) body fusion: fused interior value at (2,2) = ");
+  std::vector<Image> FusedPool = makeImagePool(P);
+  FusedPool[0] = makeFigure4Matrix();
+  runFused(FP, FusedPool);
+  std::printf("%.0f (paper: 992)\n", FusedPool[2].at(2, 2));
+
+  std::printf("\n(b) incorrect border fusion (no index exchange):\n");
+  std::vector<Image> NaivePool = makeImagePool(P);
+  NaivePool[0] = makeFigure4Matrix();
+  ExecutionOptions Naive;
+  Naive.UseIndexExchange = false;
+  runFused(FP, NaivePool, Naive);
+  std::printf("    raw exterior evaluations of conv0 around the corner "
+              "(the matrix Figure 4b prints):\n");
+  for (int Y = -1; Y <= 1; ++Y) {
+    std::printf("   ");
+    for (int X = -1; X <= 1; ++X)
+      std::printf("%7.1f", evalKernelAt(P, 0, NaivePool, X, Y, 0));
+    std::printf("\n");
+  }
+  std::printf("    top-left output = %.0f -- WRONG (correct is %.0f).\n",
+              NaivePool[2].at(0, 0), Reference[2].at(0, 0));
+  std::printf("    Note: the paper prints 648 in Figure 4b; convolving the "
+              "figure's own intermediate\n    matrix (reproduced above, "
+              "value for value) yields 684. Either way it differs from\n"
+              "    the correct 763. See EXPERIMENTS.md.\n");
+
+  std::printf("\n(c) correct border fusion (index exchange, Section "
+              "IV-B):\n");
+  std::printf("    top-left output = %.0f (paper: 763)\n",
+              FusedPool[2].at(0, 0));
+  std::printf("    max |fused - unfused| over the whole image = %g\n",
+              maxAbsDifference(FusedPool[2], Reference[2]));
+
+  std::printf("\n-- border-mode sweep (fused vs unfused, random 20x14 "
+              "image) --\n");
+  TablePrinter Sweep({"border mode", "max abs diff (exchange)",
+                      "max abs diff (naive)"});
+  for (BorderMode Mode : {BorderMode::Clamp, BorderMode::Mirror,
+                          BorderMode::Repeat, BorderMode::Constant}) {
+    Program Chain = makeBlurChain(20, 14, Mode);
+    Rng Gen(4242);
+    Image Input = makeRandomImage(20, 14, 1, Gen);
+
+    std::vector<Image> Ref = makeImagePool(Chain);
+    Ref[0] = Input;
+    runUnfused(Chain, Ref);
+
+    FusedProgram ChainFused =
+        fuseProgram(Chain, wholePartition(Chain), FusionStyle::Optimized);
+    std::vector<Image> Good = makeImagePool(Chain);
+    Good[0] = Input;
+    runFused(ChainFused, Good);
+
+    std::vector<Image> Bad = makeImagePool(Chain);
+    Bad[0] = Input;
+    runFused(ChainFused, Bad, Naive);
+
+    Sweep.addRow({borderModeName(Mode),
+                  formatDouble(maxAbsDifference(Good[2], Ref[2]), 6),
+                  formatDouble(maxAbsDifference(Bad[2], Ref[2]), 6)});
+  }
+  std::fputs(Sweep.render().c_str(), stdout);
+  std::printf(
+      "\nThe exchange column must be exactly 0 for every mode. The naive "
+      "method corrupts the halo\nfor clamp and constant borders; mirror "
+      "and repeat happen to coincide (reflection and\nperiodicity commute "
+      "with a symmetric convolution), so a compiler that only tests those\n"
+      "modes would never notice the bug -- which is why automatic border "
+      "handling matters.\n");
+  return 0;
+}

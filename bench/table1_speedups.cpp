@@ -1,0 +1,79 @@
+//===- bench/table1_speedups.cpp - Table I reproduction -------------------------===//
+//
+// Regenerates the paper's Table I: per-GPU speedups of optimized fusion
+// over baseline, basic fusion over baseline, and optimized over basic,
+// for the six applications -- printed side by side with the paper's
+// published numbers. Speedups are derived from the median of the
+// simulated runs, as the paper derives its gains from medians.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/common/BenchCommon.h"
+#include "support/CommandLine.h"
+#include "support/StringUtils.h"
+#include "support/TablePrinter.h"
+
+#include <cstdio>
+
+using namespace kf;
+
+int main(int Argc, char **Argv) {
+  CommandLine Cl(Argc, Argv);
+  int Runs = static_cast<int>(Cl.getIntOption("runs", 500));
+
+  CostModelParams Params;
+  std::vector<AppVariants> Apps;
+  for (const PipelineSpec &Spec : paperPipelines())
+    Apps.push_back(buildAppVariants(Spec));
+  const PaperTable1 &Paper = paperTable1();
+
+  std::printf("=== Table I: speedup comparison (measured = simulator, "
+              "paper values in parentheses) ===\n");
+
+  struct Comparison {
+    const char *Title;
+    Variant Num;
+    Variant Den;
+    const std::map<std::string, std::map<std::string, double>> *Published;
+  };
+  const Comparison Comparisons[3] = {
+      {"Optimized Fusion over Baseline", Variant::Baseline,
+       Variant::OptimizedFusion, &Paper.OptOverBase},
+      {"Basic Fusion over Baseline", Variant::Baseline,
+       Variant::BasicFusion, &Paper.BasicOverBase},
+      {"Optimized Fusion over Basic Fusion", Variant::BasicFusion,
+       Variant::OptimizedFusion, &Paper.OptOverBasic},
+  };
+
+  for (const Comparison &Cmp : Comparisons) {
+    std::printf("\n-- %s --\n", Cmp.Title);
+    std::vector<std::string> Header{"device"};
+    for (const AppVariants &App : Apps)
+      Header.push_back(App.Name);
+    TablePrinter Table(Header);
+    for (const DeviceSpec &Device : DeviceSpec::paperDevices()) {
+      std::vector<std::string> Row{Device.Name};
+      for (const AppVariants &App : Apps) {
+        double Slow =
+            variantRunStats(App, Cmp.Num, Device, Params, Runs).Median;
+        double Fast =
+            variantRunStats(App, Cmp.Den, Device, Params, Runs).Median;
+        double Published =
+            Cmp.Published->at(Device.Name).at(App.Name);
+        Row.push_back(formatDouble(Slow / Fast, 3) + " (" +
+                      formatDouble(Published, 3) + ")");
+      }
+      Table.addRow(Row);
+    }
+    std::fputs(Table.render().c_str(), stdout);
+  }
+
+  std::printf("\nShape checks (the claims the reproduction preserves):\n"
+              "  * every optimized-over-baseline >= 1, largest on "
+              "Unsharp;\n"
+              "  * basic fails on Sobel and Unsharp (ratio ~1.0) but "
+              "helps Enhancement;\n"
+              "  * Night stays ~1.0 everywhere (compute-bound);\n"
+              "  * optimized >= basic for every cell.\n");
+  return 0;
+}

@@ -1,0 +1,73 @@
+//===- bench/table2_geomean.cpp - Table II reproduction --------------------------===//
+//
+// Regenerates the paper's Table II: geometric mean of the speedups across
+// the three GPUs, per application and comparison, next to the published
+// values (headline: up to 2.52 on Unsharp).
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/common/BenchCommon.h"
+#include "support/CommandLine.h"
+#include "support/Statistics.h"
+#include "support/StringUtils.h"
+#include "support/TablePrinter.h"
+
+#include <cstdio>
+
+using namespace kf;
+
+int main(int Argc, char **Argv) {
+  CommandLine Cl(Argc, Argv);
+  int Runs = static_cast<int>(Cl.getIntOption("runs", 500));
+
+  CostModelParams Params;
+  std::vector<AppVariants> Apps;
+  for (const PipelineSpec &Spec : paperPipelines())
+    Apps.push_back(buildAppVariants(Spec));
+  const PaperTable2 &Paper = paperTable2();
+
+  std::printf("=== Table II: geometric mean of speedups across all GPUs "
+              "(measured, paper in parentheses) ===\n\n");
+
+  struct Comparison {
+    const char *Title;
+    Variant Num;
+    Variant Den;
+    const std::map<std::string, double> *Published;
+  };
+  const Comparison Comparisons[3] = {
+      {"Optm over Base", Variant::Baseline, Variant::OptimizedFusion,
+       &Paper.OptOverBase},
+      {"Basic over Base", Variant::Baseline, Variant::BasicFusion,
+       &Paper.BasicOverBase},
+      {"Optm over Basic", Variant::BasicFusion, Variant::OptimizedFusion,
+       &Paper.OptOverBasic},
+  };
+
+  std::vector<std::string> Header{"comparison"};
+  for (const AppVariants &App : Apps)
+    Header.push_back(App.Name);
+  TablePrinter Table(Header);
+
+  for (const Comparison &Cmp : Comparisons) {
+    std::vector<std::string> Row{Cmp.Title};
+    for (const AppVariants &App : Apps) {
+      std::vector<double> Speedups;
+      for (const DeviceSpec &Device : DeviceSpec::paperDevices()) {
+        double Slow =
+            variantRunStats(App, Cmp.Num, Device, Params, Runs).Median;
+        double Fast =
+            variantRunStats(App, Cmp.Den, Device, Params, Runs).Median;
+        Speedups.push_back(Slow / Fast);
+      }
+      Row.push_back(formatDouble(geometricMean(Speedups), 3) + " (" +
+                    formatDouble(Cmp.Published->at(App.Name), 3) + ")");
+    }
+    Table.addRow(Row);
+  }
+  std::fputs(Table.render().c_str(), stdout);
+
+  std::printf("\nPaper headline: \"a geometric mean speedup of up to 2.52\" "
+              "(Unsharp, optimized over baseline).\n");
+  return 0;
+}

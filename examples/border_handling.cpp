@@ -1,0 +1,108 @@
+//===- examples/border_handling.cpp - Why index exchange matters ----------------===//
+//
+// Demonstrates the border-handling problem of local-to-local fusion
+// (Section IV of the paper) on a user-visible workload: a two-stage blur
+// chain. Shows the halo region where naive fusion silently corrupts the
+// output, per border mode, and how the halo grows with the number of
+// fused local kernels.
+//
+// Run:  ./border_handling [--width N] [--height N]
+//
+//===----------------------------------------------------------------------===//
+
+#include "image/Compare.h"
+#include "image/Generators.h"
+#include "pipelines/Pipelines.h"
+#include "sim/Executor.h"
+#include "support/CommandLine.h"
+#include "support/TablePrinter.h"
+#include "support/StringUtils.h"
+#include "transform/Fuser.h"
+
+#include <cstdio>
+
+using namespace kf;
+
+static Partition wholePartition(const Program &P) {
+  Partition S;
+  PartitionBlock Block;
+  for (KernelId Id = 0; Id != P.numKernels(); ++Id)
+    Block.Kernels.push_back(Id);
+  S.Blocks.push_back(std::move(Block));
+  return S;
+}
+
+int main(int Argc, char **Argv) {
+  CommandLine Cl(Argc, Argv);
+  int Width = static_cast<int>(Cl.getIntOption("width", 64));
+  int Height = static_cast<int>(Cl.getIntOption("height", 48));
+
+  std::printf("Fusing two 3x3 blurs on a %dx%d image.\n\n", Width, Height);
+  std::printf("The fused kernel needs a 5x5 window (Eq. 9); its halo "
+              "region is the outer 2 pixels.\nWithout index exchange the "
+              "halo is computed from wrongly-padded intermediates:\n\n");
+
+  TablePrinter Table({"border mode", "exchange: max err", "naive: max err",
+                      "naive: wrong samples", "wrong samples in halo"});
+  for (BorderMode Mode : {BorderMode::Clamp, BorderMode::Mirror,
+                          BorderMode::Repeat, BorderMode::Constant}) {
+    Program P = makeBlurChain(Width, Height, Mode);
+    Rng Gen(7);
+    Image Input = makeRandomImage(Width, Height, 1, Gen);
+
+    std::vector<Image> Reference = makeImagePool(P);
+    Reference[0] = Input;
+    runUnfused(P, Reference);
+
+    FusedProgram FP =
+        fuseProgram(P, wholePartition(P), FusionStyle::Optimized);
+
+    std::vector<Image> Good = makeImagePool(P);
+    Good[0] = Input;
+    runFused(FP, Good);
+
+    std::vector<Image> Bad = makeImagePool(P);
+    Bad[0] = Input;
+    ExecutionOptions Naive;
+    Naive.UseIndexExchange = false;
+    runFused(FP, Bad, Naive);
+
+    long long Wrong = countDifferingSamples(Bad[2], Reference[2], 1e-7);
+    double WrongInterior =
+        maxAbsDifferenceInInterior(Bad[2], Reference[2], 2);
+    long long HaloSamples =
+        static_cast<long long>(Width) * Height -
+        static_cast<long long>(Width - 4) * (Height - 4);
+    Table.addRow(
+        {borderModeName(Mode),
+         formatDouble(maxAbsDifference(Good[2], Reference[2]), 7),
+         formatDouble(maxAbsDifference(Bad[2], Reference[2]), 7),
+         std::to_string(Wrong) + "/" + std::to_string(HaloSamples),
+         WrongInterior == 0.0 ? "all" : "NOT all"});
+  }
+  std::fputs(Table.render().c_str(), stdout);
+
+  std::printf("\nHalo growth: the halo grows with every fused local "
+              "kernel (\"quadratically with the\nnumber of local kernels "
+              "being fused\" in area):\n\n");
+  TablePrinter Growth({"fused 3x3 kernels", "fused window", "halo width",
+                       "halo share of 2048x2048"});
+  for (int Chain = 1; Chain <= 5; ++Chain) {
+    int WindowWidth = 3 + 2 * (Chain - 1);
+    int Halo = WindowWidth / 2;
+    double Total = 2048.0 * 2048.0;
+    double Interior = (2048.0 - 2 * Halo) * (2048.0 - 2 * Halo);
+    Growth.addRow({std::to_string(Chain),
+                   std::to_string(WindowWidth) + "x" +
+                       std::to_string(WindowWidth),
+                   std::to_string(Halo),
+                   formatDouble(100.0 * (Total - Interior) / Total, 2) +
+                       "%"});
+  }
+  std::fputs(Growth.render().c_str(), stdout);
+  std::printf("\nCorrect border handling is \"a crucial ingredient for "
+              "automating image processing\ncode generation in a "
+              "compiler\" -- the exchange column is exactly zero for "
+              "every mode.\n");
+  return 0;
+}

@@ -1,0 +1,506 @@
+//===- backend/EmitterCore.cpp --------------------------------------------------===//
+
+#include "backend/EmitterCore.h"
+
+#include "ir/CostInfo.h"
+#include "support/Error.h"
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+using namespace kf;
+
+namespace {
+
+/// Replaces characters that cannot appear in C identifiers.
+std::string sanitize(std::string Name) {
+  for (char &Ch : Name)
+    if (!std::isalnum(static_cast<unsigned char>(Ch)))
+      Ch = '_';
+  return Name;
+}
+
+/// Math builtin name per target: CUDA and C++ use the f-suffixed C
+/// functions; OpenCL C uses the generic overloads.
+std::string mathFnName(kf::detail::BackendTarget Target, const char *Base) {
+  if (Target == kf::detail::BackendTarget::OpenCl)
+    return Base;
+  return std::string(Base) + "f";
+}
+
+std::string floatLit(float Value) {
+  std::string Text = formatDouble(Value, 6);
+  return Text + "f";
+}
+
+/// Emission of one fused kernel: stage device functions plus the __global__
+/// entry point.
+using kf::detail::BackendTarget;
+
+class KernelEmitter {
+public:
+  KernelEmitter(const FusedProgram &FP, const FusedKernel &FK,
+                BackendTarget Target)
+      : P(*FP.Source), FP(FP), FK(FK), Target(Target) {
+    // External images of the block, in image-id order: every stage
+    // function receives them all, mirroring how the fused kernel only
+    // preserves the source inputs (Section II-B).
+    for (const FusedStage &Stage : FK.Stages)
+      for (ImageId In : P.kernel(Stage.Kernel).Inputs)
+        if (!stageProducing(In))
+          if (std::find(Externals.begin(), Externals.end(), In) ==
+              Externals.end())
+            Externals.push_back(In);
+    std::sort(Externals.begin(), Externals.end());
+  }
+
+  std::string emit() {
+    std::string Out;
+    // Stage functions for everything but the destinations, in stage
+    // order.
+    for (const FusedStage &Stage : FK.Stages)
+      if (!FK.isDestination(Stage.Kernel))
+        Out += emitStageFunction(Stage);
+    Out += emitGlobalKernel();
+    return Out;
+  }
+
+
+  /// Externals in entry-point order; exposed through the public helpers.
+  const std::vector<ImageId> &externals() const { return Externals; }
+
+private:
+  const FusedStage *stageProducing(ImageId Img) const {
+    for (const FusedStage &Stage : FK.Stages)
+      if (P.kernel(Stage.Kernel).Output == Img &&
+          !FK.isDestination(Stage.Kernel))
+        return &Stage;
+    return nullptr;
+  }
+
+  std::string prefix() const {
+    return sanitize(P.name()) + "_" + sanitize(FK.Name);
+  }
+
+  std::string stageFnName(KernelId Id) const {
+    return prefix() + "_" + sanitize(P.kernel(Id).Name);
+  }
+
+  std::string imageArg(ImageId Img) const {
+    return "img_" + sanitize(P.image(Img).Name);
+  }
+
+  /// Pointer type of image parameters ("__global const float *" under
+  /// OpenCL).
+  std::string imagePtrType() const {
+    return Target == BackendTarget::OpenCl ? "__global const float *"
+                                           : "const float *";
+  }
+
+  /// Common parameter list shared by stage functions.
+  std::string commonParams() const {
+    std::string Params;
+    for (ImageId Img : Externals)
+      Params += imagePtrType() + imageArg(Img) + ", ";
+    Params += "int width, int height";
+    return Params;
+  }
+
+  std::string commonArgs() const {
+    std::string Args;
+    for (ImageId Img : Externals)
+      Args += imageArg(Img) + ", ";
+    Args += "width, height";
+    return Args;
+  }
+
+  /// Border-exchange expression for one axis.
+  std::string exchangeExpr(const std::string &V, const std::string &N,
+                           BorderMode Mode) const {
+    switch (Mode) {
+    case BorderMode::Clamp:
+      return "idx_clamp(" + V + ", " + N + ")";
+    case BorderMode::Mirror:
+      return "idx_mirror(" + V + ", " + N + ")";
+    case BorderMode::Repeat:
+      return "idx_repeat(" + V + ", " + N + ")";
+    case BorderMode::Constant:
+      // Handled by the caller (value substitution, not index exchange).
+      return V;
+    }
+    KF_UNREACHABLE("unknown border mode");
+  }
+
+  /// Emits a bordered read of external image \p Img at (XE, YE, c) on
+  /// behalf of kernel \p Reader.
+  std::string externalRead(ImageId Img, const Kernel &Reader,
+                           const std::string &XE, const std::string &YE,
+                           const std::string &CE) const {
+    const ImageInfo &Info = P.image(Img);
+    std::string Channels = std::to_string(Info.Channels);
+    if (Reader.Border == BorderMode::Constant) {
+      std::string Oob = "(" + XE + ") < 0 || (" + XE + ") >= width || (" +
+                        YE + ") < 0 || (" + YE + ") >= height";
+      std::string Idx = "((" + YE + ") * width + (" + XE + ")) * " +
+                        Channels + " + " + CE;
+      return "((" + Oob + ") ? " + floatLit(Reader.BorderConstant) + " : " +
+             imageArg(Img) + "[" + Idx + "])";
+    }
+    std::string XS = exchangeExpr(XE, "width", Reader.Border);
+    std::string YS = exchangeExpr(YE, "height", Reader.Border);
+    return imageArg(Img) + "[(" + YS + " * width + " + XS + ") * " +
+           Channels + " + " + CE + "]";
+  }
+
+  /// Emits a read of image \p Img (internal or external) at coordinates
+  /// that may lie in the exterior region. Internal reads apply the index
+  /// exchange of Section IV-B with the *reader's* border mode, then invoke
+  /// the producer stage function.
+  std::string readAt(ImageId Img, const Kernel &Reader, const std::string &XE,
+                     const std::string &YE, const std::string &CE,
+                     bool MayBeExterior, std::string &Stmts, int &Tmp) const {
+    const FusedStage *Producer = stageProducing(Img);
+    if (!Producer)
+      return externalRead(Img, Reader, XE, YE, CE);
+
+    if (!MayBeExterior)
+      return stageFnName(Producer->Kernel) + "(" + commonArgs() + ", " + XE +
+             ", " + YE + ", " + CE + ")";
+
+    // Recompute with index exchange: clamp/mirror/repeat exchange the
+    // coordinate; constant short-circuits to the reader's constant.
+    std::string XV = "ex" + std::to_string(Tmp);
+    std::string YV = "ey" + std::to_string(Tmp);
+    ++Tmp;
+    if (Reader.Border == BorderMode::Constant) {
+      std::string RV = "rv" + std::to_string(Tmp++);
+      Stmts += "    float " + RV + ";\n";
+      Stmts += "    { int " + XV + " = " + XE + ", " + YV + " = " + YE +
+               ";\n";
+      Stmts += "      " + RV + " = (" + XV + " < 0 || " + XV +
+               " >= width || " + YV + " < 0 || " + YV + " >= height) ? " +
+               floatLit(Reader.BorderConstant) + " : " +
+               stageFnName(Producer->Kernel) + "(" + commonArgs() + ", " +
+               XV + ", " + YV + ", " + CE + "); }\n";
+      return RV;
+    }
+    Stmts += "    /* index exchange (" +
+             std::string(borderModeName(Reader.Border)) + ") */\n";
+    Stmts += "    int " + XV + " = " +
+             exchangeExpr("(" + XE + ")", "width", Reader.Border) + ";\n";
+    Stmts += "    int " + YV + " = " +
+             exchangeExpr("(" + YE + ")", "height", Reader.Border) + ";\n";
+    return stageFnName(Producer->Kernel) + "(" + commonArgs() + ", " + XV +
+           ", " + YV + ", " + CE + ")";
+  }
+
+  /// Recursively emits \p E as a C expression; side statements (stencil
+  /// loops) are appended to \p Stmts at \p Indent.
+  std::string emitExpr(const Expr *E, const Kernel &K, std::string &Stmts,
+                       int &Tmp, const std::string &DxVar,
+                       const std::string &DyVar,
+                       const std::string &MaskVar) {
+    switch (E->Kind) {
+    case ExprKind::FloatConst:
+      return floatLit(E->Value);
+    case ExprKind::CoordX:
+      return "(float)x";
+    case ExprKind::CoordY:
+      return "(float)y";
+    case ExprKind::InputAt: {
+      std::string CE =
+          E->Channel < 0 ? std::string("c") : std::to_string(E->Channel);
+      std::string XE = E->OffsetX == 0
+                           ? std::string("x")
+                           : "x + (" + std::to_string(E->OffsetX) + ")";
+      std::string YE = E->OffsetY == 0
+                           ? std::string("y")
+                           : "y + (" + std::to_string(E->OffsetY) + ")";
+      bool MayBeExterior = E->OffsetX != 0 || E->OffsetY != 0;
+      return readAt(K.Inputs[E->InputIdx], K, XE, YE, CE, MayBeExterior,
+                    Stmts, Tmp);
+    }
+    case ExprKind::StencilInput: {
+      assert(!DxVar.empty() && "window access outside a stencil");
+      std::string CE =
+          E->Channel < 0 ? std::string("c") : std::to_string(E->Channel);
+      return readAt(K.Inputs[E->InputIdx], K, "x + " + DxVar, "y + " + DyVar,
+                    CE, /*MayBeExterior=*/true, Stmts, Tmp);
+    }
+    case ExprKind::MaskValue:
+      assert(!MaskVar.empty() && "mask value outside a stencil");
+      return MaskVar;
+    case ExprKind::StencilOffX:
+      return "(float)" + DxVar;
+    case ExprKind::StencilOffY:
+      return "(float)" + DyVar;
+    case ExprKind::Binary: {
+      std::string L = emitExpr(E->Lhs, K, Stmts, Tmp, DxVar, DyVar, MaskVar);
+      std::string R = emitExpr(E->Rhs, K, Stmts, Tmp, DxVar, DyVar, MaskVar);
+      switch (E->BinaryOp) {
+      case BinOp::Add:
+        return "(" + L + " + " + R + ")";
+      case BinOp::Sub:
+        return "(" + L + " - " + R + ")";
+      case BinOp::Mul:
+        return "(" + L + " * " + R + ")";
+      case BinOp::Div:
+        return "(" + L + " / " + R + ")";
+      case BinOp::Min:
+        return mathFnName(Target, "fmin") + "(" + L + ", " + R + ")";
+      case BinOp::Max:
+        return mathFnName(Target, "fmax") + "(" + L + ", " + R + ")";
+      case BinOp::Pow:
+        return mathFnName(Target, "pow") + "(" + L + ", " + R + ")";
+      case BinOp::CmpLT:
+        return "((" + L + " < " + R + ") ? 1.0f : 0.0f)";
+      case BinOp::CmpGT:
+        return "((" + L + " > " + R + ") ? 1.0f : 0.0f)";
+      }
+      KF_UNREACHABLE("unknown binary op");
+    }
+    case ExprKind::Unary: {
+      std::string V = emitExpr(E->Lhs, K, Stmts, Tmp, DxVar, DyVar, MaskVar);
+      switch (E->UnaryOp) {
+      case UnOp::Neg:
+        return "(-" + V + ")";
+      case UnOp::Abs:
+        return mathFnName(Target, "fabs") + "(" + V + ")";
+      case UnOp::Sqrt:
+        return mathFnName(Target, "sqrt") + "(" + V + ")";
+      case UnOp::Exp:
+        return mathFnName(Target, "exp") + "(" + V + ")";
+      case UnOp::Log:
+        return mathFnName(Target, "log") + "(" + V + ")";
+      case UnOp::Floor:
+        return mathFnName(Target, "floor") + "(" + V + ")";
+      }
+      KF_UNREACHABLE("unknown unary op");
+    }
+    case ExprKind::Select: {
+      std::string Cond =
+          emitExpr(E->Cond, K, Stmts, Tmp, DxVar, DyVar, MaskVar);
+      std::string L = emitExpr(E->Lhs, K, Stmts, Tmp, DxVar, DyVar, MaskVar);
+      std::string R = emitExpr(E->Rhs, K, Stmts, Tmp, DxVar, DyVar, MaskVar);
+      return "((" + Cond + " != 0.0f) ? " + L + " : " + R + ")";
+    }
+    case ExprKind::Stencil: {
+      const Mask &M = P.mask(E->MaskIdx);
+      std::string Acc = "acc" + std::to_string(Tmp);
+      std::string Dx = "dx" + std::to_string(Tmp);
+      std::string Dy = "dy" + std::to_string(Tmp);
+      std::string Mv = "mv" + std::to_string(Tmp);
+      ++Tmp;
+      const char *Init = "0.0f";
+      const char *Combine = "+";
+      switch (E->Reduce) {
+      case ReduceOp::Sum:
+        break;
+      case ReduceOp::Product:
+        Init = "1.0f";
+        Combine = "*";
+        break;
+      case ReduceOp::Min:
+        Init = "3.402823466e+38f";
+        break;
+      case ReduceOp::Max:
+        Init = "-3.402823466e+38f";
+        break;
+      }
+      Stmts += "    float " + Acc + " = " + Init + ";\n";
+      Stmts += "    for (int " + Dy + " = " + std::to_string(-M.haloY()) +
+               "; " + Dy + " <= " + std::to_string(M.haloY()) + "; ++" + Dy +
+               ")\n";
+      Stmts += "    for (int " + Dx + " = " + std::to_string(-M.haloX()) +
+               "; " + Dx + " <= " + std::to_string(M.haloX()) + "; ++" + Dx +
+               ") {\n";
+      Stmts += "    float " + Mv + " = " + maskName(E->MaskIdx) + "[(" + Dy +
+               " + " + std::to_string(M.haloY()) + ") * " +
+               std::to_string(M.Width) + " + (" + Dx + " + " +
+               std::to_string(M.haloX()) + ")];\n";
+      std::string ElemStmts;
+      std::string Elem = emitExpr(E->Lhs, K, ElemStmts, Tmp, Dx, Dy, Mv);
+      Stmts += ElemStmts;
+      if (E->Reduce == ReduceOp::Min)
+        Stmts += "    " + Acc + " = " + mathFnName(Target, "fmin") + "(" + Acc + ", " + Elem + ");\n";
+      else if (E->Reduce == ReduceOp::Max)
+        Stmts += "    " + Acc + " = " + mathFnName(Target, "fmax") + "(" + Acc + ", " + Elem + ");\n";
+      else
+        Stmts += "    " + Acc + " = " + Acc + " " + Combine + " " + Elem +
+                 ";\n";
+      Stmts += "    }\n";
+      return Acc;
+    }
+    }
+    KF_UNREACHABLE("unknown expression kind");
+  }
+
+  std::string maskName(int MaskIdx) const {
+    return sanitize(P.name()) + "_mask" + std::to_string(MaskIdx);
+  }
+
+  std::string emitStageFunction(const FusedStage &Stage) {
+    const Kernel &K = P.kernel(Stage.Kernel);
+    std::string Out;
+    Out += "// stage '" + K.Name + "': output placement " +
+           placementName(Stage.OutputPlacement) + "\n";
+    const char *Qualifier = "static inline float ";
+    if (Target == BackendTarget::Cuda)
+      Qualifier = "__device__ float ";
+    else if (Target == BackendTarget::OpenCl)
+      Qualifier = "float "; // OpenCL C helper function.
+    Out += Qualifier + stageFnName(Stage.Kernel) + "(" + commonParams() +
+           ", int x, int y, int c) {\n";
+    std::string Stmts;
+    int Tmp = 0;
+    std::string Value = emitExpr(K.Body, K, Stmts, Tmp, "", "", "");
+    Out += Stmts;
+    Out += "    return " + Value + ";\n";
+    Out += "}\n\n";
+    return Out;
+  }
+
+  /// Output-pointer parameter name of destination \p Id: "out" when the
+  /// kernel has a single destination, "out_<image>" otherwise.
+  std::string outParamName(KernelId Id) const {
+    if (FK.Destinations.size() == 1)
+      return "out";
+    return "out_" + sanitize(P.image(P.kernel(Id).Output).Name);
+  }
+
+  std::string emitGlobalKernel() {
+    std::string Out;
+    Out += "// fused kernel '" + FK.Name + "' (" +
+           std::to_string(FK.Stages.size()) + " stage" +
+           (FK.Stages.size() == 1 ? "" : "s") +
+           (FK.Destinations.size() == 1
+                ? std::string()
+                : ", " + std::to_string(FK.Destinations.size()) +
+                      " destinations") +
+           ")\n";
+    std::string OutParams;
+    for (KernelId DestId : FK.Destinations)
+      OutParams += std::string(Target == BackendTarget::OpenCl
+                                   ? "__global float *"
+                                   : "float *") +
+                   outParamName(DestId) + ", ";
+    if (Target == BackendTarget::Cuda) {
+      Out += "__global__ void " + prefix() + "_kernel(" + OutParams +
+             commonParams() + ") {\n";
+      Out += "    int x = blockIdx.x * blockDim.x + threadIdx.x;\n";
+      Out += "    int y = blockIdx.y * blockDim.y + threadIdx.y;\n";
+      Out += "    if (x >= width || y >= height) return;\n";
+    } else if (Target == BackendTarget::OpenCl) {
+      Out += "__kernel void " + prefix() + "_kernel(" + OutParams +
+             commonParams() + ") {\n";
+      Out += "    int x = get_global_id(0);\n";
+      Out += "    int y = get_global_id(1);\n";
+      Out += "    if (x >= width || y >= height) return;\n";
+    } else {
+      // CPU target: an extern "C" loop nest over the iteration space.
+      Out += "extern \"C\" void " + prefix() + "_kernel(" + OutParams +
+             commonParams() + ") {\n";
+      Out += "    for (int y = 0; y < height; ++y)\n";
+      Out += "    for (int x = 0; x < width; ++x) {\n";
+    }
+    for (KernelId DestId : FK.Destinations) {
+      const Kernel &Dest = P.kernel(DestId);
+      const ImageInfo &OutInfo = P.image(Dest.Output);
+      Out += "    for (int c = 0; c < " + std::to_string(OutInfo.Channels) +
+             "; ++c) {\n";
+      std::string Stmts;
+      int Tmp = 0;
+      std::string Value = emitExpr(Dest.Body, Dest, Stmts, Tmp, "", "", "");
+      Out += Stmts;
+      Out += "    " + outParamName(DestId) + "[(y * width + x) * " +
+             std::to_string(OutInfo.Channels) + " + c] = " + Value +
+             ";\n";
+      Out += "    }\n";
+    }
+    if (Target == BackendTarget::Cpp)
+      Out += "    }\n";
+    Out += "}\n\n";
+    return Out;
+  }
+
+  const Program &P;
+  const FusedProgram &FP;
+  const FusedKernel &FK;
+  BackendTarget Target;
+  std::vector<ImageId> Externals;
+};
+
+} // namespace
+
+std::string kf::detail::emitKernelForTarget(const FusedProgram &FP,
+                                            unsigned Index,
+                                            BackendTarget Target) {
+  assert(Index < FP.Kernels.size() && "fused kernel index out of range");
+  KernelEmitter Emitter(FP, FP.Kernels[Index], Target);
+  return Emitter.emit();
+}
+
+std::string kf::detail::emitProgramForTarget(const FusedProgram &FP,
+                                             BackendTarget Target) {
+  const Program &P = *FP.Source;
+  bool Cuda = Target == BackendTarget::Cuda;
+  bool OpenCl = Target == BackendTarget::OpenCl;
+  std::string Out;
+  Out += std::string("// ") +
+         (Cuda ? "CUDA" : (OpenCl ? "OpenCL" : "C++")) +
+         " code generated by the kernel-fusion reproduction of\n";
+  Out += "// Qiao et al., \"From Loop Fusion to Kernel Fusion\", CGO 2019.\n";
+  Out += "// program: " + P.name() + ", style: " +
+         (FP.Style == FusionStyle::Optimized ? "optimized" : "basic") +
+         ", launches: " + std::to_string(FP.Kernels.size()) + "\n\n";
+  if (!Cuda && !OpenCl)
+    Out += "#include <cmath>\n\n";
+
+  // Border-exchange helpers (Section IV-B index exchange).
+  std::string Fn = Cuda ? "__device__ int "
+                        : (OpenCl ? "int " : "static inline int ");
+  Out += Fn + "idx_clamp(int v, int n) "
+         "{ return v < 0 ? 0 : (v >= n ? n - 1 : v); }\n";
+  Out += Fn + "idx_mirror(int v, int n) "
+         "{ int p = 2 * n; int m = v % p; if (m < 0) m += p; "
+         "return m < n ? m : p - 1 - m; }\n";
+  Out += Fn + "idx_repeat(int v, int n) "
+         "{ int m = v % n; return m < 0 ? m + n : m; }\n\n";
+
+  // Mask constants.
+  for (int M = 0; M != static_cast<int>(P.numMasks()); ++M) {
+    const Mask &Msk = P.mask(M);
+    Out += std::string(Cuda ? "__constant__ float "
+                             : (OpenCl ? "__constant float "
+                                       : "static const float ")) +
+           sanitize(P.name()) + "_mask" + std::to_string(M) + "[" +
+           std::to_string(Msk.size()) + "] = {";
+    for (size_t I = 0; I != Msk.Weights.size(); ++I) {
+      if (I != 0)
+        Out += ", ";
+      Out += floatLit(Msk.Weights[I]);
+    }
+    Out += "};\n";
+  }
+  Out += "\n";
+
+  for (unsigned Index = 0; Index != FP.Kernels.size(); ++Index)
+    Out += emitKernelForTarget(FP, Index, Target);
+  return Out;
+}
+
+std::string kf::detail::kernelEntryName(const FusedProgram &FP,
+                                        unsigned Index) {
+  assert(Index < FP.Kernels.size() && "fused kernel index out of range");
+  return sanitize(FP.Source->name()) + "_" +
+         sanitize(FP.Kernels[Index].Name) + "_kernel";
+}
+
+std::vector<kf::ImageId>
+kf::detail::kernelExternalImages(const FusedProgram &FP, unsigned Index) {
+  assert(Index < FP.Kernels.size() && "fused kernel index out of range");
+  KernelEmitter Emitter(FP, FP.Kernels[Index], BackendTarget::Cpp);
+  return Emitter.externals();
+}

@@ -1,0 +1,52 @@
+//===- backend/EmitterCore.h - Shared code emission core --------*- C++ -*-===//
+///
+/// \file
+/// The target-parametric code generator behind both backends. CUDA and
+/// plain C++ share the entire expression/stage emission (the C math calls
+/// fminf/powf/sqrtf/... are valid in both dialects); the targets differ
+/// only in function qualifiers, the kernel wrapper (thread indexing vs
+/// nested loops), and the constant-memory qualifier for masks.
+///
+/// This header is internal to the backend library; users include
+/// backend/cuda/CudaEmitter.h or backend/cpu/CppEmitter.h.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KF_BACKEND_EMITTERCORE_H
+#define KF_BACKEND_EMITTERCORE_H
+
+#include "transform/FusedKernel.h"
+
+#include <string>
+
+namespace kf {
+namespace detail {
+
+/// Code generation targets.
+enum class BackendTarget {
+  Cuda,   ///< __global__ kernels, __device__ stages, __constant__ masks.
+  Cpp,    ///< extern "C" loop nests, static inline stages, const masks.
+  OpenCl, ///< __kernel entry points over get_global_id, __constant masks.
+};
+
+/// Emits fused kernel \p Index (stage functions + entry point).
+std::string emitKernelForTarget(const FusedProgram &FP, unsigned Index,
+                                BackendTarget Target);
+
+/// Emits the whole translation unit: prelude, border helpers, mask
+/// constants, and every fused kernel.
+std::string emitProgramForTarget(const FusedProgram &FP,
+                                 BackendTarget Target);
+
+/// Entry-point name of fused kernel \p Index:
+/// "<program>_<stage+stage+...>_kernel" with identifiers sanitized.
+std::string kernelEntryName(const FusedProgram &FP, unsigned Index);
+
+/// External images fused kernel \p Index reads, in parameter order.
+std::vector<ImageId> kernelExternalImages(const FusedProgram &FP,
+                                          unsigned Index);
+
+} // namespace detail
+} // namespace kf
+
+#endif // KF_BACKEND_EMITTERCORE_H

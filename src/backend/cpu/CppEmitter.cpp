@@ -1,0 +1,24 @@
+//===- backend/cpu/CppEmitter.cpp - C++ backend entry points --------------------===//
+
+#include "backend/cpu/CppEmitter.h"
+
+#include "backend/EmitterCore.h"
+
+using namespace kf;
+
+std::string kf::emitCppProgram(const FusedProgram &FP) {
+  return detail::emitProgramForTarget(FP, detail::BackendTarget::Cpp);
+}
+
+std::string kf::emitCppKernel(const FusedProgram &FP, unsigned Index) {
+  return detail::emitKernelForTarget(FP, Index, detail::BackendTarget::Cpp);
+}
+
+std::string kf::cppKernelEntryName(const FusedProgram &FP, unsigned Index) {
+  return detail::kernelEntryName(FP, Index);
+}
+
+std::vector<ImageId> kf::cppKernelExternalImages(const FusedProgram &FP,
+                                                 unsigned Index) {
+  return detail::kernelExternalImages(FP, Index);
+}

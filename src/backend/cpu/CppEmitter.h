@@ -1,0 +1,45 @@
+//===- backend/cpu/CppEmitter.h - C++ (CPU) source generation ---*- C++ -*-===//
+///
+/// \file
+/// The CPU backend the paper lists as future work ("we want to extend our
+/// technique to other backend targets such as CPUs"): prints (fused)
+/// programs as portable C++ loop nests with extern "C" entry points, one
+/// per fused kernel:
+///
+///   extern "C" void <program>_<kernel>_kernel(
+///       float *out, const float *img_<input>..., int width, int height);
+///
+/// Unlike the CUDA output, this translation unit compiles with any host
+/// C++ compiler -- the test suite builds it with the system compiler and
+/// runs it against the interpreter as a differential check of the whole
+/// source-to-source path.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KF_BACKEND_CPU_CPPEMITTER_H
+#define KF_BACKEND_CPU_CPPEMITTER_H
+
+#include "transform/FusedKernel.h"
+
+#include <string>
+
+namespace kf {
+
+/// Emits the complete C++ translation unit for \p FP.
+std::string emitCppProgram(const FusedProgram &FP);
+
+/// Emits only fused kernel \p Index of \p FP (stage functions + entry).
+std::string emitCppKernel(const FusedProgram &FP, unsigned Index);
+
+/// Name of the generated entry point for fused kernel \p Index.
+std::string cppKernelEntryName(const FusedProgram &FP, unsigned Index);
+
+/// The external images fused kernel \p Index reads, in the order its
+/// entry point takes them (ascending image id). Callers pass one
+/// channel-interleaved float buffer per entry, then width and height.
+std::vector<ImageId> cppKernelExternalImages(const FusedProgram &FP,
+                                             unsigned Index);
+
+} // namespace kf
+
+#endif // KF_BACKEND_CPU_CPPEMITTER_H

@@ -1,0 +1,16 @@
+//===- backend/cuda/CudaEmitter.cpp - CUDA backend entry points -----------------===//
+
+#include "backend/cuda/CudaEmitter.h"
+
+#include "backend/EmitterCore.h"
+
+using namespace kf;
+
+std::string kf::emitCudaKernel(const FusedProgram &FP, unsigned Index) {
+  return detail::emitKernelForTarget(FP, Index,
+                                     detail::BackendTarget::Cuda);
+}
+
+std::string kf::emitCudaProgram(const FusedProgram &FP) {
+  return detail::emitProgramForTarget(FP, detail::BackendTarget::Cuda);
+}

@@ -1,0 +1,39 @@
+//===- backend/cuda/CudaEmitter.h - CUDA source generation ------*- C++ -*-===//
+///
+/// \file
+/// The source-to-source backend: prints (fused) programs as CUDA C device
+/// code, mirroring what Hipacc's CUDA code generation produces after the
+/// kernel-fusion pass. The emitted text is a faithful rendering of the
+/// transformation -- producer bodies become __device__ stage functions,
+/// register-placed intermediates become local variables, recomputed
+/// producers are re-invoked per window element with the index exchange of
+/// Section IV-B applied to exterior coordinates, and shared-tile stages
+/// stage through __shared__ arrays.
+///
+/// The output is deterministic and golden-tested; it is not compiled in
+/// this environment (no CUDA toolchain), which DESIGN.md documents as a
+/// substitution.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KF_BACKEND_CUDA_CUDAEMITTER_H
+#define KF_BACKEND_CUDA_CUDAEMITTER_H
+
+#include "transform/FusedKernel.h"
+
+#include <string>
+
+namespace kf {
+
+/// Emits the complete CUDA translation unit for \p FP: mask constants,
+/// border helpers, stage device functions, and one __global__ kernel per
+/// fused kernel.
+std::string emitCudaProgram(const FusedProgram &FP);
+
+/// Emits only the __global__ kernel (plus its stage functions) for fused
+/// kernel \p Index of \p FP.
+std::string emitCudaKernel(const FusedProgram &FP, unsigned Index);
+
+} // namespace kf
+
+#endif // KF_BACKEND_CUDA_CUDAEMITTER_H

@@ -1,0 +1,16 @@
+//===- backend/opencl/ClEmitter.cpp - OpenCL backend entry points ---------------===//
+
+#include "backend/opencl/ClEmitter.h"
+
+#include "backend/EmitterCore.h"
+
+using namespace kf;
+
+std::string kf::emitOpenClProgram(const FusedProgram &FP) {
+  return detail::emitProgramForTarget(FP, detail::BackendTarget::OpenCl);
+}
+
+std::string kf::emitOpenClKernel(const FusedProgram &FP, unsigned Index) {
+  return detail::emitKernelForTarget(FP, Index,
+                                     detail::BackendTarget::OpenCl);
+}

@@ -1,0 +1,31 @@
+//===- backend/opencl/ClEmitter.h - OpenCL source generation ----*- C++ -*-===//
+///
+/// \file
+/// The OpenCL backend: prints (fused) programs as OpenCL C kernels, the
+/// second GPU dialect Hipacc targets ("Shared Memory in CUDA is
+/// equivalent to the local memory in OpenCL" -- the paper's terminology
+/// footnote). Entry points are __kernel functions over get_global_id;
+/// image parameters live in __global memory and masks in __constant
+/// memory. Like the CUDA output it is golden-tested but not compiled
+/// (no OpenCL runtime in this environment).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KF_BACKEND_OPENCL_CLEMITTER_H
+#define KF_BACKEND_OPENCL_CLEMITTER_H
+
+#include "transform/FusedKernel.h"
+
+#include <string>
+
+namespace kf {
+
+/// Emits the complete OpenCL translation unit for \p FP.
+std::string emitOpenClProgram(const FusedProgram &FP);
+
+/// Emits only fused kernel \p Index of \p FP.
+std::string emitOpenClKernel(const FusedProgram &FP, unsigned Index);
+
+} // namespace kf
+
+#endif // KF_BACKEND_OPENCL_CLEMITTER_H

@@ -1,0 +1,178 @@
+//===- frontend/Lexer.cpp --------------------------------------------------===//
+
+#include "frontend/Lexer.h"
+
+#include "support/Error.h"
+
+#include <cctype>
+
+using namespace kf;
+
+const char *kf::tokenKindName(TokenKind Kind) {
+  switch (Kind) {
+  case TokenKind::Ident:
+    return "identifier";
+  case TokenKind::Number:
+    return "number";
+  case TokenKind::Arrow:
+    return "'->'";
+  case TokenKind::LParen:
+    return "'('";
+  case TokenKind::RParen:
+    return "')'";
+  case TokenKind::LBrack:
+    return "'['";
+  case TokenKind::RBrack:
+    return "']'";
+  case TokenKind::LBrace:
+    return "'{'";
+  case TokenKind::RBrace:
+    return "'}'";
+  case TokenKind::Comma:
+    return "','";
+  case TokenKind::Dot:
+    return "'.'";
+  case TokenKind::Equals:
+    return "'='";
+  case TokenKind::Plus:
+    return "'+'";
+  case TokenKind::Minus:
+    return "'-'";
+  case TokenKind::Star:
+    return "'*'";
+  case TokenKind::Slash:
+    return "'/'";
+  case TokenKind::Less:
+    return "'<'";
+  case TokenKind::Greater:
+    return "'>'";
+  case TokenKind::EndOfFile:
+    return "end of file";
+  }
+  KF_UNREACHABLE("unknown token kind");
+}
+
+std::vector<Token> kf::lexPipelineText(const std::string &Source,
+                                       std::vector<std::string> &Errors) {
+  std::vector<Token> Tokens;
+  unsigned Line = 1;
+  size_t Pos = 0;
+  size_t End = Source.size();
+
+  auto push = [&](TokenKind Kind, std::string Text) {
+    Tokens.push_back(Token{Kind, std::move(Text), Line});
+  };
+
+  while (Pos < End) {
+    char Ch = Source[Pos];
+    if (Ch == '\n') {
+      ++Line;
+      ++Pos;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(Ch))) {
+      ++Pos;
+      continue;
+    }
+    if (Ch == '#') {
+      while (Pos < End && Source[Pos] != '\n')
+        ++Pos;
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(Ch)) || Ch == '_') {
+      size_t Start = Pos;
+      while (Pos < End && (std::isalnum(static_cast<unsigned char>(
+                               Source[Pos])) ||
+                           Source[Pos] == '_'))
+        ++Pos;
+      push(TokenKind::Ident, Source.substr(Start, Pos - Start));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(Ch))) {
+      size_t Start = Pos;
+      bool SeenDot = false;
+      bool SeenExp = false;
+      while (Pos < End) {
+        char C = Source[Pos];
+        if (std::isdigit(static_cast<unsigned char>(C))) {
+          ++Pos;
+        } else if (C == '.' && !SeenDot && !SeenExp) {
+          SeenDot = true;
+          ++Pos;
+        } else if ((C == 'e' || C == 'E') && !SeenExp) {
+          SeenExp = true;
+          ++Pos;
+          if (Pos < End && (Source[Pos] == '+' || Source[Pos] == '-'))
+            ++Pos;
+        } else {
+          break;
+        }
+      }
+      push(TokenKind::Number, Source.substr(Start, Pos - Start));
+      continue;
+    }
+    if (Ch == '-' && Pos + 1 < End && Source[Pos + 1] == '>') {
+      push(TokenKind::Arrow, "->");
+      Pos += 2;
+      continue;
+    }
+    TokenKind Kind;
+    switch (Ch) {
+    case '(':
+      Kind = TokenKind::LParen;
+      break;
+    case ')':
+      Kind = TokenKind::RParen;
+      break;
+    case '[':
+      Kind = TokenKind::LBrack;
+      break;
+    case ']':
+      Kind = TokenKind::RBrack;
+      break;
+    case '{':
+      Kind = TokenKind::LBrace;
+      break;
+    case '}':
+      Kind = TokenKind::RBrace;
+      break;
+    case ',':
+      Kind = TokenKind::Comma;
+      break;
+    case '.':
+      Kind = TokenKind::Dot;
+      break;
+    case '=':
+      Kind = TokenKind::Equals;
+      break;
+    case '+':
+      Kind = TokenKind::Plus;
+      break;
+    case '-':
+      Kind = TokenKind::Minus;
+      break;
+    case '*':
+      Kind = TokenKind::Star;
+      break;
+    case '/':
+      Kind = TokenKind::Slash;
+      break;
+    case '<':
+      Kind = TokenKind::Less;
+      break;
+    case '>':
+      Kind = TokenKind::Greater;
+      break;
+    default:
+      Errors.push_back("line " + std::to_string(Line) +
+                       ": unexpected character '" + std::string(1, Ch) +
+                       "'");
+      ++Pos;
+      continue;
+    }
+    push(Kind, std::string(1, Ch));
+    ++Pos;
+  }
+  push(TokenKind::EndOfFile, "");
+  return Tokens;
+}

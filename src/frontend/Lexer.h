@@ -1,0 +1,72 @@
+//===- frontend/Lexer.h - Tokenizer for the pipeline format -----*- C++ -*-===//
+///
+/// \file
+/// Tokenizer for the textual pipeline format (.kfp) the frontend parses.
+/// The format describes images, masks, and kernels with expression bodies:
+///
+///   program blur2
+///   image in 64 48
+///   image mid 64 48
+///   image out 64 48
+///   mask g 3 3 [0.0625 0.125 0.0625 0.125 0.25 0.125 0.0625 0.125 0.0625]
+///   local kernel conv0(in) -> mid border clamp {
+///     out = sum(g, mv * in[])
+///   }
+///   local kernel conv1(mid) -> out border clamp {
+///     out = sum(g, mv * mid[])
+///   }
+///
+/// Tokens carry 1-based line numbers for diagnostics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KF_FRONTEND_LEXER_H
+#define KF_FRONTEND_LEXER_H
+
+#include <string>
+#include <vector>
+
+namespace kf {
+
+/// Token categories of the pipeline format.
+enum class TokenKind : uint8_t {
+  Ident,   ///< Identifiers and keywords.
+  Number,  ///< Unsigned numeric literal (sign is a separate token).
+  Arrow,   ///< "->"
+  LParen,  ///< "("
+  RParen,  ///< ")"
+  LBrack,  ///< "["
+  RBrack,  ///< "]"
+  LBrace,  ///< "{"
+  RBrace,  ///< "}"
+  Comma,   ///< ","
+  Dot,     ///< "."
+  Equals,  ///< "="
+  Plus,    ///< "+"
+  Minus,   ///< "-"
+  Star,    ///< "*"
+  Slash,   ///< "/"
+  Less,    ///< "<"
+  Greater, ///< ">"
+  EndOfFile,
+};
+
+/// One lexed token.
+struct Token {
+  TokenKind Kind = TokenKind::EndOfFile;
+  std::string Text;
+  unsigned Line = 0;
+};
+
+/// Printable token-kind name for diagnostics.
+const char *tokenKindName(TokenKind Kind);
+
+/// Tokenizes \p Source. '#' starts a comment to end of line. On a lexical
+/// error a diagnostic is appended to \p Errors and lexing continues after
+/// the offending character. The token stream always ends with EndOfFile.
+std::vector<Token> lexPipelineText(const std::string &Source,
+                                   std::vector<std::string> &Errors);
+
+} // namespace kf
+
+#endif // KF_FRONTEND_LEXER_H

@@ -1,0 +1,68 @@
+//===- frontend/Parser.h - Pipeline-format parser ---------------*- C++ -*-===//
+///
+/// \file
+/// Recursive-descent parser for the .kfp pipeline format (see Lexer.h for
+/// a sample). Grammar:
+///
+///   program    := "program" IDENT decl*
+///   decl       := image | mask | kernel
+///   image      := "image" IDENT INT INT [INT]
+///   mask       := "mask" IDENT INT INT "[" signed-number* "]"
+///   kernel     := ("point"|"local"|"global") "kernel" IDENT
+///                 "(" [IDENT ("," IDENT)*] ")" "->" IDENT
+///                 ["border" ("clamp"|"mirror"|"repeat"|"constant"
+///                            ["value" signed-number])]
+///                 ["granularity" INT]
+///                 "{" "out" "=" expr "}"
+///
+///   expr       := cmp
+///   cmp        := add (("<" | ">") add)*
+///   add        := mul (("+" | "-") mul)*
+///   mul        := unary (("*" | "/") unary)*
+///   unary      := "-" unary | primary
+///   primary    := NUMBER | "x" | "y" | "dx" | "dy" | "mv"
+///               | FN "(" expr ("," expr)* ")"       builtin call
+///               | "sum"|"product"|"reduce_min"|"reduce_max"
+///                      "(" MASKNAME "," expr ")"    stencil reduction
+///               | INPUT ["." INT]                   point access
+///               | INPUT "(" SINT "," SINT ")" ["." INT]   offset access
+///               | INPUT "[" "]" ["." INT]           window access
+///               | "(" expr ")"
+///
+/// Builtins: min, max, pow, select, sqrt, exp, log, abs, floor.
+/// Input names refer to the kernel's parameter list; mask names to mask
+/// declarations. Diagnostics carry line numbers; parsing is total (it
+/// recovers nothing -- the first error aborts the parse).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KF_FRONTEND_PARSER_H
+#define KF_FRONTEND_PARSER_H
+
+#include "ir/Program.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace kf {
+
+/// Result of parsing a pipeline file: a program (on success) and
+/// diagnostics (on failure).
+struct ParseResult {
+  std::unique_ptr<Program> Prog;
+  std::vector<std::string> Errors;
+
+  bool success() const { return Prog != nullptr && Errors.empty(); }
+};
+
+/// Parses pipeline text into a verified Program. Verification diagnostics
+/// are folded into Errors.
+ParseResult parsePipelineText(const std::string &Source);
+
+/// Reads and parses a .kfp file; I/O failures surface as Errors.
+ParseResult parsePipelineFile(const std::string &Path);
+
+} // namespace kf
+
+#endif // KF_FRONTEND_PARSER_H

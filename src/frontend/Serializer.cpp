@@ -1,0 +1,161 @@
+//===- frontend/Serializer.cpp ----------------------------------------------===//
+
+#include "frontend/Serializer.h"
+
+#include "support/Error.h"
+#include "support/StringUtils.h"
+
+#include <cstdio>
+
+using namespace kf;
+
+/// Prints a float with round-trip precision ("%.9g" is exact for IEEE
+/// binary32).
+static std::string floatText(float Value) {
+  char Buffer[64];
+  std::snprintf(Buffer, sizeof(Buffer), "%.9g", static_cast<double>(Value));
+  return Buffer;
+}
+
+static std::string channelSuffix(int Channel) {
+  return Channel < 0 ? std::string() : "." + std::to_string(Channel);
+}
+
+std::string kf::serializeExpr(const Expr *E,
+                              const std::vector<std::string> &InputNames) {
+  auto name = [&](int Idx) { return InputNames[Idx]; };
+  switch (E->Kind) {
+  case ExprKind::FloatConst:
+    return floatText(E->Value);
+  case ExprKind::CoordX:
+    return "x";
+  case ExprKind::CoordY:
+    return "y";
+  case ExprKind::StencilOffX:
+    return "dx";
+  case ExprKind::StencilOffY:
+    return "dy";
+  case ExprKind::MaskValue:
+    return "mv";
+  case ExprKind::InputAt:
+    if (E->OffsetX == 0 && E->OffsetY == 0)
+      return name(E->InputIdx) + channelSuffix(E->Channel);
+    return name(E->InputIdx) + "(" + std::to_string(E->OffsetX) + ", " +
+           std::to_string(E->OffsetY) + ")" + channelSuffix(E->Channel);
+  case ExprKind::StencilInput:
+    return name(E->InputIdx) + "[]" + channelSuffix(E->Channel);
+  case ExprKind::Binary: {
+    std::string L = serializeExpr(E->Lhs, InputNames);
+    std::string R = serializeExpr(E->Rhs, InputNames);
+    switch (E->BinaryOp) {
+    case BinOp::Add:
+      return "(" + L + " + " + R + ")";
+    case BinOp::Sub:
+      return "(" + L + " - " + R + ")";
+    case BinOp::Mul:
+      return "(" + L + " * " + R + ")";
+    case BinOp::Div:
+      return "(" + L + " / " + R + ")";
+    case BinOp::CmpLT:
+      return "(" + L + " < " + R + ")";
+    case BinOp::CmpGT:
+      return "(" + L + " > " + R + ")";
+    case BinOp::Min:
+      return "min(" + L + ", " + R + ")";
+    case BinOp::Max:
+      return "max(" + L + ", " + R + ")";
+    case BinOp::Pow:
+      return "pow(" + L + ", " + R + ")";
+    }
+    KF_UNREACHABLE("unknown binary op");
+  }
+  case ExprKind::Unary: {
+    std::string V = serializeExpr(E->Lhs, InputNames);
+    switch (E->UnaryOp) {
+    case UnOp::Neg:
+      return "(-" + V + ")";
+    case UnOp::Abs:
+      return "abs(" + V + ")";
+    case UnOp::Sqrt:
+      return "sqrt(" + V + ")";
+    case UnOp::Exp:
+      return "exp(" + V + ")";
+    case UnOp::Log:
+      return "log(" + V + ")";
+    case UnOp::Floor:
+      return "floor(" + V + ")";
+    }
+    KF_UNREACHABLE("unknown unary op");
+  }
+  case ExprKind::Select:
+    return "select(" + serializeExpr(E->Cond, InputNames) + ", " +
+           serializeExpr(E->Lhs, InputNames) + ", " +
+           serializeExpr(E->Rhs, InputNames) + ")";
+  case ExprKind::Stencil: {
+    const char *Fn = nullptr;
+    switch (E->Reduce) {
+    case ReduceOp::Sum:
+      Fn = "sum";
+      break;
+    case ReduceOp::Product:
+      Fn = "product";
+      break;
+    case ReduceOp::Min:
+      Fn = "reduce_min";
+      break;
+    case ReduceOp::Max:
+      Fn = "reduce_max";
+      break;
+    }
+    return std::string(Fn) + "(m" + std::to_string(E->MaskIdx) + ", " +
+           serializeExpr(E->Lhs, InputNames) + ")";
+  }
+  }
+  KF_UNREACHABLE("unknown expression kind");
+}
+
+std::string kf::serializeProgram(const Program &P) {
+  std::string Out = "program " + P.name() + "\n\n";
+
+  for (ImageId Id = 0; Id != P.numImages(); ++Id) {
+    const ImageInfo &Info = P.image(Id);
+    Out += "image " + Info.Name + " " + std::to_string(Info.Width) + " " +
+           std::to_string(Info.Height);
+    if (Info.Channels != 1)
+      Out += " " + std::to_string(Info.Channels);
+    Out += "\n";
+  }
+  if (P.numMasks() > 0)
+    Out += "\n";
+  for (int M = 0; M != static_cast<int>(P.numMasks()); ++M) {
+    const Mask &Msk = P.mask(M);
+    Out += "mask m" + std::to_string(M) + " " + std::to_string(Msk.Width) +
+           " " + std::to_string(Msk.Height) + " [";
+    for (size_t I = 0; I != Msk.Weights.size(); ++I) {
+      if (I != 0)
+        Out += " ";
+      Out += floatText(Msk.Weights[I]);
+    }
+    Out += "]\n";
+  }
+
+  for (KernelId Id = 0; Id != P.numKernels(); ++Id) {
+    const Kernel &K = P.kernel(Id);
+    std::vector<std::string> InputNames;
+    for (ImageId In : K.Inputs)
+      InputNames.push_back(P.image(In).Name);
+
+    Out += "\n" + std::string(operatorKindName(K.Kind)) + " kernel " +
+           K.Name + "(" + joinStrings(InputNames, ", ") + ") -> " +
+           P.image(K.Output).Name;
+    if (K.Kind == OperatorKind::Local) {
+      Out += std::string(" border ") + borderModeName(K.Border);
+      if (K.Border == BorderMode::Constant)
+        Out += " value " + floatText(K.BorderConstant);
+    }
+    if (K.Granularity != 1)
+      Out += " granularity " + std::to_string(K.Granularity);
+    Out += " {\n  out = " + serializeExpr(K.Body, InputNames) + "\n}\n";
+  }
+  return Out;
+}

@@ -1,0 +1,32 @@
+//===- frontend/Serializer.h - Program -> .kfp text -------------*- C++ -*-===//
+///
+/// \file
+/// Serializes a Program back into the textual pipeline format the parser
+/// reads, such that parse(serialize(P)) reproduces the program exactly
+/// (structure, bodies, and float constants -- weights and literals print
+/// with enough digits to round-trip). Masks are named m0, m1, ...;
+/// image and kernel names must already be valid identifiers (all bundled
+/// pipelines are).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KF_FRONTEND_SERIALIZER_H
+#define KF_FRONTEND_SERIALIZER_H
+
+#include "ir/Program.h"
+
+#include <string>
+
+namespace kf {
+
+/// Renders \p P in the .kfp pipeline format.
+std::string serializeProgram(const Program &P);
+
+/// Renders one expression in the .kfp grammar. \p InputNames maps kernel
+/// input indices to image names.
+std::string serializeExpr(const Expr *E,
+                          const std::vector<std::string> &InputNames);
+
+} // namespace kf
+
+#endif // KF_FRONTEND_SERIALIZER_H

@@ -1,0 +1,64 @@
+//===- fusion/BasicFusion.cpp ----------------------------------------------===//
+
+#include "fusion/BasicFusion.h"
+
+#include <algorithm>
+
+using namespace kf;
+
+BasicFusionResult kf::runBasicFusion(const Program &P,
+                                     const HardwareModel &HW) {
+  LegalityChecker Checker(P, HW);
+  BenefitModel Model(Checker);
+
+  BasicFusionResult Result;
+  Result.WeightedDag = Model.buildWeightedDag(&Result.EdgeInfo);
+
+  std::vector<bool> Paired(P.numKernels(), false);
+  std::vector<PartitionBlock> Blocks;
+
+  // Scan dependence edges in deterministic (kernel id) order, pairing
+  // greedily; a kernel participates in at most one pair.
+  for (Digraph::EdgeId E = 0; E != Result.WeightedDag.numEdges(); ++E) {
+    const Digraph::Edge &Ed = Result.WeightedDag.edge(E);
+    KernelId Src = Ed.From;
+    KernelId Dst = Ed.To;
+    if (Paired[Src] || Paired[Dst])
+      continue;
+
+    const Kernel &Producer = P.kernel(Src);
+    const Kernel &Consumer = P.kernel(Dst);
+
+    // Point-related scenarios only.
+    if (Producer.Kind == OperatorKind::Local &&
+        Consumer.Kind == OperatorKind::Local)
+      continue;
+    if (Producer.Kind == OperatorKind::Global ||
+        Consumer.Kind == OperatorKind::Global)
+      continue;
+
+    // Strict true dependence: single-input consumer, single-consumer
+    // producer (anything else was regarded as an external dependence).
+    if (Consumer.Inputs.size() != 1 ||
+        Consumer.Inputs.front() != Producer.Output)
+      continue;
+    if (P.consumersOf(Producer.Output).size() != 1)
+      continue;
+
+    // Shared legality core (headers, resources).
+    if (!Checker.checkBlock({Src, Dst}).Legal)
+      continue;
+
+    Paired[Src] = Paired[Dst] = true;
+    Blocks.push_back(PartitionBlock{{Src, Dst}});
+  }
+
+  for (KernelId Id = 0; Id != P.numKernels(); ++Id)
+    if (!Paired[Id])
+      Blocks.push_back(PartitionBlock{{Id}});
+
+  Result.Blocks.Blocks = std::move(Blocks);
+  Result.Blocks.normalize();
+  Result.TotalBenefit = partitionBenefit(Result.WeightedDag, Result.Blocks);
+  return Result;
+}

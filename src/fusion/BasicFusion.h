@@ -1,0 +1,50 @@
+//===- fusion/BasicFusion.h - Prior-work pairwise fusion [12] ---*- C++ -*-===//
+///
+/// \file
+/// Reimplementation of the *basic* kernel fusion of the authors' prior
+/// work (Qiao et al., SCOPES 2018, reference [12] of the paper), used as
+/// the middle comparison point of the evaluation (Figure 6 / Table I
+/// "Basic Fusion"). Its restrictions, as described in the paper:
+///
+///   - only point-related scenarios fuse: point-to-point, local-to-point,
+///     and point-to-local -- never local-to-local (rejects Sobel),
+///   - only pair-wise fusion: each kernel joins at most one pair, so long
+///     chains are not aggregated (Enhancement fuses only partially),
+///   - strictly true-dependence pairs: the consumer's only input is the
+///     producer's output and the producer's output has no other consumer;
+///     shared-input DAGs are "regarded as external and invalid" (rejects
+///     Unsharp),
+///   - no benefit model: a legal pair always fuses ("kernels are precluded
+///     as long as any constraint is met" -- the locality/recompute
+///     tradeoff "has not been explored by previous work").
+///
+/// The downstream transform also treats basic point-to-local fusion
+/// differently: the intermediate is staged through shared memory rather
+/// than recomputed into registers, which is where part of the optimized-
+/// over-basic gain of Table I comes from.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KF_FUSION_BASICFUSION_H
+#define KF_FUSION_BASICFUSION_H
+
+#include "fusion/BenefitModel.h"
+#include "fusion/Partition.h"
+
+namespace kf {
+
+/// Result of the basic pairwise fusion pass.
+struct BasicFusionResult {
+  Partition Blocks;
+  Digraph WeightedDag;               ///< Same weights as the optimized pass
+                                     ///< (for objective comparison only).
+  std::vector<EdgeBenefit> EdgeInfo; ///< Per DAG edge id.
+  double TotalBenefit = 0.0;         ///< beta achieved by the pairing.
+};
+
+/// Runs the prior-work pairwise fusion on \p P.
+BasicFusionResult runBasicFusion(const Program &P, const HardwareModel &HW);
+
+} // namespace kf
+
+#endif // KF_FUSION_BASICFUSION_H

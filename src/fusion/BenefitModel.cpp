@@ -1,0 +1,147 @@
+//===- fusion/BenefitModel.cpp ---------------------------------------------===//
+
+#include "fusion/BenefitModel.h"
+
+#include "support/Error.h"
+
+#include <cmath>
+
+using namespace kf;
+
+const char *kf::fusionScenarioName(FusionScenario Scenario) {
+  switch (Scenario) {
+  case FusionScenario::Illegal:
+    return "illegal";
+  case FusionScenario::PointBased:
+    return "point-based";
+  case FusionScenario::PointToLocal:
+    return "point-to-local";
+  case FusionScenario::LocalToLocal:
+    return "local-to-local";
+  }
+  KF_UNREACHABLE("unknown fusion scenario");
+}
+
+int kf::fusedWindowWidth(int SourceWidth, int DestWidth) {
+  // Eq. 9 in window widths: the destination window grows by the source
+  // halo on both sides. floor(sqrt(sz_s)/2)*2 == (SourceWidth/2)*2 for odd
+  // widths.
+  return DestWidth + (SourceWidth / 2) * 2;
+}
+
+BenefitModel::BenefitModel(const LegalityChecker &Checker)
+    : Checker(Checker) {}
+
+double BenefitModel::costOp(KernelId Id) const {
+  const HardwareModel &HW = Checker.hardware();
+  const KernelCost &Cost = Checker.cost(Id);
+  return HW.AluCost * static_cast<double>(Cost.NumAlu) +
+         HW.SfuCost * static_cast<double>(Cost.NumSfu);
+}
+
+double BenefitModel::normalizedInputSpace(KernelId Id) const {
+  return static_cast<double>(Checker.program().kernel(Id).Inputs.size());
+}
+
+EdgeBenefit BenefitModel::edgeBenefit(KernelId Src, KernelId Dst) const {
+  const Program &P = Checker.program();
+  const HardwareModel &HW = Checker.hardware();
+  assert(P.communicatedImage(Src, Dst) &&
+         "edge benefit queried on a non-edge");
+
+  EdgeBenefit Result;
+
+  // Scenario "Illegal": the pair itself cannot fuse.
+  LegalityResult Pair = Checker.checkBlock({Src, Dst});
+  if (!Pair.Legal) {
+    Result.Scenario = FusionScenario::Illegal;
+    Result.Weight = HW.Epsilon;
+    Result.IllegalReason = Pair.Reason;
+    return Result;
+  }
+
+  const Kernel &Producer = P.kernel(Src);
+  const Kernel &Consumer = P.kernel(Dst);
+  double W = 0.0;
+
+  if (Consumer.Kind == OperatorKind::Point) {
+    // Point-based (Eq. 5): the communicated pixel stays in a register of
+    // the computing thread, regardless of the producer's pattern.
+    Result.Scenario = FusionScenario::PointBased;
+    Result.Locality = HW.registerImprovementPerPixel();
+    W = Result.Locality;
+  } else if (Producer.Kind == OperatorKind::Point) {
+    // Point-to-local (Eqs. 7-8): recompute the producer per window element.
+    Result.Scenario = FusionScenario::PointToLocal;
+    Result.Locality = HW.registerImprovementPerPixel();
+    Result.RecomputeCost = costOp(Src) * normalizedInputSpace(Src) *
+                           Checker.cost(Dst).windowSize();
+    W = Result.Locality - Result.RecomputeCost;
+  } else {
+    // Local-to-local (Eqs. 9-11): the intermediate moves to shared memory
+    // and the recompute window grows to g(sz_s, sz_d).
+    Result.Scenario = FusionScenario::LocalToLocal;
+    Result.Locality = HW.sharedImprovementPerPixel();
+    int Grown = fusedWindowWidth(Checker.cost(Src).WindowWidth,
+                                 Checker.cost(Dst).WindowWidth);
+    Result.RecomputeCost = costOp(Src) * normalizedInputSpace(Src) *
+                           static_cast<double>(Grown) * Grown;
+    W = Result.Locality - Result.RecomputeCost;
+  }
+
+  // Eq. 12: fold in gamma and clamp at epsilon so all weights stay
+  // positive ("if any fusion indicates a benefit <= 0 ... treat them as
+  // illegal scenarios").
+  Result.Weight = std::max(W + HW.Gamma, HW.Epsilon);
+  if (Result.Weight == HW.Epsilon && Result.Scenario != FusionScenario::Illegal)
+    Result.IllegalReason = "estimated benefit not positive";
+  return Result;
+}
+
+std::string kf::fusibleBlockRejection(const BenefitModel &Model,
+                                      const std::vector<KernelId> &Block) {
+  const LegalityChecker &Checker = Model.legality();
+  LegalityResult Legality = Checker.checkBlock(Block);
+  if (!Legality.Legal)
+    return Legality.Reason;
+  if (Block.size() == 1)
+    return "";
+
+  // Barrier rule (Section II-C4): a legal pair with non-positive estimated
+  // benefit must not be fused over.
+  const Program &P = Checker.program();
+  double Floor = Checker.hardware().Epsilon;
+  std::vector<bool> InBlock(P.numKernels(), false);
+  for (KernelId Id : Block)
+    InBlock[Id] = true;
+  for (KernelId Src : Block) {
+    ImageId Out = P.kernel(Src).Output;
+    for (KernelId Dst : P.consumersOf(Out)) {
+      if (!InBlock[Dst])
+        continue;
+      EdgeBenefit Benefit = Model.edgeBenefit(Src, Dst);
+      if (Benefit.Scenario != FusionScenario::Illegal &&
+          Benefit.Weight <= Floor)
+        return "dependence '" + P.kernel(Src).Name + "' -> '" +
+               P.kernel(Dst).Name + "' is not beneficial to fuse";
+    }
+  }
+  return "";
+}
+
+Digraph BenefitModel::buildWeightedDag(std::vector<EdgeBenefit> *Info) const {
+  const Program &P = Checker.program();
+  Digraph Dag = P.buildKernelDag();
+  if (Info) {
+    Info->clear();
+    Info->reserve(Dag.numEdges());
+  }
+  for (Digraph::EdgeId E = 0; E != Dag.numEdges(); ++E) {
+    const Digraph::Edge &Ed = Dag.edge(E);
+    EdgeBenefit Benefit = edgeBenefit(Ed.From, Ed.To);
+    Dag.setEdgeWeight(E, Benefit.Weight);
+    if (Info)
+      Info->push_back(std::move(Benefit));
+  }
+  return Dag;
+}

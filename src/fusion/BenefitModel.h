@@ -1,0 +1,103 @@
+//===- fusion/BenefitModel.h - Edge benefit estimation (Sec II-C)-*- C++ -*-===//
+///
+/// \file
+/// The analytic benefit-estimation model of Section II-C. Each dependence
+/// edge (ks, kd) is classified into one of four fusion scenarios and
+/// assigned a weight representing the execution cycles saved per pixel of
+/// the communicated image:
+///
+///   Illegal        w = epsilon                                   (pair
+///                  cannot fuse: external dependence / resources / header)
+///   Point-based    w = delta_reg                    (Eq. 5; kd is point)
+///   Point-to-local w = delta_reg - phi              (Eq. 8; recompute
+///                  cost phi = cost_op * IS_ks * sz(kd), Eq. 7)
+///   Local-to-local w = delta_shared - phi           (Eq. 11; phi uses the
+///                  grown window g() of Eq. 9, Eq. 10)
+///
+/// and finally clamped per Eq. 12: w_e = max(w + gamma, epsilon).
+///
+/// Weights are normalized by the iteration-space size exactly as in the
+/// paper's Harris walk-through ("IS can be simply replaced by the number
+/// of images for input" when the pipeline is constant-size, which header
+/// compatibility guarantees for fusible kernels): delta_reg = t_g,
+/// delta_shared = t_g / t_s, and IS_ks = number of input images of ks.
+/// With the paper's constants the Harris edges get 328 (sx->gx, sy->gy)
+/// and 256 (sxy->gxy).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KF_FUSION_BENEFITMODEL_H
+#define KF_FUSION_BENEFITMODEL_H
+
+#include "fusion/Legality.h"
+
+namespace kf {
+
+/// The four scenarios of Section II-C3.
+enum class FusionScenario : uint8_t {
+  Illegal,
+  PointBased,
+  PointToLocal,
+  LocalToLocal,
+};
+
+/// Printable scenario name.
+const char *fusionScenarioName(FusionScenario Scenario);
+
+/// Weight assigned to one dependence edge plus its decomposition.
+struct EdgeBenefit {
+  FusionScenario Scenario = FusionScenario::Illegal;
+  double Weight = 0.0;        ///< Final clamped w_e of Eq. 12.
+  double Locality = 0.0;      ///< delta term before subtraction.
+  double RecomputeCost = 0.0; ///< phi term (0 for point-based/illegal).
+  std::string IllegalReason;  ///< Populated for Illegal.
+};
+
+/// Computes Eq. 9: the window width of the fused kernel given the window
+/// widths (not element counts) of the source and destination kernels.
+/// fusedWindowWidth(3, 5) == 7 as in the paper's example.
+int fusedWindowWidth(int SourceWidth, int DestWidth);
+
+/// The acceptance test every partitioner uses for candidate blocks: the
+/// Section II-B legality of \p Block plus the paper's barrier rule that a
+/// *legal* dependence pair whose estimated benefit is not positive is
+/// "treated as an illegal scenario" and must not be fused over (this is
+/// what keeps the Night filter's expensive atrous chain apart). Pairwise-
+/// illegal edges (epsilon-weighted for the objective) are NOT barriers:
+/// block-level legality governs them -- that is how the min-cut approach
+/// "can explore fusion opportunities in a larger scope" (e.g. the Sobel
+/// and Unsharp DAGs, whose edges are all pairwise-rejected yet fuse as a
+/// whole). Returns an empty string when acceptable, else the reason.
+std::string fusibleBlockRejection(const class BenefitModel &Model,
+                                  const std::vector<KernelId> &Block);
+
+/// Edge-weight assignment for one program under one hardware model.
+class BenefitModel {
+public:
+  BenefitModel(const LegalityChecker &Checker);
+
+  /// cost_op of kernel \p Id (Eq. 6): cALU * nALU + cSFU * nSFU.
+  double costOp(KernelId Id) const;
+
+  /// IS_ks normalized: the number of input images of \p Id (the sum of
+  /// their iteration spaces in units of the common image size).
+  double normalizedInputSpace(KernelId Id) const;
+
+  /// Classifies and weighs the dependence edge \p Src -> \p Dst. The pair
+  /// must actually be a producer/consumer pair in the program.
+  EdgeBenefit edgeBenefit(KernelId Src, KernelId Dst) const;
+
+  /// Builds the weighted kernel DAG: the program's dependence DAG with
+  /// every edge weighted by edgeBenefit. \p Info, when non-null, receives
+  /// one EdgeBenefit per DAG edge id.
+  Digraph buildWeightedDag(std::vector<EdgeBenefit> *Info = nullptr) const;
+
+  const LegalityChecker &legality() const { return Checker; }
+
+private:
+  const LegalityChecker &Checker;
+};
+
+} // namespace kf
+
+#endif // KF_FUSION_BENEFITMODEL_H

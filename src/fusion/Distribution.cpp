@@ -1,0 +1,67 @@
+//===- fusion/Distribution.cpp -----------------------------------------------===//
+
+#include "fusion/Distribution.h"
+
+#include "graph/MinCut.h"
+#include "support/Error.h"
+#include "support/StringUtils.h"
+
+#include <deque>
+
+using namespace kf;
+
+static std::string namesOf(const Program &P,
+                           const std::vector<KernelId> &Block) {
+  std::vector<std::string> Names;
+  for (KernelId Id : Block)
+    Names.push_back(P.kernel(Id).Name);
+  return "{" + joinStrings(Names, ", ") + "}";
+}
+
+DistributionResult kf::distributeBlocks(const Program &P, const Partition &S,
+                                        const HardwareModel &TargetHW) {
+  std::string Invalid = validatePartition(P, S);
+  if (!Invalid.empty())
+    reportFatalError("cannot distribute: " + Invalid);
+
+  LegalityChecker Checker(P, TargetHW);
+  BenefitModel Model(Checker);
+  Digraph WeightedDag = Model.buildWeightedDag();
+
+  DistributionResult Result;
+  Result.BenefitBefore = partitionBenefit(WeightedDag, S);
+
+  for (const PartitionBlock &Block : S.Blocks) {
+    // Acceptable blocks survive unchanged.
+    if (Block.Kernels.size() == 1 ||
+        fusibleBlockRejection(Model, Block.Kernels).empty()) {
+      Result.Blocks.Blocks.push_back(Block);
+      continue;
+    }
+
+    // Distribute: recursive min-cut splitting, as in Algorithm 1.
+    ++Result.NumBlocksSplit;
+    std::deque<std::vector<KernelId>> Working{Block.Kernels};
+    while (!Working.empty()) {
+      std::vector<KernelId> Piece = Working.front();
+      Working.pop_front();
+      std::string Reason = Piece.size() == 1
+                               ? std::string()
+                               : fusibleBlockRejection(Model, Piece);
+      if (Reason.empty()) {
+        Result.Blocks.Blocks.push_back(PartitionBlock{Piece});
+        continue;
+      }
+      CutResult Cut = stoerWagnerMinCut(WeightedDag, Piece);
+      Result.Log.push_back("split " + namesOf(P, Piece) + " (" + Reason +
+                           ") into " + namesOf(P, Cut.SideA) + " | " +
+                           namesOf(P, Cut.SideB));
+      Working.push_back(Cut.SideA);
+      Working.push_back(Cut.SideB);
+    }
+  }
+
+  Result.Blocks.normalize();
+  Result.BenefitAfter = partitionBenefit(WeightedDag, Result.Blocks);
+  return Result;
+}

@@ -1,0 +1,43 @@
+//===- fusion/Distribution.h - Kernel distribution (future work) -*- C++ -*-===//
+///
+/// \file
+/// Kernel *distribution*, the inverse transformation the paper names as
+/// future work ("we want to ... explore further optimization techniques
+/// that can be used in conjunction with kernel fusion, such as kernel
+/// distribution"). Given a partition computed for one architecture,
+/// distribution re-splits any block that is no longer acceptable under a
+/// different (typically tighter) hardware model -- e.g. when retargeting
+/// a pipeline fused for a large-shared-memory device to a smaller one.
+///
+/// The split reuses the Algorithm 1 machinery: a violating block is cut
+/// recursively along its weighted minimum cut until every piece is
+/// acceptable, so the distribution loses the least estimated benefit.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KF_FUSION_DISTRIBUTION_H
+#define KF_FUSION_DISTRIBUTION_H
+
+#include "fusion/BenefitModel.h"
+#include "fusion/Partition.h"
+
+namespace kf {
+
+/// Result of a distribution pass.
+struct DistributionResult {
+  Partition Blocks;              ///< Refined partition (normalized).
+  unsigned NumBlocksSplit = 0;   ///< Blocks that had to be distributed.
+  double BenefitBefore = 0.0;    ///< Eq. 1 under the target model, before.
+  double BenefitAfter = 0.0;     ///< Eq. 1 under the target model, after.
+  std::vector<std::string> Log;  ///< One line per split, for reports.
+};
+
+/// Re-partitions the blocks of \p S that are not acceptable under
+/// \p TargetHW. Blocks that remain acceptable are kept verbatim, so the
+/// result is \p S itself whenever \p S already fits the target.
+DistributionResult distributeBlocks(const Program &P, const Partition &S,
+                                    const HardwareModel &TargetHW);
+
+} // namespace kf
+
+#endif // KF_FUSION_DISTRIBUTION_H

@@ -1,0 +1,83 @@
+//===- fusion/ExhaustivePartitioner.cpp --------------------------------------===//
+
+#include "fusion/ExhaustivePartitioner.h"
+
+#include "support/Error.h"
+
+using namespace kf;
+
+namespace {
+
+/// Recursive restricted-growth-string enumeration of set partitions.
+class PartitionEnumerator {
+public:
+  PartitionEnumerator(const BenefitModel &Model, const Digraph &Dag,
+                      unsigned NumKernels)
+      : Model(Model), Dag(Dag), N(NumKernels), Assign(NumKernels, 0) {}
+
+  void run() {
+    if (N != 0)
+      descend(/*Level=*/1, /*MaxBlock=*/0);
+  }
+
+  double BestBenefit = -1.0;
+  Partition BestPartition;
+  unsigned long long Examined = 0;
+
+private:
+  void descend(unsigned Level, unsigned MaxBlock) {
+    if (Level == N) {
+      evaluate(MaxBlock + 1);
+      return;
+    }
+    for (unsigned Block = 0; Block <= MaxBlock + 1; ++Block) {
+      Assign[Level] = Block;
+      descend(Level + 1, std::max(MaxBlock, Block));
+    }
+  }
+
+  void evaluate(unsigned NumBlocks) {
+    ++Examined;
+    Partition S;
+    S.Blocks.resize(NumBlocks);
+    for (unsigned I = 0; I != N; ++I)
+      S.Blocks[Assign[I]].Kernels.push_back(I);
+    for (const PartitionBlock &Block : S.Blocks)
+      if (!fusibleBlockRejection(Model, Block.Kernels).empty())
+        return;
+    double Benefit = partitionBenefit(Dag, S);
+    if (Benefit > BestBenefit) {
+      BestBenefit = Benefit;
+      BestPartition = std::move(S);
+    }
+  }
+
+  const BenefitModel &Model;
+  const Digraph &Dag;
+  unsigned N;
+  std::vector<unsigned> Assign;
+};
+
+} // namespace
+
+ExhaustiveFusionResult kf::runExhaustiveFusion(const Program &P,
+                                               const HardwareModel &HW) {
+  unsigned N = P.numKernels();
+  if (N > 12)
+    reportFatalError("exhaustive fusion search limited to 12 kernels");
+
+  LegalityChecker Checker(P, HW);
+  BenefitModel Model(Checker);
+
+  ExhaustiveFusionResult Result;
+  Result.WeightedDag = Model.buildWeightedDag();
+
+  PartitionEnumerator Enumerator(Model, Result.WeightedDag, N);
+  Enumerator.run();
+
+  Result.Blocks = std::move(Enumerator.BestPartition);
+  Result.Blocks.normalize();
+  Result.TotalBenefit = std::max(0.0, Enumerator.BestBenefit);
+  Result.PartitionsExamined = Enumerator.Examined;
+  return Result;
+}

@@ -1,0 +1,38 @@
+//===- fusion/ExhaustivePartitioner.h - Optimal small-graph search -*- C++-*-===//
+///
+/// \file
+/// Exhaustive search over all set partitions of the kernel DAG, keeping
+/// the acceptable one maximizing Eq. 1. The minimum-weight k-cut problem
+/// with undetermined k is NP-complete (reference [16] of the paper), so
+/// "an exhaustive search is prohibited for applications with a large
+/// number of kernels" -- but on the paper's pipelines (<= 9 kernels) it is
+/// feasible and serves as the optimality oracle for Algorithm 1 in the
+/// test suite and the ablation benchmark.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KF_FUSION_EXHAUSTIVEPARTITIONER_H
+#define KF_FUSION_EXHAUSTIVEPARTITIONER_H
+
+#include "fusion/BenefitModel.h"
+#include "fusion/Partition.h"
+
+namespace kf {
+
+/// Result of the exhaustive search.
+struct ExhaustiveFusionResult {
+  Partition Blocks;
+  Digraph WeightedDag;
+  double TotalBenefit = 0.0;
+  unsigned long long PartitionsExamined = 0;
+};
+
+/// Enumerates every set partition of the kernels (restricted-growth
+/// strings), filters by block acceptability, and maximizes the total
+/// intra-block weight. Requires at most 12 kernels.
+ExhaustiveFusionResult runExhaustiveFusion(const Program &P,
+                                           const HardwareModel &HW);
+
+} // namespace kf
+
+#endif // KF_FUSION_EXHAUSTIVEPARTITIONER_H

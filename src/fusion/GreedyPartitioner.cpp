@@ -1,0 +1,68 @@
+//===- fusion/GreedyPartitioner.cpp -----------------------------------------===//
+
+#include "fusion/GreedyPartitioner.h"
+
+#include <algorithm>
+#include <numeric>
+
+using namespace kf;
+
+GreedyFusionResult kf::runGreedyFusion(const Program &P,
+                                       const HardwareModel &HW) {
+  LegalityChecker Checker(P, HW);
+  BenefitModel Model(Checker);
+
+  GreedyFusionResult Result;
+  Result.WeightedDag = Model.buildWeightedDag();
+  const Digraph &Dag = Result.WeightedDag;
+
+  // Union-find style ownership: Owner[kernel] -> block index.
+  std::vector<unsigned> Owner(P.numKernels());
+  std::iota(Owner.begin(), Owner.end(), 0u);
+  std::vector<std::vector<KernelId>> Blocks(P.numKernels());
+  for (KernelId Id = 0; Id != P.numKernels(); ++Id)
+    Blocks[Id] = {Id};
+
+  // Edge order: heaviest first, then smallest edge id.
+  std::vector<Digraph::EdgeId> Order(Dag.numEdges());
+  std::iota(Order.begin(), Order.end(), 0u);
+  std::sort(Order.begin(), Order.end(),
+            [&](Digraph::EdgeId A, Digraph::EdgeId B) {
+              if (Dag.edge(A).Weight != Dag.edge(B).Weight)
+                return Dag.edge(A).Weight > Dag.edge(B).Weight;
+              return A < B;
+            });
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (Digraph::EdgeId E : Order) {
+      const Digraph::Edge &Ed = Dag.edge(E);
+      if (Ed.Weight <= HW.Epsilon)
+        continue; // Epsilon edges never justify a merge.
+      unsigned A = Owner[Ed.From];
+      unsigned B = Owner[Ed.To];
+      if (A == B)
+        continue;
+      std::vector<KernelId> Merged = Blocks[A];
+      Merged.insert(Merged.end(), Blocks[B].begin(), Blocks[B].end());
+      if (!fusibleBlockRejection(Model, Merged).empty())
+        continue;
+      // Commit the merge into the lower index; empty the other.
+      unsigned Keep = std::min(A, B);
+      unsigned Drop = std::max(A, B);
+      Blocks[Keep] = std::move(Merged);
+      Blocks[Drop].clear();
+      for (KernelId Id : Blocks[Keep])
+        Owner[Id] = Keep;
+      Changed = true;
+    }
+  }
+
+  for (std::vector<KernelId> &Block : Blocks)
+    if (!Block.empty())
+      Result.Blocks.Blocks.push_back(PartitionBlock{std::move(Block)});
+  Result.Blocks.normalize();
+  Result.TotalBenefit = partitionBenefit(Result.WeightedDag, Result.Blocks);
+  return Result;
+}

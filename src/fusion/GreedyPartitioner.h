@@ -1,0 +1,36 @@
+//===- fusion/GreedyPartitioner.h - Heaviest-edge grouping ------*- C++ -*-===//
+///
+/// \file
+/// Greedy heaviest-edge-first grouping, the fusion-search strategy the
+/// paper contrasts with its min-cut formulation: "One method to search
+/// fusible candidates is by greedy fusion, namely fusing along the
+/// heaviest edge" (the approach of PolyMage's grouping and Halide's
+/// auto-scheduler). It shares the benefit model and legality rules with
+/// the min-cut partitioner, so ablation benchmarks isolate exactly the
+/// search-strategy difference.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KF_FUSION_GREEDYPARTITIONER_H
+#define KF_FUSION_GREEDYPARTITIONER_H
+
+#include "fusion/BenefitModel.h"
+#include "fusion/Partition.h"
+
+namespace kf {
+
+/// Result of the greedy grouping pass.
+struct GreedyFusionResult {
+  Partition Blocks;
+  Digraph WeightedDag;
+  double TotalBenefit = 0.0;
+};
+
+/// Repeatedly merges the two blocks joined by the heaviest dependence edge
+/// whenever the merged block remains acceptable, until no edge admits a
+/// merge. Ties break toward the smallest edge id (deterministic).
+GreedyFusionResult runGreedyFusion(const Program &P, const HardwareModel &HW);
+
+} // namespace kf
+
+#endif // KF_FUSION_GREEDYPARTITIONER_H

@@ -1,0 +1,66 @@
+//===- fusion/HardwareModel.h - Architecture parameters ---------*- C++ -*-===//
+///
+/// \file
+/// The simplified GPU memory model of Section II-C2: registers, shared
+/// memory, and global memory, with expected access costs in cycles. "Those
+/// variables are flexible and can be adapted for new architectures" -- they
+/// are plain fields here, defaulted to the values the paper uses in its
+/// Harris walk-through (tg = 400 cycles, cALU = 4 cycles).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KF_FUSION_HARDWAREMODEL_H
+#define KF_FUSION_HARDWAREMODEL_H
+
+namespace kf {
+
+/// Parameters of the benefit-estimation model (Eqs. 3-12).
+struct HardwareModel {
+  /// t_g: expected cycles to access a pixel in global memory. The paper
+  /// uses the global-memory latency (typically 400-800 cycles) as a
+  /// conservative estimate and picks 400 for its example.
+  double GlobalAccessCycles = 400.0;
+
+  /// t_s: expected cycles to access a pixel in shared memory ("a few
+  /// cycles").
+  double SharedAccessCycles = 4.0;
+
+  /// Registers are accessed "in a single cycle".
+  double RegisterAccessCycles = 1.0;
+
+  /// c_ALU: average cost in cycles of an ALU operation (Eq. 6).
+  double AluCost = 4.0;
+
+  /// c_SFU: average cost in cycles of a special-function-unit operation
+  /// such as a transcendental (Eq. 6).
+  double SfuCost = 16.0;
+
+  /// c_Mshared: the user-given threshold of Eq. 2 bounding the growth of
+  /// shared-memory usage under fusion. The paper limits it to 2 "in order
+  /// to obtain high resource utilization".
+  double SharedMemThreshold = 2.0;
+
+  /// epsilon: the arbitrarily small positive weight assigned to illegal
+  /// (and non-beneficial) edges so that all weights stay positive, as the
+  /// Stoer-Wagner step requires.
+  double Epsilon = 1e-3;
+
+  /// gamma: the independent term of Eq. 12 summarizing additional gains
+  /// (kernel-launch overhead removal, enlarged optimization scope). The
+  /// paper omits it in its example; default zero.
+  double Gamma = 0.0;
+
+  /// delta_Mshared per pixel: locality improvement of moving one access
+  /// from global to shared memory (Eq. 3, normalized by IS).
+  double sharedImprovementPerPixel() const {
+    return GlobalAccessCycles / SharedAccessCycles;
+  }
+
+  /// delta_reg per pixel: improvement of moving one access from global
+  /// memory to a register (Eq. 4, normalized by IS).
+  double registerImprovementPerPixel() const { return GlobalAccessCycles; }
+};
+
+} // namespace kf
+
+#endif // KF_FUSION_HARDWAREMODEL_H

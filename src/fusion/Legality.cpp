@@ -1,0 +1,203 @@
+//===- fusion/Legality.cpp -------------------------------------------------===//
+
+#include "fusion/Legality.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace kf;
+
+LegalityChecker::LegalityChecker(const Program &P, const HardwareModel &HW,
+                                 const LegalityOptions &Options)
+    : P(P), HW(HW), Options(Options), Dag(P.buildKernelDag()) {
+  Costs.reserve(P.numKernels());
+  for (KernelId Id = 0; Id != P.numKernels(); ++Id)
+    Costs.push_back(analyzeKernelCost(P, Id));
+}
+
+static bool contains(const std::vector<KernelId> &Block, KernelId Id) {
+  return std::find(Block.begin(), Block.end(), Id) != Block.end();
+}
+
+int LegalityChecker::carriedHalo(const std::vector<KernelId> &Block,
+                                 KernelId Id) const {
+  const Kernel &K = P.kernel(Id);
+  int Own = K.Kind == OperatorKind::Local ? (Costs[Id].WindowWidth - 1) / 2
+                                          : 0;
+  int MaxUpstream = 0;
+  for (ImageId In : K.Inputs) {
+    std::optional<KernelId> Producer = P.producerOf(In);
+    if (Producer && contains(Block, *Producer))
+      MaxUpstream = std::max(MaxUpstream, carriedHalo(Block, *Producer));
+  }
+  return Own + MaxUpstream;
+}
+
+int LegalityChecker::effectiveWindowWidth(const std::vector<KernelId> &Block,
+                                          KernelId Id) const {
+  const Kernel &K = P.kernel(Id);
+  int OwnHalo = (Costs[Id].WindowWidth - 1) / 2;
+  int MaxUpstream = 0;
+  for (ImageId In : K.Inputs) {
+    std::optional<KernelId> Producer = P.producerOf(In);
+    if (Producer && contains(Block, *Producer))
+      MaxUpstream = std::max(MaxUpstream, carriedHalo(Block, *Producer));
+  }
+  (void)K;
+  return 2 * (OwnHalo + MaxUpstream) + 1;
+}
+
+double LegalityChecker::sharedMemoryRatio(
+    const std::vector<KernelId> &Block) const {
+  int MaxOriginalWidth = 0;
+  for (KernelId Id : Block)
+    if (P.kernel(Id).Kind == OperatorKind::Local)
+      MaxOriginalWidth = std::max(MaxOriginalWidth, Costs[Id].WindowWidth);
+  if (MaxOriginalWidth == 0)
+    return 0.0; // No shared-memory user in the block; Eq. 2 is vacuous.
+
+  // Fused footprint: one line tile per in-block intermediate a local kernel
+  // consumes through a window, sized by the grown window width (Eq. 9).
+  double FusedFootprint = 0.0;
+  for (KernelId Id : Block) {
+    const Kernel &K = P.kernel(Id);
+    if (K.Kind != OperatorKind::Local)
+      continue;
+    int NumInternalWindowInputs = 0;
+    for (size_t InIdx = 0; InIdx != K.Inputs.size(); ++InIdx) {
+      const InputFootprint &F = Costs[Id].Footprints[InIdx];
+      if (!F.WindowAccess && F.HaloX == 0 && F.HaloY == 0)
+        continue; // Point access: register-promotable, no tile.
+      std::optional<KernelId> Producer = P.producerOf(K.Inputs[InIdx]);
+      if (Producer && contains(Block, *Producer))
+        ++NumInternalWindowInputs;
+    }
+    if (NumInternalWindowInputs > 0)
+      FusedFootprint += static_cast<double>(NumInternalWindowInputs) *
+                        effectiveWindowWidth(Block, Id);
+  }
+  return FusedFootprint / MaxOriginalWidth;
+}
+
+LegalityResult
+LegalityChecker::checkBlock(const std::vector<KernelId> &Block) const {
+  LegalityResult Result;
+  if (Block.empty()) {
+    Result.Reason = "empty block";
+    return Result;
+  }
+  if (Block.size() == 1) {
+    Result.Legal = true;
+    return Result;
+  }
+
+  // Global (reduction) operators are not fusion candidates.
+  for (KernelId Id : Block)
+    if (P.kernel(Id).Kind == OperatorKind::Global) {
+      Result.Reason = "block contains a global operator ('" +
+                      P.kernel(Id).Name + "')";
+      return Result;
+    }
+
+  // Fused kernels iterate one iteration space: the block must be one
+  // weakly-connected region of the dependence DAG.
+  if (!Dag.isWeaklyConnected(Block)) {
+    Result.Reason = "block is not weakly connected";
+    return Result;
+  }
+
+  // Header compatibility (Section II-B2): same iteration-space size and
+  // access granularity.
+  const Kernel &First = P.kernel(Block.front());
+  const ImageInfo &FirstOut = P.image(First.Output);
+  for (KernelId Id : Block) {
+    const Kernel &K = P.kernel(Id);
+    const ImageInfo &Out = P.image(K.Output);
+    if (Out.Width != FirstOut.Width || Out.Height != FirstOut.Height) {
+      Result.Reason = "incompatible headers: iteration spaces of '" +
+                      First.Name + "' and '" + K.Name + "' differ";
+      return Result;
+    }
+    if (K.Granularity != First.Granularity) {
+      Result.Reason = "incompatible headers: access granularity of '" +
+                      First.Name + "' and '" + K.Name + "' differ";
+      return Result;
+    }
+  }
+
+  // Dependence scenarios (Figure 2). Only the destination kernel's output
+  // may be consumed outside the block; a block therefore has exactly one
+  // sink, and no other member's output escapes.
+  std::vector<KernelId> Sinks;
+  for (KernelId Id : Block) {
+    ImageId Out = P.kernel(Id).Output;
+    bool HasInternalConsumer = false;
+    bool HasExternalConsumer = false;
+    for (KernelId Consumer : P.consumersOf(Out))
+      (contains(Block, Consumer) ? HasInternalConsumer
+                                 : HasExternalConsumer) = true;
+    if (!HasInternalConsumer) {
+      Sinks.push_back(Id);
+      continue;
+    }
+    if (HasExternalConsumer) {
+      Result.Reason = "external output dependence: intermediate of '" +
+                      P.kernel(Id).Name + "' is consumed outside the block";
+      return Result;
+    }
+  }
+  if (Sinks.size() != 1 && !Options.AllowMultipleDestinations) {
+    Result.Reason = "block has " + std::to_string(Sinks.size()) +
+                    " destination kernels (needs exactly one)";
+    return Result;
+  }
+
+  // External inputs are only preserved when a source kernel reads them
+  // (Figure 2b is legal, Figure 2d is not). A source kernel has no
+  // in-block producer.
+  auto isSource = [&](KernelId Id) {
+    for (ImageId In : P.kernel(Id).Inputs) {
+      std::optional<KernelId> Producer = P.producerOf(In);
+      if (Producer && contains(Block, *Producer))
+        return false;
+    }
+    return true;
+  };
+  auto readBySomeSource = [&](ImageId Img) {
+    for (KernelId Id : Block) {
+      if (!isSource(Id))
+        continue;
+      const Kernel &K = P.kernel(Id);
+      if (std::find(K.Inputs.begin(), K.Inputs.end(), Img) != K.Inputs.end())
+        return true;
+    }
+    return false;
+  };
+  for (KernelId Id : Block) {
+    if (isSource(Id))
+      continue;
+    for (ImageId In : P.kernel(Id).Inputs) {
+      std::optional<KernelId> Producer = P.producerOf(In);
+      if (Producer && contains(Block, *Producer))
+        continue; // Internal intermediate: eliminated by fusion.
+      if (!readBySomeSource(In)) {
+        Result.Reason = "external input dependence: '" + P.kernel(Id).Name +
+                        "' reads '" + P.image(In).Name +
+                        "' which no source kernel preserves";
+        return Result;
+      }
+    }
+  }
+
+  // Resource constraint (Eq. 2).
+  Result.SharedRatio = sharedMemoryRatio(Block);
+  if (Result.SharedRatio > HW.SharedMemThreshold) {
+    Result.Reason = "shared memory constraint violated: fused usage ratio " +
+                    std::to_string(Result.SharedRatio) + " exceeds " +
+                    std::to_string(HW.SharedMemThreshold);
+    return Result;
+  }
+
+  Result.Legal = true;
+  return Result;
+}

@@ -1,0 +1,95 @@
+//===- fusion/Legality.h - Partition-block legality (Sec. II-B) -*- C++ -*-===//
+///
+/// \file
+/// Implements the legality rules of Section II-B: a partition block is
+/// legal to fuse when
+///   1. it is weakly connected and free of global (reduction) operators,
+///   2. all kernels have compatible headers (same iteration-space size and
+///      access granularity),
+///   3. no external dependence is introduced (the four scenarios of
+///      Figure 2): only the destination kernel's output may leave the
+///      block, and every external image must be read by a source kernel,
+///   4. the shared-memory constraint of Eq. 2 holds: fusing must not grow
+///      the shared-memory footprint by more than the threshold c_Mshared.
+///
+/// The shared-memory model is the line-tile model: a local kernel stages
+/// its window input in a tile whose size is proportional to the window
+/// width. Under fusion the window of a local consumer of an in-block
+/// intermediate grows per Eq. 9, so the fused footprint is the sum of the
+/// grown widths of such consumers -- with a 3x3 producer this reproduces
+/// the paper's Harris arithmetic exactly ("the memory consumption
+/// increases five times" for the full graph; threshold 2 rejects it).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KF_FUSION_LEGALITY_H
+#define KF_FUSION_LEGALITY_H
+
+#include "fusion/HardwareModel.h"
+#include "ir/CostInfo.h"
+#include "ir/Program.h"
+
+#include <string>
+#include <vector>
+
+namespace kf {
+
+/// Outcome of a legality check with a human-readable reason on failure.
+struct LegalityResult {
+  bool Legal = false;
+  std::string Reason;        ///< Empty when legal.
+  double SharedRatio = 0.0;  ///< LHS of Eq. 2 (0 when not applicable).
+};
+
+/// Optional relaxations of the paper's legality rules.
+struct LegalityOptions {
+  /// The paper restricts fused kernels to a single destination ("only
+  /// ... the output of the destination kernel are preserved"). Allowing
+  /// multiple destinations is a natural extension: the fused kernel
+  /// writes one global output per sink. Everything else (no escaping
+  /// intermediates, source-preserved inputs, Eq. 2) stays in force.
+  bool AllowMultipleDestinations = false;
+};
+
+/// Checks partition blocks of one program against one hardware model.
+/// Kernel costs are analyzed once and cached.
+class LegalityChecker {
+public:
+  LegalityChecker(const Program &P, const HardwareModel &HW,
+                  const LegalityOptions &Options = LegalityOptions());
+
+  /// Full legality check of \p Block (kernel ids, any order). Blocks of
+  /// size one are trivially legal; empty blocks are illegal.
+  LegalityResult checkBlock(const std::vector<KernelId> &Block) const;
+
+  /// Effective window width of kernel \p Id when fused inside \p Block:
+  /// its own window grown by the halos of transitive in-block local
+  /// producers (the width generalization of Eq. 9).
+  int effectiveWindowWidth(const std::vector<KernelId> &Block,
+                           KernelId Id) const;
+
+  /// LHS of Eq. 2 for \p Block: fused shared footprint over the largest
+  /// footprint of the member kernels. Returns 0 when no local kernel in
+  /// the block consumes an in-block intermediate.
+  double sharedMemoryRatio(const std::vector<KernelId> &Block) const;
+
+  const KernelCost &cost(KernelId Id) const { return Costs[Id]; }
+  const Program &program() const { return P; }
+  const HardwareModel &hardware() const { return HW; }
+  const LegalityOptions &options() const { return Options; }
+
+private:
+  /// Halo a kernel's output carries when consumed inside the block
+  /// (transitively grown); see effectiveWindowWidth.
+  int carriedHalo(const std::vector<KernelId> &Block, KernelId Id) const;
+
+  const Program &P;
+  HardwareModel HW;
+  LegalityOptions Options;
+  Digraph Dag; ///< Kernel dependence DAG, cached at construction.
+  std::vector<KernelCost> Costs;
+};
+
+} // namespace kf
+
+#endif // KF_FUSION_LEGALITY_H

@@ -1,0 +1,80 @@
+//===- fusion/MinCutPartitioner.cpp -----------------------------------------===//
+
+#include "fusion/MinCutPartitioner.h"
+
+#include "graph/MinCut.h"
+
+#include <algorithm>
+#include <deque>
+
+using namespace kf;
+
+namespace {
+
+/// Shared state of one fusion run.
+class MinCutFusion {
+public:
+  MinCutFusion(const Program &P, const HardwareModel &HW,
+               const LegalityOptions &Options)
+      : Checker(P, HW, Options), Model(Checker) {}
+
+  MinCutFusionResult run() {
+    MinCutFusionResult Result;
+    Result.WeightedDag = Model.buildWeightedDag(&Result.EdgeInfo);
+
+    // Lines 5-6: ready set and working set, the latter seeded with the
+    // whole DAG as one partition block.
+    std::vector<PartitionBlock> Ready;
+    std::deque<std::vector<KernelId>> Working;
+    std::vector<KernelId> All(Checker.program().numKernels());
+    for (KernelId Id = 0; Id != Checker.program().numKernels(); ++Id)
+      All[Id] = Id;
+    if (!All.empty())
+      Working.push_back(All);
+
+    // Lines 7-18: recurse until the working set is empty.
+    while (!Working.empty()) {
+      std::vector<KernelId> Block = Working.front();
+      Working.pop_front();
+
+      FusionTraceStep Step;
+      Step.Block = Block;
+
+      std::string Reason = fusibleBlockRejection(Model, Block);
+      if (Block.size() == 1 || Reason.empty()) {
+        Step.Accepted = true;
+        std::sort(Block.begin(), Block.end());
+        Ready.push_back(PartitionBlock{Block});
+        Result.Trace.push_back(std::move(Step));
+        continue;
+      }
+
+      // Lines 13-14: split along the weighted minimum cut.
+      CutResult Cut = stoerWagnerMinCut(Result.WeightedDag, Block);
+      Step.Reason = Reason;
+      Step.CutWeight = Cut.Weight;
+      Step.SideA = Cut.SideA;
+      Step.SideB = Cut.SideB;
+      Working.push_back(Cut.SideA);
+      Working.push_back(Cut.SideB);
+      Result.Trace.push_back(std::move(Step));
+    }
+
+    Result.Blocks.Blocks = std::move(Ready);
+    Result.Blocks.normalize();
+    Result.TotalBenefit = partitionBenefit(Result.WeightedDag, Result.Blocks);
+    return Result;
+  }
+
+private:
+  LegalityChecker Checker;
+  BenefitModel Model;
+};
+
+} // namespace
+
+MinCutFusionResult kf::runMinCutFusion(const Program &P,
+                                       const HardwareModel &HW,
+                                       const LegalityOptions &Options) {
+  return MinCutFusion(P, HW, Options).run();
+}

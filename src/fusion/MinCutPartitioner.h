@@ -1,0 +1,57 @@
+//===- fusion/MinCutPartitioner.h - Algorithm 1 of the paper ----*- C++ -*-===//
+///
+/// \file
+/// The recursive min-cut fusion algorithm (Algorithm 1, Section III):
+///
+///   1. Assign each dependence edge its estimated benefit (BenefitModel).
+///   2. Initialize the working set with the whole DAG as one block.
+///   3. Repeatedly: move legal (or singleton) blocks to the ready set;
+///      split illegal blocks along their weighted minimum cut
+///      (Stoer-Wagner) and push the two sides back into the working set.
+///
+/// Block legality here is the Section II-B check plus the paper's rule
+/// that non-beneficial fusions "should not be performed ... treat them as
+/// illegal scenarios": a block containing a dependence pair whose best
+/// edge weight is the epsilon floor is not accepted, so the min cut
+/// separates it (this is what keeps the compute-bound Night filter's
+/// atrous kernels unfused).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KF_FUSION_MINCUTPARTITIONER_H
+#define KF_FUSION_MINCUTPARTITIONER_H
+
+#include "fusion/BenefitModel.h"
+#include "fusion/Partition.h"
+
+namespace kf {
+
+/// One iteration record of Algorithm 1, for the Figure 3 style trace.
+struct FusionTraceStep {
+  std::vector<KernelId> Block;     ///< Block examined this step.
+  bool Accepted = false;           ///< Moved to the ready set.
+  std::string Reason;              ///< Illegality reason when split.
+  double CutWeight = 0.0;          ///< Weight of the min cut when split.
+  std::vector<KernelId> SideA;     ///< First generated block when split.
+  std::vector<KernelId> SideB;     ///< Second generated block when split.
+};
+
+/// Complete result of the optimized fusion analysis.
+struct MinCutFusionResult {
+  Partition Blocks;                   ///< The ready set (normalized).
+  Digraph WeightedDag;                ///< DAG with assigned edge weights.
+  std::vector<EdgeBenefit> EdgeInfo;  ///< Per DAG edge id.
+  std::vector<FusionTraceStep> Trace; ///< Algorithm 1 iterations.
+  double TotalBenefit = 0.0;          ///< beta of Eq. 1.
+};
+
+/// Runs Algorithm 1 on \p P under \p HW. The program must verify cleanly.
+/// \p Options can relax the legality rules (e.g. multi-destination
+/// fusion, an extension beyond the paper).
+MinCutFusionResult
+runMinCutFusion(const Program &P, const HardwareModel &HW,
+                const LegalityOptions &Options = LegalityOptions());
+
+} // namespace kf
+
+#endif // KF_FUSION_MINCUTPARTITIONER_H

@@ -1,0 +1,96 @@
+//===- fusion/Partition.cpp ------------------------------------------------===//
+
+#include "fusion/Partition.h"
+
+#include "support/StringUtils.h"
+
+#include <algorithm>
+
+using namespace kf;
+
+int Partition::blockOf(KernelId Id) const {
+  for (size_t B = 0; B != Blocks.size(); ++B)
+    if (std::find(Blocks[B].Kernels.begin(), Blocks[B].Kernels.end(), Id) !=
+        Blocks[B].Kernels.end())
+      return static_cast<int>(B);
+  return -1;
+}
+
+unsigned Partition::numFusedBlocks() const {
+  unsigned Count = 0;
+  for (const PartitionBlock &B : Blocks)
+    if (B.Kernels.size() > 1)
+      ++Count;
+  return Count;
+}
+
+void Partition::normalize() {
+  for (PartitionBlock &B : Blocks)
+    std::sort(B.Kernels.begin(), B.Kernels.end());
+  std::sort(Blocks.begin(), Blocks.end(),
+            [](const PartitionBlock &A, const PartitionBlock &B) {
+              return A.Kernels.front() < B.Kernels.front();
+            });
+}
+
+bool Partition::operator==(const Partition &Other) const {
+  Partition A = *this, B = Other;
+  A.normalize();
+  B.normalize();
+  if (A.Blocks.size() != B.Blocks.size())
+    return false;
+  for (size_t I = 0; I != A.Blocks.size(); ++I)
+    if (A.Blocks[I].Kernels != B.Blocks[I].Kernels)
+      return false;
+  return true;
+}
+
+std::string kf::validatePartition(const Program &P, const Partition &S) {
+  std::vector<int> Owner(P.numKernels(), -1);
+  for (size_t B = 0; B != S.Blocks.size(); ++B) {
+    if (S.Blocks[B].Kernels.empty())
+      return "partition contains an empty block";
+    for (KernelId Id : S.Blocks[B].Kernels) {
+      if (Id >= P.numKernels())
+        return "partition references kernel id out of range";
+      if (Owner[Id] != -1)
+        return "kernel '" + P.kernel(Id).Name +
+               "' appears in more than one block";
+      Owner[Id] = static_cast<int>(B);
+    }
+  }
+  for (KernelId Id = 0; Id != P.numKernels(); ++Id)
+    if (Owner[Id] == -1)
+      return "kernel '" + P.kernel(Id).Name + "' is not covered";
+  return "";
+}
+
+double kf::partitionBenefit(const Digraph &WeightedDag, const Partition &S) {
+  double Total = 0.0;
+  for (const PartitionBlock &B : S.Blocks)
+    if (B.Kernels.size() > 1)
+      Total += WeightedDag.blockWeight(B.Kernels);
+  return Total;
+}
+
+Partition kf::makeSingletonPartition(const Program &P) {
+  Partition S;
+  for (KernelId Id = 0; Id != P.numKernels(); ++Id)
+    S.Blocks.push_back(PartitionBlock{{Id}});
+  return S;
+}
+
+std::string kf::partitionToString(const Program &P, const Partition &S) {
+  Partition Sorted = S;
+  Sorted.normalize();
+  std::string Out;
+  for (const PartitionBlock &B : Sorted.Blocks) {
+    std::vector<std::string> Names;
+    for (KernelId Id : B.Kernels)
+      Names.push_back(P.kernel(Id).Name);
+    if (!Out.empty())
+      Out += " ";
+    Out += "{" + joinStrings(Names, ", ") + "}";
+  }
+  return Out;
+}

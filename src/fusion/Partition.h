@@ -1,0 +1,63 @@
+//===- fusion/Partition.h - Partitions of the kernel DAG --------*- C++ -*-===//
+///
+/// \file
+/// The output type of the fusion problem (Section II-A): a partition
+/// S = {P1, ..., Pk} of the kernel DAG into pairwise-disjoint blocks that
+/// cover the graph, each of which is legal to fuse into one kernel. The
+/// objective value beta (Eq. 1) is the total weight of intra-block edges.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KF_FUSION_PARTITION_H
+#define KF_FUSION_PARTITION_H
+
+#include "graph/Digraph.h"
+#include "ir/Program.h"
+
+#include <string>
+#include <vector>
+
+namespace kf {
+
+/// One partition block: the kernels to be fused into a single kernel.
+/// Kernel ids are kept sorted for deterministic output.
+struct PartitionBlock {
+  std::vector<KernelId> Kernels;
+};
+
+/// A complete partition of a program's kernels.
+struct Partition {
+  std::vector<PartitionBlock> Blocks;
+
+  /// Index of the block containing kernel \p Id, or -1 when absent.
+  int blockOf(KernelId Id) const;
+
+  /// Number of blocks with more than one kernel (actual fusions).
+  unsigned numFusedBlocks() const;
+
+  /// Canonical form: kernels sorted within blocks, blocks sorted by their
+  /// smallest kernel id. Enables equality comparison in tests.
+  void normalize();
+
+  bool operator==(const Partition &Other) const;
+};
+
+/// Checks the partition properties of Section II-A against \p P: pairwise
+/// disjoint and covering all kernels. Returns an empty string when valid,
+/// otherwise a diagnostic.
+std::string validatePartition(const Program &P, const Partition &S);
+
+/// The objective beta of Eq. 1 evaluated on a weighted kernel DAG: the sum
+/// of edge weights internal to the partition's blocks.
+double partitionBenefit(const Digraph &WeightedDag, const Partition &S);
+
+/// The trivial partition with one singleton block per kernel (the unfused
+/// baseline).
+Partition makeSingletonPartition(const Program &P);
+
+/// Renders the partition as "{a, b} {c} ..." using kernel names.
+std::string partitionToString(const Program &P, const Partition &S);
+
+} // namespace kf
+
+#endif // KF_FUSION_PARTITION_H

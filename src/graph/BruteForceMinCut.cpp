@@ -1,0 +1,39 @@
+//===- graph/BruteForceMinCut.cpp ------------------------------------------===//
+
+#include "graph/BruteForceMinCut.h"
+
+#include <cassert>
+
+using namespace kf;
+
+CutResult
+kf::bruteForceMinCut(const std::vector<std::vector<double>> &Weights) {
+  size_t N = Weights.size();
+  assert(N >= 2 && N <= 24 && "brute-force cut limited to small graphs");
+
+  CutResult Best;
+  bool HaveBest = false;
+  // Vertex 0 stays on side A; enumerate membership of the remaining N-1.
+  // Mask 0 would put everyone on side A (no cut), so start at 1.
+  uint64_t Limit = 1ull << (N - 1);
+  for (uint64_t Mask = 1; Mask < Limit; ++Mask) {
+    double CutWeight = 0.0;
+    auto onSideA = [&](size_t V) {
+      return V == 0 || ((Mask >> (V - 1)) & 1) == 0;
+    };
+    for (size_t I = 0; I != N; ++I)
+      for (size_t J = I + 1; J != N; ++J)
+        if (onSideA(I) != onSideA(J))
+          CutWeight += Weights[I][J];
+    if (!HaveBest || CutWeight < Best.Weight) {
+      HaveBest = true;
+      Best.Weight = CutWeight;
+      Best.SideA.clear();
+      Best.SideB.clear();
+      for (size_t V = 0; V != N; ++V)
+        (onSideA(V) ? Best.SideA : Best.SideB)
+            .push_back(static_cast<unsigned>(V));
+    }
+  }
+  return Best;
+}

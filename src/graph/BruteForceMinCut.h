@@ -1,0 +1,24 @@
+//===- graph/BruteForceMinCut.h - Exhaustive min-cut oracle ----*- C++ -*-===//
+///
+/// \file
+/// Exhaustive global minimum cut over all bipartitions. Exponential; only
+/// used as a test oracle to validate the Stoer-Wagner implementation and to
+/// measure the optimality gap of Algorithm 1 on small graphs (the k-cut
+/// problem the paper cites as NP-complete for undetermined k).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KF_GRAPH_BRUTEFORCEMINCUT_H
+#define KF_GRAPH_BRUTEFORCEMINCUT_H
+
+#include "graph/MinCut.h"
+
+namespace kf {
+
+/// Minimum cut by enumerating all 2^(N-1) - 1 bipartitions of the dense
+/// symmetric weight matrix \p Weights. Requires 2 <= N <= 24.
+CutResult bruteForceMinCut(const std::vector<std::vector<double>> &Weights);
+
+} // namespace kf
+
+#endif // KF_GRAPH_BRUTEFORCEMINCUT_H

@@ -1,0 +1,158 @@
+//===- graph/Digraph.cpp --------------------------------------------------===//
+
+#include "graph/Digraph.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+
+using namespace kf;
+
+Digraph::NodeId Digraph::addNode(std::string Label) {
+  Labels.push_back(std::move(Label));
+  OutEdges.emplace_back();
+  InEdges.emplace_back();
+  return static_cast<NodeId>(Labels.size() - 1);
+}
+
+Digraph::EdgeId Digraph::addEdge(NodeId From, NodeId To, double Weight) {
+  assert(From < numNodes() && To < numNodes() && "edge endpoint out of range");
+  EdgeList.push_back(Edge{From, To, Weight});
+  EdgeId Id = static_cast<EdgeId>(EdgeList.size() - 1);
+  OutEdges[From].push_back(Id);
+  InEdges[To].push_back(Id);
+  return Id;
+}
+
+const std::string &Digraph::label(NodeId N) const {
+  assert(N < numNodes() && "node id out of range");
+  return Labels[N];
+}
+
+const Digraph::Edge &Digraph::edge(EdgeId E) const {
+  assert(E < numEdges() && "edge id out of range");
+  return EdgeList[E];
+}
+
+void Digraph::setEdgeWeight(EdgeId E, double Weight) {
+  assert(E < numEdges() && "edge id out of range");
+  EdgeList[E].Weight = Weight;
+}
+
+std::optional<Digraph::NodeId>
+Digraph::findNode(const std::string &Label) const {
+  for (NodeId N = 0; N != numNodes(); ++N)
+    if (Labels[N] == Label)
+      return N;
+  return std::nullopt;
+}
+
+const std::vector<Digraph::EdgeId> &Digraph::edgesFrom(NodeId N) const {
+  assert(N < numNodes() && "node id out of range");
+  return OutEdges[N];
+}
+
+const std::vector<Digraph::EdgeId> &Digraph::edgesTo(NodeId N) const {
+  assert(N < numNodes() && "node id out of range");
+  return InEdges[N];
+}
+
+std::vector<Digraph::NodeId> Digraph::successors(NodeId N) const {
+  std::vector<NodeId> Result;
+  for (EdgeId E : edgesFrom(N))
+    Result.push_back(EdgeList[E].To);
+  return Result;
+}
+
+std::vector<Digraph::NodeId> Digraph::predecessors(NodeId N) const {
+  std::vector<NodeId> Result;
+  for (EdgeId E : edgesTo(N))
+    Result.push_back(EdgeList[E].From);
+  return Result;
+}
+
+std::optional<std::vector<Digraph::NodeId>>
+Digraph::topologicalOrder() const {
+  std::vector<unsigned> InDegree(numNodes(), 0);
+  for (const Edge &E : EdgeList)
+    ++InDegree[E.To];
+
+  // A sorted worklist keeps the order deterministic (smallest id first).
+  std::vector<NodeId> Ready;
+  for (NodeId N = 0; N != numNodes(); ++N)
+    if (InDegree[N] == 0)
+      Ready.push_back(N);
+
+  std::vector<NodeId> Order;
+  Order.reserve(numNodes());
+  while (!Ready.empty()) {
+    NodeId N = Ready.front();
+    Ready.erase(Ready.begin());
+    Order.push_back(N);
+    for (EdgeId E : OutEdges[N]) {
+      NodeId Succ = EdgeList[E].To;
+      if (--InDegree[Succ] == 0) {
+        auto Pos = std::lower_bound(Ready.begin(), Ready.end(), Succ);
+        Ready.insert(Pos, Succ);
+      }
+    }
+  }
+  if (Order.size() != numNodes())
+    return std::nullopt;
+  return Order;
+}
+
+bool Digraph::isWeaklyConnected(const std::vector<NodeId> &Nodes) const {
+  if (Nodes.empty())
+    return false;
+  std::vector<bool> InSet(numNodes(), false);
+  for (NodeId N : Nodes)
+    InSet[N] = true;
+
+  std::vector<bool> Seen(numNodes(), false);
+  std::deque<NodeId> Work{Nodes.front()};
+  Seen[Nodes.front()] = true;
+  size_t Reached = 0;
+  while (!Work.empty()) {
+    NodeId N = Work.front();
+    Work.pop_front();
+    ++Reached;
+    auto visit = [&](NodeId M) {
+      if (InSet[M] && !Seen[M]) {
+        Seen[M] = true;
+        Work.push_back(M);
+      }
+    };
+    for (EdgeId E : OutEdges[N])
+      visit(EdgeList[E].To);
+    for (EdgeId E : InEdges[N])
+      visit(EdgeList[E].From);
+  }
+  return Reached == Nodes.size();
+}
+
+std::vector<Digraph::EdgeId>
+Digraph::internalEdges(const std::vector<NodeId> &Nodes) const {
+  std::vector<bool> InSet(numNodes(), false);
+  for (NodeId N : Nodes)
+    InSet[N] = true;
+  std::vector<EdgeId> Result;
+  for (EdgeId E = 0; E != numEdges(); ++E)
+    if (InSet[EdgeList[E].From] && InSet[EdgeList[E].To])
+      Result.push_back(E);
+  return Result;
+}
+
+double Digraph::totalWeight() const {
+  double Sum = 0.0;
+  for (const Edge &E : EdgeList)
+    Sum += E.Weight;
+  return Sum;
+}
+
+double Digraph::blockWeight(const std::vector<NodeId> &Nodes) const {
+  double Sum = 0.0;
+  for (EdgeId E : internalEdges(Nodes))
+    Sum += EdgeList[E].Weight;
+  return Sum;
+}

@@ -1,0 +1,89 @@
+//===- graph/Digraph.h - Weighted directed graphs ---------------*- C++ -*-===//
+///
+/// \file
+/// A small directed-graph class used to represent the kernel dependence DAG
+/// G = (V, E) of Section II of the paper: vertices are kernels, and an edge
+/// (vi, vj) means kernel vj consumes the output produced by kernel vi. Edge
+/// weights carry the fusion benefit assigned by the benefit-estimation model.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KF_GRAPH_DIGRAPH_H
+#define KF_GRAPH_DIGRAPH_H
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace kf {
+
+/// Directed multigraph with string node labels and double edge weights.
+/// Node and edge identifiers are dense indices in insertion order, which
+/// keeps every algorithm in the library deterministic.
+class Digraph {
+public:
+  using NodeId = unsigned;
+  using EdgeId = unsigned;
+
+  struct Edge {
+    NodeId From;
+    NodeId To;
+    double Weight;
+  };
+
+  /// Adds a node and returns its id. Labels need not be unique, though the
+  /// fusion layer always uses unique kernel names.
+  NodeId addNode(std::string Label);
+
+  /// Adds a directed edge From -> To and returns its id.
+  EdgeId addEdge(NodeId From, NodeId To, double Weight = 0.0);
+
+  unsigned numNodes() const { return static_cast<unsigned>(Labels.size()); }
+  unsigned numEdges() const { return static_cast<unsigned>(EdgeList.size()); }
+
+  const std::string &label(NodeId N) const;
+  const Edge &edge(EdgeId E) const;
+  void setEdgeWeight(EdgeId E, double Weight);
+
+  /// First node with \p Label, if any.
+  std::optional<NodeId> findNode(const std::string &Label) const;
+
+  /// Edge ids leaving / entering \p N in insertion order.
+  const std::vector<EdgeId> &edgesFrom(NodeId N) const;
+  const std::vector<EdgeId> &edgesTo(NodeId N) const;
+
+  /// Successor / predecessor node ids (may contain duplicates when parallel
+  /// edges exist).
+  std::vector<NodeId> successors(NodeId N) const;
+  std::vector<NodeId> predecessors(NodeId N) const;
+
+  /// Kahn topological order, or std::nullopt when the graph has a cycle.
+  /// Ties are broken by node id, so the order is deterministic.
+  std::optional<std::vector<NodeId>> topologicalOrder() const;
+
+  bool hasCycle() const { return !topologicalOrder().has_value(); }
+
+  /// True if the subgraph induced by \p Nodes is weakly connected (edges
+  /// taken as undirected). A single node is connected; an empty set is not.
+  bool isWeaklyConnected(const std::vector<NodeId> &Nodes) const;
+
+  /// Edge ids with both endpoints inside \p Nodes.
+  std::vector<EdgeId> internalEdges(const std::vector<NodeId> &Nodes) const;
+
+  /// Sum of weights of all edges in the graph (w_G in Eq. 13).
+  double totalWeight() const;
+
+  /// Sum of weights of internalEdges(Nodes) (the weight w_P of a partition
+  /// block in Eq. 1).
+  double blockWeight(const std::vector<NodeId> &Nodes) const;
+
+private:
+  std::vector<std::string> Labels;
+  std::vector<Edge> EdgeList;
+  std::vector<std::vector<EdgeId>> OutEdges;
+  std::vector<std::vector<EdgeId>> InEdges;
+};
+
+} // namespace kf
+
+#endif // KF_GRAPH_DIGRAPH_H

@@ -1,0 +1,125 @@
+//===- graph/MinCut.cpp ---------------------------------------------------===//
+
+#include "graph/MinCut.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace kf;
+
+std::vector<std::vector<double>>
+kf::buildUndirectedWeights(const Digraph &G,
+                           const std::vector<Digraph::NodeId> &Nodes) {
+  size_t N = Nodes.size();
+  std::vector<unsigned> Position(G.numNodes(), ~0u);
+  for (size_t I = 0; I != N; ++I)
+    Position[Nodes[I]] = static_cast<unsigned>(I);
+
+  std::vector<std::vector<double>> W(N, std::vector<double>(N, 0.0));
+  for (Digraph::EdgeId E : G.internalEdges(Nodes)) {
+    const Digraph::Edge &Ed = G.edge(E);
+    unsigned A = Position[Ed.From];
+    unsigned B = Position[Ed.To];
+    if (A == B)
+      continue; // Ignore self loops; they never cross a cut.
+    W[A][B] += Ed.Weight;
+    W[B][A] += Ed.Weight;
+  }
+  return W;
+}
+
+CutResult
+kf::stoerWagnerMinCut(const std::vector<std::vector<double>> &Weights) {
+  size_t N = Weights.size();
+  assert(N >= 2 && "minimum cut needs at least two vertices");
+
+  // Working copy of the weight matrix; vertices get merged in place.
+  std::vector<std::vector<double>> W = Weights;
+  // Groups[i] lists the original vertices merged into working vertex i.
+  std::vector<std::vector<unsigned>> Groups(N);
+  for (size_t I = 0; I != N; ++I)
+    Groups[I] = {static_cast<unsigned>(I)};
+  // Active working vertices, in a deterministic order.
+  std::vector<unsigned> Active(N);
+  for (size_t I = 0; I != N; ++I)
+    Active[I] = static_cast<unsigned>(I);
+
+  CutResult Best;
+  bool HaveBest = false;
+
+  while (Active.size() > 1) {
+    // One minimum-cut phase: a maximum-adjacency search starting from the
+    // first active vertex (the paper starts from kernel dx in its example).
+    std::vector<unsigned> Order{Active.front()};
+    std::vector<bool> Added(N, false);
+    Added[Active.front()] = true;
+    std::vector<double> Attach(N, 0.0);
+    for (unsigned V : Active)
+      if (V != Active.front())
+        Attach[V] = W[Active.front()][V];
+
+    while (Order.size() != Active.size()) {
+      unsigned Next = ~0u;
+      double BestAttach = -1.0;
+      for (unsigned V : Active) {
+        if (Added[V])
+          continue;
+        // Strict > keeps the smallest index on ties: deterministic.
+        if (Attach[V] > BestAttach) {
+          BestAttach = Attach[V];
+          Next = V;
+        }
+      }
+      Added[Next] = true;
+      Order.push_back(Next);
+      for (unsigned V : Active)
+        if (!Added[V])
+          Attach[V] += W[Next][V];
+    }
+
+    unsigned T = Order[Order.size() - 1];
+    unsigned S = Order[Order.size() - 2];
+    double PhaseCut = Attach[T];
+
+    // "The first one encountered" wins on ties, hence strict less-than.
+    if (!HaveBest || PhaseCut < Best.Weight) {
+      HaveBest = true;
+      Best.Weight = PhaseCut;
+      Best.SideA = Groups[T];
+    }
+
+    // Merge T into S.
+    for (unsigned V : Active) {
+      if (V == S || V == T)
+        continue;
+      W[S][V] += W[T][V];
+      W[V][S] = W[S][V];
+    }
+    Groups[S].insert(Groups[S].end(), Groups[T].begin(), Groups[T].end());
+    Active.erase(std::find(Active.begin(), Active.end(), T));
+  }
+
+  // SideB is the complement of SideA over the original vertices.
+  std::vector<bool> InA(N, false);
+  for (unsigned V : Best.SideA)
+    InA[V] = true;
+  for (size_t I = 0; I != N; ++I)
+    if (!InA[I])
+      Best.SideB.push_back(static_cast<unsigned>(I));
+  std::sort(Best.SideA.begin(), Best.SideA.end());
+  assert(!Best.SideA.empty() && !Best.SideB.empty() &&
+         "cut must produce two non-empty sides");
+  return Best;
+}
+
+CutResult kf::stoerWagnerMinCut(const Digraph &G,
+                                const std::vector<Digraph::NodeId> &Nodes) {
+  CutResult Local = stoerWagnerMinCut(buildUndirectedWeights(G, Nodes));
+  CutResult Result;
+  Result.Weight = Local.Weight;
+  for (unsigned I : Local.SideA)
+    Result.SideA.push_back(Nodes[I]);
+  for (unsigned I : Local.SideB)
+    Result.SideB.push_back(Nodes[I]);
+  return Result;
+}

@@ -1,0 +1,48 @@
+//===- graph/RandomGraphs.cpp ----------------------------------------------===//
+
+#include "graph/RandomGraphs.h"
+
+#include <cassert>
+
+using namespace kf;
+
+std::vector<std::vector<double>>
+kf::randomConnectedWeights(unsigned NumVertices, unsigned ExtraEdges,
+                           double MinWeight, double MaxWeight,
+                           Rng &Generator) {
+  assert(NumVertices >= 2 && "need at least two vertices");
+  std::vector<std::vector<double>> W(NumVertices,
+                                     std::vector<double>(NumVertices, 0.0));
+  auto addEdge = [&](unsigned A, unsigned B) {
+    double Weight = Generator.uniform(MinWeight, MaxWeight);
+    W[A][B] += Weight;
+    W[B][A] += Weight;
+  };
+  // Random spanning tree: attach each vertex to a random earlier one.
+  for (unsigned V = 1; V != NumVertices; ++V)
+    addEdge(V, static_cast<unsigned>(Generator.nextBelow(V)));
+  for (unsigned I = 0; I != ExtraEdges; ++I) {
+    unsigned A = static_cast<unsigned>(Generator.nextBelow(NumVertices));
+    unsigned B = static_cast<unsigned>(Generator.nextBelow(NumVertices));
+    if (A != B)
+      addEdge(A, B);
+  }
+  return W;
+}
+
+Digraph kf::randomDag(unsigned NumNodes, double ExtraEdgeProb,
+                      Rng &Generator) {
+  assert(NumNodes >= 1 && "need at least one node");
+  Digraph G;
+  for (unsigned N = 0; N != NumNodes; ++N)
+    G.addNode("n" + std::to_string(N));
+  for (unsigned N = 1; N != NumNodes; ++N) {
+    unsigned Pred = static_cast<unsigned>(Generator.nextBelow(N));
+    G.addEdge(Pred, N, Generator.uniform(1.0, 100.0));
+  }
+  for (unsigned From = 0; From != NumNodes; ++From)
+    for (unsigned To = From + 1; To != NumNodes; ++To)
+      if (Generator.nextDouble() < ExtraEdgeProb)
+        G.addEdge(From, To, Generator.uniform(1.0, 100.0));
+  return G;
+}

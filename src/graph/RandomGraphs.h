@@ -1,0 +1,37 @@
+//===- graph/RandomGraphs.h - Random graph generators ----------*- C++ -*-===//
+///
+/// \file
+/// Deterministic random-graph generators used by the property tests and the
+/// scaling benchmarks: connected undirected weight matrices for min-cut
+/// validation and layered DAGs shaped like image-processing pipelines for
+/// the fusion algorithm.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KF_GRAPH_RANDOMGRAPHS_H
+#define KF_GRAPH_RANDOMGRAPHS_H
+
+#include "graph/Digraph.h"
+#include "support/Random.h"
+
+#include <vector>
+
+namespace kf {
+
+/// Generates a connected undirected weighted graph on \p NumVertices
+/// vertices as a dense symmetric matrix: a random spanning tree plus
+/// \p ExtraEdges additional random edges. Weights are uniform in
+/// [\p MinWeight, \p MaxWeight).
+std::vector<std::vector<double>>
+randomConnectedWeights(unsigned NumVertices, unsigned ExtraEdges,
+                       double MinWeight, double MaxWeight, Rng &Generator);
+
+/// Generates a random connected DAG with \p NumNodes nodes. Every non-root
+/// node receives an edge from a random earlier node, and each additional
+/// edge is added with probability \p ExtraEdgeProb per ordered pair.
+/// Edge weights are uniform in [1, 100). Node labels are "n0", "n1", ...
+Digraph randomDag(unsigned NumNodes, double ExtraEdgeProb, Rng &Generator);
+
+} // namespace kf
+
+#endif // KF_GRAPH_RANDOMGRAPHS_H

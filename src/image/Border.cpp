@@ -1,0 +1,55 @@
+//===- image/Border.cpp ----------------------------------------------------===//
+
+#include "image/Border.h"
+
+#include "support/Error.h"
+
+using namespace kf;
+
+const char *kf::borderModeName(BorderMode Mode) {
+  switch (Mode) {
+  case BorderMode::Clamp:
+    return "clamp";
+  case BorderMode::Mirror:
+    return "mirror";
+  case BorderMode::Repeat:
+    return "repeat";
+  case BorderMode::Constant:
+    return "constant";
+  }
+  KF_UNREACHABLE("unknown border mode");
+}
+
+int kf::exchangeIndex(int Index, int Size, BorderMode Mode) {
+  if (Index >= 0 && Index < Size)
+    return Index;
+  switch (Mode) {
+  case BorderMode::Clamp:
+    return Index < 0 ? 0 : Size - 1;
+  case BorderMode::Mirror: {
+    // Reflection with the edge pixel included: -1 -> 0, -2 -> 1, Size ->
+    // Size-1. The period of the reflected pattern is 2*Size.
+    int Period = 2 * Size;
+    int M = Index % Period;
+    if (M < 0)
+      M += Period;
+    return M < Size ? M : Period - 1 - M;
+  }
+  case BorderMode::Repeat: {
+    int M = Index % Size;
+    return M < 0 ? M + Size : M;
+  }
+  case BorderMode::Constant:
+    return -1;
+  }
+  KF_UNREACHABLE("unknown border mode");
+}
+
+float kf::sampleWithBorder(const Image &Source, int X, int Y, int Channel,
+                           BorderMode Mode, float ConstantValue) {
+  int EX = exchangeIndex(X, Source.width(), Mode);
+  int EY = exchangeIndex(Y, Source.height(), Mode);
+  if (EX < 0 || EY < 0)
+    return ConstantValue;
+  return Source.at(EX, EY, Channel);
+}

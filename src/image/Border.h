@@ -1,0 +1,43 @@
+//===- image/Border.h - Border handling modes -------------------*- C++ -*-===//
+///
+/// \file
+/// Border handling for local (stencil) operators. The paper's index-exchange
+/// method (Section IV-B) uses these modes: whenever a window access falls in
+/// the exterior region of an image, the access index is exchanged according
+/// to the border mode before the read happens. Clamp is the mode used in the
+/// paper's running example (Figure 4); mirror and repeat are the additional
+/// modes it mentions; constant completes the usual Hipacc set.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KF_IMAGE_BORDER_H
+#define KF_IMAGE_BORDER_H
+
+#include "image/Image.h"
+
+namespace kf {
+
+/// How out-of-border accesses are resolved.
+enum class BorderMode {
+  Clamp,    ///< Coordinates clamp to the nearest edge pixel.
+  Mirror,   ///< Coordinates reflect at the border (edge pixel included).
+  Repeat,   ///< Coordinates wrap around (periodic image).
+  Constant, ///< Out-of-border reads return a fixed value.
+};
+
+/// Printable name of \p Mode ("clamp", "mirror", ...).
+const char *borderModeName(BorderMode Mode);
+
+/// Exchanges a possibly out-of-range coordinate \p Index on an axis of
+/// extent \p Size according to \p Mode. For Constant, returns -1 to signal
+/// that the constant value must be used instead of a read. \p Size >= 1.
+int exchangeIndex(int Index, int Size, BorderMode Mode);
+
+/// Reads pixel (X, Y, Channel) of \p Source with border handling: exterior
+/// coordinates are exchanged per \p Mode; Constant returns \p ConstantValue.
+float sampleWithBorder(const Image &Source, int X, int Y, int Channel,
+                       BorderMode Mode, float ConstantValue = 0.0f);
+
+} // namespace kf
+
+#endif // KF_IMAGE_BORDER_H

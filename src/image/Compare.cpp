@@ -1,0 +1,59 @@
+//===- image/Compare.cpp ---------------------------------------------------===//
+
+#include "image/Compare.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace kf;
+
+double kf::maxAbsDifference(const Image &A, const Image &B) {
+  assert(A.sameShape(B) && "comparing images of different shapes");
+  double Max = 0.0;
+  for (size_t I = 0, E = A.data().size(); I != E; ++I)
+    Max = std::max(Max,
+                   std::abs(static_cast<double>(A.data()[I]) - B.data()[I]));
+  return Max;
+}
+
+long long kf::countDifferingSamples(const Image &A, const Image &B,
+                                    double Tolerance) {
+  assert(A.sameShape(B) && "comparing images of different shapes");
+  long long Count = 0;
+  for (size_t I = 0, E = A.data().size(); I != E; ++I)
+    if (std::abs(static_cast<double>(A.data()[I]) - B.data()[I]) > Tolerance)
+      ++Count;
+  return Count;
+}
+
+bool kf::imagesAlmostEqual(const Image &A, const Image &B, double Tolerance) {
+  return maxAbsDifference(A, B) <= Tolerance;
+}
+
+double kf::maxAbsDifferenceInHalo(const Image &A, const Image &B, int Halo) {
+  assert(A.sameShape(B) && "comparing images of different shapes");
+  double Max = 0.0;
+  for (int Y = 0; Y != A.height(); ++Y)
+    for (int X = 0; X != A.width(); ++X) {
+      bool Interior = X >= Halo && X < A.width() - Halo && Y >= Halo &&
+                      Y < A.height() - Halo;
+      if (Interior)
+        continue;
+      for (int Ch = 0; Ch != A.channels(); ++Ch)
+        Max = std::max(Max, std::abs(static_cast<double>(A.at(X, Y, Ch)) -
+                                     B.at(X, Y, Ch)));
+    }
+  return Max;
+}
+
+double kf::maxAbsDifferenceInInterior(const Image &A, const Image &B,
+                                      int Halo) {
+  assert(A.sameShape(B) && "comparing images of different shapes");
+  double Max = 0.0;
+  for (int Y = Halo; Y < A.height() - Halo; ++Y)
+    for (int X = Halo; X < A.width() - Halo; ++X)
+      for (int Ch = 0; Ch != A.channels(); ++Ch)
+        Max = std::max(Max, std::abs(static_cast<double>(A.at(X, Y, Ch)) -
+                                     B.at(X, Y, Ch)));
+  return Max;
+}

@@ -1,0 +1,54 @@
+//===- image/Generators.cpp ------------------------------------------------===//
+
+#include "image/Generators.h"
+
+using namespace kf;
+
+Image kf::makeRandomImage(int Width, int Height, int Channels, Rng &Generator,
+                          float Lo, float Hi) {
+  Image Result(Width, Height, Channels);
+  for (float &Sample : Result.data())
+    Sample = static_cast<float>(Generator.uniform(Lo, Hi));
+  return Result;
+}
+
+Image kf::makeGradientImage(int Width, int Height, int Channels) {
+  Image Result(Width, Height, Channels);
+  float Scale = 1.0f / static_cast<float>(Width + 2 * Height);
+  for (int Y = 0; Y != Height; ++Y)
+    for (int X = 0; X != Width; ++X)
+      for (int Ch = 0; Ch != Channels; ++Ch)
+        Result.at(X, Y, Ch) = static_cast<float>(X + 2 * Y) * Scale;
+  return Result;
+}
+
+Image kf::makeImpulseImage(int Width, int Height, float Peak) {
+  Image Result(Width, Height, 1);
+  Result.at(Width / 2, Height / 2) = Peak;
+  return Result;
+}
+
+Image kf::makeCheckerboardImage(int Width, int Height, int Block, float Lo,
+                                float Hi) {
+  Image Result(Width, Height, 1);
+  for (int Y = 0; Y != Height; ++Y)
+    for (int X = 0; X != Width; ++X) {
+      bool Odd = ((X / Block) + (Y / Block)) % 2 != 0;
+      Result.at(X, Y) = Odd ? Hi : Lo;
+    }
+  return Result;
+}
+
+Image kf::makeFigure4Matrix() {
+  // Rows exactly as printed in Figure 4a of the paper.
+  const float Values[5][5] = {{1, 3, 7, 7, 6},
+                              {3, 7, 9, 6, 8},
+                              {5, 4, 3, 2, 1},
+                              {4, 1, 2, 1, 2},
+                              {5, 2, 2, 4, 2}};
+  Image Result(5, 5, 1);
+  for (int Y = 0; Y != 5; ++Y)
+    for (int X = 0; X != 5; ++X)
+      Result.at(X, Y) = Values[Y][X];
+  return Result;
+}

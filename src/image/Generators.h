@@ -1,0 +1,40 @@
+//===- image/Generators.h - Synthetic test images ---------------*- C++ -*-===//
+///
+/// \file
+/// Synthetic image generators. The paper's artifact generates random images
+/// ("The provided binaries generate random images of size 2,048 by 2,048
+/// pixels, hence no additional data is required"); we do the same, plus a
+/// few structured patterns that make border-handling bugs visible.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KF_IMAGE_GENERATORS_H
+#define KF_IMAGE_GENERATORS_H
+
+#include "image/Image.h"
+#include "support/Random.h"
+
+namespace kf {
+
+/// Uniform random samples in [Lo, Hi).
+Image makeRandomImage(int Width, int Height, int Channels, Rng &Generator,
+                      float Lo = 0.0f, float Hi = 1.0f);
+
+/// Diagonal gradient: pixel (x, y) = (x + 2*y) scaled into [0, 1].
+Image makeGradientImage(int Width, int Height, int Channels = 1);
+
+/// All-zero image with a single bright pixel in the middle; convolving it
+/// reveals the mask footprint, which makes halo bugs obvious.
+Image makeImpulseImage(int Width, int Height, float Peak = 1.0f);
+
+/// Alternating Block x Block checkerboard of values Lo / Hi.
+Image makeCheckerboardImage(int Width, int Height, int Block, float Lo,
+                            float Hi);
+
+/// The 5x5 integer example matrix from Figure 4 of the paper (used by the
+/// border-fusion experiment; values are exactly the figure's).
+Image makeFigure4Matrix();
+
+} // namespace kf
+
+#endif // KF_IMAGE_GENERATORS_H

@@ -1,0 +1,4 @@
+//===- image/Image.cpp -----------------------------------------------------===//
+// Image is header-only; this file anchors the translation unit.
+
+#include "image/Image.h"

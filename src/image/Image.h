@@ -1,0 +1,83 @@
+//===- image/Image.h - 2-D multi-channel float image buffers ---*- C++ -*-===//
+///
+/// \file
+/// The image buffer the DSL kernels operate on. All pixel data is float;
+/// gray images use one channel and the RGB pipeline (the Night filter) uses
+/// three, matching the evaluation setup of the paper (2048x2048 gray for
+/// five applications, 1920x1200 RGB for Night).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KF_IMAGE_IMAGE_H
+#define KF_IMAGE_IMAGE_H
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace kf {
+
+/// Row-major, channel-interleaved float image.
+class Image {
+public:
+  Image() = default;
+
+  Image(int Width, int Height, int Channels = 1, float Fill = 0.0f)
+      : W(Width), H(Height), C(Channels),
+        Data(static_cast<size_t>(Width) * Height * Channels, Fill) {
+    assert(Width > 0 && Height > 0 && Channels > 0 && "invalid image shape");
+  }
+
+  int width() const { return W; }
+  int height() const { return H; }
+  int channels() const { return C; }
+  bool empty() const { return Data.empty(); }
+
+  /// Number of pixels (the iteration-space size IS(i) of the benefit model).
+  long long iterationSpace() const {
+    return static_cast<long long>(W) * H;
+  }
+
+  /// Total payload in bytes (4 bytes per channel sample).
+  long long sizeInBytes() const {
+    return static_cast<long long>(Data.size()) * 4;
+  }
+
+  float at(int X, int Y, int Channel = 0) const {
+    assert(inBounds(X, Y) && Channel >= 0 && Channel < C &&
+           "pixel access out of bounds");
+    return Data[index(X, Y, Channel)];
+  }
+
+  float &at(int X, int Y, int Channel = 0) {
+    assert(inBounds(X, Y) && Channel >= 0 && Channel < C &&
+           "pixel access out of bounds");
+    return Data[index(X, Y, Channel)];
+  }
+
+  bool inBounds(int X, int Y) const {
+    return X >= 0 && X < W && Y >= 0 && Y < H;
+  }
+
+  /// True when both images have identical shape.
+  bool sameShape(const Image &Other) const {
+    return W == Other.W && H == Other.H && C == Other.C;
+  }
+
+  const std::vector<float> &data() const { return Data; }
+  std::vector<float> &data() { return Data; }
+
+private:
+  size_t index(int X, int Y, int Channel) const {
+    return (static_cast<size_t>(Y) * W + X) * C + Channel;
+  }
+
+  int W = 0;
+  int H = 0;
+  int C = 0;
+  std::vector<float> Data;
+};
+
+} // namespace kf
+
+#endif // KF_IMAGE_IMAGE_H

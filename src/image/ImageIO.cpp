@@ -1,0 +1,101 @@
+//===- image/ImageIO.cpp ---------------------------------------------------===//
+
+#include "image/ImageIO.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+
+using namespace kf;
+
+namespace {
+/// RAII wrapper over std::FILE so early exits stay leak-free.
+struct FileCloser {
+  void operator()(std::FILE *File) const {
+    if (File)
+      std::fclose(File);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+} // namespace
+
+static unsigned char toByte(float Sample) {
+  float Scaled = Sample * 255.0f;
+  Scaled = std::clamp(Scaled, 0.0f, 255.0f);
+  return static_cast<unsigned char>(Scaled + 0.5f);
+}
+
+bool kf::writePnm(const Image &Source, const std::string &Path) {
+  if (Source.channels() != 1 && Source.channels() != 3)
+    return false;
+  FilePtr File(std::fopen(Path.c_str(), "wb"));
+  if (!File)
+    return false;
+  const char *Magic = Source.channels() == 1 ? "P5" : "P6";
+  std::fprintf(File.get(), "%s\n%d %d\n255\n", Magic, Source.width(),
+               Source.height());
+  std::vector<unsigned char> Row(
+      static_cast<size_t>(Source.width()) * Source.channels());
+  for (int Y = 0; Y != Source.height(); ++Y) {
+    size_t Pos = 0;
+    for (int X = 0; X != Source.width(); ++X)
+      for (int Ch = 0; Ch != Source.channels(); ++Ch)
+        Row[Pos++] = toByte(Source.at(X, Y, Ch));
+    if (std::fwrite(Row.data(), 1, Row.size(), File.get()) != Row.size())
+      return false;
+  }
+  return true;
+}
+
+/// Reads one whitespace-delimited ASCII token, skipping '#' comments.
+static bool readToken(std::FILE *File, std::string &Token) {
+  Token.clear();
+  int Ch = std::fgetc(File);
+  while (Ch != EOF) {
+    if (Ch == '#') {
+      while (Ch != EOF && Ch != '\n')
+        Ch = std::fgetc(File);
+    } else if (std::isspace(Ch)) {
+      if (!Token.empty())
+        return true;
+    } else {
+      Token.push_back(static_cast<char>(Ch));
+    }
+    Ch = std::fgetc(File);
+  }
+  return !Token.empty();
+}
+
+std::optional<Image> kf::readPnm(const std::string &Path) {
+  FilePtr File(std::fopen(Path.c_str(), "rb"));
+  if (!File)
+    return std::nullopt;
+  std::string Magic, WidthText, HeightText, MaxText;
+  if (!readToken(File.get(), Magic) || !readToken(File.get(), WidthText) ||
+      !readToken(File.get(), HeightText) || !readToken(File.get(), MaxText))
+    return std::nullopt;
+  int Channels = 0;
+  if (Magic == "P5")
+    Channels = 1;
+  else if (Magic == "P6")
+    Channels = 3;
+  else
+    return std::nullopt;
+  int Width = std::atoi(WidthText.c_str());
+  int Height = std::atoi(HeightText.c_str());
+  int MaxValue = std::atoi(MaxText.c_str());
+  if (Width <= 0 || Height <= 0 || MaxValue != 255)
+    return std::nullopt;
+
+  Image Result(Width, Height, Channels);
+  std::vector<unsigned char> Row(static_cast<size_t>(Width) * Channels);
+  for (int Y = 0; Y != Height; ++Y) {
+    if (std::fread(Row.data(), 1, Row.size(), File.get()) != Row.size())
+      return std::nullopt;
+    size_t Pos = 0;
+    for (int X = 0; X != Width; ++X)
+      for (int Ch = 0; Ch != Channels; ++Ch)
+        Result.at(X, Y, Ch) = static_cast<float>(Row[Pos++]) / 255.0f;
+  }
+  return Result;
+}

@@ -1,0 +1,30 @@
+//===- image/ImageIO.h - PGM/PPM image input and output ---------*- C++ -*-===//
+///
+/// \file
+/// Minimal binary PGM (P5, gray) and PPM (P6, RGB) reader/writer so the
+/// examples can emit inspectable results. Float samples are scaled from
+/// [0, 1] to 8-bit with clamping.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KF_IMAGE_IMAGEIO_H
+#define KF_IMAGE_IMAGEIO_H
+
+#include "image/Image.h"
+
+#include <optional>
+#include <string>
+
+namespace kf {
+
+/// Writes \p Source as binary PGM (1 channel) or PPM (3 channels). Returns
+/// false on I/O failure or unsupported channel count.
+bool writePnm(const Image &Source, const std::string &Path);
+
+/// Reads a binary PGM/PPM file written by writePnm. Returns std::nullopt on
+/// parse or I/O failure. Samples are scaled back into [0, 1].
+std::optional<Image> readPnm(const std::string &Path);
+
+} // namespace kf
+
+#endif // KF_IMAGE_IMAGEIO_H

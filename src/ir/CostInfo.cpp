@@ -1,0 +1,108 @@
+//===- ir/CostInfo.cpp -----------------------------------------------------===//
+
+#include "ir/CostInfo.h"
+
+#include "support/Error.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace kf;
+
+long long KernelCost::totalReadsPerPixel() const {
+  long long Sum = 0;
+  for (const InputFootprint &F : Footprints)
+    Sum += F.ReadsPerPixel;
+  return Sum;
+}
+
+namespace {
+
+/// Recursive AST walk accumulating a KernelCost. CurrentMask is the mask of
+/// the enclosing Stencil node (-1 outside), Multiplier the number of times
+/// the current subtree executes per output pixel.
+class CostWalker {
+public:
+  CostWalker(const Program &P, const Kernel &K, KernelCost &Result)
+      : P(P), K(K), Result(Result) {}
+
+  void walk(const Expr *E, long long Multiplier, int CurrentMask) {
+    switch (E->Kind) {
+    case ExprKind::FloatConst:
+    case ExprKind::CoordX:
+    case ExprKind::CoordY:
+    case ExprKind::StencilOffX:
+    case ExprKind::StencilOffY:
+    case ExprKind::MaskValue:
+      return; // Free: literals and loop-carried scalars.
+    case ExprKind::InputAt: {
+      InputFootprint &F = Result.Footprints[E->InputIdx];
+      F.HaloX = std::max(F.HaloX, std::abs(E->OffsetX));
+      F.HaloY = std::max(F.HaloY, std::abs(E->OffsetY));
+      F.ReadsPerPixel += Multiplier;
+      return;
+    }
+    case ExprKind::StencilInput: {
+      assert(CurrentMask >= 0 && "window access outside a stencil");
+      const Mask &M = P.mask(CurrentMask);
+      InputFootprint &F = Result.Footprints[E->InputIdx];
+      F.HaloX = std::max(F.HaloX, M.haloX());
+      F.HaloY = std::max(F.HaloY, M.haloY());
+      F.ReadsPerPixel += Multiplier;
+      F.WindowAccess = true;
+      return;
+    }
+    case ExprKind::Binary:
+      (isSfuBinOp(E->BinaryOp) ? Result.NumSfu : Result.NumAlu) += Multiplier;
+      walk(E->Lhs, Multiplier, CurrentMask);
+      walk(E->Rhs, Multiplier, CurrentMask);
+      return;
+    case ExprKind::Unary:
+      (isSfuUnOp(E->UnaryOp) ? Result.NumSfu : Result.NumAlu) += Multiplier;
+      walk(E->Lhs, Multiplier, CurrentMask);
+      return;
+    case ExprKind::Select:
+      Result.NumAlu += Multiplier;
+      walk(E->Cond, Multiplier, CurrentMask);
+      walk(E->Lhs, Multiplier, CurrentMask);
+      walk(E->Rhs, Multiplier, CurrentMask);
+      return;
+    case ExprKind::Stencil: {
+      assert(CurrentMask < 0 && "nested stencils are not supported");
+      const Mask &M = P.mask(E->MaskIdx);
+      long long Size = M.size();
+      // The reduce combines Size elements with Size - 1 ALU operations.
+      Result.NumAlu += Multiplier * (Size - 1);
+      walk(E->Lhs, Multiplier * Size, E->MaskIdx);
+      return;
+    }
+    }
+    KF_UNREACHABLE("unknown expression kind");
+  }
+
+private:
+  const Program &P;
+  const Kernel &K;
+  KernelCost &Result;
+};
+
+} // namespace
+
+KernelCost kf::analyzeKernelCost(const Program &P, KernelId Id) {
+  const Kernel &K = P.kernel(Id);
+  KernelCost Result;
+  Result.Footprints.resize(K.Inputs.size());
+
+  CostWalker Walker(P, K, Result);
+  Walker.walk(K.Body, /*Multiplier=*/1, /*CurrentMask=*/-1);
+
+  // Writing the output pixel costs one ALU operation; this convention makes
+  // the Harris square kernels cost n_ALU = 2 as in the paper's example.
+  Result.NumAlu += 1;
+
+  int MaxHalo = 0;
+  for (const InputFootprint &F : Result.Footprints)
+    MaxHalo = std::max({MaxHalo, F.HaloX, F.HaloY});
+  Result.WindowWidth = 2 * MaxHalo + 1;
+  return Result;
+}

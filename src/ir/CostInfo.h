@@ -1,0 +1,53 @@
+//===- ir/CostInfo.h - Static kernel cost & footprint analysis --*- C++ -*-===//
+///
+/// \file
+/// Extracts the per-kernel quantities the benefit-estimation model of
+/// Section II-C consumes: the estimated ALU and SFU operation counts of
+/// Eq. 6 (n_ALU, n_SFU), the read footprint on every input, and the
+/// effective square window width (whose square is sz() in Eqs. 7-10).
+///
+/// Operation counting convention: every arithmetic AST node costs one
+/// operation on its unit (ALU or SFU), stencil element expressions are
+/// counted once per window element plus the reduce combines, and the final
+/// store of the output pixel costs one ALU operation. With this convention
+/// the paper's Harris example (n_ALU = 2 for the square kernels sx, sy,
+/// sxy) is reproduced exactly: one multiply plus one store.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KF_IR_COSTINFO_H
+#define KF_IR_COSTINFO_H
+
+#include "ir/Program.h"
+
+namespace kf {
+
+/// Read footprint of one kernel input.
+struct InputFootprint {
+  int HaloX = 0;                ///< Max |x offset| over all accesses.
+  int HaloY = 0;                ///< Max |y offset| over all accesses.
+  long long ReadsPerPixel = 0;  ///< Reads per output pixel.
+  bool WindowAccess = false;    ///< True if accessed through a stencil.
+};
+
+/// Static costs of one kernel.
+struct KernelCost {
+  long long NumAlu = 0; ///< n_ALU of Eq. 6, per output pixel.
+  long long NumSfu = 0; ///< n_SFU of Eq. 6, per output pixel.
+  std::vector<InputFootprint> Footprints; ///< One entry per kernel input.
+  int WindowWidth = 1; ///< Effective square window width (1 for point).
+
+  /// sz() of the paper: number of window elements.
+  int windowSize() const { return WindowWidth * WindowWidth; }
+
+  /// Total reads per output pixel over all inputs.
+  long long totalReadsPerPixel() const;
+};
+
+/// Analyzes kernel \p Id of \p P. The program must verify cleanly; the
+/// analysis asserts on malformed bodies.
+KernelCost analyzeKernelCost(const Program &P, KernelId Id);
+
+} // namespace kf
+
+#endif // KF_IR_COSTINFO_H

@@ -1,0 +1,118 @@
+//===- ir/Expr.cpp ---------------------------------------------------------===//
+
+#include "ir/Expr.h"
+
+#include <cassert>
+
+using namespace kf;
+
+bool kf::isSfuUnOp(UnOp Op) {
+  return Op == UnOp::Sqrt || Op == UnOp::Exp || Op == UnOp::Log;
+}
+
+bool kf::isSfuBinOp(BinOp Op) { return Op == BinOp::Pow; }
+
+const Expr *ExprContext::make(Expr Node) {
+  Arena.push_back(Node);
+  return &Arena.back();
+}
+
+const Expr *ExprContext::floatConst(float Value) {
+  Expr E;
+  E.Kind = ExprKind::FloatConst;
+  E.Value = Value;
+  return make(E);
+}
+
+const Expr *ExprContext::coordX() {
+  Expr E;
+  E.Kind = ExprKind::CoordX;
+  return make(E);
+}
+
+const Expr *ExprContext::coordY() {
+  Expr E;
+  E.Kind = ExprKind::CoordY;
+  return make(E);
+}
+
+const Expr *ExprContext::inputAt(int InputIdx, int OffsetX, int OffsetY,
+                                 int Channel) {
+  assert(InputIdx >= 0 && "negative input index");
+  Expr E;
+  E.Kind = ExprKind::InputAt;
+  E.InputIdx = InputIdx;
+  E.OffsetX = OffsetX;
+  E.OffsetY = OffsetY;
+  E.Channel = Channel;
+  return make(E);
+}
+
+const Expr *ExprContext::stencilInput(int InputIdx, int Channel) {
+  assert(InputIdx >= 0 && "negative input index");
+  Expr E;
+  E.Kind = ExprKind::StencilInput;
+  E.InputIdx = InputIdx;
+  E.Channel = Channel;
+  return make(E);
+}
+
+const Expr *ExprContext::maskValue() {
+  Expr E;
+  E.Kind = ExprKind::MaskValue;
+  return make(E);
+}
+
+const Expr *ExprContext::stencilOffX() {
+  Expr E;
+  E.Kind = ExprKind::StencilOffX;
+  return make(E);
+}
+
+const Expr *ExprContext::stencilOffY() {
+  Expr E;
+  E.Kind = ExprKind::StencilOffY;
+  return make(E);
+}
+
+const Expr *ExprContext::binary(BinOp Op, const Expr *Lhs, const Expr *Rhs) {
+  assert(Lhs && Rhs && "null operand");
+  Expr E;
+  E.Kind = ExprKind::Binary;
+  E.BinaryOp = Op;
+  E.Lhs = Lhs;
+  E.Rhs = Rhs;
+  return make(E);
+}
+
+const Expr *ExprContext::unary(UnOp Op, const Expr *Operand) {
+  assert(Operand && "null operand");
+  Expr E;
+  E.Kind = ExprKind::Unary;
+  E.UnaryOp = Op;
+  E.Lhs = Operand;
+  return make(E);
+}
+
+const Expr *ExprContext::select(const Expr *Cond, const Expr *TrueValue,
+                                const Expr *FalseValue) {
+  assert(Cond && TrueValue && FalseValue && "null operand");
+  Expr E;
+  E.Kind = ExprKind::Select;
+  E.Cond = Cond;
+  E.Lhs = TrueValue;
+  E.Rhs = FalseValue;
+  return make(E);
+}
+
+const Expr *ExprContext::stencil(int MaskIdx, ReduceOp Op,
+                                 const Expr *Element) {
+  assert(Element && "null stencil element");
+  assert(MaskIdx >= 0 && "negative mask index");
+  Expr E;
+  E.Kind = ExprKind::Stencil;
+  E.MaskIdx = MaskIdx;
+  E.Reduce = Op;
+  E.Lhs = Element;
+  return make(E);
+}

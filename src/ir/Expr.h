@@ -1,0 +1,135 @@
+//===- ir/Expr.h - Kernel body expression AST -------------------*- C++ -*-===//
+///
+/// \file
+/// The expression AST of kernel bodies in the embedded DSL. A kernel
+/// computes one output pixel per iteration-space point by evaluating its
+/// body expression; local (stencil) operators additionally contain Stencil
+/// reduction nodes that walk a mask window.
+///
+/// The AST is what makes kernel fusion a *source-to-source* transformation
+/// in this reproduction: the fuser substitutes producer bodies into consumer
+/// accesses (register promotion / recompute), and the CUDA backend prints
+/// the resulting trees as device code.
+///
+/// Nodes are immutable and arena-allocated inside an ExprContext; they are
+/// freely shared between kernels of the same program.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KF_IR_EXPR_H
+#define KF_IR_EXPR_H
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+
+namespace kf {
+
+/// Discriminator for Expr nodes (LLVM-style kind field instead of RTTI).
+enum class ExprKind : uint8_t {
+  FloatConst,    ///< Literal float value.
+  CoordX,        ///< Iteration-space x coordinate (as float).
+  CoordY,        ///< Iteration-space y coordinate (as float).
+  InputAt,       ///< Read input image InputIdx at iter + (OffsetX, OffsetY).
+  StencilInput,  ///< Inside Stencil: input at iter + current window offset.
+  MaskValue,     ///< Inside Stencil: current mask coefficient.
+  StencilOffX,   ///< Inside Stencil: current window x offset (as float).
+  StencilOffY,   ///< Inside Stencil: current window y offset (as float).
+  Binary,        ///< Two-operand arithmetic / comparison.
+  Unary,         ///< One-operand arithmetic.
+  Select,        ///< Cond != 0 ? TrueValue : FalseValue.
+  Stencil,       ///< Reduce an element expression over a mask window.
+};
+
+/// Binary operators. Comparisons yield 1.0f / 0.0f.
+enum class BinOp : uint8_t { Add, Sub, Mul, Div, Min, Max, Pow, CmpLT, CmpGT };
+
+/// Unary operators. Sqrt/Exp/Log are special-function-unit (SFU) operations
+/// in the cost model (Eq. 6 of the paper); the rest are ALU operations.
+enum class UnOp : uint8_t { Neg, Abs, Sqrt, Exp, Log, Floor };
+
+/// Reduction combining operator of a Stencil node.
+enum class ReduceOp : uint8_t { Sum, Product, Min, Max };
+
+/// True for operators executed on the GPU's special function units.
+bool isSfuUnOp(UnOp Op);
+/// True for binary operators executed on the SFUs (currently Pow).
+bool isSfuBinOp(BinOp Op);
+
+/// An immutable AST node. All fields are populated by ExprContext factory
+/// methods; which fields are meaningful depends on Kind.
+struct Expr {
+  ExprKind Kind;
+
+  // FloatConst.
+  float Value = 0.0f;
+
+  // InputAt / StencilInput: which kernel input is read and, for InputAt,
+  // the constant offset from the iteration point. Channel -1 means "the
+  // channel currently being computed"; >= 0 selects a fixed channel.
+  int InputIdx = 0;
+  int OffsetX = 0;
+  int OffsetY = 0;
+  int Channel = -1;
+
+  // Binary / Unary / Select / Stencil operands.
+  BinOp BinaryOp = BinOp::Add;
+  UnOp UnaryOp = UnOp::Neg;
+  ReduceOp Reduce = ReduceOp::Sum;
+  int MaskIdx = 0; ///< Stencil: index into the program's mask table.
+  const Expr *Lhs = nullptr;
+  const Expr *Rhs = nullptr;
+  const Expr *Cond = nullptr;
+};
+
+/// Arena owning Expr nodes. Factory methods assert structural rules that
+/// the verifier re-checks at program level.
+class ExprContext {
+public:
+  const Expr *floatConst(float Value);
+  const Expr *coordX();
+  const Expr *coordY();
+
+  /// Point access to input \p InputIdx at the iteration point plus a
+  /// constant offset. Point operators must use zero offsets.
+  const Expr *inputAt(int InputIdx, int OffsetX = 0, int OffsetY = 0,
+                      int Channel = -1);
+
+  /// Window access inside a Stencil element expression.
+  const Expr *stencilInput(int InputIdx, int Channel = -1);
+  const Expr *maskValue();
+  const Expr *stencilOffX();
+  const Expr *stencilOffY();
+
+  const Expr *binary(BinOp Op, const Expr *Lhs, const Expr *Rhs);
+  const Expr *unary(UnOp Op, const Expr *Operand);
+  const Expr *select(const Expr *Cond, const Expr *TrueValue,
+                     const Expr *FalseValue);
+
+  /// Reduce \p Element over the window of mask \p MaskIdx with \p Op.
+  const Expr *stencil(int MaskIdx, ReduceOp Op, const Expr *Element);
+
+  // Convenience arithmetic wrappers.
+  const Expr *add(const Expr *L, const Expr *R) {
+    return binary(BinOp::Add, L, R);
+  }
+  const Expr *sub(const Expr *L, const Expr *R) {
+    return binary(BinOp::Sub, L, R);
+  }
+  const Expr *mul(const Expr *L, const Expr *R) {
+    return binary(BinOp::Mul, L, R);
+  }
+  const Expr *div(const Expr *L, const Expr *R) {
+    return binary(BinOp::Div, L, R);
+  }
+
+  size_t numExprs() const { return Arena.size(); }
+
+private:
+  const Expr *make(Expr Node);
+  std::deque<Expr> Arena;
+};
+
+} // namespace kf
+
+#endif // KF_IR_EXPR_H

@@ -1,0 +1,360 @@
+//===- ir/ExprVM.cpp ----------------------------------------------------------===//
+
+#include "ir/ExprVM.h"
+
+#include "image/Border.h"
+#include "support/Error.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace kf;
+
+namespace {
+
+/// Bindings of stencil-scoped scalars while compiling an element.
+struct StencilBinding {
+  int Dx = 0;
+  int Dy = 0;
+  float MaskVal = 0.0f;
+  bool Active = false;
+};
+
+/// Recursive compiler from expression trees to the linear VM form.
+class VmCompiler {
+public:
+  VmCompiler(const Program &P) : P(P) {}
+
+  VmProgram compile(const Expr *Body) {
+    VmProgram VM;
+    VM.ResultReg = emit(Body, StencilBinding(), VM);
+    VM.NumRegs = NextReg;
+    return VM;
+  }
+
+private:
+  uint16_t fresh() {
+    assert(NextReg < 0xFFFF && "register file exhausted");
+    return static_cast<uint16_t>(NextReg++);
+  }
+
+  uint16_t emitConst(float Value, VmProgram &VM) {
+    VmInst Inst;
+    Inst.Op = VmOp::Const;
+    Inst.Dst = fresh();
+    Inst.Imm = Value;
+    VM.Insts.push_back(Inst);
+    return Inst.Dst;
+  }
+
+  uint16_t emitBinary(VmOp Op, uint16_t A, uint16_t B, VmProgram &VM) {
+    VmInst Inst;
+    Inst.Op = Op;
+    Inst.Dst = fresh();
+    Inst.A = A;
+    Inst.B = B;
+    VM.Insts.push_back(Inst);
+    return Inst.Dst;
+  }
+
+  uint16_t emit(const Expr *E, const StencilBinding &Env, VmProgram &VM) {
+    switch (E->Kind) {
+    case ExprKind::FloatConst:
+      return emitConst(E->Value, VM);
+    case ExprKind::CoordX:
+    case ExprKind::CoordY: {
+      VmInst Inst;
+      Inst.Op = E->Kind == ExprKind::CoordX ? VmOp::CoordX : VmOp::CoordY;
+      Inst.Dst = fresh();
+      VM.Insts.push_back(Inst);
+      return Inst.Dst;
+    }
+    case ExprKind::MaskValue:
+      assert(Env.Active && "mask value outside a stencil");
+      return emitConst(Env.MaskVal, VM);
+    case ExprKind::StencilOffX:
+      assert(Env.Active && "stencil offset outside a stencil");
+      return emitConst(static_cast<float>(Env.Dx), VM);
+    case ExprKind::StencilOffY:
+      assert(Env.Active && "stencil offset outside a stencil");
+      return emitConst(static_cast<float>(Env.Dy), VM);
+    case ExprKind::InputAt:
+    case ExprKind::StencilInput: {
+      VmInst Inst;
+      Inst.Op = VmOp::Load;
+      Inst.Dst = fresh();
+      Inst.InputIdx = static_cast<int16_t>(E->InputIdx);
+      if (E->Kind == ExprKind::InputAt) {
+        Inst.Ox = static_cast<int16_t>(E->OffsetX);
+        Inst.Oy = static_cast<int16_t>(E->OffsetY);
+      } else {
+        assert(Env.Active && "window access outside a stencil");
+        Inst.Ox = static_cast<int16_t>(Env.Dx);
+        Inst.Oy = static_cast<int16_t>(Env.Dy);
+      }
+      Inst.Channel = static_cast<int16_t>(E->Channel);
+      VM.Insts.push_back(Inst);
+      return Inst.Dst;
+    }
+    case ExprKind::Binary: {
+      uint16_t A = emit(E->Lhs, Env, VM);
+      uint16_t B = emit(E->Rhs, Env, VM);
+      VmOp Op = VmOp::Add;
+      switch (E->BinaryOp) {
+      case BinOp::Add:
+        Op = VmOp::Add;
+        break;
+      case BinOp::Sub:
+        Op = VmOp::Sub;
+        break;
+      case BinOp::Mul:
+        Op = VmOp::Mul;
+        break;
+      case BinOp::Div:
+        Op = VmOp::Div;
+        break;
+      case BinOp::Min:
+        Op = VmOp::Min;
+        break;
+      case BinOp::Max:
+        Op = VmOp::Max;
+        break;
+      case BinOp::Pow:
+        Op = VmOp::Pow;
+        break;
+      case BinOp::CmpLT:
+        Op = VmOp::CmpLT;
+        break;
+      case BinOp::CmpGT:
+        Op = VmOp::CmpGT;
+        break;
+      }
+      return emitBinary(Op, A, B, VM);
+    }
+    case ExprKind::Unary: {
+      uint16_t A = emit(E->Lhs, Env, VM);
+      VmOp Op = VmOp::Neg;
+      switch (E->UnaryOp) {
+      case UnOp::Neg:
+        Op = VmOp::Neg;
+        break;
+      case UnOp::Abs:
+        Op = VmOp::Abs;
+        break;
+      case UnOp::Sqrt:
+        Op = VmOp::Sqrt;
+        break;
+      case UnOp::Exp:
+        Op = VmOp::Exp;
+        break;
+      case UnOp::Log:
+        Op = VmOp::Log;
+        break;
+      case UnOp::Floor:
+        Op = VmOp::Floor;
+        break;
+      }
+      VmInst Inst;
+      Inst.Op = Op;
+      Inst.Dst = fresh();
+      Inst.A = A;
+      VM.Insts.push_back(Inst);
+      return Inst.Dst;
+    }
+    case ExprKind::Select: {
+      VmInst Inst;
+      Inst.Op = VmOp::Select;
+      Inst.Sel = emit(E->Cond, Env, VM);
+      Inst.A = emit(E->Lhs, Env, VM);
+      Inst.B = emit(E->Rhs, Env, VM);
+      Inst.Dst = fresh();
+      VM.Insts.push_back(Inst);
+      return Inst.Dst;
+    }
+    case ExprKind::Stencil: {
+      // Fully unroll the reduction: one element expansion per window
+      // position with mask value and offsets baked as constants; combine
+      // with the reduce operator in evaluation order.
+      const Mask &M = P.mask(E->MaskIdx);
+      uint16_t Acc = 0;
+      bool First = true;
+      for (int Dy = -M.haloY(); Dy <= M.haloY(); ++Dy)
+        for (int Dx = -M.haloX(); Dx <= M.haloX(); ++Dx) {
+          StencilBinding Elem{Dx, Dy, M.at(Dx, Dy), true};
+          uint16_t Value = emit(E->Lhs, Elem, VM);
+          if (First) {
+            Acc = Value;
+            First = false;
+            continue;
+          }
+          VmOp Op = VmOp::Add;
+          switch (E->Reduce) {
+          case ReduceOp::Sum:
+            Op = VmOp::Add;
+            break;
+          case ReduceOp::Product:
+            Op = VmOp::Mul;
+            break;
+          case ReduceOp::Min:
+            Op = VmOp::Min;
+            break;
+          case ReduceOp::Max:
+            Op = VmOp::Max;
+            break;
+          }
+          Acc = emitBinary(Op, Acc, Value, VM);
+        }
+      return Acc;
+    }
+    }
+    KF_UNREACHABLE("unknown expression kind");
+  }
+
+  const Program &P;
+  unsigned NextReg = 0;
+};
+
+} // namespace
+
+VmProgram kf::compileKernelBody(const Program &P, KernelId Id) {
+  VmCompiler Compiler(P);
+  return Compiler.compile(P.kernel(Id).Body);
+}
+
+/// Shared evaluation loop; \p Bordered selects bordered vs direct loads.
+template <bool Bordered>
+static float runVmImpl(const VmProgram &VM, const Program &P, KernelId Id,
+                       const std::vector<Image> &Pool, int X, int Y,
+                       int Channel, float *Regs) {
+  const Kernel &K = P.kernel(Id);
+  for (const VmInst &Inst : VM.Insts) {
+    switch (Inst.Op) {
+    case VmOp::Const:
+      Regs[Inst.Dst] = Inst.Imm;
+      break;
+    case VmOp::CoordX:
+      Regs[Inst.Dst] = static_cast<float>(X);
+      break;
+    case VmOp::CoordY:
+      Regs[Inst.Dst] = static_cast<float>(Y);
+      break;
+    case VmOp::Load: {
+      const Image &Img = Pool[K.Inputs[Inst.InputIdx]];
+      int Ch = Inst.Channel < 0 ? Channel : Inst.Channel;
+      if (Bordered)
+        Regs[Inst.Dst] = sampleWithBorder(Img, X + Inst.Ox, Y + Inst.Oy,
+                                          Ch, K.Border, K.BorderConstant);
+      else
+        Regs[Inst.Dst] = Img.at(X + Inst.Ox, Y + Inst.Oy, Ch);
+      break;
+    }
+    case VmOp::Add:
+      Regs[Inst.Dst] = Regs[Inst.A] + Regs[Inst.B];
+      break;
+    case VmOp::Sub:
+      Regs[Inst.Dst] = Regs[Inst.A] - Regs[Inst.B];
+      break;
+    case VmOp::Mul:
+      Regs[Inst.Dst] = Regs[Inst.A] * Regs[Inst.B];
+      break;
+    case VmOp::Div:
+      Regs[Inst.Dst] = Regs[Inst.A] / Regs[Inst.B];
+      break;
+    case VmOp::Min:
+      Regs[Inst.Dst] = std::min(Regs[Inst.A], Regs[Inst.B]);
+      break;
+    case VmOp::Max:
+      Regs[Inst.Dst] = std::max(Regs[Inst.A], Regs[Inst.B]);
+      break;
+    case VmOp::Pow:
+      Regs[Inst.Dst] = std::pow(Regs[Inst.A], Regs[Inst.B]);
+      break;
+    case VmOp::CmpLT:
+      Regs[Inst.Dst] = Regs[Inst.A] < Regs[Inst.B] ? 1.0f : 0.0f;
+      break;
+    case VmOp::CmpGT:
+      Regs[Inst.Dst] = Regs[Inst.A] > Regs[Inst.B] ? 1.0f : 0.0f;
+      break;
+    case VmOp::Neg:
+      Regs[Inst.Dst] = -Regs[Inst.A];
+      break;
+    case VmOp::Abs:
+      Regs[Inst.Dst] = std::abs(Regs[Inst.A]);
+      break;
+    case VmOp::Sqrt:
+      Regs[Inst.Dst] = std::sqrt(Regs[Inst.A]);
+      break;
+    case VmOp::Exp:
+      Regs[Inst.Dst] = std::exp(Regs[Inst.A]);
+      break;
+    case VmOp::Log:
+      Regs[Inst.Dst] = std::log(Regs[Inst.A]);
+      break;
+    case VmOp::Floor:
+      Regs[Inst.Dst] = std::floor(Regs[Inst.A]);
+      break;
+    case VmOp::Select:
+      Regs[Inst.Dst] = Regs[Inst.Sel] != 0.0f ? Regs[Inst.A] : Regs[Inst.B];
+      break;
+    }
+  }
+  return Regs[VM.ResultReg];
+}
+
+float kf::runVm(const VmProgram &VM, const Program &P, KernelId Id,
+                const std::vector<Image> &Pool, int X, int Y, int Channel,
+                float *Regs) {
+  return runVmImpl<true>(VM, P, Id, Pool, X, Y, Channel, Regs);
+}
+
+float kf::runVmInterior(const VmProgram &VM, const Program &P, KernelId Id,
+                        const std::vector<Image> &Pool, int X, int Y,
+                        int Channel, float *Regs) {
+  return runVmImpl<false>(VM, P, Id, Pool, X, Y, Channel, Regs);
+}
+
+void kf::runUnfusedVm(const Program &P, std::vector<Image> &Pool) {
+  assert(Pool.size() == P.numImages() && "pool size mismatch");
+  std::optional<std::vector<Digraph::NodeId>> Order =
+      P.buildKernelDag().topologicalOrder();
+  assert(Order && "kernel DAG has a cycle");
+
+  std::vector<float> Regs;
+  for (KernelId Id : *Order) {
+    const Kernel &K = P.kernel(Id);
+    const ImageInfo &Info = P.image(K.Output);
+    VmProgram VM = compileKernelBody(P, Id);
+    Regs.resize(std::max<size_t>(Regs.size(), VM.NumRegs));
+    Image Out(Info.Width, Info.Height, Info.Channels);
+
+    // Interior/halo decomposition (the Section IV-B regions): the
+    // interior takes the direct-indexing fast path, only the halo pays
+    // for border handling.
+    int Halo = 0;
+    for (const VmInst &Inst : VM.Insts)
+      if (Inst.Op == VmOp::Load)
+        Halo = std::max(
+            Halo, std::max(std::abs(static_cast<int>(Inst.Ox)),
+                           std::abs(static_cast<int>(Inst.Oy))));
+    int X0 = std::min(Halo, Info.Width);
+    int Y0 = std::min(Halo, Info.Height);
+    int X1 = std::max(X0, Info.Width - Halo);
+    int Y1 = std::max(Y0, Info.Height - Halo);
+
+    for (int Y = Y0; Y < Y1; ++Y)
+      for (int X = X0; X < X1; ++X)
+        for (int Ch = 0; Ch != Info.Channels; ++Ch)
+          Out.at(X, Y, Ch) =
+              runVmInterior(VM, P, Id, Pool, X, Y, Ch, Regs.data());
+    for (int Y = 0; Y != Info.Height; ++Y)
+      for (int X = 0; X != Info.Width; ++X) {
+        bool Interior = X >= X0 && X < X1 && Y >= Y0 && Y < Y1;
+        if (Interior)
+          continue;
+        for (int Ch = 0; Ch != Info.Channels; ++Ch)
+          Out.at(X, Y, Ch) = runVm(VM, P, Id, Pool, X, Y, Ch, Regs.data());
+      }
+    Pool[K.Output] = std::move(Out);
+  }
+}

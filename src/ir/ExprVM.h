@@ -1,0 +1,101 @@
+//===- ir/ExprVM.h - Bytecode compilation of kernel bodies ------*- C++ -*-===//
+///
+/// \file
+/// A linear bytecode representation of kernel bodies. Where the
+/// interpreter in sim/Executor walks the AST per pixel (virtual dispatch
+/// per node), the VM compiles a body once -- unrolling stencil loops and
+/// folding mask coefficients and window offsets into immediate operands
+/// -- and then evaluates a flat instruction stream into a register file.
+/// This is the evaluation path the benchmarks use for large images; the
+/// tree walker stays the semantic reference (the test suite asserts
+/// bit-identical results).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KF_IR_EXPRVM_H
+#define KF_IR_EXPRVM_H
+
+#include "image/Image.h"
+#include "ir/Program.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace kf {
+
+/// VM opcodes. Loads read images with the owning kernel's border
+/// handling; everything else operates on the register file.
+enum class VmOp : uint8_t {
+  Const,  ///< Dst = Imm.
+  CoordX, ///< Dst = (float)x.
+  CoordY, ///< Dst = (float)y.
+  Load,   ///< Dst = input[InputIdx] at (x + Ox, y + Oy), channel field.
+  Add,    ///< Dst = A + B.
+  Sub,
+  Mul,
+  Div,
+  Min,
+  Max,
+  Pow,
+  CmpLT,
+  CmpGT,
+  Neg,
+  Abs,
+  Sqrt,
+  Exp,
+  Log,
+  Floor,
+  Select, ///< Dst = regs[C] != 0 ? A : B  (C in the Sel field).
+};
+
+/// One VM instruction (fixed width; unused fields are zero).
+struct VmInst {
+  VmOp Op = VmOp::Const;
+  uint16_t Dst = 0;
+  uint16_t A = 0;
+  uint16_t B = 0;
+  uint16_t Sel = 0;     ///< Select condition register.
+  float Imm = 0.0f;     ///< Const immediate.
+  int16_t InputIdx = 0; ///< Load: kernel input index.
+  int16_t Ox = 0;       ///< Load: x offset (stencil offsets baked in).
+  int16_t Oy = 0;       ///< Load: y offset.
+  int16_t Channel = -1; ///< Load: -1 = current channel.
+};
+
+/// A compiled kernel body.
+struct VmProgram {
+  std::vector<VmInst> Insts;
+  uint16_t ResultReg = 0;
+  unsigned NumRegs = 0;
+
+  bool empty() const { return Insts.empty(); }
+};
+
+/// Compiles kernel \p Id of \p P. Stencil reductions are fully unrolled:
+/// the instruction count grows with the mask sizes.
+VmProgram compileKernelBody(const Program &P, KernelId Id);
+
+/// Evaluates \p VM for kernel \p Id at (X, Y, Channel), reading inputs
+/// from \p Pool with the kernel's border handling. \p Regs is scratch
+/// space of at least VM.NumRegs floats (caller-owned to avoid per-pixel
+/// allocation).
+float runVm(const VmProgram &VM, const Program &P, KernelId Id,
+            const std::vector<Image> &Pool, int X, int Y, int Channel,
+            float *Regs);
+
+/// Interior fast path: like runVm but loads index the images directly,
+/// skipping border handling. Only valid when every access of the body
+/// stays in bounds -- i.e. (X, Y) lies in the kernel's interior region
+/// (the same interior/halo decomposition Section IV-B uses for the
+/// fused kernels).
+float runVmInterior(const VmProgram &VM, const Program &P, KernelId Id,
+                    const std::vector<Image> &Pool, int X, int Y,
+                    int Channel, float *Regs);
+
+/// Executes every kernel of \p P unfused through the VM, filling the
+/// pool's non-input images -- the fast-path equivalent of runUnfused.
+void runUnfusedVm(const Program &P, std::vector<Image> &Pool);
+
+} // namespace kf
+
+#endif // KF_IR_EXPRVM_H

@@ -1,0 +1,24 @@
+//===- ir/Kernel.cpp -------------------------------------------------------===//
+
+#include "ir/Kernel.h"
+
+#include "support/Error.h"
+
+using namespace kf;
+
+const char *kf::operatorKindName(OperatorKind Kind) {
+  switch (Kind) {
+  case OperatorKind::Point:
+    return "point";
+  case OperatorKind::Local:
+    return "local";
+  case OperatorKind::Global:
+    return "global";
+  }
+  KF_UNREACHABLE("unknown operator kind");
+}
+
+Mask Mask::uniform(int Width, int Height, float Value) {
+  return Mask(Width, Height,
+              std::vector<float>(static_cast<size_t>(Width) * Height, Value));
+}

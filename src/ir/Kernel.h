@@ -1,0 +1,93 @@
+//===- ir/Kernel.h - Kernels, masks, and operator kinds ---------*- C++ -*-===//
+///
+/// \file
+/// Kernel descriptors of the DSL. Following the paper (Section II-C1) and
+/// Hipacc, kernels are classified by what information contributes to an
+/// output pixel:
+///   - Point operators read exactly one pixel per input (offset (0,0)).
+///   - Local operators read a region of pixels described by a mask.
+///   - Global operators (reductions) exist in the taxonomy but are not
+///     fusion candidates; the fusion engine treats them as barriers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KF_IR_KERNEL_H
+#define KF_IR_KERNEL_H
+
+#include "image/Border.h"
+#include "ir/Expr.h"
+
+#include <cassert>
+#include <string>
+#include <vector>
+
+namespace kf {
+
+/// Identifies an image inside a Program.
+using ImageId = unsigned;
+/// Identifies a kernel inside a Program (its index).
+using KernelId = unsigned;
+
+/// Compute-pattern taxonomy of Section II-C1.
+enum class OperatorKind : uint8_t { Point, Local, Global };
+
+/// Printable name ("point", "local", "global").
+const char *operatorKindName(OperatorKind Kind);
+
+/// A convolution/stencil mask: odd-sized window of coefficients. The paper
+/// assumes square masks for its size arithmetic (Eq. 9); rectangular masks
+/// are representable but the fusion legality check requires square ones.
+struct Mask {
+  int Width = 0;
+  int Height = 0;
+  std::vector<float> Weights;
+
+  Mask() = default;
+  Mask(int WidthIn, int HeightIn, std::vector<float> WeightsIn)
+      : Width(WidthIn), Height(HeightIn), Weights(std::move(WeightsIn)) {
+    assert(Width > 0 && Height > 0 && Width % 2 == 1 && Height % 2 == 1 &&
+           "mask extents must be positive and odd");
+    assert(Weights.size() == static_cast<size_t>(Width) * Height &&
+           "mask weight count must match extents");
+  }
+
+  /// Uniform mask of the given extent (all coefficients \p Value).
+  static Mask uniform(int Width, int Height, float Value);
+
+  int haloX() const { return Width / 2; }
+  int haloY() const { return Height / 2; }
+
+  /// Number of window elements; sz() in the paper's notation.
+  int size() const { return Width * Height; }
+
+  /// Coefficient at window offset (Dx, Dy), each in [-halo, +halo].
+  float at(int Dx, int Dy) const {
+    assert(Dx >= -haloX() && Dx <= haloX() && Dy >= -haloY() &&
+           Dy <= haloY() && "mask offset out of range");
+    return Weights[static_cast<size_t>(Dy + haloY()) * Width + (Dx + haloX())];
+  }
+};
+
+/// A kernel: one output image computed from zero or more input images by a
+/// body expression, executed over the output's iteration space.
+struct Kernel {
+  std::string Name;
+  OperatorKind Kind = OperatorKind::Point;
+  std::vector<ImageId> Inputs;
+  ImageId Output = 0;
+  const Expr *Body = nullptr;
+
+  /// Border handling of window accesses (local kernels only). In Hipacc
+  /// this is a property of the accessor; one mode per kernel is enough for
+  /// the pipelines of the paper.
+  BorderMode Border = BorderMode::Clamp;
+  float BorderConstant = 0.0f;
+
+  /// Pixels computed per thread; part of the kernel "header" that must be
+  /// compatible across fused kernels (Section II-B2).
+  int Granularity = 1;
+};
+
+} // namespace kf
+
+#endif // KF_IR_KERNEL_H

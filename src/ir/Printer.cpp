@@ -1,0 +1,162 @@
+//===- ir/Printer.cpp ------------------------------------------------------===//
+
+#include "ir/Printer.h"
+
+#include "support/Error.h"
+#include "support/StringUtils.h"
+
+using namespace kf;
+
+static const char *binOpName(BinOp Op) {
+  switch (Op) {
+  case BinOp::Add:
+    return "+";
+  case BinOp::Sub:
+    return "-";
+  case BinOp::Mul:
+    return "*";
+  case BinOp::Div:
+    return "/";
+  case BinOp::Min:
+    return "min";
+  case BinOp::Max:
+    return "max";
+  case BinOp::Pow:
+    return "pow";
+  case BinOp::CmpLT:
+    return "<";
+  case BinOp::CmpGT:
+    return ">";
+  }
+  KF_UNREACHABLE("unknown binary op");
+}
+
+static const char *unOpName(UnOp Op) {
+  switch (Op) {
+  case UnOp::Neg:
+    return "neg";
+  case UnOp::Abs:
+    return "abs";
+  case UnOp::Sqrt:
+    return "sqrt";
+  case UnOp::Exp:
+    return "exp";
+  case UnOp::Log:
+    return "log";
+  case UnOp::Floor:
+    return "floor";
+  }
+  KF_UNREACHABLE("unknown unary op");
+}
+
+static const char *reduceOpName(ReduceOp Op) {
+  switch (Op) {
+  case ReduceOp::Sum:
+    return "sum";
+  case ReduceOp::Product:
+    return "product";
+  case ReduceOp::Min:
+    return "min";
+  case ReduceOp::Max:
+    return "max";
+  }
+  KF_UNREACHABLE("unknown reduce op");
+}
+
+static std::string inputName(int Idx,
+                             const std::vector<std::string> &InputNames) {
+  if (Idx >= 0 && Idx < static_cast<int>(InputNames.size()))
+    return InputNames[Idx];
+  return "in" + std::to_string(Idx);
+}
+
+static std::string channelSuffix(int Channel) {
+  return Channel < 0 ? std::string() : "." + std::to_string(Channel);
+}
+
+std::string kf::exprToString(const Expr *E,
+                             const std::vector<std::string> &InputNames) {
+  switch (E->Kind) {
+  case ExprKind::FloatConst:
+    return formatDouble(E->Value, 4);
+  case ExprKind::CoordX:
+    return "x";
+  case ExprKind::CoordY:
+    return "y";
+  case ExprKind::InputAt: {
+    std::string Name = inputName(E->InputIdx, InputNames);
+    if (E->OffsetX == 0 && E->OffsetY == 0)
+      return Name + "(0,0)" + channelSuffix(E->Channel);
+    return Name + "(" + std::to_string(E->OffsetX) + "," +
+           std::to_string(E->OffsetY) + ")" + channelSuffix(E->Channel);
+  }
+  case ExprKind::StencilInput:
+    return inputName(E->InputIdx, InputNames) + "(dx,dy)" +
+           channelSuffix(E->Channel);
+  case ExprKind::MaskValue:
+    return "mask(dx,dy)";
+  case ExprKind::StencilOffX:
+    return "dx";
+  case ExprKind::StencilOffY:
+    return "dy";
+  case ExprKind::Binary: {
+    std::string L = exprToString(E->Lhs, InputNames);
+    std::string R = exprToString(E->Rhs, InputNames);
+    switch (E->BinaryOp) {
+    case BinOp::Min:
+    case BinOp::Max:
+    case BinOp::Pow:
+      return std::string(binOpName(E->BinaryOp)) + "(" + L + ", " + R + ")";
+    default:
+      return "(" + L + " " + binOpName(E->BinaryOp) + " " + R + ")";
+    }
+  }
+  case ExprKind::Unary:
+    return std::string(unOpName(E->UnaryOp)) + "(" +
+           exprToString(E->Lhs, InputNames) + ")";
+  case ExprKind::Select:
+    return "select(" + exprToString(E->Cond, InputNames) + ", " +
+           exprToString(E->Lhs, InputNames) + ", " +
+           exprToString(E->Rhs, InputNames) + ")";
+  case ExprKind::Stencil:
+    return std::string(reduceOpName(E->Reduce)) + "[mask" +
+           std::to_string(E->MaskIdx) + "](" +
+           exprToString(E->Lhs, InputNames) + ")";
+  }
+  KF_UNREACHABLE("unknown expression kind");
+}
+
+std::string kf::kernelToString(const Program &P, KernelId Id) {
+  const Kernel &K = P.kernel(Id);
+  std::vector<std::string> InputNames;
+  for (ImageId In : K.Inputs)
+    InputNames.push_back(P.image(In).Name);
+
+  std::string Out = std::string(operatorKindName(K.Kind)) + " kernel " +
+                    K.Name + "(";
+  Out += joinStrings(InputNames, ", ");
+  Out += ") -> " + P.image(K.Output).Name;
+  if (K.Kind == OperatorKind::Local)
+    Out += std::string(" [border=") + borderModeName(K.Border) + "]";
+  Out += "\n  " + P.image(K.Output).Name +
+         " = " + exprToString(K.Body, InputNames) + "\n";
+  return Out;
+}
+
+std::string kf::programToString(const Program &P) {
+  std::string Out = "program " + P.name() + "\n";
+  for (ImageId Id = 0; Id != P.numImages(); ++Id) {
+    const ImageInfo &Info = P.image(Id);
+    Out += "  image " + Info.Name + " " + std::to_string(Info.Width) + "x" +
+           std::to_string(Info.Height) + "x" +
+           std::to_string(Info.Channels) + "\n";
+  }
+  for (int M = 0; M != static_cast<int>(P.numMasks()); ++M) {
+    const Mask &Msk = P.mask(M);
+    Out += "  mask" + std::to_string(M) + " " + std::to_string(Msk.Width) +
+           "x" + std::to_string(Msk.Height) + "\n";
+  }
+  for (KernelId K = 0; K != P.numKernels(); ++K)
+    Out += kernelToString(P, K);
+  return Out;
+}

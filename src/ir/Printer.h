@@ -1,0 +1,32 @@
+//===- ir/Printer.h - Textual dump of programs and exprs --------*- C++ -*-===//
+///
+/// \file
+/// Deterministic textual rendering of expressions, kernels, and programs.
+/// Used for golden tests, debugging, and the example drivers; the CUDA
+/// backend has its own (code-shaped) printer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KF_IR_PRINTER_H
+#define KF_IR_PRINTER_H
+
+#include "ir/Program.h"
+
+#include <string>
+
+namespace kf {
+
+/// Renders \p E as a compact prefix/infix expression string. \p InputNames
+/// supplies display names per kernel-input index (falls back to "inN").
+std::string exprToString(const Expr *E,
+                         const std::vector<std::string> &InputNames = {});
+
+/// Renders kernel \p Id of \p P (header plus body).
+std::string kernelToString(const Program &P, KernelId Id);
+
+/// Renders the entire program: images, masks, kernels.
+std::string programToString(const Program &P);
+
+} // namespace kf
+
+#endif // KF_IR_PRINTER_H

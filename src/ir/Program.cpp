@@ -1,0 +1,105 @@
+//===- ir/Program.cpp ------------------------------------------------------===//
+
+#include "ir/Program.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace kf;
+
+ImageId Program::addImage(std::string ImageName, int Width, int Height,
+                          int Channels) {
+  assert(Width > 0 && Height > 0 && Channels > 0 && "invalid image shape");
+  Images.push_back(ImageInfo{std::move(ImageName), Width, Height, Channels});
+  return static_cast<ImageId>(Images.size() - 1);
+}
+
+int Program::addMask(Mask MaskIn) {
+  Masks.push_back(std::move(MaskIn));
+  return static_cast<int>(Masks.size() - 1);
+}
+
+KernelId Program::addKernel(Kernel KernelIn) {
+  assert(KernelIn.Body && "kernel needs a body");
+  assert(KernelIn.Output < numImages() && "kernel output image out of range");
+  for (ImageId In : KernelIn.Inputs)
+    assert(In < numImages() && "kernel input image out of range");
+  Kernels.push_back(std::move(KernelIn));
+  return static_cast<KernelId>(Kernels.size() - 1);
+}
+
+const ImageInfo &Program::image(ImageId Id) const {
+  assert(Id < numImages() && "image id out of range");
+  return Images[Id];
+}
+
+const Mask &Program::mask(int Idx) const {
+  assert(Idx >= 0 && Idx < static_cast<int>(numMasks()) &&
+         "mask index out of range");
+  return Masks[Idx];
+}
+
+const Kernel &Program::kernel(KernelId Id) const {
+  assert(Id < numKernels() && "kernel id out of range");
+  return Kernels[Id];
+}
+
+Kernel &Program::kernel(KernelId Id) {
+  assert(Id < numKernels() && "kernel id out of range");
+  return Kernels[Id];
+}
+
+std::optional<KernelId> Program::producerOf(ImageId Id) const {
+  for (KernelId K = 0; K != numKernels(); ++K)
+    if (Kernels[K].Output == Id)
+      return K;
+  return std::nullopt;
+}
+
+std::vector<KernelId> Program::consumersOf(ImageId Id) const {
+  std::vector<KernelId> Result;
+  for (KernelId K = 0; K != numKernels(); ++K) {
+    const Kernel &Kn = Kernels[K];
+    if (std::find(Kn.Inputs.begin(), Kn.Inputs.end(), Id) != Kn.Inputs.end())
+      Result.push_back(K);
+  }
+  return Result;
+}
+
+std::vector<ImageId> Program::externalInputs() const {
+  std::vector<ImageId> Result;
+  for (ImageId Id = 0; Id != numImages(); ++Id)
+    if (!producerOf(Id) && !consumersOf(Id).empty())
+      Result.push_back(Id);
+  return Result;
+}
+
+std::vector<ImageId> Program::terminalOutputs() const {
+  std::vector<ImageId> Result;
+  for (ImageId Id = 0; Id != numImages(); ++Id)
+    if (producerOf(Id) && consumersOf(Id).empty())
+      Result.push_back(Id);
+  return Result;
+}
+
+Digraph Program::buildKernelDag() const {
+  Digraph G;
+  for (KernelId K = 0; K != numKernels(); ++K)
+    G.addNode(Kernels[K].Name);
+  for (KernelId Producer = 0; Producer != numKernels(); ++Producer) {
+    ImageId Out = Kernels[Producer].Output;
+    for (KernelId Consumer : consumersOf(Out))
+      G.addEdge(Producer, Consumer);
+  }
+  return G;
+}
+
+std::optional<ImageId>
+Program::communicatedImage(KernelId Producer, KernelId Consumer) const {
+  ImageId Out = kernel(Producer).Output;
+  const Kernel &Cons = kernel(Consumer);
+  if (std::find(Cons.Inputs.begin(), Cons.Inputs.end(), Out) !=
+      Cons.Inputs.end())
+    return Out;
+  return std::nullopt;
+}

@@ -1,0 +1,294 @@
+//===- ir/Simplify.cpp -------------------------------------------------------===//
+
+#include "ir/Simplify.h"
+
+#include "support/Error.h"
+
+#include <cmath>
+#include <map>
+#include <string>
+
+using namespace kf;
+
+static bool isConst(const Expr *E, float Value) {
+  return E->Kind == ExprKind::FloatConst && E->Value == Value;
+}
+
+/// Folds a binary op over two constants with the evaluator's semantics.
+static float foldBinary(BinOp Op, float L, float R) {
+  switch (Op) {
+  case BinOp::Add:
+    return L + R;
+  case BinOp::Sub:
+    return L - R;
+  case BinOp::Mul:
+    return L * R;
+  case BinOp::Div:
+    return L / R;
+  case BinOp::Min:
+    return std::min(L, R);
+  case BinOp::Max:
+    return std::max(L, R);
+  case BinOp::Pow:
+    return std::pow(L, R);
+  case BinOp::CmpLT:
+    return L < R ? 1.0f : 0.0f;
+  case BinOp::CmpGT:
+    return L > R ? 1.0f : 0.0f;
+  }
+  KF_UNREACHABLE("unknown binary op");
+}
+
+static float foldUnary(UnOp Op, float V) {
+  switch (Op) {
+  case UnOp::Neg:
+    return -V;
+  case UnOp::Abs:
+    return std::abs(V);
+  case UnOp::Sqrt:
+    return std::sqrt(V);
+  case UnOp::Exp:
+    return std::exp(V);
+  case UnOp::Log:
+    return std::log(V);
+  case UnOp::Floor:
+    return std::floor(V);
+  }
+  KF_UNREACHABLE("unknown unary op");
+}
+
+const Expr *kf::simplifyExpr(ExprContext &Ctx, const Expr *E) {
+  switch (E->Kind) {
+  case ExprKind::FloatConst:
+  case ExprKind::CoordX:
+  case ExprKind::CoordY:
+  case ExprKind::InputAt:
+  case ExprKind::StencilInput:
+  case ExprKind::MaskValue:
+  case ExprKind::StencilOffX:
+  case ExprKind::StencilOffY:
+    return E;
+
+  case ExprKind::Binary: {
+    const Expr *L = simplifyExpr(Ctx, E->Lhs);
+    const Expr *R = simplifyExpr(Ctx, E->Rhs);
+    if (L->Kind == ExprKind::FloatConst && R->Kind == ExprKind::FloatConst)
+      return Ctx.floatConst(foldBinary(E->BinaryOp, L->Value, R->Value));
+    // Float-safe identities only (never drop a non-constant operand whose
+    // value could be NaN or infinite into a constant).
+    switch (E->BinaryOp) {
+    case BinOp::Add:
+      if (isConst(R, 0.0f))
+        return L;
+      if (isConst(L, 0.0f))
+        return R;
+      break;
+    case BinOp::Sub:
+      if (isConst(R, 0.0f))
+        return L;
+      break;
+    case BinOp::Mul:
+      if (isConst(R, 1.0f))
+        return L;
+      if (isConst(L, 1.0f))
+        return R;
+      break;
+    case BinOp::Div:
+      if (isConst(R, 1.0f))
+        return L;
+      break;
+    default:
+      break;
+    }
+    if (L == E->Lhs && R == E->Rhs)
+      return E;
+    return Ctx.binary(E->BinaryOp, L, R);
+  }
+
+  case ExprKind::Unary: {
+    const Expr *V = simplifyExpr(Ctx, E->Lhs);
+    if (V->Kind == ExprKind::FloatConst)
+      return Ctx.floatConst(foldUnary(E->UnaryOp, V->Value));
+    if (E->UnaryOp == UnOp::Neg && V->Kind == ExprKind::Unary &&
+        V->UnaryOp == UnOp::Neg)
+      return V->Lhs;
+    if (V == E->Lhs)
+      return E;
+    return Ctx.unary(E->UnaryOp, V);
+  }
+
+  case ExprKind::Select: {
+    const Expr *Cond = simplifyExpr(Ctx, E->Cond);
+    const Expr *L = simplifyExpr(Ctx, E->Lhs);
+    const Expr *R = simplifyExpr(Ctx, E->Rhs);
+    if (Cond->Kind == ExprKind::FloatConst)
+      return Cond->Value != 0.0f ? L : R;
+    if (Cond == E->Cond && L == E->Lhs && R == E->Rhs)
+      return E;
+    return Ctx.select(Cond, L, R);
+  }
+
+  case ExprKind::Stencil: {
+    const Expr *Elem = simplifyExpr(Ctx, E->Lhs);
+    if (Elem == E->Lhs)
+      return E;
+    return Ctx.stencil(E->MaskIdx, E->Reduce, Elem);
+  }
+  }
+  KF_UNREACHABLE("unknown expression kind");
+}
+
+unsigned kf::simplifyProgram(Program &P) {
+  unsigned Changed = 0;
+  for (KernelId Id = 0; Id != P.numKernels(); ++Id) {
+    const Expr *Simplified = simplifyExpr(P.context(), P.kernel(Id).Body);
+    if (Simplified != P.kernel(Id).Body) {
+      P.kernel(Id).Body = Simplified;
+      ++Changed;
+    }
+  }
+  return Changed;
+}
+
+namespace {
+
+/// Structural hash-consing over expression trees. Interns every subtree
+/// into an id; accesses are keyed by *program image id* so bodies of
+/// different kernels can share (pass each body's input mapping).
+class ExprInterner {
+public:
+  /// Interns \p E whose InputIdx values map to \p InputImages. Counts
+  /// each newly interned arithmetic node. \p CurrentMask scopes
+  /// stencil-relative leaves: an element under a 3x3 mask never unifies
+  /// with one under a different mask (their windows differ).
+  int intern(const Expr *E, const std::vector<ImageId> &InputImages,
+             int CurrentMask = -1) {
+    std::string Key;
+    bool Arithmetic = false;
+    switch (E->Kind) {
+    case ExprKind::FloatConst:
+      Key = "c" + std::to_string(E->Value);
+      break;
+    case ExprKind::CoordX:
+      Key = "x";
+      break;
+    case ExprKind::CoordY:
+      Key = "y";
+      break;
+    case ExprKind::MaskValue:
+      Key = "mv" + std::to_string(CurrentMask);
+      break;
+    case ExprKind::StencilOffX:
+      Key = "dx" + std::to_string(CurrentMask);
+      break;
+    case ExprKind::StencilOffY:
+      Key = "dy" + std::to_string(CurrentMask);
+      break;
+    case ExprKind::InputAt:
+      Key = "in" + std::to_string(InputImages[E->InputIdx]) + "@" +
+            std::to_string(E->OffsetX) + "," + std::to_string(E->OffsetY) +
+            "." + std::to_string(E->Channel);
+      break;
+    case ExprKind::StencilInput:
+      Key = "win" + std::to_string(InputImages[E->InputIdx]) + "." +
+            std::to_string(E->Channel) + "@m" +
+            std::to_string(CurrentMask);
+      break;
+    case ExprKind::Binary:
+      Key = "b" + std::to_string(static_cast<int>(E->BinaryOp)) + "(" +
+            std::to_string(intern(E->Lhs, InputImages, CurrentMask)) + "," +
+            std::to_string(intern(E->Rhs, InputImages, CurrentMask)) + ")";
+      Arithmetic = true;
+      break;
+    case ExprKind::Unary:
+      Key = "u" + std::to_string(static_cast<int>(E->UnaryOp)) + "(" +
+            std::to_string(intern(E->Lhs, InputImages, CurrentMask)) + ")";
+      Arithmetic = true;
+      break;
+    case ExprKind::Select:
+      Key = "s(" + std::to_string(intern(E->Cond, InputImages, CurrentMask)) +
+            "," + std::to_string(intern(E->Lhs, InputImages, CurrentMask)) +
+            "," + std::to_string(intern(E->Rhs, InputImages, CurrentMask)) +
+            ")";
+      Arithmetic = true;
+      break;
+    case ExprKind::Stencil:
+      Key = "st" + std::to_string(E->MaskIdx) + "," +
+            std::to_string(static_cast<int>(E->Reduce)) + "(" +
+            std::to_string(intern(E->Lhs, InputImages, E->MaskIdx)) + ")";
+      Arithmetic = true; // The reduction itself is work.
+      break;
+    }
+    auto [It, Inserted] = Ids.emplace(Key, static_cast<int>(Ids.size()));
+    if (Inserted && Arithmetic)
+      ++UniqueArithmetic;
+    return It->second;
+  }
+
+  long long UniqueArithmetic = 0;
+
+private:
+  std::map<std::string, int> Ids;
+};
+
+/// Total (unshared) arithmetic node count.
+long long totalOpsImpl(const Expr *E) {
+  switch (E->Kind) {
+  case ExprKind::FloatConst:
+  case ExprKind::CoordX:
+  case ExprKind::CoordY:
+  case ExprKind::InputAt:
+  case ExprKind::StencilInput:
+  case ExprKind::MaskValue:
+  case ExprKind::StencilOffX:
+  case ExprKind::StencilOffY:
+    return 0;
+  case ExprKind::Binary:
+    return 1 + totalOpsImpl(E->Lhs) + totalOpsImpl(E->Rhs);
+  case ExprKind::Unary:
+    return 1 + totalOpsImpl(E->Lhs);
+  case ExprKind::Select:
+    return 1 + totalOpsImpl(E->Cond) + totalOpsImpl(E->Lhs) +
+           totalOpsImpl(E->Rhs);
+  case ExprKind::Stencil:
+    return 1 + totalOpsImpl(E->Lhs);
+  }
+  KF_UNREACHABLE("unknown expression kind");
+}
+
+} // namespace
+
+long long kf::countUniqueOps(const Expr *E) {
+  ExprInterner Interner;
+  // Input indices without a program context: identity mapping suffices
+  // for a single body.
+  std::vector<ImageId> Identity(16);
+  for (unsigned I = 0; I != Identity.size(); ++I)
+    Identity[I] = I;
+  Interner.intern(E, Identity);
+  return Interner.UniqueArithmetic;
+}
+
+long long kf::countTotalOps(const Expr *E) { return totalOpsImpl(E); }
+
+long long
+kf::crossKernelCseSavings(const Program &P,
+                          const std::vector<KernelId> &Kernels) {
+  long long SumPerKernel = 0;
+  for (KernelId Id : Kernels) {
+    ExprInterner Local;
+    Local.intern(P.kernel(Id).Body, P.kernel(Id).Inputs);
+    SumPerKernel += Local.UniqueArithmetic;
+  }
+  ExprInterner Union;
+  for (KernelId Id : Kernels)
+    Union.intern(P.kernel(Id).Body, P.kernel(Id).Inputs);
+  return SumPerKernel - Union.UniqueArithmetic;
+}
+
+double kf::deriveGamma(const Program &P, KernelId Src, KernelId Dst,
+                       double AluCost, double LaunchCyclesPerPixel) {
+  return AluCost *
+             static_cast<double>(crossKernelCseSavings(P, {Src, Dst})) +
+         LaunchCyclesPerPixel;
+}

@@ -1,0 +1,61 @@
+//===- ir/Simplify.h - Expression simplification and CSE analysis -*- C++ -*-===//
+///
+/// \file
+/// Expression-level optimizations on kernel bodies:
+///
+///   - simplifyExpr: bottom-up constant folding plus float-safe algebraic
+///     identities (x*1, x/1, x+0, x-0, double negation, select on a
+///     constant condition). No reassociation or distribution; results are
+///     numerically identical for finite inputs.
+///
+///   - countUniqueOps / crossKernelCseSavings: structural-hashing CSE
+///     analysis. The paper folds "enlarging the scope for further
+///     optimizations such as common sub-expression elimination" into the
+///     constant gamma term of Eq. 12; these helpers *derive* that gain:
+///     the arithmetic operations a compiler can deduplicate once kernel
+///     bodies share one scope.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KF_IR_SIMPLIFY_H
+#define KF_IR_SIMPLIFY_H
+
+#include "ir/Program.h"
+
+namespace kf {
+
+/// Returns a simplified equivalent of \p E, allocating any new nodes in
+/// \p Ctx. The result computes bit-identical values (only exact
+/// identities are applied).
+const Expr *simplifyExpr(ExprContext &Ctx, const Expr *E);
+
+/// Simplifies every kernel body of \p P in place. Returns the number of
+/// kernels whose body changed.
+unsigned simplifyProgram(Program &P);
+
+/// Number of arithmetic operations (ALU + SFU) in \p E counting every
+/// structurally distinct subtree once -- the op count after perfect CSE
+/// within one kernel. Stencil elements count once (the loop body).
+long long countUniqueOps(const Expr *E);
+
+/// Number of arithmetic operations in \p E with no sharing at all (every
+/// textual occurrence counts). Stencil elements count once.
+long long countTotalOps(const Expr *E);
+
+/// Operations a compiler saves by CSE across the bodies of \p Kernels
+/// when fusion puts them into one scope, beyond what per-kernel CSE
+/// already achieves: sum of per-kernel unique ops minus unique ops over
+/// the union scope. Bodies must belong to \p P; accesses are considered
+/// equal only when they read the same program image at the same offsets.
+long long crossKernelCseSavings(const Program &P,
+                                const std::vector<KernelId> &Kernels);
+
+/// A derived estimate of the paper's gamma term (Eq. 12) for fusing
+/// \p Src with \p Dst: the ALU cost of cross-kernel CSE savings plus the
+/// per-pixel share of the saved kernel launch.
+double deriveGamma(const Program &P, KernelId Src, KernelId Dst,
+                   double AluCost, double LaunchCyclesPerPixel);
+
+} // namespace kf
+
+#endif // KF_IR_SIMPLIFY_H

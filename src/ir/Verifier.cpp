@@ -1,0 +1,153 @@
+//===- ir/Verifier.cpp -----------------------------------------------------===//
+
+#include "ir/Verifier.h"
+
+#include "support/Error.h"
+
+#include <set>
+
+using namespace kf;
+
+namespace {
+
+/// Walks one kernel body and records diagnostics.
+class BodyChecker {
+public:
+  BodyChecker(const Program &P, const Kernel &K, const std::string &Where,
+              std::vector<std::string> &Diags)
+      : P(P), K(K), Where(Where), Diags(Diags) {}
+
+  bool SawStencil = false;
+  bool SawNonZeroOffset = false;
+
+  void walk(const Expr *E, bool InStencil) {
+    if (!E) {
+      Diags.push_back(Where + ": null expression operand");
+      return;
+    }
+    switch (E->Kind) {
+    case ExprKind::FloatConst:
+    case ExprKind::CoordX:
+    case ExprKind::CoordY:
+      return;
+    case ExprKind::MaskValue:
+    case ExprKind::StencilOffX:
+    case ExprKind::StencilOffY:
+      if (!InStencil)
+        Diags.push_back(Where + ": stencil-scoped node outside a stencil");
+      return;
+    case ExprKind::InputAt:
+      checkInput(E->InputIdx, E->Channel);
+      if (E->OffsetX != 0 || E->OffsetY != 0)
+        SawNonZeroOffset = true;
+      return;
+    case ExprKind::StencilInput:
+      if (!InStencil)
+        Diags.push_back(Where + ": window access outside a stencil");
+      checkInput(E->InputIdx, E->Channel);
+      return;
+    case ExprKind::Binary:
+      walk(E->Lhs, InStencil);
+      walk(E->Rhs, InStencil);
+      return;
+    case ExprKind::Unary:
+      walk(E->Lhs, InStencil);
+      return;
+    case ExprKind::Select:
+      walk(E->Cond, InStencil);
+      walk(E->Lhs, InStencil);
+      walk(E->Rhs, InStencil);
+      return;
+    case ExprKind::Stencil:
+      SawStencil = true;
+      if (InStencil)
+        Diags.push_back(Where + ": nested stencils are not supported");
+      if (E->MaskIdx < 0 || E->MaskIdx >= static_cast<int>(P.numMasks()))
+        Diags.push_back(Where + ": stencil references mask out of range");
+      walk(E->Lhs, /*InStencil=*/true);
+      return;
+    }
+    KF_UNREACHABLE("unknown expression kind");
+  }
+
+private:
+  void checkInput(int InputIdx, int Channel) {
+    if (InputIdx < 0 || InputIdx >= static_cast<int>(K.Inputs.size())) {
+      Diags.push_back(Where + ": input index out of range");
+      return;
+    }
+    const ImageInfo &In = P.image(K.Inputs[InputIdx]);
+    if (Channel >= In.Channels)
+      Diags.push_back(Where + ": channel out of range for input '" +
+                      In.Name + "'");
+    const ImageInfo &Out = P.image(K.Output);
+    if (Channel < 0 && In.Channels != Out.Channels)
+      Diags.push_back(Where +
+                      ": implicit channel access requires matching channel "
+                      "counts (input '" +
+                      In.Name + "')");
+  }
+
+  const Program &P;
+  const Kernel &K;
+  const std::string &Where;
+  std::vector<std::string> &Diags;
+};
+
+} // namespace
+
+std::vector<std::string> kf::verifyProgram(const Program &P) {
+  std::vector<std::string> Diags;
+
+  for (int M = 0; M != static_cast<int>(P.numMasks()); ++M) {
+    const Mask &Msk = P.mask(M);
+    if (Msk.Width <= 0 || Msk.Height <= 0 || Msk.Width % 2 == 0 ||
+        Msk.Height % 2 == 0)
+      Diags.push_back("mask " + std::to_string(M) +
+                      ": extents must be positive and odd");
+  }
+
+  std::set<ImageId> Produced;
+  for (KernelId Id = 0; Id != P.numKernels(); ++Id) {
+    const Kernel &K = P.kernel(Id);
+    std::string Where = "kernel '" + K.Name + "'";
+
+    if (!Produced.insert(K.Output).second)
+      Diags.push_back(Where + ": image '" + P.image(K.Output).Name +
+                      "' has more than one producer");
+    if (K.Granularity <= 0)
+      Diags.push_back(Where + ": granularity must be positive");
+
+    const ImageInfo &Out = P.image(K.Output);
+    for (ImageId In : K.Inputs) {
+      const ImageInfo &InInfo = P.image(In);
+      if (InInfo.Width != Out.Width || InInfo.Height != Out.Height)
+        Diags.push_back(Where + ": input '" + InInfo.Name +
+                        "' shape differs from output shape");
+      if (In == K.Output)
+        Diags.push_back(Where + ": reads its own output");
+    }
+
+    BodyChecker Checker(P, K, Where, Diags);
+    Checker.walk(K.Body, /*InStencil=*/false);
+
+    bool IsWindowed = Checker.SawStencil || Checker.SawNonZeroOffset;
+    if (K.Kind == OperatorKind::Point && IsWindowed)
+      Diags.push_back(Where + ": point kernels must access inputs at the "
+                              "iteration point only");
+    if (K.Kind == OperatorKind::Local && !IsWindowed)
+      Diags.push_back(Where +
+                      ": local kernels must contain a window access");
+  }
+
+  if (P.buildKernelDag().hasCycle())
+    Diags.push_back("kernel dependence graph has a cycle");
+
+  return Diags;
+}
+
+void kf::verifyProgramOrDie(const Program &P) {
+  std::vector<std::string> Diags = verifyProgram(P);
+  if (!Diags.empty())
+    reportFatalError("program '" + P.name() + "' is invalid: " + Diags[0]);
+}

@@ -1,0 +1,31 @@
+//===- ir/Verifier.h - Structural validation of programs --------*- C++ -*-===//
+///
+/// \file
+/// Structural validation of a Program before the fusion engine runs:
+/// single-producer images, acyclic kernel DAG, operator-kind / body
+/// consistency (point kernels must not contain window accesses), and mask
+/// well-formedness. Returns human-readable diagnostics instead of aborting
+/// so DSL users get actionable messages.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KF_IR_VERIFIER_H
+#define KF_IR_VERIFIER_H
+
+#include "ir/Program.h"
+
+#include <string>
+#include <vector>
+
+namespace kf {
+
+/// Verifies \p P; returns one message per violation (empty means valid).
+std::vector<std::string> verifyProgram(const Program &P);
+
+/// Convenience: aborts with the first diagnostic when \p P is invalid.
+/// Pipelines call this after construction.
+void verifyProgramOrDie(const Program &P);
+
+} // namespace kf
+
+#endif // KF_IR_VERIFIER_H

@@ -1,0 +1,80 @@
+//===- pipelines/ConvChains.cpp - Convolution chains & synthetic loads --------===//
+//
+// Helper pipelines: the two-convolution chain behind the paper's Figure 4
+// (local-to-local fusion with border handling), the exact Figure 4 setup
+// on the paper's 5x5 integer matrix, and a synthetic point-kernel chain
+// with a configurable arithmetic load for the compute-boundedness sweep.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Verifier.h"
+#include "pipelines/Masks.h"
+#include "pipelines/Pipelines.h"
+
+using namespace kf;
+
+static Program makeConvChainImpl(const char *Name, int Width, int Height,
+                                 BorderMode Border, const Mask &MaskIn) {
+  Program P(Name);
+  ExprContext &C = P.context();
+
+  ImageId In = P.addImage("in", Width, Height);
+  ImageId Mid = P.addImage("mid", Width, Height);
+  ImageId Out = P.addImage("out", Width, Height);
+  int MaskIdx = P.addMask(MaskIn);
+
+  auto addConv = [&](const char *KernelName, ImageId Input, ImageId Output) {
+    Kernel K;
+    K.Name = KernelName;
+    K.Kind = OperatorKind::Local;
+    K.Inputs = {Input};
+    K.Output = Output;
+    K.Body = C.stencil(MaskIdx, ReduceOp::Sum,
+                       C.mul(C.maskValue(), C.stencilInput(0)));
+    K.Border = Border;
+    P.addKernel(std::move(K));
+  };
+  addConv("conv0", In, Mid);
+  addConv("conv1", Mid, Out);
+
+  verifyProgramOrDie(P);
+  return P;
+}
+
+Program kf::makeBlurChain(int Width, int Height, BorderMode Border) {
+  return makeConvChainImpl("blurchain", Width, Height, Border,
+                           binomial3Normalized());
+}
+
+Program kf::makeFigure4Program() {
+  return makeConvChainImpl("figure4", 5, 5, BorderMode::Clamp,
+                           binomial3Unnormalized());
+}
+
+Program kf::makePointChain(int Width, int Height, int NumKernels,
+                           int AluOpsPerKernel) {
+  Program P("pointchain");
+  ExprContext &C = P.context();
+
+  ImageId Prev = P.addImage("in", Width, Height);
+  for (int N = 0; N != NumKernels; ++N) {
+    ImageId Next = P.addImage("stage" + std::to_string(N), Width, Height);
+    Kernel K;
+    K.Name = "point" + std::to_string(N);
+    K.Kind = OperatorKind::Point;
+    K.Inputs = {Prev};
+    K.Output = Next;
+    // Chain of multiply-adds: AluOpsPerKernel arithmetic nodes exactly
+    // (each iteration adds a multiply and an add).
+    const Expr *Body = C.inputAt(0);
+    for (int Op = 0; Op + 1 < AluOpsPerKernel; Op += 2)
+      Body = C.add(C.mul(Body, C.floatConst(1.0009f)),
+                   C.floatConst(0.0001f));
+    K.Body = Body;
+    P.addKernel(std::move(K));
+    Prev = Next;
+  }
+
+  verifyProgramOrDie(P);
+  return P;
+}

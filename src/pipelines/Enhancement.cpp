@@ -1,0 +1,67 @@
+//===- pipelines/Enhancement.cpp - WCE image enhancement ----------------------===//
+//
+// Image enhancement for wireless capsule endoscopy (Suman et al. [24]):
+// a geometric-mean filter for de-noising (local) followed by gamma
+// correction and a contrast stretch (point kernels). A straight chain
+// with no external dependences -- the application where even basic fusion
+// achieves most of the estimated benefit in the paper's Table I.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Verifier.h"
+#include "pipelines/Masks.h"
+#include "pipelines/Pipelines.h"
+
+using namespace kf;
+
+Program kf::makeEnhancement(int Width, int Height) {
+  Program P("enhance");
+  ExprContext &C = P.context();
+
+  ImageId In = P.addImage("in", Width, Height);
+  ImageId Gm = P.addImage("gm_out", Width, Height);
+  ImageId Gam = P.addImage("gamma_out", Width, Height);
+  ImageId Out = P.addImage("out", Width, Height);
+
+  int MaskBox = P.addMask(boxMask(3));
+
+  // gm = exp(sum(mask * log(win + eps))): geometric mean of the window.
+  {
+    Kernel K;
+    K.Name = "gmean";
+    K.Kind = OperatorKind::Local;
+    K.Inputs = {In};
+    K.Output = Gm;
+    const Expr *Elem = C.mul(
+        C.maskValue(),
+        C.unary(UnOp::Log,
+                C.add(C.stencilInput(0), C.floatConst(1e-6f))));
+    K.Body = C.unary(UnOp::Exp, C.stencil(MaskBox, ReduceOp::Sum, Elem));
+    K.Border = BorderMode::Clamp;
+    P.addKernel(std::move(K));
+  }
+  // gamma = gm ^ 0.8: gamma correction.
+  {
+    Kernel K;
+    K.Name = "gamma";
+    K.Kind = OperatorKind::Point;
+    K.Inputs = {Gm};
+    K.Output = Gam;
+    K.Body = C.binary(BinOp::Pow, C.inputAt(0), C.floatConst(0.8f));
+    P.addKernel(std::move(K));
+  }
+  // out = clamp-free linear stretch a * gamma + b.
+  {
+    Kernel K;
+    K.Name = "stretch";
+    K.Kind = OperatorKind::Point;
+    K.Inputs = {Gam};
+    K.Output = Out;
+    K.Body = C.add(C.mul(C.floatConst(1.2f), C.inputAt(0)),
+                   C.floatConst(-0.05f));
+    P.addKernel(std::move(K));
+  }
+
+  verifyProgramOrDie(P);
+  return P;
+}

@@ -1,0 +1,95 @@
+//===- pipelines/Harris.cpp - Harris corner detector -------------------------===//
+//
+// The nine-kernel Harris pipeline of the paper's Figure 3:
+//   dx, dy   : local derivative kernels (Sobel masks) on the input,
+//   sx, sy   : squares of the derivatives (point),
+//   sxy      : product of the derivatives (point, two inputs),
+//   gx, gy,
+//   gxy      : Gaussian smoothing of the squares (local, binomial mask),
+//   hc       : corner response det(M) - k * trace(M)^2 (point).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Verifier.h"
+#include "pipelines/Masks.h"
+#include "pipelines/Pipelines.h"
+
+using namespace kf;
+
+Program kf::makeHarris(int Width, int Height) {
+  Program P("harris");
+  ExprContext &C = P.context();
+
+  ImageId In = P.addImage("in", Width, Height);
+  ImageId Dx = P.addImage("dx_out", Width, Height);
+  ImageId Dy = P.addImage("dy_out", Width, Height);
+  ImageId Sx = P.addImage("sx_out", Width, Height);
+  ImageId Sy = P.addImage("sy_out", Width, Height);
+  ImageId Sxy = P.addImage("sxy_out", Width, Height);
+  ImageId Gx = P.addImage("gx_out", Width, Height);
+  ImageId Gy = P.addImage("gy_out", Width, Height);
+  ImageId Gxy = P.addImage("gxy_out", Width, Height);
+  ImageId Hc = P.addImage("hc_out", Width, Height);
+
+  int MaskX = P.addMask(sobelX3());
+  int MaskY = P.addMask(sobelY3());
+  int MaskG = P.addMask(binomial3Normalized());
+
+  auto conv = [&](int MaskIdx) {
+    return C.stencil(MaskIdx, ReduceOp::Sum,
+                     C.mul(C.maskValue(), C.stencilInput(0)));
+  };
+
+  auto addLocal = [&](const char *Name, ImageId Input, ImageId Output,
+                      int MaskIdx) {
+    Kernel K;
+    K.Name = Name;
+    K.Kind = OperatorKind::Local;
+    K.Inputs = {Input};
+    K.Output = Output;
+    K.Body = conv(MaskIdx);
+    K.Border = BorderMode::Clamp;
+    P.addKernel(std::move(K));
+  };
+
+  addLocal("dx", In, Dx, MaskX);
+  addLocal("dy", In, Dy, MaskY);
+
+  auto addSquare = [&](const char *Name, std::vector<ImageId> Inputs,
+                       ImageId Output, const Expr *Body) {
+    Kernel K;
+    K.Name = Name;
+    K.Kind = OperatorKind::Point;
+    K.Inputs = std::move(Inputs);
+    K.Output = Output;
+    K.Body = Body;
+    P.addKernel(std::move(K));
+  };
+
+  // The square kernels have n_ALU = 2 (multiply + store), matching the
+  // paper's Harris example values.
+  addSquare("sx", {Dx}, Sx, C.mul(C.inputAt(0), C.inputAt(0)));
+  addSquare("sy", {Dy}, Sy, C.mul(C.inputAt(0), C.inputAt(0)));
+  addSquare("sxy", {Dx, Dy}, Sxy, C.mul(C.inputAt(0), C.inputAt(1)));
+
+  addLocal("gx", Sx, Gx, MaskG);
+  addLocal("gy", Sy, Gy, MaskG);
+  addLocal("gxy", Sxy, Gxy, MaskG);
+
+  // hc = (gx*gy - gxy^2) - k * (gx + gy)^2 with k = 0.04.
+  {
+    Kernel K;
+    K.Name = "hc";
+    K.Kind = OperatorKind::Point;
+    K.Inputs = {Gx, Gy, Gxy};
+    K.Output = Hc;
+    const Expr *Det = C.sub(C.mul(C.inputAt(0), C.inputAt(1)),
+                            C.mul(C.inputAt(2), C.inputAt(2)));
+    const Expr *Trace = C.add(C.inputAt(0), C.inputAt(1));
+    K.Body = C.sub(Det, C.mul(C.floatConst(0.04f), C.mul(Trace, Trace)));
+    P.addKernel(std::move(K));
+  }
+
+  verifyProgramOrDie(P);
+  return P;
+}

@@ -1,0 +1,45 @@
+//===- pipelines/Masks.cpp --------------------------------------------------===//
+
+#include "pipelines/Masks.h"
+
+using namespace kf;
+
+Mask kf::binomial3Normalized() {
+  const float S = 1.0f / 16.0f;
+  return Mask(3, 3,
+              {1 * S, 2 * S, 1 * S, 2 * S, 4 * S, 2 * S, 1 * S, 2 * S,
+               1 * S});
+}
+
+Mask kf::binomial3Unnormalized() {
+  return Mask(3, 3, {1, 2, 1, 2, 4, 2, 1, 2, 1});
+}
+
+Mask kf::sobelX3() {
+  const float S = 1.0f / 8.0f;
+  return Mask(3, 3,
+              {-1 * S, 0, 1 * S, -2 * S, 0, 2 * S, -1 * S, 0, 1 * S});
+}
+
+Mask kf::sobelY3() {
+  const float S = 1.0f / 8.0f;
+  return Mask(3, 3,
+              {-1 * S, -2 * S, -1 * S, 0, 0, 0, 1 * S, 2 * S, 1 * S});
+}
+
+Mask kf::atrous5() {
+  // Binomial coefficients spread with holes (a-trous wavelet, level 1).
+  const float S = 1.0f / 16.0f;
+  std::vector<float> W(25, 0.0f);
+  const float Base[3] = {1 * S, 2 * S, 1 * S};
+  for (int Y = 0; Y != 3; ++Y)
+    for (int X = 0; X != 3; ++X)
+      W[static_cast<size_t>(Y * 2) * 5 + (X * 2)] = Base[Y] * Base[X] * 16.0f *
+                                                    S;
+  return Mask(5, 5, std::move(W));
+}
+
+Mask kf::boxMask(int Width) {
+  float Value = 1.0f / static_cast<float>(Width * Width);
+  return Mask::uniform(Width, Width, Value);
+}

@@ -1,0 +1,37 @@
+//===- pipelines/Masks.h - Shared convolution masks -------------*- C++ -*-===//
+///
+/// \file
+/// Masks used across the benchmark applications: binomial (Gaussian
+/// approximation), Sobel derivative masks, the 5x5 a-trous mask of the
+/// Night filter, and uniform box masks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KF_PIPELINES_MASKS_H
+#define KF_PIPELINES_MASKS_H
+
+#include "ir/Kernel.h"
+
+namespace kf {
+
+/// 3x3 binomial mask [1 2 1; 2 4 2; 1 2 1] / 16 (Gaussian approximation).
+Mask binomial3Normalized();
+
+/// 3x3 binomial mask with integer weights (unnormalized), the mask of the
+/// paper's Figure 4 example.
+Mask binomial3Unnormalized();
+
+/// Sobel derivative masks (x and y direction), 1/8 normalization.
+Mask sobelX3();
+Mask sobelY3();
+
+/// 5x5 a-trous (with holes) mask: the 3x3 binomial spread to distance 2,
+/// used by the Night filter's second bilateral stage.
+Mask atrous5();
+
+/// Width x Width box mask with weight 1/(Width*Width) each.
+Mask boxMask(int Width);
+
+} // namespace kf
+
+#endif // KF_PIPELINES_MASKS_H

@@ -1,0 +1,100 @@
+//===- pipelines/Pipelines.h - The six benchmark applications ---*- C++ -*-===//
+///
+/// \file
+/// Builders for the six image-processing applications of the paper's
+/// evaluation (Section V-B), plus small helper pipelines used by the
+/// border-fusion experiment and the tests. Each builder returns a verified
+/// Program whose kernel DAG matches the application structure the paper
+/// describes; bodies are real compute (the interpreter produces the actual
+/// filter outputs).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KF_PIPELINES_PIPELINES_H
+#define KF_PIPELINES_PIPELINES_H
+
+#include "image/Border.h"
+#include "ir/Program.h"
+#include "support/Random.h"
+
+#include <functional>
+
+namespace kf {
+
+/// Harris corner detector [15]: nine kernels {dx, dy, sx, sy, sxy, gx, gy,
+/// gxy, hc} connected by ten edges -- the running example of the paper's
+/// Figure 3.
+Program makeHarris(int Width, int Height);
+
+/// Sobel filter [19]: two local derivative kernels plus a point gradient-
+/// magnitude kernel. Rejected entirely by basic fusion (shared input),
+/// fully fused by the optimized technique.
+Program makeSobel(int Width, int Height);
+
+/// Unsharp filter [21]: a blurring local kernel followed by three point
+/// kernels amplifying the high-frequency components; all four kernels
+/// require the source image (the Figure 2b "Input" scenario).
+Program makeUnsharp(int Width, int Height);
+
+/// Shi-Tomasi good-features extractor [20]: the Harris structure with the
+/// minimum-eigenvalue corner response.
+Program makeShiTomasi(int Width, int Height);
+
+/// WCE image enhancement [24]: geometric-mean filter (local) followed by
+/// two point kernels (gamma correction, contrast stretch).
+Program makeEnhancement(int Width, int Height);
+
+/// Night filter [22][23]: two expensive a-trous bilateral kernels (3x3,
+/// 5x5) and a scotopic tone-mapping point kernel, on RGB images. The
+/// compute-bound case: the benefit model declines the local-to-local
+/// fusion and only Atrous1+Scoto fuse.
+Program makeNight(int Width, int Height);
+
+/// Two chained convolutions with the given border mode; the machinery of
+/// the paper's Figure 4 (local-to-local fusion with border handling).
+/// Masks are the normalized 3x3 binomial.
+Program makeBlurChain(int Width, int Height, BorderMode Border);
+
+/// The exact Figure 4 setup: the paper's 5x5 integer matrix convolved
+/// twice with the *unnormalized* binomial mask under clamp borders.
+Program makeFigure4Program();
+
+/// A linear chain of \p NumKernels point kernels, each performing
+/// \p AluOpsPerKernel arithmetic operations -- the synthetic workload of
+/// the compute-boundedness crossover sweep.
+Program makePointChain(int Width, int Height, int NumKernels,
+                       int AluOpsPerKernel);
+
+/// A point producer with \p ProducerAluOps arithmetic operations feeding a
+/// 3x3 convolution: the minimal point-to-local scenario. Sweeping the
+/// producer cost exposes the locality/recompute crossover of Eq. 8 (the
+/// reason the Night filter barely gains).
+Program makePointToLocal(int Width, int Height, int ProducerAluOps);
+
+/// A random image-processing pipeline: \p NumKernels kernels (point and
+/// local mixed per \p LocalFraction), each consuming one or two earlier
+/// images. Used by the partitioner property tests and the search-strategy
+/// ablation benchmark. Deterministic in \p Generator.
+Program makeRandomPipeline(unsigned NumKernels, double LocalFraction,
+                           int Width, int Height, Rng &Generator);
+
+/// Registry entry for the paper's applications.
+struct PipelineSpec {
+  std::string Name;
+  int Width = 0;
+  int Height = 0;
+  std::function<Program(int, int)> Builder;
+
+  Program build() const { return Builder(Width, Height); }
+};
+
+/// The six applications with the paper's image sizes (2,048 x 2,048 gray;
+/// Night: 1,920 x 1,200 RGB), in the paper's table order.
+const std::vector<PipelineSpec> &paperPipelines();
+
+/// Finds a pipeline spec by (case-sensitive) name, or nullptr.
+const PipelineSpec *findPipeline(const std::string &Name);
+
+} // namespace kf
+
+#endif // KF_PIPELINES_PIPELINES_H

@@ -1,0 +1,26 @@
+//===- pipelines/Registry.cpp - Application registry ---------------------------===//
+
+#include "pipelines/Pipelines.h"
+
+using namespace kf;
+
+const std::vector<PipelineSpec> &kf::paperPipelines() {
+  // The paper evaluates a constant 2,048 x 2,048 gray image; the Night
+  // filter is the exception at 1,920 x 1,200 RGB. Table order of Table I.
+  static const std::vector<PipelineSpec> Specs = {
+      {"harris", 2048, 2048, makeHarris},
+      {"sobel", 2048, 2048, makeSobel},
+      {"unsharp", 2048, 2048, makeUnsharp},
+      {"shitomasi", 2048, 2048, makeShiTomasi},
+      {"enhance", 2048, 2048, makeEnhancement},
+      {"night", 1920, 1200, makeNight},
+  };
+  return Specs;
+}
+
+const PipelineSpec *kf::findPipeline(const std::string &Name) {
+  for (const PipelineSpec &Spec : paperPipelines())
+    if (Spec.Name == Name)
+      return &Spec;
+  return nullptr;
+}

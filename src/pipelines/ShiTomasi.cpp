@@ -1,0 +1,80 @@
+//===- pipelines/ShiTomasi.cpp - Good features to track -----------------------===//
+//
+// Shi-Tomasi feature extractor [20]: identical structure to the Harris
+// pipeline (both compute the Hermitian structure matrix), but the corner
+// response is the minimum eigenvalue instead of the determinant/trace
+// combination.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Verifier.h"
+#include "pipelines/Masks.h"
+#include "pipelines/Pipelines.h"
+
+using namespace kf;
+
+Program kf::makeShiTomasi(int Width, int Height) {
+  Program P("shitomasi");
+  ExprContext &C = P.context();
+
+  ImageId In = P.addImage("in", Width, Height);
+  ImageId Dx = P.addImage("dx_out", Width, Height);
+  ImageId Dy = P.addImage("dy_out", Width, Height);
+  ImageId Sx = P.addImage("sx_out", Width, Height);
+  ImageId Sy = P.addImage("sy_out", Width, Height);
+  ImageId Sxy = P.addImage("sxy_out", Width, Height);
+  ImageId Gx = P.addImage("gx_out", Width, Height);
+  ImageId Gy = P.addImage("gy_out", Width, Height);
+  ImageId Gxy = P.addImage("gxy_out", Width, Height);
+  ImageId St = P.addImage("st_out", Width, Height);
+
+  int MaskX = P.addMask(sobelX3());
+  int MaskY = P.addMask(sobelY3());
+  int MaskG = P.addMask(binomial3Normalized());
+
+  auto addLocal = [&](const char *Name, ImageId Input, ImageId Output,
+                      int MaskIdx) {
+    Kernel K;
+    K.Name = Name;
+    K.Kind = OperatorKind::Local;
+    K.Inputs = {Input};
+    K.Output = Output;
+    K.Body = C.stencil(MaskIdx, ReduceOp::Sum,
+                       C.mul(C.maskValue(), C.stencilInput(0)));
+    K.Border = BorderMode::Clamp;
+    P.addKernel(std::move(K));
+  };
+  auto addPoint = [&](const char *Name, std::vector<ImageId> Inputs,
+                      ImageId Output, const Expr *Body) {
+    Kernel K;
+    K.Name = Name;
+    K.Kind = OperatorKind::Point;
+    K.Inputs = std::move(Inputs);
+    K.Output = Output;
+    K.Body = Body;
+    P.addKernel(std::move(K));
+  };
+
+  addLocal("dx", In, Dx, MaskX);
+  addLocal("dy", In, Dy, MaskY);
+  addPoint("sx", {Dx}, Sx, C.mul(C.inputAt(0), C.inputAt(0)));
+  addPoint("sy", {Dy}, Sy, C.mul(C.inputAt(0), C.inputAt(0)));
+  addPoint("sxy", {Dx, Dy}, Sxy, C.mul(C.inputAt(0), C.inputAt(1)));
+  addLocal("gx", Sx, Gx, MaskG);
+  addLocal("gy", Sy, Gy, MaskG);
+  addLocal("gxy", Sxy, Gxy, MaskG);
+
+  // st = ((gx + gy) - sqrt((gx - gy)^2 + 4*gxy^2)) / 2: the smaller
+  // eigenvalue of the structure matrix.
+  const Expr *TraceE = C.add(C.inputAt(0), C.inputAt(1));
+  const Expr *DiffE = C.sub(C.inputAt(0), C.inputAt(1));
+  const Expr *Disc =
+      C.add(C.mul(DiffE, DiffE),
+            C.mul(C.floatConst(4.0f), C.mul(C.inputAt(2), C.inputAt(2))));
+  addPoint("st", {Gx, Gy, Gxy}, St,
+           C.mul(C.floatConst(0.5f),
+                 C.sub(TraceE, C.unary(UnOp::Sqrt, Disc))));
+
+  verifyProgramOrDie(P);
+  return P;
+}

@@ -1,0 +1,54 @@
+//===- pipelines/Sobel.cpp - Sobel edge filter --------------------------------===//
+//
+// Two local derivative kernels sharing the input image plus a point
+// gradient-magnitude kernel. Basic fusion rejects the whole pipeline
+// (shared input = "external" dependence in prior work); the optimized
+// technique fuses all three kernels into one.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Verifier.h"
+#include "pipelines/Masks.h"
+#include "pipelines/Pipelines.h"
+
+using namespace kf;
+
+Program kf::makeSobel(int Width, int Height) {
+  Program P("sobel");
+  ExprContext &C = P.context();
+
+  ImageId In = P.addImage("in", Width, Height);
+  ImageId Dx = P.addImage("dx_out", Width, Height);
+  ImageId Dy = P.addImage("dy_out", Width, Height);
+  ImageId Mag = P.addImage("mag_out", Width, Height);
+
+  int MaskX = P.addMask(sobelX3());
+  int MaskY = P.addMask(sobelY3());
+
+  auto addDerivative = [&](const char *Name, ImageId Output, int MaskIdx) {
+    Kernel K;
+    K.Name = Name;
+    K.Kind = OperatorKind::Local;
+    K.Inputs = {In};
+    K.Output = Output;
+    K.Body = C.stencil(MaskIdx, ReduceOp::Sum,
+                       C.mul(C.maskValue(), C.stencilInput(0)));
+    K.Border = BorderMode::Clamp;
+    P.addKernel(std::move(K));
+  };
+  addDerivative("dx", Dx, MaskX);
+  addDerivative("dy", Dy, MaskY);
+
+  // mag = sqrt(dx^2 + dy^2).
+  Kernel K;
+  K.Name = "mag";
+  K.Kind = OperatorKind::Point;
+  K.Inputs = {Dx, Dy};
+  K.Output = Mag;
+  K.Body = C.unary(UnOp::Sqrt, C.add(C.mul(C.inputAt(0), C.inputAt(0)),
+                                     C.mul(C.inputAt(1), C.inputAt(1))));
+  P.addKernel(std::move(K));
+
+  verifyProgramOrDie(P);
+  return P;
+}

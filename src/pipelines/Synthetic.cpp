@@ -1,0 +1,104 @@
+//===- pipelines/Synthetic.cpp - Synthetic workloads ----------------------------===//
+//
+// Synthetic pipelines for the crossover sweep (point-to-local with a
+// configurable producer cost) and for randomized property testing and the
+// search-strategy ablation (random DAG-shaped pipelines).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Verifier.h"
+#include "pipelines/Masks.h"
+#include "pipelines/Pipelines.h"
+
+using namespace kf;
+
+/// A chain of multiply-adds with exactly \p AluOps arithmetic nodes.
+static const Expr *aluChain(ExprContext &C, const Expr *Seed, int AluOps) {
+  const Expr *Body = Seed;
+  for (int Op = 0; Op + 1 < AluOps; Op += 2)
+    Body = C.add(C.mul(Body, C.floatConst(1.0009f)), C.floatConst(0.0001f));
+  if (AluOps % 2 != 0)
+    Body = C.mul(Body, C.floatConst(0.9991f));
+  return Body;
+}
+
+Program kf::makePointToLocal(int Width, int Height, int ProducerAluOps) {
+  Program P("p2l");
+  ExprContext &C = P.context();
+
+  ImageId In = P.addImage("in", Width, Height);
+  ImageId Mid = P.addImage("mid", Width, Height);
+  ImageId Out = P.addImage("out", Width, Height);
+  int MaskG = P.addMask(binomial3Normalized());
+
+  Kernel Producer;
+  Producer.Name = "producer";
+  Producer.Kind = OperatorKind::Point;
+  Producer.Inputs = {In};
+  Producer.Output = Mid;
+  Producer.Body = aluChain(C, C.inputAt(0), ProducerAluOps);
+  P.addKernel(std::move(Producer));
+
+  Kernel Consumer;
+  Consumer.Name = "consumer";
+  Consumer.Kind = OperatorKind::Local;
+  Consumer.Inputs = {Mid};
+  Consumer.Output = Out;
+  Consumer.Body = C.stencil(MaskG, ReduceOp::Sum,
+                            C.mul(C.maskValue(), C.stencilInput(0)));
+  Consumer.Border = BorderMode::Clamp;
+  P.addKernel(std::move(Consumer));
+
+  verifyProgramOrDie(P);
+  return P;
+}
+
+Program kf::makeRandomPipeline(unsigned NumKernels, double LocalFraction,
+                               int Width, int Height, Rng &Generator) {
+  Program P("random");
+  ExprContext &C = P.context();
+  int MaskG = P.addMask(binomial3Normalized());
+
+  std::vector<ImageId> Available;
+  Available.push_back(P.addImage("in", Width, Height));
+
+  for (unsigned N = 0; N != NumKernels; ++N) {
+    ImageId Out =
+        P.addImage("img" + std::to_string(N + 1), Width, Height);
+    Kernel K;
+    K.Name = "k" + std::to_string(N);
+    K.Output = Out;
+    bool IsLocal = Generator.nextDouble() < LocalFraction;
+
+    // One or two inputs from earlier images (locals take one).
+    ImageId A = Available[Generator.nextBelow(Available.size())];
+    if (IsLocal) {
+      K.Kind = OperatorKind::Local;
+      K.Inputs = {A};
+      K.Border = BorderMode::Clamp;
+      K.Body = C.stencil(MaskG, ReduceOp::Sum,
+                         C.mul(C.maskValue(), C.stencilInput(0)));
+    } else {
+      K.Kind = OperatorKind::Point;
+      bool TwoInputs = Generator.nextDouble() < 0.4;
+      if (TwoInputs) {
+        ImageId B = Available[Generator.nextBelow(Available.size())];
+        if (B != A) {
+          K.Inputs = {A, B};
+          K.Body = C.add(C.mul(C.inputAt(0), C.floatConst(0.6f)),
+                         C.mul(C.inputAt(1), C.floatConst(0.4f)));
+        }
+      }
+      if (K.Inputs.empty()) {
+        K.Inputs = {A};
+        K.Body = aluChain(C, C.inputAt(0),
+                          2 + static_cast<int>(Generator.nextBelow(6)));
+      }
+    }
+    P.addKernel(std::move(K));
+    Available.push_back(Out);
+  }
+
+  verifyProgramOrDie(P);
+  return P;
+}

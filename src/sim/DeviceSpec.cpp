@@ -1,0 +1,45 @@
+//===- sim/DeviceSpec.cpp ---------------------------------------------------===//
+
+#include "sim/DeviceSpec.h"
+
+using namespace kf;
+
+DeviceSpec DeviceSpec::gtx745() {
+  DeviceSpec D;
+  D.Name = "GTX745";
+  D.CudaCores = 384; // 3 Maxwell SMMs x 128 cores.
+  D.NumSMs = 3;
+  D.CoreClockGHz = 1.033;
+  D.MemClockMHz = 900.0;
+  // 128-bit DDR3 at 900 MHz: 900e6 * 2 * 16 B = 28.8 GB/s.
+  D.MemBandwidthGBs = 28.8;
+  return D;
+}
+
+DeviceSpec DeviceSpec::gtx680() {
+  DeviceSpec D;
+  D.Name = "GTX680";
+  D.CudaCores = 1536; // 8 Kepler SMX x 192 cores.
+  D.NumSMs = 8;
+  D.CoreClockGHz = 1.058;
+  D.MemClockMHz = 3004.0;
+  // 256-bit GDDR5 at 3,004 MHz: 3004e6 * 2 * 32 B = 192.3 GB/s.
+  D.MemBandwidthGBs = 192.3;
+  return D;
+}
+
+DeviceSpec DeviceSpec::k20c() {
+  DeviceSpec D;
+  D.Name = "K20c";
+  D.CudaCores = 2496; // 13 Kepler SMX x 192 cores.
+  D.NumSMs = 13;
+  D.CoreClockGHz = 0.706;
+  D.MemClockMHz = 2600.0;
+  // 320-bit GDDR5 at 2,600 MHz: 2600e6 * 2 * 40 B = 208 GB/s.
+  D.MemBandwidthGBs = 208.0;
+  return D;
+}
+
+std::vector<DeviceSpec> DeviceSpec::paperDevices() {
+  return {gtx745(), gtx680(), k20c()};
+}

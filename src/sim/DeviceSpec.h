@@ -1,0 +1,49 @@
+//===- sim/DeviceSpec.h - Simulated GPU device descriptions -----*- C++ -*-===//
+///
+/// \file
+/// Hardware descriptions of the three evaluation GPUs of the paper
+/// (Section V-A). The environment of this reproduction has no CUDA
+/// devices, so the evaluation executes on an analytic simulator
+/// parameterized by these specs; the published figures (core counts,
+/// clocks, 48 KiB shared memory per block, 65,536 registers) are taken
+/// verbatim from the paper, and bandwidths follow from the memory clocks
+/// and the cards' public bus widths.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KF_SIM_DEVICESPEC_H
+#define KF_SIM_DEVICESPEC_H
+
+#include <string>
+#include <vector>
+
+namespace kf {
+
+/// Static description of one simulated GPU.
+struct DeviceSpec {
+  std::string Name;
+  int CudaCores = 0;
+  int NumSMs = 0;
+  double CoreClockGHz = 0.0;
+  double MemClockMHz = 0.0;   ///< As reported in the paper.
+  double MemBandwidthGBs = 0.0;
+  int SharedMemPerSMBytes = 48 * 1024;
+  int RegistersPerSM = 65536;
+  int MaxThreadsPerSM = 2048;
+  int MaxBlocksPerSM = 16;
+  double LaunchOverheadUs = 5.0; ///< Fixed cost per kernel launch.
+
+  /// Geforce GTX 745: 384 cores @ 1,033 MHz, 900 MHz DDR3 (128-bit).
+  static DeviceSpec gtx745();
+  /// Geforce GTX 680: 1,536 cores @ 1,058 MHz, 3,004 MHz GDDR5 (256-bit).
+  static DeviceSpec gtx680();
+  /// Tesla K20c: 2,496 cores @ 706 MHz, 2,600 MHz GDDR5 (320-bit).
+  static DeviceSpec k20c();
+
+  /// The three GPUs of the paper's evaluation, in its order.
+  static std::vector<DeviceSpec> paperDevices();
+};
+
+} // namespace kf
+
+#endif // KF_SIM_DEVICESPEC_H

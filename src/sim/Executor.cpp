@@ -1,0 +1,319 @@
+//===- sim/Executor.cpp -----------------------------------------------------===//
+
+#include "sim/Executor.h"
+
+#include "image/Border.h"
+#include "support/Error.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace kf;
+
+namespace {
+
+/// Resolves reads of a kernel's inputs at absolute coordinates.
+class InputSource {
+public:
+  virtual ~InputSource() = default;
+  virtual float read(int InputIdx, int X, int Y, int Channel) = 0;
+};
+
+/// Stencil-iteration bindings while evaluating a Stencil element.
+struct StencilEnv {
+  int Dx = 0;
+  int Dy = 0;
+  float MaskVal = 0.0f;
+};
+
+/// Evaluates kernel body expressions.
+class ExprEvaluator {
+public:
+  ExprEvaluator(const Program &P, InputSource &Source)
+      : P(P), Source(Source) {}
+
+  float eval(const Expr *E, int X, int Y, int Channel,
+             const StencilEnv *Env) {
+    switch (E->Kind) {
+    case ExprKind::FloatConst:
+      return E->Value;
+    case ExprKind::CoordX:
+      return static_cast<float>(X);
+    case ExprKind::CoordY:
+      return static_cast<float>(Y);
+    case ExprKind::InputAt:
+      return Source.read(E->InputIdx, X + E->OffsetX, Y + E->OffsetY,
+                         E->Channel < 0 ? Channel : E->Channel);
+    case ExprKind::StencilInput:
+      assert(Env && "window access outside a stencil");
+      return Source.read(E->InputIdx, X + Env->Dx, Y + Env->Dy,
+                         E->Channel < 0 ? Channel : E->Channel);
+    case ExprKind::MaskValue:
+      assert(Env && "mask value outside a stencil");
+      return Env->MaskVal;
+    case ExprKind::StencilOffX:
+      assert(Env && "stencil offset outside a stencil");
+      return static_cast<float>(Env->Dx);
+    case ExprKind::StencilOffY:
+      assert(Env && "stencil offset outside a stencil");
+      return static_cast<float>(Env->Dy);
+    case ExprKind::Binary: {
+      float L = eval(E->Lhs, X, Y, Channel, Env);
+      float R = eval(E->Rhs, X, Y, Channel, Env);
+      switch (E->BinaryOp) {
+      case BinOp::Add:
+        return L + R;
+      case BinOp::Sub:
+        return L - R;
+      case BinOp::Mul:
+        return L * R;
+      case BinOp::Div:
+        return L / R;
+      case BinOp::Min:
+        return std::min(L, R);
+      case BinOp::Max:
+        return std::max(L, R);
+      case BinOp::Pow:
+        return std::pow(L, R);
+      case BinOp::CmpLT:
+        return L < R ? 1.0f : 0.0f;
+      case BinOp::CmpGT:
+        return L > R ? 1.0f : 0.0f;
+      }
+      KF_UNREACHABLE("unknown binary op");
+    }
+    case ExprKind::Unary: {
+      float V = eval(E->Lhs, X, Y, Channel, Env);
+      switch (E->UnaryOp) {
+      case UnOp::Neg:
+        return -V;
+      case UnOp::Abs:
+        return std::abs(V);
+      case UnOp::Sqrt:
+        return std::sqrt(V);
+      case UnOp::Exp:
+        return std::exp(V);
+      case UnOp::Log:
+        return std::log(V);
+      case UnOp::Floor:
+        return std::floor(V);
+      }
+      KF_UNREACHABLE("unknown unary op");
+    }
+    case ExprKind::Select:
+      return eval(E->Cond, X, Y, Channel, Env) != 0.0f
+                 ? eval(E->Lhs, X, Y, Channel, Env)
+                 : eval(E->Rhs, X, Y, Channel, Env);
+    case ExprKind::Stencil: {
+      const Mask &M = P.mask(E->MaskIdx);
+      bool First = true;
+      float Acc = 0.0f;
+      for (int Dy = -M.haloY(); Dy <= M.haloY(); ++Dy)
+        for (int Dx = -M.haloX(); Dx <= M.haloX(); ++Dx) {
+          StencilEnv Elem{Dx, Dy, M.at(Dx, Dy)};
+          float V = eval(E->Lhs, X, Y, Channel, &Elem);
+          if (First) {
+            Acc = V;
+            First = false;
+            continue;
+          }
+          switch (E->Reduce) {
+          case ReduceOp::Sum:
+            Acc += V;
+            break;
+          case ReduceOp::Product:
+            Acc *= V;
+            break;
+          case ReduceOp::Min:
+            Acc = std::min(Acc, V);
+            break;
+          case ReduceOp::Max:
+            Acc = std::max(Acc, V);
+            break;
+          }
+        }
+      return Acc;
+    }
+    }
+    KF_UNREACHABLE("unknown expression kind");
+  }
+
+private:
+  const Program &P;
+  InputSource &Source;
+};
+
+/// Reads kernel inputs straight from the image pool with the kernel's
+/// border handling: the unfused semantics.
+class PoolSource : public InputSource {
+public:
+  PoolSource(const Program &P, const Kernel &K,
+             const std::vector<Image> &Pool)
+      : P(P), K(K), Pool(Pool) {}
+
+  float read(int InputIdx, int X, int Y, int Channel) override {
+    const Image &Img = Pool[K.Inputs[InputIdx]];
+    assert(!Img.empty() && "reading an unmaterialized image");
+    (void)P;
+    return sampleWithBorder(Img, X, Y, Channel, K.Border, K.BorderConstant);
+  }
+
+private:
+  const Program &P;
+  const Kernel &K;
+  const std::vector<Image> &Pool;
+};
+
+/// Fused-kernel evaluation: reads of eliminated intermediates recursively
+/// re-evaluate the producer stage, applying the index exchange of Section
+/// IV-B to exterior coordinates.
+class FusedEvaluator {
+public:
+  FusedEvaluator(const FusedProgram &FP, const FusedKernel &FK,
+                 const std::vector<Image> &Pool,
+                 const ExecutionOptions &Options)
+      : P(*FP.Source), FK(FK), Pool(Pool), Options(Options) {}
+
+  /// Value of stage kernel \p Id at (X, Y, Channel). Coordinates must be
+  /// inside the image for the destination; intermediate requests handle
+  /// the exterior via index exchange at the call site (stageRead).
+  float evalStage(KernelId Id, int X, int Y, int Channel) {
+    const Kernel &K = P.kernel(Id);
+    StageSource Source(*this, K);
+    ExprEvaluator Eval(P, Source);
+    return Eval.eval(K.Body, X, Y, Channel, nullptr);
+  }
+
+private:
+  /// Resolves reads performed by stage \p Requesting.
+  class StageSource : public InputSource {
+  public:
+    StageSource(FusedEvaluator &Parent, const Kernel &Requesting)
+        : Parent(Parent), Requesting(Requesting) {}
+
+    float read(int InputIdx, int X, int Y, int Channel) override {
+      return Parent.stageRead(Requesting, Requesting.Inputs[InputIdx], X, Y,
+                              Channel);
+    }
+
+  private:
+    FusedEvaluator &Parent;
+    const Kernel &Requesting;
+  };
+
+  float stageRead(const Kernel &Requesting, ImageId Img, int X, int Y,
+                  int Channel) {
+    // Intermediate eliminated by this fused kernel? (Destination outputs
+    // are materialized, not eliminated.)
+    const FusedStage *Producer = nullptr;
+    for (const FusedStage &Stage : FK.Stages)
+      if (P.kernel(Stage.Kernel).Output == Img &&
+          !FK.isDestination(Stage.Kernel)) {
+        Producer = &Stage;
+        break;
+      }
+
+    if (!Producer) {
+      // Materialized image (pipeline input or another fused kernel's
+      // output): plain bordered read.
+      const Image &Buffer = Pool[Img];
+      assert(!Buffer.empty() && "reading an unmaterialized image");
+      return sampleWithBorder(Buffer, X, Y, Channel, Requesting.Border,
+                              Requesting.BorderConstant);
+    }
+
+    const ImageInfo &Info = P.image(Img);
+    bool Exterior = X < 0 || X >= Info.Width || Y < 0 || Y >= Info.Height;
+    if (Exterior && Options.UseIndexExchange) {
+      // Index exchange (Section IV-B): exterior accesses to the
+      // eliminated intermediate are exchanged according to the border
+      // handling specified in the *consuming* kernel, then the producer
+      // is evaluated at the exchanged position.
+      int EX = exchangeIndex(X, Info.Width, Requesting.Border);
+      int EY = exchangeIndex(Y, Info.Height, Requesting.Border);
+      if (EX < 0 || EY < 0)
+        return Requesting.BorderConstant;
+      X = EX;
+      Y = EY;
+    }
+    // Without the exchange the producer is (incorrectly) evaluated at the
+    // raw exterior position -- reproducing Figure 4b.
+    return evalStage(Producer->Kernel, X, Y, Channel);
+  }
+
+  const Program &P;
+  const FusedKernel &FK;
+  const std::vector<Image> &Pool;
+  ExecutionOptions Options;
+};
+
+} // namespace
+
+std::vector<Image> kf::makeImagePool(const Program &P) {
+  return std::vector<Image>(P.numImages());
+}
+
+static void checkExternalInputs(const Program &P,
+                                const std::vector<Image> &Pool) {
+  for (ImageId Id : P.externalInputs()) {
+    const Image &Img = Pool[Id];
+    const ImageInfo &Info = P.image(Id);
+    if (Img.empty() || Img.width() != Info.Width ||
+        Img.height() != Info.Height || Img.channels() != Info.Channels)
+      reportFatalError("external input '" + Info.Name +
+                       "' missing or mis-shaped in the image pool");
+  }
+}
+
+void kf::runUnfused(const Program &P, std::vector<Image> &Pool) {
+  assert(Pool.size() == P.numImages() && "pool size mismatch");
+  checkExternalInputs(P, Pool);
+
+  std::optional<std::vector<Digraph::NodeId>> Order =
+      P.buildKernelDag().topologicalOrder();
+  assert(Order && "kernel DAG has a cycle");
+  for (KernelId Id : *Order) {
+    const Kernel &K = P.kernel(Id);
+    const ImageInfo &Info = P.image(K.Output);
+    Image Out(Info.Width, Info.Height, Info.Channels);
+    PoolSource Source(P, K, Pool);
+    ExprEvaluator Eval(P, Source);
+    for (int Y = 0; Y != Info.Height; ++Y)
+      for (int X = 0; X != Info.Width; ++X)
+        for (int Ch = 0; Ch != Info.Channels; ++Ch)
+          Out.at(X, Y, Ch) = Eval.eval(K.Body, X, Y, Ch, nullptr);
+    Pool[K.Output] = std::move(Out);
+  }
+}
+
+void kf::runFused(const FusedProgram &FP, std::vector<Image> &Pool,
+                  const ExecutionOptions &Options) {
+  const Program &P = *FP.Source;
+  assert(Pool.size() == P.numImages() && "pool size mismatch");
+  checkExternalInputs(P, Pool);
+
+  for (const FusedKernel &FK : FP.Kernels) {
+    FusedEvaluator Evaluator(FP, FK, Pool, Options);
+    // One global output per destination (a single one under the paper's
+    // rules; several under the multi-destination extension).
+    for (KernelId DestId : FK.Destinations) {
+      const Kernel &Dest = P.kernel(DestId);
+      const ImageInfo &Info = P.image(Dest.Output);
+      Image Out(Info.Width, Info.Height, Info.Channels);
+      for (int Y = 0; Y != Info.Height; ++Y)
+        for (int X = 0; X != Info.Width; ++X)
+          for (int Ch = 0; Ch != Info.Channels; ++Ch)
+            Out.at(X, Y, Ch) = Evaluator.evalStage(DestId, X, Y, Ch);
+      Pool[Dest.Output] = std::move(Out);
+    }
+  }
+}
+
+float kf::evalKernelAt(const Program &P, KernelId Id,
+                       const std::vector<Image> &Pool, int X, int Y,
+                       int Channel) {
+  const Kernel &K = P.kernel(Id);
+  PoolSource Source(P, K, Pool);
+  ExprEvaluator Eval(P, Source);
+  return Eval.eval(K.Body, X, Y, Channel, nullptr);
+}

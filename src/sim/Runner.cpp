@@ -1,0 +1,35 @@
+//===- sim/Runner.cpp -------------------------------------------------------===//
+
+#include "sim/Runner.h"
+
+#include "support/Random.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace kf;
+
+BoxStats kf::simulateRuns(double BaseTimeMs, int Runs,
+                          const NoiseModel &Noise) {
+  assert(Runs > 0 && "need at least one run");
+  Rng Generator(Noise.Seed);
+  std::vector<double> Samples;
+  Samples.reserve(Runs);
+  for (int Run = 0; Run != Runs; ++Run) {
+    double Jitter = 1.0 + Noise.JitterStdDev * std::abs(Generator.nextGaussian());
+    double Spike = Generator.nextDouble() < Noise.SpikeProbability
+                       ? Generator.uniform(0.0, Noise.SpikeMax)
+                       : 0.0;
+    Samples.push_back(BaseTimeMs * (Jitter + Spike));
+  }
+  return computeBoxStats(std::move(Samples));
+}
+
+BoxStats kf::measureFusedProgram(const FusedProgram &FP,
+                                 const DeviceSpec &Device,
+                                 const CostModelParams &Params, int Runs,
+                                 const NoiseModel &Noise) {
+  ProgramStats Stats = accountFusedProgram(FP, Params.Tile);
+  double BaseMs = estimateProgramTimeMs(Stats, Device, Params);
+  return simulateRuns(BaseMs, Runs, Noise);
+}

@@ -1,0 +1,41 @@
+//===- sim/Runner.h - Repeated-measurement simulation -----------*- C++ -*-===//
+///
+/// \file
+/// Drives the Figure 6 style evaluation: the paper performs 500 timed runs
+/// per implementation per GPU and reports box-plot statistics. The
+/// simulator's analytic time is deterministic, so a measurement-noise
+/// model (multiplicative jitter plus occasional scheduling spikes, seeded
+/// deterministically) supplies the run-to-run variation; the paper itself
+/// reports only "small variations" with the box often invisible.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KF_SIM_RUNNER_H
+#define KF_SIM_RUNNER_H
+
+#include "sim/CostModel.h"
+#include "support/Statistics.h"
+
+namespace kf {
+
+/// Noise model parameters for simulated repeated runs.
+struct NoiseModel {
+  double JitterStdDev = 0.004; ///< Multiplicative Gaussian jitter.
+  double SpikeProbability = 0.02; ///< Chance of a scheduling spike.
+  double SpikeMax = 0.03;      ///< Spike magnitude (fraction of the time).
+  uint64_t Seed = 0x5eed;      ///< Deterministic RNG seed.
+};
+
+/// Simulates \p Runs measurements of a program whose analytic time is
+/// \p BaseTimeMs and returns their box statistics.
+BoxStats simulateRuns(double BaseTimeMs, int Runs, const NoiseModel &Noise);
+
+/// Convenience: accounts \p FP, estimates its time on \p Device, and
+/// simulates \p Runs measurements.
+BoxStats measureFusedProgram(const FusedProgram &FP, const DeviceSpec &Device,
+                             const CostModelParams &Params, int Runs,
+                             const NoiseModel &Noise = NoiseModel());
+
+} // namespace kf
+
+#endif // KF_SIM_RUNNER_H

@@ -1,0 +1,55 @@
+//===- support/AsciiPlot.cpp -------------------------------------------------===//
+
+#include "support/AsciiPlot.h"
+
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace kf;
+
+std::string kf::renderBoxPlots(const std::vector<BoxPlotRow> &Rows,
+                               int Width, double AxisMax) {
+  assert(!Rows.empty() && Width >= 10 && "degenerate box plot");
+
+  double Max = AxisMax;
+  size_t LabelWidth = 0;
+  for (const BoxPlotRow &Row : Rows) {
+    Max = std::max(Max, Row.Stats.Max);
+    LabelWidth = std::max(LabelWidth, Row.Label.size());
+  }
+  if (Max <= 0.0)
+    Max = 1.0;
+
+  auto column = [&](double Value) {
+    int Col = static_cast<int>(Value / Max * (Width - 1) + 0.5);
+    return std::clamp(Col, 0, Width - 1);
+  };
+
+  std::string Out;
+  for (const BoxPlotRow &Row : Rows) {
+    const BoxStats &S = Row.Stats;
+    std::string Lane(Width, ' ');
+    int Lo = column(S.Min);
+    int Hi = column(S.Max);
+    int BoxLo = column(S.Q25);
+    int BoxHi = column(S.Q75);
+    int Med = column(S.Median);
+    for (int I = Lo; I <= Hi; ++I)
+      Lane[I] = '-';
+    for (int I = BoxLo; I <= BoxHi; ++I)
+      Lane[I] = '=';
+    if (BoxLo <= BoxHi) {
+      Lane[BoxLo] = '[';
+      Lane[BoxHi] = ']';
+    }
+    Lane[Med] = '|';
+    Out += padRight(Row.Label, LabelWidth) + "  " + Lane + "  " +
+           formatDouble(S.Median, 3) + "\n";
+  }
+  // Axis line.
+  Out += std::string(LabelWidth + 2, ' ') + "0" +
+         std::string(Width - 1, ' ') + formatDouble(Max, 2) + "\n";
+  return Out;
+}

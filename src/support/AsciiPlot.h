@@ -1,0 +1,39 @@
+//===- support/AsciiPlot.h - Terminal box plots ------------------*- C++ -*-===//
+///
+/// \file
+/// Renders horizontal box plots in plain text, used by the Figure 6
+/// benchmark to show the paper's box-plot view directly in the terminal:
+///
+///   harris/baseline   |----[=|=]------|        3.12 ms
+///
+/// Whiskers span min..max, the box spans the quartiles, and '|' inside
+/// the box marks the median -- the same decomposition as the figure.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KF_SUPPORT_ASCIIPLOT_H
+#define KF_SUPPORT_ASCIIPLOT_H
+
+#include "support/Statistics.h"
+
+#include <string>
+#include <vector>
+
+namespace kf {
+
+/// One row of a box-plot chart.
+struct BoxPlotRow {
+  std::string Label;
+  BoxStats Stats;
+};
+
+/// Renders \p Rows as aligned box plots over a shared horizontal axis
+/// from 0 to the largest maximum (or \p AxisMax when positive), using
+/// \p Width characters for the plotting area. Each row ends with the
+/// median value. Rows must be non-empty and have positive statistics.
+std::string renderBoxPlots(const std::vector<BoxPlotRow> &Rows,
+                           int Width = 50, double AxisMax = 0.0);
+
+} // namespace kf
+
+#endif // KF_SUPPORT_ASCIIPLOT_H

@@ -1,0 +1,70 @@
+//===- support/CommandLine.cpp --------------------------------------------===//
+
+#include "support/CommandLine.h"
+
+#include "support/Error.h"
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+using namespace kf;
+
+CommandLine::CommandLine(int Argc, const char *const *Argv,
+                         const std::vector<std::string> &BoolFlags) {
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg.rfind("--", 0) != 0) {
+      Positional.push_back(Arg);
+      continue;
+    }
+    std::string Body = Arg.substr(2);
+    size_t Eq = Body.find('=');
+    if (Eq != std::string::npos) {
+      Options[Body.substr(0, Eq)] = Body.substr(Eq + 1);
+      continue;
+    }
+    bool IsBool = std::find(BoolFlags.begin(), BoolFlags.end(), Body) !=
+                  BoolFlags.end();
+    if (IsBool) {
+      Options[Body] = "1";
+      continue;
+    }
+    if (I + 1 >= Argc)
+      reportFatalError("option --" + Body + " expects a value");
+    Options[Body] = Argv[++I];
+  }
+}
+
+bool CommandLine::hasOption(const std::string &Name) const {
+  return Options.count(Name) != 0;
+}
+
+std::string CommandLine::getOption(const std::string &Name,
+                                   const std::string &Default) const {
+  auto It = Options.find(Name);
+  return It == Options.end() ? Default : It->second;
+}
+
+long CommandLine::getIntOption(const std::string &Name, long Default) const {
+  auto It = Options.find(Name);
+  if (It == Options.end())
+    return Default;
+  if (!isIntegerLiteral(It->second))
+    reportFatalError("option --" + Name + " expects an integer, got '" +
+                     It->second + "'");
+  return std::strtol(It->second.c_str(), nullptr, 10);
+}
+
+double CommandLine::getDoubleOption(const std::string &Name,
+                                    double Default) const {
+  auto It = Options.find(Name);
+  if (It == Options.end())
+    return Default;
+  char *End = nullptr;
+  double Value = std::strtod(It->second.c_str(), &End);
+  if (End == It->second.c_str() || *End != '\0')
+    reportFatalError("option --" + Name + " expects a number, got '" +
+                     It->second + "'");
+  return Value;
+}

@@ -1,0 +1,48 @@
+//===- support/CommandLine.h - Tiny option parser ---------------*- C++ -*-===//
+///
+/// \file
+/// A minimal command-line option parser for the example and benchmark
+/// drivers: `--name value`, `--name=value`, and boolean `--flag` forms.
+/// Unknown options are fatal so typos in experiment scripts surface loudly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KF_SUPPORT_COMMANDLINE_H
+#define KF_SUPPORT_COMMANDLINE_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace kf {
+
+/// Parsed command line: named options plus positional arguments.
+class CommandLine {
+public:
+  /// Parses argv-style arguments. \p BoolFlags lists names that take no
+  /// value. A parse error (unknown syntax) aborts with a message.
+  CommandLine(int Argc, const char *const *Argv,
+              const std::vector<std::string> &BoolFlags = {});
+
+  bool hasOption(const std::string &Name) const;
+
+  /// Value of option \p Name or \p Default when absent.
+  std::string getOption(const std::string &Name,
+                        const std::string &Default) const;
+
+  /// Integer-valued option; aborts when present but not an integer.
+  long getIntOption(const std::string &Name, long Default) const;
+
+  /// Floating-point option; aborts when present but malformed.
+  double getDoubleOption(const std::string &Name, double Default) const;
+
+  const std::vector<std::string> &positional() const { return Positional; }
+
+private:
+  std::map<std::string, std::string> Options;
+  std::vector<std::string> Positional;
+};
+
+} // namespace kf
+
+#endif // KF_SUPPORT_COMMANDLINE_H

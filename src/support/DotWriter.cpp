@@ -1,0 +1,51 @@
+//===- support/DotWriter.cpp ----------------------------------------------===//
+
+#include "support/DotWriter.h"
+
+using namespace kf;
+
+/// DOT identifiers with unusual characters must be quoted; we always quote.
+static std::string quoted(const std::string &Text) {
+  std::string Out = "\"";
+  for (char Ch : Text) {
+    if (Ch == '"' || Ch == '\\')
+      Out += '\\';
+    Out += Ch;
+  }
+  Out += '"';
+  return Out;
+}
+
+DotWriter::DotWriter(std::string GraphName) : Name(std::move(GraphName)) {}
+
+void DotWriter::addNode(const std::string &Id, const std::string &Label) {
+  Lines.push_back("  " + quoted(Id) + " [label=" + quoted(Label) + "];");
+}
+
+void DotWriter::addEdge(const std::string &From, const std::string &To,
+                        const std::string &Label) {
+  std::string Line = "  " + quoted(From) + " -> " + quoted(To);
+  if (!Label.empty())
+    Line += " [label=" + quoted(Label) + "]";
+  Lines.push_back(Line + ";");
+}
+
+void DotWriter::addCluster(const std::string &Label,
+                           const std::vector<std::string> &NodeIds) {
+  Lines.push_back("  subgraph cluster_" + std::to_string(NumClusters++) +
+                  " {");
+  Lines.push_back("    label=" + quoted(Label) + ";");
+  std::string Members = "   ";
+  for (const std::string &Id : NodeIds)
+    Members += " " + quoted(Id) + ";";
+  Lines.push_back(Members);
+  Lines.push_back("  }");
+}
+
+std::string DotWriter::finish() const {
+  std::string Out = "digraph " + quoted(Name) + " {\n";
+  for (const std::string &Line : Lines)
+    Out += Line + "\n";
+  Out += "}\n";
+  return Out;
+}

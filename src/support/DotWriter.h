@@ -1,0 +1,45 @@
+//===- support/DotWriter.h - Graphviz DOT emission -------------*- C++ -*-===//
+///
+/// \file
+/// Emits Graphviz DOT text for kernel dependence graphs and partitions, the
+/// same visualization style as Figure 3 of the paper (partition blocks are
+/// rendered as clusters).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KF_SUPPORT_DOTWRITER_H
+#define KF_SUPPORT_DOTWRITER_H
+
+#include <string>
+#include <vector>
+
+namespace kf {
+
+/// Incrementally builds a DOT digraph description.
+class DotWriter {
+public:
+  explicit DotWriter(std::string GraphName);
+
+  /// Adds node \p Id with display \p Label.
+  void addNode(const std::string &Id, const std::string &Label);
+
+  /// Adds a directed edge with an optional edge label (e.g. a fusion weight).
+  void addEdge(const std::string &From, const std::string &To,
+               const std::string &Label = "");
+
+  /// Groups \p NodeIds into a labelled cluster (a partition block).
+  void addCluster(const std::string &Label,
+                  const std::vector<std::string> &NodeIds);
+
+  /// Returns the complete DOT document.
+  std::string finish() const;
+
+private:
+  std::string Name;
+  std::vector<std::string> Lines;
+  unsigned NumClusters = 0;
+};
+
+} // namespace kf
+
+#endif // KF_SUPPORT_DOTWRITER_H

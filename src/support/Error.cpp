@@ -1,0 +1,20 @@
+//===- support/Error.cpp -------------------------------------------------===//
+
+#include "support/Error.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace kf;
+
+void kf::reportFatalError(const std::string &Message) {
+  std::fprintf(stderr, "fatal error: %s\n", Message.c_str());
+  std::abort();
+}
+
+void kf::unreachableImpl(const char *Message, const char *File,
+                         unsigned Line) {
+  std::fprintf(stderr, "unreachable executed at %s:%u: %s\n", File, Line,
+               Message);
+  std::abort();
+}

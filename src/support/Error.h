@@ -1,0 +1,37 @@
+//===- support/Error.h - Fatal error reporting and unreachable -*- C++ -*-===//
+//
+// Part of the kernel-fusion reproduction of Qiao et al., CGO 2019.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fatal error reporting helpers. The library follows the LLVM convention of
+/// not using exceptions: programmatic errors abort via assertions or
+/// kf::reportFatalError, and recoverable conditions are surfaced through
+/// return values (std::optional / status structs) at the API boundary.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KF_SUPPORT_ERROR_H
+#define KF_SUPPORT_ERROR_H
+
+#include <string>
+
+namespace kf {
+
+/// Prints \p Message to stderr and aborts the process. Used for invariant
+/// violations that must be diagnosed even in release builds.
+[[noreturn]] void reportFatalError(const std::string &Message);
+
+/// Marks a point in the control flow that must never be reached if the
+/// program invariants hold. Aborts with \p Message when executed.
+[[noreturn]] void unreachableImpl(const char *Message, const char *File,
+                                  unsigned Line);
+
+} // namespace kf
+
+/// Use KF_UNREACHABLE("why") for covered-switch defaults and impossible
+/// states; it reports file/line before aborting.
+#define KF_UNREACHABLE(MSG) ::kf::unreachableImpl(MSG, __FILE__, __LINE__)
+
+#endif // KF_SUPPORT_ERROR_H

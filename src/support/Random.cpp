@@ -1,0 +1,4 @@
+//===- support/Random.cpp -------------------------------------------------===//
+// Rng is header-only; this file anchors the translation unit for the target.
+
+#include "support/Random.h"

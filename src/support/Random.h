@@ -1,0 +1,60 @@
+//===- support/Random.h - Deterministic pseudo-random numbers --*- C++ -*-===//
+///
+/// \file
+/// A small, deterministic xorshift-based RNG. Every randomized component of
+/// the reproduction (test-input images, random DAGs, the measurement-noise
+/// model of the GPU simulator) draws from this generator so results are
+/// bit-reproducible across runs and platforms.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KF_SUPPORT_RANDOM_H
+#define KF_SUPPORT_RANDOM_H
+
+#include <cstdint>
+
+namespace kf {
+
+/// xorshift64* generator (Vigna, 2016). Deterministic across platforms,
+/// unlike std::mt19937 paired with standard distributions.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed = 0x9e3779b97f4a7c15ull) : State(Seed | 1) {}
+
+  /// Next raw 64-bit value.
+  uint64_t next() {
+    State ^= State >> 12;
+    State ^= State << 25;
+    State ^= State >> 27;
+    return State * 0x2545f4914f6cdd1dull;
+  }
+
+  /// Uniform double in [0, 1).
+  double nextDouble() {
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Uniform double in [Lo, Hi).
+  double uniform(double Lo, double Hi) {
+    return Lo + (Hi - Lo) * nextDouble();
+  }
+
+  /// Uniform integer in [0, Bound). \p Bound must be non-zero.
+  uint64_t nextBelow(uint64_t Bound) { return next() % Bound; }
+
+  /// Approximately normal sample (mean 0, stddev 1) via the sum of twelve
+  /// uniforms; adequate for the multiplicative timing-noise model.
+  double nextGaussian() {
+    double Sum = 0.0;
+    for (int I = 0; I < 12; ++I)
+      Sum += nextDouble();
+    return Sum - 6.0;
+  }
+
+private:
+  uint64_t State;
+};
+
+} // namespace kf
+
+#endif // KF_SUPPORT_RANDOM_H

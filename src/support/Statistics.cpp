@@ -1,0 +1,52 @@
+//===- support/Statistics.cpp ---------------------------------------------===//
+
+#include "support/Statistics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+using namespace kf;
+
+double kf::quantileSorted(const std::vector<double> &Sorted, double Q) {
+  assert(!Sorted.empty() && "quantile of an empty sample");
+  assert(Q >= 0.0 && Q <= 1.0 && "quantile out of range");
+  if (Sorted.size() == 1)
+    return Sorted.front();
+  double Rank = Q * static_cast<double>(Sorted.size() - 1);
+  size_t Lo = static_cast<size_t>(std::floor(Rank));
+  size_t Hi = static_cast<size_t>(std::ceil(Rank));
+  double Frac = Rank - static_cast<double>(Lo);
+  return Sorted[Lo] * (1.0 - Frac) + Sorted[Hi] * Frac;
+}
+
+BoxStats kf::computeBoxStats(std::vector<double> Samples) {
+  assert(!Samples.empty() && "box stats of an empty sample");
+  std::sort(Samples.begin(), Samples.end());
+  BoxStats Stats;
+  Stats.Min = Samples.front();
+  Stats.Max = Samples.back();
+  Stats.Q25 = quantileSorted(Samples, 0.25);
+  Stats.Median = quantileSorted(Samples, 0.50);
+  Stats.Q75 = quantileSorted(Samples, 0.75);
+  Stats.Mean = arithmeticMean(Samples);
+  Stats.Count = Samples.size();
+  return Stats;
+}
+
+double kf::geometricMean(const std::vector<double> &Values) {
+  assert(!Values.empty() && "geometric mean of an empty sample");
+  double LogSum = 0.0;
+  for (double V : Values) {
+    assert(V > 0.0 && "geometric mean requires positive values");
+    LogSum += std::log(V);
+  }
+  return std::exp(LogSum / static_cast<double>(Values.size()));
+}
+
+double kf::arithmeticMean(const std::vector<double> &Values) {
+  assert(!Values.empty() && "mean of an empty sample");
+  double Sum = std::accumulate(Values.begin(), Values.end(), 0.0);
+  return Sum / static_cast<double>(Values.size());
+}

@@ -1,0 +1,48 @@
+//===- support/Statistics.h - Box-plot statistics & geomean ----*- C++ -*-===//
+///
+/// \file
+/// Summary statistics used to reproduce the evaluation section of the paper:
+/// Figure 6 reports box plots (min, 25th percentile, median, 75th percentile,
+/// max) over 500 runs and Table II reports geometric means of speedups.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KF_SUPPORT_STATISTICS_H
+#define KF_SUPPORT_STATISTICS_H
+
+#include <cstddef>
+#include <vector>
+
+namespace kf {
+
+/// Five-number summary of a sample plus its arithmetic mean, matching the
+/// whisker/box/median decomposition in Figure 6 of the paper.
+struct BoxStats {
+  double Min = 0.0;
+  double Q25 = 0.0;
+  double Median = 0.0;
+  double Q75 = 0.0;
+  double Max = 0.0;
+  double Mean = 0.0;
+  size_t Count = 0;
+};
+
+/// Computes box-plot statistics for \p Samples. Quartiles use linear
+/// interpolation between closest ranks (the "R-7" definition used by NumPy).
+/// \p Samples must be non-empty.
+BoxStats computeBoxStats(std::vector<double> Samples);
+
+/// Returns the \p Q quantile (0 <= Q <= 1) of \p Sorted, which must be
+/// sorted ascending and non-empty. Linear interpolation between ranks.
+double quantileSorted(const std::vector<double> &Sorted, double Q);
+
+/// Geometric mean of \p Values; all values must be strictly positive.
+/// Used for Table II (geometric mean of speedups across GPUs).
+double geometricMean(const std::vector<double> &Values);
+
+/// Arithmetic mean of \p Values; must be non-empty.
+double arithmeticMean(const std::vector<double> &Values);
+
+} // namespace kf
+
+#endif // KF_SUPPORT_STATISTICS_H

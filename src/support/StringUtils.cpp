@@ -1,0 +1,75 @@
+//===- support/StringUtils.cpp --------------------------------------------===//
+
+#include "support/StringUtils.h"
+
+#include <cctype>
+#include <cstdio>
+
+using namespace kf;
+
+std::vector<std::string> kf::splitString(std::string_view Text,
+                                         char Separator) {
+  std::vector<std::string> Parts;
+  size_t Start = 0;
+  while (true) {
+    size_t Pos = Text.find(Separator, Start);
+    if (Pos == std::string_view::npos) {
+      Parts.emplace_back(Text.substr(Start));
+      return Parts;
+    }
+    Parts.emplace_back(Text.substr(Start, Pos - Start));
+    Start = Pos + 1;
+  }
+}
+
+std::string kf::joinStrings(const std::vector<std::string> &Parts,
+                            std::string_view Separator) {
+  std::string Result;
+  for (size_t I = 0, E = Parts.size(); I != E; ++I) {
+    if (I != 0)
+      Result += Separator;
+    Result += Parts[I];
+  }
+  return Result;
+}
+
+std::string kf::trimString(std::string_view Text) {
+  size_t Begin = 0;
+  size_t End = Text.size();
+  while (Begin != End && std::isspace(static_cast<unsigned char>(Text[Begin])))
+    ++Begin;
+  while (End != Begin &&
+         std::isspace(static_cast<unsigned char>(Text[End - 1])))
+    --End;
+  return std::string(Text.substr(Begin, End - Begin));
+}
+
+std::string kf::padLeft(std::string_view Text, size_t Width) {
+  if (Text.size() >= Width)
+    return std::string(Text);
+  return std::string(Width - Text.size(), ' ') + std::string(Text);
+}
+
+std::string kf::padRight(std::string_view Text, size_t Width) {
+  if (Text.size() >= Width)
+    return std::string(Text);
+  return std::string(Text) + std::string(Width - Text.size(), ' ');
+}
+
+std::string kf::formatDouble(double Value, int Precision) {
+  char Buffer[64];
+  std::snprintf(Buffer, sizeof(Buffer), "%.*f", Precision, Value);
+  return Buffer;
+}
+
+bool kf::isIntegerLiteral(std::string_view Text) {
+  if (Text.empty())
+    return false;
+  size_t Begin = (Text[0] == '+' || Text[0] == '-') ? 1 : 0;
+  if (Begin == Text.size())
+    return false;
+  for (size_t I = Begin, E = Text.size(); I != E; ++I)
+    if (!std::isdigit(static_cast<unsigned char>(Text[I])))
+      return false;
+  return true;
+}

@@ -1,0 +1,41 @@
+//===- support/StringUtils.h - Small string helpers ------------*- C++ -*-===//
+///
+/// \file
+/// String helpers used by the printers and the command-line parser.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KF_SUPPORT_STRINGUTILS_H
+#define KF_SUPPORT_STRINGUTILS_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace kf {
+
+/// Splits \p Text on \p Separator; empty fields are kept.
+std::vector<std::string> splitString(std::string_view Text, char Separator);
+
+/// Joins \p Parts with \p Separator between consecutive elements.
+std::string joinStrings(const std::vector<std::string> &Parts,
+                        std::string_view Separator);
+
+/// Strips leading and trailing ASCII whitespace.
+std::string trimString(std::string_view Text);
+
+/// Pads \p Text with spaces on the left up to \p Width (right alignment).
+std::string padLeft(std::string_view Text, size_t Width);
+
+/// Pads \p Text with spaces on the right up to \p Width (left alignment).
+std::string padRight(std::string_view Text, size_t Width);
+
+/// Formats a double with \p Precision fractional digits.
+std::string formatDouble(double Value, int Precision);
+
+/// Returns true if \p Text consists only of an optional sign and digits.
+bool isIntegerLiteral(std::string_view Text);
+
+} // namespace kf
+
+#endif // KF_SUPPORT_STRINGUTILS_H

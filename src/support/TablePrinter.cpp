@@ -1,0 +1,56 @@
+//===- support/TablePrinter.cpp -------------------------------------------===//
+
+#include "support/TablePrinter.h"
+
+#include "support/Error.h"
+#include "support/StringUtils.h"
+
+#include <cassert>
+
+using namespace kf;
+
+TablePrinter::TablePrinter(std::vector<std::string> HeaderIn)
+    : Header(std::move(HeaderIn)) {
+  assert(!Header.empty() && "table needs at least one column");
+}
+
+void TablePrinter::addRow(std::vector<std::string> Row) {
+  if (Row.size() != Header.size())
+    reportFatalError("table row arity does not match header");
+  Rows.push_back(std::move(Row));
+}
+
+std::string TablePrinter::render() const {
+  std::vector<size_t> Widths(Header.size());
+  for (size_t C = 0; C != Header.size(); ++C)
+    Widths[C] = Header[C].size();
+  for (const auto &Row : Rows)
+    for (size_t C = 0; C != Row.size(); ++C)
+      Widths[C] = std::max(Widths[C], Row[C].size());
+
+  auto renderRow = [&](const std::vector<std::string> &Row) {
+    std::string Line;
+    for (size_t C = 0; C != Row.size(); ++C) {
+      if (C != 0)
+        Line += "  ";
+      Line += C == 0 ? padRight(Row[C], Widths[C]) : padLeft(Row[C], Widths[C]);
+    }
+    return Line + "\n";
+  };
+
+  std::string Out = renderRow(Header);
+  size_t Total = 0;
+  for (size_t C = 0; C != Widths.size(); ++C)
+    Total += Widths[C] + (C == 0 ? 0 : 2);
+  Out += std::string(Total, '-') + "\n";
+  for (const auto &Row : Rows)
+    Out += renderRow(Row);
+  return Out;
+}
+
+std::string TablePrinter::renderCsv() const {
+  std::string Out = joinStrings(Header, ",") + "\n";
+  for (const auto &Row : Rows)
+    Out += joinStrings(Row, ",") + "\n";
+  return Out;
+}

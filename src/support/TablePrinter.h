@@ -1,0 +1,43 @@
+//===- support/TablePrinter.h - Aligned text tables and CSV ----*- C++ -*-===//
+///
+/// \file
+/// Renders the tables of the evaluation section (Table I, Table II and the
+/// Figure 6 series) as aligned monospace text or CSV. Cells are strings;
+/// numeric formatting is chosen by the caller.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KF_SUPPORT_TABLEPRINTER_H
+#define KF_SUPPORT_TABLEPRINTER_H
+
+#include <string>
+#include <vector>
+
+namespace kf {
+
+/// A simple column-aligned table with one header row.
+class TablePrinter {
+public:
+  explicit TablePrinter(std::vector<std::string> Header);
+
+  /// Appends a data row; its arity must match the header.
+  void addRow(std::vector<std::string> Row);
+
+  /// Renders the table with a separator line under the header. The first
+  /// column is left-aligned, remaining columns right-aligned.
+  std::string render() const;
+
+  /// Renders the table as CSV (no quoting; cells must not contain commas).
+  std::string renderCsv() const;
+
+  size_t numRows() const { return Rows.size(); }
+  size_t numColumns() const { return Header.size(); }
+
+private:
+  std::vector<std::string> Header;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+} // namespace kf
+
+#endif // KF_SUPPORT_TABLEPRINTER_H

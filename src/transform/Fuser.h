@@ -1,0 +1,43 @@
+//===- transform/Fuser.h - Materialize partitions as fused kernels -*- C++-*-===//
+///
+/// \file
+/// Applies a fusion partition to a program, producing the FusedProgram the
+/// simulator executes and the CUDA backend prints. The fuser decides
+/// output placements per stage (register, register-recompute, shared
+/// tile), computes evaluation multiplicities, and records the grown window
+/// widths the cost model and the index-exchange border handling need.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KF_TRANSFORM_FUSER_H
+#define KF_TRANSFORM_FUSER_H
+
+#include "transform/FusedKernel.h"
+
+namespace kf {
+
+/// Tile block shape assumed for shared-tile amortization (threads per
+/// block = Width x Height). Matches the simulator's default launch shape.
+struct TileShape {
+  int Width = 32;
+  int Height = 4;
+};
+
+/// Fuses \p P according to partition \p S. \p S must validate against
+/// \p P (aborts otherwise); every multi-kernel block must be a legal
+/// fusion candidate -- the fuser asserts the structural invariants the
+/// legality checker guarantees (single sink, acyclic block order).
+FusedProgram fuseProgram(const Program &P, const Partition &S,
+                         FusionStyle Style,
+                         const TileShape &Tile = TileShape());
+
+/// Convenience: the unfused baseline (singleton partition).
+FusedProgram unfusedProgram(const Program &P);
+
+/// Renders the fused program structure (stages, placements,
+/// multiplicities) as text for traces and golden tests.
+std::string fusedProgramToString(const FusedProgram &FP);
+
+} // namespace kf
+
+#endif // KF_TRANSFORM_FUSER_H

@@ -1,0 +1,109 @@
+//===- tests/test_backend.cpp - CUDA emitter golden checks ----------------------===//
+
+#include "backend/cuda/CudaEmitter.h"
+#include "fusion/MinCutPartitioner.h"
+#include "pipelines/Pipelines.h"
+#include "transform/Fuser.h"
+
+#include <gtest/gtest.h>
+
+using namespace kf;
+
+namespace {
+
+HardwareModel paperModel() {
+  HardwareModel HW;
+  HW.SharedMemThreshold = 2.0;
+  return HW;
+}
+
+FusedProgram optimizedFusion(const Program &P) {
+  MinCutFusionResult Fusion = runMinCutFusion(P, paperModel());
+  return fuseProgram(P, Fusion.Blocks, FusionStyle::Optimized);
+}
+
+TEST(CudaEmitter, UnfusedSobelEmitsThreeKernels) {
+  Program P = makeSobel(64, 64);
+  FusedProgram FP = unfusedProgram(P);
+  std::string Code = emitCudaProgram(FP);
+  EXPECT_NE(Code.find("__global__ void sobel_dx_kernel"), std::string::npos);
+  EXPECT_NE(Code.find("__global__ void sobel_dy_kernel"), std::string::npos);
+  EXPECT_NE(Code.find("__global__ void sobel_mag_kernel"),
+            std::string::npos);
+  EXPECT_NE(Code.find("sqrtf("), std::string::npos);
+  EXPECT_NE(Code.find("__constant__ float sobel_mask0[9]"),
+            std::string::npos);
+}
+
+TEST(CudaEmitter, FusedSobelEmitsOneKernelWithStages) {
+  Program P = makeSobel(64, 64);
+  FusedProgram FP = optimizedFusion(P);
+  std::string Code = emitCudaProgram(FP);
+  // One launchable kernel...
+  EXPECT_NE(Code.find("__global__ void sobel_dx_dy_mag_kernel"),
+            std::string::npos);
+  EXPECT_EQ(Code.find("__global__ void sobel_dx_kernel"),
+            std::string::npos);
+  // ...with device stage functions for the fused producers.
+  EXPECT_NE(Code.find("__device__ float sobel_dx_dy_mag_dx"),
+            std::string::npos);
+  EXPECT_NE(Code.find("placement register"), std::string::npos);
+}
+
+TEST(CudaEmitter, RecomputedStageAppliesIndexExchange) {
+  Program P = makeHarris(64, 64);
+  FusedProgram FP = optimizedFusion(P);
+  std::string Code = emitCudaProgram(FP);
+  // The gx stage window-reads the recomputed sx: the emitted code must
+  // exchange indices with the consumer's border mode before the call.
+  EXPECT_NE(Code.find("index exchange (clamp)"), std::string::npos);
+  EXPECT_NE(Code.find("idx_clamp("), std::string::npos);
+  EXPECT_NE(Code.find("harris_sx_gx_sx"), std::string::npos);
+}
+
+TEST(CudaEmitter, BorderHelpersEmittedOnce) {
+  Program P = makeBlurChain(32, 32, BorderMode::Mirror);
+  FusedProgram FP = unfusedProgram(P);
+  std::string Code = emitCudaProgram(FP);
+  EXPECT_NE(Code.find("__device__ int idx_mirror"), std::string::npos);
+  EXPECT_NE(Code.find("idx_mirror("), std::string::npos);
+}
+
+TEST(CudaEmitter, ConstantBorderInlinesValue) {
+  Program P = makeBlurChain(32, 32, BorderMode::Constant);
+  FusedProgram FP = unfusedProgram(P);
+  std::string Code = emitCudaProgram(FP);
+  // Constant border: out-of-bounds reads short-circuit to the constant.
+  EXPECT_NE(Code.find("? 0.000000f :"), std::string::npos);
+}
+
+TEST(CudaEmitter, StencilLoopsAreEmitted) {
+  Program P = makeBlurChain(32, 32, BorderMode::Clamp);
+  FusedProgram FP = unfusedProgram(P);
+  std::string Code = emitCudaKernel(FP, 0);
+  EXPECT_NE(Code.find("for (int dy0 = -1; dy0 <= 1; ++dy0)"),
+            std::string::npos);
+  EXPECT_NE(Code.find("blurchain_mask0["), std::string::npos);
+}
+
+TEST(CudaEmitter, RgbKernelLoopsOverChannels) {
+  Program P = makeNight(32, 32);
+  FusedProgram FP = unfusedProgram(P);
+  std::string Code = emitCudaProgram(FP);
+  EXPECT_NE(Code.find("for (int c = 0; c < 3; ++c)"), std::string::npos);
+}
+
+TEST(CudaEmitter, HeaderMentionsStyleAndLaunchCount) {
+  Program P = makeUnsharp(32, 32);
+  FusedProgram FP = optimizedFusion(P);
+  std::string Code = emitCudaProgram(FP);
+  EXPECT_NE(Code.find("style: optimized, launches: 1"), std::string::npos);
+}
+
+TEST(CudaEmitter, DeterministicOutput) {
+  Program P = makeHarris(64, 64);
+  FusedProgram FP = optimizedFusion(P);
+  EXPECT_EQ(emitCudaProgram(FP), emitCudaProgram(FP));
+}
+
+} // namespace

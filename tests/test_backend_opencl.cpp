@@ -1,0 +1,73 @@
+//===- tests/test_backend_opencl.cpp - OpenCL emitter golden checks -------------===//
+
+#include "backend/opencl/ClEmitter.h"
+#include "fusion/MinCutPartitioner.h"
+#include "pipelines/Pipelines.h"
+#include "transform/Fuser.h"
+
+#include <gtest/gtest.h>
+
+using namespace kf;
+
+namespace {
+
+FusedProgram optimizedFusion(const Program &P) {
+  HardwareModel HW;
+  MinCutFusionResult Fusion = runMinCutFusion(P, HW);
+  return fuseProgram(P, Fusion.Blocks, FusionStyle::Optimized);
+}
+
+TEST(OpenClEmitter, EmitsKernelEntryPoints) {
+  Program P = makeSobel(64, 64);
+  FusedProgram FP = unfusedProgram(P);
+  std::string Code = emitOpenClProgram(FP);
+  EXPECT_NE(Code.find("__kernel void sobel_dx_kernel(__global float *out, "
+                      "__global const float *img_in"),
+            std::string::npos);
+  EXPECT_NE(Code.find("int x = get_global_id(0);"), std::string::npos);
+  EXPECT_NE(Code.find("int y = get_global_id(1);"), std::string::npos);
+  // No CUDA or host-C++ constructs leak through.
+  EXPECT_EQ(Code.find("__global__"), std::string::npos);
+  EXPECT_EQ(Code.find("__device__"), std::string::npos);
+  EXPECT_EQ(Code.find("blockIdx"), std::string::npos);
+  EXPECT_EQ(Code.find("#include"), std::string::npos);
+  EXPECT_EQ(Code.find("extern \"C\""), std::string::npos);
+}
+
+TEST(OpenClEmitter, UsesGenericMathBuiltins) {
+  Program P = makeSobel(64, 64);
+  std::string Code = emitOpenClProgram(optimizedFusion(P));
+  // sqrt, not sqrtf -- OpenCL C generic overloads.
+  EXPECT_NE(Code.find("sqrt("), std::string::npos);
+  EXPECT_EQ(Code.find("sqrtf("), std::string::npos);
+}
+
+TEST(OpenClEmitter, MasksLiveInConstantMemory) {
+  Program P = makeBlurChain(32, 32, BorderMode::Clamp);
+  std::string Code = emitOpenClProgram(unfusedProgram(P));
+  EXPECT_NE(Code.find("__constant float blurchain_mask0[9]"),
+            std::string::npos);
+}
+
+TEST(OpenClEmitter, FusedStagesBecomeHelperFunctions) {
+  Program P = makeHarris(64, 64);
+  std::string Code = emitOpenClProgram(optimizedFusion(P));
+  EXPECT_NE(Code.find("float harris_sx_gx_sx(__global const float "
+                      "*img_dx_out"),
+            std::string::npos);
+  EXPECT_NE(Code.find("index exchange (clamp)"), std::string::npos);
+}
+
+TEST(OpenClEmitter, HeaderNamesTheDialect) {
+  Program P = makeUnsharp(32, 32);
+  std::string Code = emitOpenClProgram(optimizedFusion(P));
+  EXPECT_NE(Code.find("// OpenCL code generated"), std::string::npos);
+}
+
+TEST(OpenClEmitter, DeterministicOutput) {
+  Program P = makeEnhancement(32, 32);
+  FusedProgram FP = optimizedFusion(P);
+  EXPECT_EQ(emitOpenClProgram(FP), emitOpenClProgram(FP));
+}
+
+} // namespace

@@ -1,0 +1,193 @@
+//===- tests/test_costmodel.cpp - Simulator cost model -------------------------===//
+//
+// Accounting and timing-model properties: fusion removes global traffic
+// and launches, occupancy reacts to shared-memory pressure, and the
+// estimated times reproduce the evaluation's qualitative shape (memory-
+// bound pipelines gain, the compute-bound Night filter does not).
+//
+//===----------------------------------------------------------------------===//
+
+#include "fusion/BasicFusion.h"
+#include "fusion/MinCutPartitioner.h"
+#include "pipelines/Pipelines.h"
+#include "sim/CostModel.h"
+#include "sim/Runner.h"
+#include "transform/Fuser.h"
+
+#include <gtest/gtest.h>
+
+using namespace kf;
+
+namespace {
+
+HardwareModel paperModel() {
+  HardwareModel HW;
+  HW.SharedMemThreshold = 2.0;
+  return HW;
+}
+
+/// Baseline/optimized stats of a pipeline at a reduced size (accounting is
+/// analytic, so any size exercises the same code).
+struct VariantStats {
+  ProgramStats Baseline;
+  ProgramStats Optimized;
+};
+
+VariantStats statsFor(const Program &P) {
+  VariantStats Result;
+  Result.Baseline = accountFusedProgram(unfusedProgram(P));
+  MinCutFusionResult Fusion = runMinCutFusion(P, paperModel());
+  Result.Optimized = accountFusedProgram(
+      fuseProgram(P, Fusion.Blocks, FusionStyle::Optimized));
+  return Result;
+}
+
+TEST(CostModel, FusionReducesGlobalTrafficAndLaunches) {
+  for (const PipelineSpec &Spec : paperPipelines()) {
+    Program P = Spec.Builder(256, 256);
+    VariantStats Stats = statsFor(P);
+    EXPECT_LE(Stats.Optimized.totalGlobalBytes(),
+              Stats.Baseline.totalGlobalBytes())
+        << Spec.Name;
+    EXPECT_LE(Stats.Optimized.numLaunches(), Stats.Baseline.numLaunches())
+        << Spec.Name;
+  }
+}
+
+TEST(CostModel, UnsharpEliminatesThreeIntermediates) {
+  Program P = makeUnsharp(256, 256);
+  VariantStats Stats = statsFor(P);
+  double ImageBytes = 256.0 * 256.0 * 4.0;
+  // Baseline writes 4 images; the fused kernel writes only the output.
+  double BaselineWrites = 0.0, OptimizedWrites = 0.0;
+  for (const LaunchStats &L : Stats.Baseline.Launches)
+    BaselineWrites += L.GlobalBytesWritten;
+  for (const LaunchStats &L : Stats.Optimized.Launches)
+    OptimizedWrites += L.GlobalBytesWritten;
+  EXPECT_DOUBLE_EQ(BaselineWrites, 4.0 * ImageBytes);
+  EXPECT_DOUBLE_EQ(OptimizedWrites, 1.0 * ImageBytes);
+  EXPECT_EQ(Stats.Optimized.numLaunches(), 1u);
+}
+
+TEST(CostModel, RecomputeMultipliesComputation) {
+  // Harris optimized: sx is recomputed 9x inside sx+gx, so fused ALU ops
+  // exceed the baseline's.
+  Program P = makeHarris(128, 128);
+  VariantStats Stats = statsFor(P);
+  EXPECT_GT(Stats.Optimized.totalAluOps(), Stats.Baseline.totalAluOps());
+}
+
+TEST(CostModel, OccupancyDropsWithSharedPressure) {
+  DeviceSpec Device = DeviceSpec::gtx680();
+  CostModelParams Params;
+  LaunchStats Light;
+  Light.SharedBytesPerBlock = 512.0;
+  LaunchStats Heavy;
+  Heavy.SharedBytesPerBlock = 24.0 * 1024.0;
+  EXPECT_GT(launchOccupancy(Light, Device, Params),
+            launchOccupancy(Heavy, Device, Params));
+  EXPECT_LE(launchOccupancy(Light, Device, Params), 1.0);
+  EXPECT_GT(launchOccupancy(Heavy, Device, Params), 0.0);
+}
+
+TEST(CostModel, LowOccupancyStretchesTime) {
+  DeviceSpec Device = DeviceSpec::gtx680();
+  CostModelParams Params;
+  LaunchStats Stats;
+  Stats.OutputPixels = 1 << 20;
+  Stats.GlobalBytesRead = 64.0 * (1 << 20);
+  Stats.GlobalBytesWritten = 4.0 * (1 << 20);
+  Stats.AluOps = 1e7;
+  double Fast = estimateLaunchTimeMs(Stats, Device, Params);
+  Stats.SharedBytesPerBlock = 40.0 * 1024.0; // One block per SM.
+  double Slow = estimateLaunchTimeMs(Stats, Device, Params);
+  EXPECT_GT(Slow, Fast);
+}
+
+TEST(CostModel, MoreBandwidthShortensMemoryBoundKernels) {
+  CostModelParams Params;
+  LaunchStats Stats;
+  Stats.GlobalBytesRead = 1e9;
+  double Slow = estimateLaunchTimeMs(Stats, DeviceSpec::gtx745(), Params);
+  double Fast = estimateLaunchTimeMs(Stats, DeviceSpec::gtx680(), Params);
+  EXPECT_GT(Slow, Fast);
+  EXPECT_NEAR(Slow / Fast, 192.3 / 28.8, 0.01);
+}
+
+TEST(CostModel, ProgramTimeIncludesLaunchOverheads) {
+  DeviceSpec Device = DeviceSpec::k20c();
+  CostModelParams Params;
+  ProgramStats Stats;
+  Stats.Launches.resize(4); // Four empty launches.
+  double Time = estimateProgramTimeMs(Stats, Device, Params);
+  EXPECT_NEAR(Time, 4 * Device.LaunchOverheadUs * 1e-3, 1e-9);
+}
+
+TEST(CostModel, DeviceSpecsMatchPaperFigures) {
+  DeviceSpec A = DeviceSpec::gtx745();
+  EXPECT_EQ(A.CudaCores, 384);
+  EXPECT_NEAR(A.CoreClockGHz, 1.033, 1e-9);
+  DeviceSpec B = DeviceSpec::gtx680();
+  EXPECT_EQ(B.CudaCores, 1536);
+  EXPECT_NEAR(B.MemClockMHz, 3004.0, 1e-9);
+  DeviceSpec Ck = DeviceSpec::k20c();
+  EXPECT_EQ(Ck.CudaCores, 2496);
+  EXPECT_NEAR(Ck.CoreClockGHz, 0.706, 1e-9);
+  for (const DeviceSpec &D : DeviceSpec::paperDevices()) {
+    EXPECT_EQ(D.SharedMemPerSMBytes, 48 * 1024);
+    EXPECT_EQ(D.RegistersPerSM, 65536);
+  }
+}
+
+TEST(CostModel, OptimizedBeatsBaselineOnMemoryBoundApps) {
+  CostModelParams Params;
+  for (const char *Name : {"harris", "sobel", "unsharp", "shitomasi"}) {
+    const PipelineSpec *Spec = findPipeline(Name);
+    ASSERT_NE(Spec, nullptr);
+    Program P = Spec->build();
+    VariantStats Stats = statsFor(P);
+    for (const DeviceSpec &Device : DeviceSpec::paperDevices()) {
+      double Base = estimateProgramTimeMs(Stats.Baseline, Device, Params);
+      double Opt = estimateProgramTimeMs(Stats.Optimized, Device, Params);
+      EXPECT_GT(Base / Opt, 1.0) << Name << " on " << Device.Name;
+    }
+  }
+}
+
+TEST(CostModel, NightSpeedupIsMarginal) {
+  // The compute-bound case: the paper reports at most 1.02.
+  Program P = makeNight(1920, 1200);
+  VariantStats Stats = statsFor(P);
+  CostModelParams Params;
+  for (const DeviceSpec &Device : DeviceSpec::paperDevices()) {
+    double Base = estimateProgramTimeMs(Stats.Baseline, Device, Params);
+    double Opt = estimateProgramTimeMs(Stats.Optimized, Device, Params);
+    EXPECT_GE(Base / Opt, 0.99) << Device.Name;
+    EXPECT_LE(Base / Opt, 1.10) << Device.Name;
+  }
+}
+
+TEST(Runner, NoiseIsDeterministicAndBounded) {
+  NoiseModel Noise;
+  BoxStats A = simulateRuns(10.0, 500, Noise);
+  BoxStats B = simulateRuns(10.0, 500, Noise);
+  EXPECT_DOUBLE_EQ(A.Median, B.Median);
+  EXPECT_DOUBLE_EQ(A.Max, B.Max);
+  EXPECT_EQ(A.Count, 500u);
+  // All samples at or above the base time, within the spike bound.
+  EXPECT_GE(A.Min, 10.0);
+  EXPECT_LE(A.Max, 10.0 * (1.0 + 6.0 * Noise.JitterStdDev + Noise.SpikeMax));
+  EXPECT_LE(A.Q25, A.Median);
+  EXPECT_LE(A.Median, A.Q75);
+}
+
+TEST(Runner, MeasureFusedProgramProducesStats) {
+  Program P = makeSobel(64, 64);
+  FusedProgram FP = unfusedProgram(P);
+  BoxStats Stats = measureFusedProgram(FP, DeviceSpec::gtx680(),
+                                       CostModelParams(), 50);
+  EXPECT_EQ(Stats.Count, 50u);
+  EXPECT_GT(Stats.Median, 0.0);
+}
+
+} // namespace

@@ -1,0 +1,134 @@
+//===- tests/test_distribution.cpp - Kernel distribution pass -------------------===//
+//
+// The retargeting pass: partitions fused under one hardware model are
+// re-split under a tighter one, preserving validity and acceptability,
+// keeping acceptable blocks verbatim, and losing as little estimated
+// benefit as the min-cut can manage.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fusion/Distribution.h"
+#include "fusion/MinCutPartitioner.h"
+#include "image/Compare.h"
+#include "image/Generators.h"
+#include "pipelines/Pipelines.h"
+#include "sim/Executor.h"
+#include "transform/Fuser.h"
+
+#include <gtest/gtest.h>
+
+using namespace kf;
+
+namespace {
+
+HardwareModel modelWithThreshold(double Threshold) {
+  HardwareModel HW;
+  HW.SharedMemThreshold = Threshold;
+  return HW;
+}
+
+TEST(Distribution, KeepsFittingPartitionsVerbatim) {
+  Program P = makeHarris(32, 32);
+  HardwareModel HW = modelWithThreshold(2.0);
+  MinCutFusionResult Fusion = runMinCutFusion(P, HW);
+  DistributionResult Dist = distributeBlocks(P, Fusion.Blocks, HW);
+  EXPECT_EQ(Dist.NumBlocksSplit, 0u);
+  EXPECT_TRUE(Dist.Blocks == Fusion.Blocks);
+  EXPECT_DOUBLE_EQ(Dist.BenefitBefore, Dist.BenefitAfter);
+}
+
+TEST(Distribution, SplitsBlurChainUnderTighterThreshold) {
+  // Fused under a permissive threshold, the two convolutions form one
+  // block (ratio 5/3); a threshold below that forces distribution.
+  Program P = makeBlurChain(32, 32, BorderMode::Clamp);
+  HardwareModel Loose = modelWithThreshold(4.0);
+  Loose.GlobalAccessCycles = 80000.0; // Make the l2l edge beneficial.
+  MinCutFusionResult Fusion = runMinCutFusion(P, Loose);
+  ASSERT_EQ(Fusion.Blocks.Blocks.size(), 1u) << "expected l2l fusion";
+
+  HardwareModel Tight = Loose;
+  Tight.SharedMemThreshold = 1.2; // Below 5/3.
+  DistributionResult Dist = distributeBlocks(P, Fusion.Blocks, Tight);
+  EXPECT_EQ(Dist.NumBlocksSplit, 1u);
+  EXPECT_EQ(Dist.Blocks.Blocks.size(), 2u);
+  EXPECT_EQ(validatePartition(P, Dist.Blocks), "");
+  ASSERT_EQ(Dist.Log.size(), 1u);
+  EXPECT_NE(Dist.Log.front().find("split {conv0, conv1}"),
+            std::string::npos);
+}
+
+TEST(Distribution, ResultIsAcceptableUnderTargetModel) {
+  // Property over the paper pipelines: fuse with a loose model, retarget
+  // to the paper model -- every resulting block must be acceptable, and
+  // the result must be a valid partition.
+  HardwareModel Loose = modelWithThreshold(100.0);
+  HardwareModel Target = modelWithThreshold(2.0);
+  for (const PipelineSpec &Spec : paperPipelines()) {
+    Program P = Spec.Builder(48, 48);
+    MinCutFusionResult Fusion = runMinCutFusion(P, Loose);
+    DistributionResult Dist = distributeBlocks(P, Fusion.Blocks, Target);
+    EXPECT_EQ(validatePartition(P, Dist.Blocks), "") << Spec.Name;
+    LegalityChecker Checker(P, Target);
+    BenefitModel Model(Checker);
+    for (const PartitionBlock &Block : Dist.Blocks.Blocks)
+      EXPECT_EQ(fusibleBlockRejection(Model, Block.Kernels), "")
+          << Spec.Name;
+    EXPECT_LE(Dist.BenefitAfter, Dist.BenefitBefore + 1e-9) << Spec.Name;
+  }
+}
+
+TEST(Distribution, HarrisLooseThenPaperMatchesDirectFusion) {
+  // Distributing the loose full-ish fusion under the paper model must
+  // reach the same objective as fusing directly with the paper model
+  // (both are driven by the same min-cut machinery).
+  Program P = makeHarris(32, 32);
+  HardwareModel Loose = modelWithThreshold(100.0);
+  HardwareModel Paper = modelWithThreshold(2.0);
+  MinCutFusionResult LooseFusion = runMinCutFusion(P, Loose);
+  DistributionResult Dist = distributeBlocks(P, LooseFusion.Blocks, Paper);
+  MinCutFusionResult Direct = runMinCutFusion(P, Paper);
+  EXPECT_DOUBLE_EQ(Dist.BenefitAfter, Direct.TotalBenefit);
+}
+
+TEST(Distribution, DistributedProgramStillExecutesCorrectly) {
+  Program P = makeUnsharp(24, 24);
+  HardwareModel Loose = modelWithThreshold(100.0);
+  MinCutFusionResult Fusion = runMinCutFusion(P, Loose);
+  DistributionResult Dist =
+      distributeBlocks(P, Fusion.Blocks, modelWithThreshold(2.0));
+  FusedProgram FP = fuseProgram(P, Dist.Blocks, FusionStyle::Optimized);
+
+  Rng Gen(5);
+  std::vector<Image> Reference = makeImagePool(P);
+  Reference[0] = makeRandomImage(24, 24, 1, Gen);
+  runUnfused(P, Reference);
+  std::vector<Image> Pool = makeImagePool(P);
+  Pool[0] = Reference[0];
+  runFused(FP, Pool);
+  EXPECT_DOUBLE_EQ(maxAbsDifference(Pool[4], Reference[4]), 0.0);
+}
+
+TEST(Distribution, RandomProgramsRetargetSoundly) {
+  Rng Gen(404);
+  HardwareModel Loose = modelWithThreshold(50.0);
+  HardwareModel Target = modelWithThreshold(1.5);
+  for (int Trial = 0; Trial != 10; ++Trial) {
+    Program P = makeRandomPipeline(8, 0.5, 16, 16, Gen);
+    MinCutFusionResult Fusion = runMinCutFusion(P, Loose);
+    DistributionResult Dist = distributeBlocks(P, Fusion.Blocks, Target);
+    ASSERT_EQ(validatePartition(P, Dist.Blocks), "") << "trial " << Trial;
+
+    FusedProgram FP = fuseProgram(P, Dist.Blocks, FusionStyle::Optimized);
+    std::vector<Image> Reference = makeImagePool(P);
+    Reference[0] = makeRandomImage(16, 16, 1, Gen);
+    runUnfused(P, Reference);
+    std::vector<Image> Pool = makeImagePool(P);
+    Pool[0] = Reference[0];
+    runFused(FP, Pool);
+    for (ImageId Out : P.terminalOutputs())
+      EXPECT_DOUBLE_EQ(maxAbsDifference(Pool[Out], Reference[Out]), 0.0)
+          << "trial " << Trial;
+  }
+}
+
+} // namespace

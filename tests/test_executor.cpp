@@ -1,0 +1,224 @@
+//===- tests/test_executor.cpp - Functional execution & Figure 4 -------------===//
+//
+// Correctness of the interpreter and the fusion transform: fused execution
+// must be bit-identical to unfused execution, including the halo region --
+// the central claim of Section IV. The Figure 4 tests check the paper's
+// exact numbers: 992 (body fusion), 648 (incorrect naive border fusion),
+// 763 (correct border fusion with index exchange).
+//
+//===----------------------------------------------------------------------===//
+
+#include "fusion/MinCutPartitioner.h"
+#include "image/Compare.h"
+#include "image/Generators.h"
+#include "pipelines/Pipelines.h"
+#include "sim/Executor.h"
+#include "transform/Fuser.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace kf;
+
+namespace {
+
+/// Fuses the whole program into one block (used to force local-to-local
+/// fusion regardless of the benefit model).
+Partition wholeProgramPartition(const Program &P) {
+  Partition S;
+  PartitionBlock Block;
+  for (KernelId Id = 0; Id != P.numKernels(); ++Id)
+    Block.Kernels.push_back(Id);
+  S.Blocks.push_back(std::move(Block));
+  return S;
+}
+
+TEST(Executor, Figure4UnfusedIntermediateValues) {
+  Program P = makeFigure4Program();
+  std::vector<Image> Pool = makeImagePool(P);
+  Pool[0] = makeFigure4Matrix();
+  runUnfused(P, Pool);
+
+  const Image &Mid = Pool[1];
+  // Intermediate values the paper prints in Figure 4: centre 61, border
+  // values 34 / 68 / 57 / 82 at the top-left corner.
+  EXPECT_FLOAT_EQ(Mid.at(2, 2), 61.0f);
+  EXPECT_FLOAT_EQ(Mid.at(0, 0), 34.0f);
+  EXPECT_FLOAT_EQ(Mid.at(1, 0), 68.0f);
+  EXPECT_FLOAT_EQ(Mid.at(0, 1), 57.0f);
+  EXPECT_FLOAT_EQ(Mid.at(1, 1), 82.0f);
+}
+
+TEST(Executor, Figure4BodyFusionValueIs992) {
+  // "Body fusion: conv+conv" -- the interior value of the twice-convolved
+  // matrix is 992 (Figure 4a).
+  Program P = makeFigure4Program();
+  std::vector<Image> Pool = makeImagePool(P);
+  Pool[0] = makeFigure4Matrix();
+  runUnfused(P, Pool);
+  EXPECT_FLOAT_EQ(Pool[2].at(2, 2), 992.0f);
+
+  // The fused kernel computes the same interior value.
+  FusedProgram FP = fuseProgram(P, wholeProgramPartition(P),
+                                FusionStyle::Optimized);
+  std::vector<Image> FusedPool = makeImagePool(P);
+  FusedPool[0] = makeFigure4Matrix();
+  runFused(FP, FusedPool);
+  EXPECT_FLOAT_EQ(FusedPool[2].at(2, 2), 992.0f);
+}
+
+TEST(Executor, Figure4IncorrectBorderFusionIntermediates) {
+  // "Border fusion incorrect: clamp+conv+conv" -- without the index
+  // exchange the fused kernel recomputes the producer at raw exterior
+  // positions. The window of intermediate values feeding the top-left
+  // output pixel is exactly the matrix Figure 4b prints:
+  //   16 24 56 / 24 34 68 / 48 57 82.
+  Program P = makeFigure4Program();
+  FusedProgram FP = fuseProgram(P, wholeProgramPartition(P),
+                                FusionStyle::Optimized);
+  std::vector<Image> Pool = makeImagePool(P);
+  Pool[0] = makeFigure4Matrix();
+  ExecutionOptions Naive;
+  Naive.UseIndexExchange = false;
+  runFused(FP, Pool, Naive);
+
+  // The raw exterior evaluations of the producer match Figure 4b's
+  // intermediate matrix exactly.
+  EXPECT_FLOAT_EQ(evalKernelAt(P, 0, Pool, -1, -1, 0), 16.0f);
+  EXPECT_FLOAT_EQ(evalKernelAt(P, 0, Pool, 0, -1, 0), 24.0f);
+  EXPECT_FLOAT_EQ(evalKernelAt(P, 0, Pool, 1, -1, 0), 56.0f);
+  EXPECT_FLOAT_EQ(evalKernelAt(P, 0, Pool, -1, 0, 0), 24.0f);
+  EXPECT_FLOAT_EQ(evalKernelAt(P, 0, Pool, -1, 1, 0), 48.0f);
+
+  // Convolving that window with the binomial mask gives 684. (The paper
+  // prints 648 in Figure 4b; recomputing from the figure's own
+  // intermediate values -- all of which we match -- yields 684, so 648
+  // appears to be an arithmetic slip. The point stands either way: the
+  // naive result differs from the correct 763.) See EXPERIMENTS.md.
+  EXPECT_FLOAT_EQ(Pool[2].at(0, 0), 684.0f);
+  EXPECT_NE(Pool[2].at(0, 0), 763.0f);
+}
+
+TEST(Executor, Figure4CorrectBorderFusionGives763) {
+  // "Border fusion correct: clamp+conv+clamp+conv" (Figure 4c).
+  Program P = makeFigure4Program();
+
+  // Unfused reference.
+  std::vector<Image> Reference = makeImagePool(P);
+  Reference[0] = makeFigure4Matrix();
+  runUnfused(P, Reference);
+  EXPECT_FLOAT_EQ(Reference[2].at(0, 0), 763.0f);
+
+  // Fused with index exchange: identical, including the halo.
+  FusedProgram FP = fuseProgram(P, wholeProgramPartition(P),
+                                FusionStyle::Optimized);
+  std::vector<Image> Pool = makeImagePool(P);
+  Pool[0] = makeFigure4Matrix();
+  runFused(FP, Pool);
+  EXPECT_FLOAT_EQ(Pool[2].at(0, 0), 763.0f);
+  EXPECT_DOUBLE_EQ(maxAbsDifference(Pool[2], Reference[2]), 0.0);
+}
+
+TEST(Executor, NaiveBorderFusionIsCorrectInTheInteriorOnly) {
+  // The naive method is exact in the interior region and wrong exactly in
+  // the halo -- the paper's motivation for the index-exchange method.
+  Program P = makeBlurChain(16, 16, BorderMode::Clamp);
+  std::vector<Image> Reference = makeImagePool(P);
+  Rng Gen(1234);
+  Reference[0] = makeRandomImage(16, 16, 1, Gen);
+  runUnfused(P, Reference);
+
+  FusedProgram FP = fuseProgram(P, wholeProgramPartition(P),
+                                FusionStyle::Optimized);
+  std::vector<Image> Pool = makeImagePool(P);
+  Pool[0] = Reference[0];
+  ExecutionOptions Naive;
+  Naive.UseIndexExchange = false;
+  runFused(FP, Pool, Naive);
+
+  // Fused halo for two 3x3 kernels: the outer 2 rows/columns.
+  EXPECT_EQ(maxAbsDifferenceInInterior(Pool[2], Reference[2], 2), 0.0);
+  EXPECT_GT(maxAbsDifferenceInHalo(Pool[2], Reference[2], 2), 0.0);
+}
+
+/// Border-mode sweep: local-to-local fusion must be exact for every
+/// border handling mode the DSL supports.
+class BorderModeFusion : public ::testing::TestWithParam<BorderMode> {};
+
+TEST_P(BorderModeFusion, BlurChainFusedMatchesUnfused) {
+  BorderMode Mode = GetParam();
+  Program P = makeBlurChain(20, 14, Mode);
+  Rng Gen(99);
+  Image Input = makeRandomImage(20, 14, 1, Gen);
+
+  std::vector<Image> Reference = makeImagePool(P);
+  Reference[0] = Input;
+  runUnfused(P, Reference);
+
+  FusedProgram FP = fuseProgram(P, wholeProgramPartition(P),
+                                FusionStyle::Optimized);
+  std::vector<Image> Pool = makeImagePool(P);
+  Pool[0] = Input;
+  runFused(FP, Pool);
+
+  EXPECT_DOUBLE_EQ(maxAbsDifference(Pool[2], Reference[2]), 0.0)
+      << "border mode: " << borderModeName(Mode);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModes, BorderModeFusion,
+                         ::testing::Values(BorderMode::Clamp,
+                                           BorderMode::Mirror,
+                                           BorderMode::Repeat,
+                                           BorderMode::Constant),
+                         [](const auto &Info) {
+                           return std::string(borderModeName(Info.param));
+                         });
+
+TEST(Executor, UnfusedHarrisProducesFiniteCornerResponse) {
+  Program P = makeHarris(24, 24);
+  std::vector<Image> Pool = makeImagePool(P);
+  Pool[0] = makeCheckerboardImage(24, 24, 6, 0.0f, 1.0f);
+  runUnfused(P, Pool);
+  const Image &Hc = Pool[P.numImages() - 1];
+  // A checkerboard has strong corners: the response must not be all-zero.
+  double MaxResponse = 0.0;
+  for (float V : Hc.data()) {
+    ASSERT_TRUE(std::isfinite(V));
+    MaxResponse = std::max(MaxResponse, std::abs(static_cast<double>(V)));
+  }
+  EXPECT_GT(MaxResponse, 1e-4);
+}
+
+TEST(Executor, EvalKernelAtMatchesFullRun) {
+  Program P = makeSobel(12, 12);
+  std::vector<Image> Pool = makeImagePool(P);
+  Rng Gen(7);
+  Pool[0] = makeRandomImage(12, 12, 1, Gen);
+  std::vector<Image> Full = Pool;
+  runUnfused(P, Full);
+  // Spot-check kernel 0 (dx) at a few pixels.
+  for (int X : {0, 5, 11})
+    for (int Y : {0, 6, 11})
+      EXPECT_FLOAT_EQ(evalKernelAt(P, 0, Pool, X, Y, 0), Full[1].at(X, Y));
+}
+
+TEST(Executor, ImpulseRevealsMaskFootprint) {
+  // Convolving an impulse spreads it exactly over the fused 5x5 window
+  // after two 3x3 convolutions.
+  Program P = makeBlurChain(15, 15, BorderMode::Constant);
+  std::vector<Image> Pool = makeImagePool(P);
+  Pool[0] = makeImpulseImage(15, 15, 256.0f);
+  runUnfused(P, Pool);
+  const Image &Out = Pool[2];
+  for (int Y = 0; Y != 15; ++Y)
+    for (int X = 0; X != 15; ++X) {
+      bool InFootprint = std::abs(X - 7) <= 2 && std::abs(Y - 7) <= 2;
+      if (InFootprint)
+        EXPECT_GT(Out.at(X, Y), 0.0f) << X << "," << Y;
+      else
+        EXPECT_FLOAT_EQ(Out.at(X, Y), 0.0f) << X << "," << Y;
+    }
+}
+
+} // namespace

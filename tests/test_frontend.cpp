@@ -1,0 +1,219 @@
+//===- tests/test_frontend.cpp - Lexer / parser / serializer --------------------===//
+//
+// The textual pipeline format: lexing, parsing with diagnostics, and the
+// serialize -> parse round trip, checked structurally (fixpoint of
+// serialization) and semantically (identical execution) on all bundled
+// pipelines.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Lexer.h"
+#include "frontend/Parser.h"
+#include "frontend/Serializer.h"
+#include "image/Compare.h"
+#include "image/Generators.h"
+#include "pipelines/Pipelines.h"
+#include "sim/Executor.h"
+
+#include <gtest/gtest.h>
+
+using namespace kf;
+
+namespace {
+
+TEST(Lexer, TokenizesAllKinds) {
+  std::vector<std::string> Errors;
+  std::vector<Token> Tokens = lexPipelineText(
+      "program p # comment\nimage in 4 4\na -> b ( ) [ ] { } , . = + - * "
+      "/ < > 3.5e-2",
+      Errors);
+  EXPECT_TRUE(Errors.empty());
+  ASSERT_GE(Tokens.size(), 5u);
+  EXPECT_EQ(Tokens[0].Kind, TokenKind::Ident);
+  EXPECT_EQ(Tokens[0].Text, "program");
+  EXPECT_EQ(Tokens[0].Line, 1u);
+  // 'image' starts line 2 (the comment was skipped).
+  EXPECT_EQ(Tokens[2].Text, "image");
+  EXPECT_EQ(Tokens[2].Line, 2u);
+  // The final number lexes as one token.
+  EXPECT_EQ(Tokens[Tokens.size() - 2].Kind, TokenKind::Number);
+  EXPECT_EQ(Tokens[Tokens.size() - 2].Text, "3.5e-2");
+  EXPECT_EQ(Tokens.back().Kind, TokenKind::EndOfFile);
+}
+
+TEST(Lexer, ReportsUnexpectedCharacters) {
+  std::vector<std::string> Errors;
+  lexPipelineText("program p\n  @", Errors);
+  ASSERT_EQ(Errors.size(), 1u);
+  EXPECT_NE(Errors[0].find("line 2"), std::string::npos);
+  EXPECT_NE(Errors[0].find("'@'"), std::string::npos);
+}
+
+TEST(Parser, ParsesMinimalPipeline) {
+  ParseResult Result = parsePipelineText(R"(
+program tiny
+image in 8 8
+image out 8 8
+point kernel scale(in) -> out {
+  out = in * 2 + 0.5
+}
+)");
+  ASSERT_TRUE(Result.success()) << (Result.Errors.empty()
+                                        ? "?"
+                                        : Result.Errors.front());
+  EXPECT_EQ(Result.Prog->name(), "tiny");
+  EXPECT_EQ(Result.Prog->numKernels(), 1u);
+  EXPECT_EQ(Result.Prog->kernel(0).Kind, OperatorKind::Point);
+}
+
+TEST(Parser, ParsesLocalKernelWithMaskAndBorder) {
+  ParseResult Result = parsePipelineText(R"(
+program conv
+image in 8 8
+image out 8 8
+mask g 3 3 [1 2 1 2 4 2 1 2 1]
+local kernel blur(in) -> out border mirror {
+  out = sum(g, mv * in[])
+}
+)");
+  ASSERT_TRUE(Result.success()) << (Result.Errors.empty()
+                                        ? "?"
+                                        : Result.Errors.front());
+  EXPECT_EQ(Result.Prog->kernel(0).Border, BorderMode::Mirror);
+  EXPECT_EQ(Result.Prog->numMasks(), 1u);
+  EXPECT_EQ(Result.Prog->mask(0).size(), 9);
+}
+
+TEST(Parser, OperatorPrecedenceIsConventional) {
+  ParseResult Result = parsePipelineText(R"(
+program prec
+image in 4 4
+image out 4 4
+point kernel k(in) -> out {
+  out = 1 + in * 2 < 7
+}
+)");
+  ASSERT_TRUE(Result.success());
+  // Top node: CmpLT; left: Add(1, Mul(in, 2)); right: 7.
+  const Expr *Body = Result.Prog->kernel(0).Body;
+  ASSERT_EQ(Body->Kind, ExprKind::Binary);
+  EXPECT_EQ(Body->BinaryOp, BinOp::CmpLT);
+  EXPECT_EQ(Body->Lhs->BinaryOp, BinOp::Add);
+  EXPECT_EQ(Body->Lhs->Rhs->BinaryOp, BinOp::Mul);
+}
+
+TEST(Parser, DiagnosesUnknownImage) {
+  ParseResult Result = parsePipelineText(R"(
+program bad
+image in 8 8
+point kernel k(nope) -> in {
+  out = 1
+}
+)");
+  ASSERT_FALSE(Result.success());
+  EXPECT_NE(Result.Errors.front().find("unknown image 'nope'"),
+            std::string::npos);
+}
+
+TEST(Parser, DiagnosesWrongMaskWeightCount) {
+  ParseResult Result = parsePipelineText(R"(
+program bad
+mask g 3 3 [1 2 3]
+)");
+  ASSERT_FALSE(Result.success());
+  EXPECT_NE(Result.Errors.front().find("expects 9 weights"),
+            std::string::npos);
+}
+
+TEST(Parser, DiagnosesUnknownNameInExpression) {
+  ParseResult Result = parsePipelineText(R"(
+program bad
+image in 8 8
+image out 8 8
+point kernel k(in) -> out {
+  out = other + 1
+}
+)");
+  ASSERT_FALSE(Result.success());
+  EXPECT_NE(Result.Errors.front().find("unknown name 'other'"),
+            std::string::npos);
+}
+
+TEST(Parser, FoldsVerifierDiagnostics) {
+  // Structurally parseable but semantically invalid: a point kernel with
+  // a window access.
+  ParseResult Result = parsePipelineText(R"(
+program bad
+image in 8 8
+image out 8 8
+mask g 3 3 [1 1 1 1 1 1 1 1 1]
+point kernel k(in) -> out {
+  out = sum(g, in[])
+}
+)");
+  ASSERT_FALSE(Result.success());
+  EXPECT_NE(Result.Errors.front().find("verifier:"), std::string::npos);
+}
+
+TEST(Parser, DiagnosesMissingBrace) {
+  ParseResult Result = parsePipelineText(R"(
+program bad
+image in 8 8
+image out 8 8
+point kernel k(in) -> out {
+  out = in
+)");
+  ASSERT_FALSE(Result.success());
+  EXPECT_NE(Result.Errors.front().find("'}'"), std::string::npos);
+}
+
+TEST(Parser, FileNotFound) {
+  ParseResult Result = parsePipelineFile("/nonexistent/pipeline.kfp");
+  ASSERT_FALSE(Result.success());
+  EXPECT_NE(Result.Errors.front().find("cannot open"), std::string::npos);
+}
+
+/// Round trip over every bundled pipeline.
+class FrontendRoundTrip : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(FrontendRoundTrip, SerializeParseFixpointAndSameSemantics) {
+  const PipelineSpec *Spec = findPipeline(GetParam());
+  ASSERT_NE(Spec, nullptr);
+  int W = GetParam() == "night" ? 18 : 20;
+  int H = 16;
+  Program Original = Spec->Builder(W, H);
+
+  // Structural fixpoint: serialize(parse(serialize(P))) == serialize(P).
+  std::string Text = serializeProgram(Original);
+  ParseResult Parsed = parsePipelineText(Text);
+  ASSERT_TRUE(Parsed.success())
+      << GetParam() << ": "
+      << (Parsed.Errors.empty() ? "?" : Parsed.Errors.front()) << "\n"
+      << Text;
+  EXPECT_EQ(serializeProgram(*Parsed.Prog), Text) << GetParam();
+
+  // Semantic equivalence: identical execution on random input.
+  const ImageInfo &InInfo = Original.image(0);
+  Rng Gen(31);
+  Image Input =
+      makeRandomImage(InInfo.Width, InInfo.Height, InInfo.Channels, Gen);
+
+  std::vector<Image> PoolA = makeImagePool(Original);
+  PoolA[0] = Input;
+  runUnfused(Original, PoolA);
+  std::vector<Image> PoolB = makeImagePool(*Parsed.Prog);
+  PoolB[0] = Input;
+  runUnfused(*Parsed.Prog, PoolB);
+
+  for (ImageId Out : Original.terminalOutputs())
+    EXPECT_DOUBLE_EQ(maxAbsDifference(PoolA[Out], PoolB[Out]), 0.0)
+        << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPipelines, FrontendRoundTrip,
+                         ::testing::Values("harris", "sobel", "unsharp",
+                                           "shitomasi", "enhance",
+                                           "night"),
+                         [](const auto &Info) { return Info.param; });
+
+} // namespace

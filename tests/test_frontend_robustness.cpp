@@ -1,0 +1,122 @@
+//===- tests/test_frontend_robustness.cpp - Parser stress tests -----------------===//
+//
+// Robustness of the .kfp frontend: malformed inputs of every shape must
+// produce diagnostics, never crashes, hangs, or invalid programs. The
+// randomized rounds feed token soup assembled from the grammar's own
+// vocabulary -- the inputs most likely to confuse a recursive-descent
+// parser.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Parser.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+using namespace kf;
+
+namespace {
+
+TEST(ParserRobustness, EmptyAndWhitespaceInputs) {
+  for (const char *Source : {"", "   \n\n  ", "# only a comment\n"}) {
+    ParseResult Result = parsePipelineText(Source);
+    EXPECT_FALSE(Result.success()) << "'" << Source << "'";
+    EXPECT_FALSE(Result.Errors.empty());
+  }
+}
+
+TEST(ParserRobustness, TruncatedPrograms) {
+  const char *Cases[] = {
+      "program",
+      "program p image",
+      "program p image img",
+      "program p image img 8",
+      "program p mask m",
+      "program p mask m 3 3 [1 2",
+      "program p point",
+      "program p point kernel",
+      "program p point kernel k",
+      "program p point kernel k (",
+      "program p image a 8 8 image b 8 8 point kernel k(a) ->",
+      "program p image a 8 8 image b 8 8 point kernel k(a) -> b {",
+      "program p image a 8 8 image b 8 8 point kernel k(a) -> b { out",
+      "program p image a 8 8 image b 8 8 point kernel k(a) -> b { out =",
+      "program p image a 8 8 image b 8 8 point kernel k(a) -> b { out = a "
+      "+ }",
+  };
+  for (const char *Source : Cases) {
+    ParseResult Result = parsePipelineText(Source);
+    EXPECT_FALSE(Result.success()) << Source;
+    EXPECT_FALSE(Result.Errors.empty()) << Source;
+  }
+}
+
+TEST(ParserRobustness, MisplacedTokens) {
+  const char *Cases[] = {
+      "program p ]",
+      "program p image a 8 8 -> b",
+      "program p mask m -3 3 [1]",
+      "program p mask m 2 2 [1 1 1 1]", // Even extents.
+      "program p image a 0 8",          // Zero extent.
+      "program p image a 8 8 image a 8 8", // Redeclared.
+      "program p image a 8 8 image b 8 8 global kernel k(a) -> b { out = "
+      "a ( 1 }", // Access with one index.
+  };
+  for (const char *Source : Cases) {
+    ParseResult Result = parsePipelineText(Source);
+    EXPECT_FALSE(Result.success()) << Source;
+  }
+}
+
+TEST(ParserRobustness, RandomTokenSoupNeverCrashes) {
+  const char *Vocabulary[] = {
+      "program", "image",  "mask",   "point", "local",  "global",
+      "kernel",  "border", "clamp",  "value", "out",    "sum",
+      "select",  "min",    "sqrt",   "mv",    "dx",     "in",
+      "k",       "m",      "(",      ")",     "[",      "]",
+      "{",       "}",      ",",      ".",     "=",      "->",
+      "+",       "-",      "*",      "/",     "<",      ">",
+      "3",       "0.5",    "8",      "1e3",
+  };
+  Rng Gen(0xF022);
+  for (int Round = 0; Round != 300; ++Round) {
+    std::string Source;
+    unsigned Length = 1 + static_cast<unsigned>(Gen.nextBelow(60));
+    for (unsigned I = 0; I != Length; ++I) {
+      Source += Vocabulary[Gen.nextBelow(std::size(Vocabulary))];
+      Source += ' ';
+    }
+    ParseResult Result = parsePipelineText(Source);
+    // Any outcome is fine as long as it is consistent: either a verified
+    // program or diagnostics, never both empty.
+    if (!Result.Prog) {
+      EXPECT_FALSE(Result.Errors.empty())
+          << "round " << Round << ": " << Source;
+    }
+  }
+}
+
+TEST(ParserRobustness, DeepExpressionNesting) {
+  // 200 nested parentheses: recursive descent must survive (the depth is
+  // bounded and far below stack limits).
+  std::string Body = "a";
+  for (int I = 0; I != 200; ++I)
+    Body = "(" + Body + " + 1)";
+  std::string Source = "program p\nimage a 8 8\nimage b 8 8\n"
+                       "point kernel k(a) -> b { out = " +
+                       Body + " }";
+  ParseResult Result = parsePipelineText(Source);
+  EXPECT_TRUE(Result.success());
+}
+
+TEST(ParserRobustness, LongIdentifiersAndNumbers) {
+  std::string Long(400, 'a');
+  std::string Source = "program " + Long + "\nimage " + Long +
+                       " 8 8\nimage b 8 8\npoint kernel k(" + Long +
+                       ") -> b { out = " + Long + " * 1234567890.125 }";
+  ParseResult Result = parsePipelineText(Source);
+  EXPECT_TRUE(Result.success());
+  EXPECT_EQ(Result.Prog->name(), Long);
+}
+
+} // namespace

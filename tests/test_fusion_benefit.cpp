@@ -1,0 +1,220 @@
+//===- tests/test_fusion_benefit.cpp - Benefit model (Sec. II-C) -------------===//
+//
+// Validates the benefit-estimation model against the numbers the paper
+// derives in its Harris walk-through (Section III-B / Figure 3) and the
+// closed-form pieces: Eq. 6 (cost_op), Eq. 9 (window growth), and the
+// scenario classification with Eq. 12 clamping.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fusion/BenefitModel.h"
+#include "ir/Verifier.h"
+#include "pipelines/Pipelines.h"
+
+#include <gtest/gtest.h>
+
+using namespace kf;
+
+namespace {
+
+/// Paper defaults: tg = 400, cALU = 4, cMshared = 2, gamma omitted.
+HardwareModel paperModel() {
+  HardwareModel HW;
+  HW.GlobalAccessCycles = 400.0;
+  HW.SharedAccessCycles = 4.0;
+  HW.AluCost = 4.0;
+  HW.SfuCost = 16.0;
+  HW.SharedMemThreshold = 2.0;
+  HW.Gamma = 0.0;
+  return HW;
+}
+
+KernelId kernelByName(const Program &P, const std::string &Name) {
+  for (KernelId Id = 0; Id != P.numKernels(); ++Id)
+    if (P.kernel(Id).Name == Name)
+      return Id;
+  ADD_FAILURE() << "kernel not found: " << Name;
+  return 0;
+}
+
+TEST(FusedWindowWidth, PaperExample) {
+  // "fusing a 3x3 source kernel with a 5x5 destination kernel yields a
+  // convolution size of 7x7 for the fused kernel".
+  EXPECT_EQ(fusedWindowWidth(3, 5), 7);
+  // "if two 3x3 local kernels are fused, a window of 5x5 is required".
+  EXPECT_EQ(fusedWindowWidth(3, 3), 5);
+  EXPECT_EQ(fusedWindowWidth(1, 3), 3);
+  EXPECT_EQ(fusedWindowWidth(5, 1), 5);
+  EXPECT_EQ(fusedWindowWidth(5, 5), 9);
+}
+
+TEST(BenefitModel, HarrisSquareKernelCostOp) {
+  Program P = makeHarris(64, 64);
+  LegalityChecker Checker(P, paperModel());
+  BenefitModel Model(Checker);
+  // The paper assumes n_ALU = 2 for sx, sy, sxy, hence cost_op = 8.
+  EXPECT_DOUBLE_EQ(Model.costOp(kernelByName(P, "sx")), 8.0);
+  EXPECT_DOUBLE_EQ(Model.costOp(kernelByName(P, "sy")), 8.0);
+  EXPECT_DOUBLE_EQ(Model.costOp(kernelByName(P, "sxy")), 8.0);
+}
+
+TEST(BenefitModel, HarrisEdgeWeightsMatchFigure3) {
+  Program P = makeHarris(64, 64);
+  LegalityChecker Checker(P, paperModel());
+  BenefitModel Model(Checker);
+
+  // sx -> gx and sy -> gy: w = 400 - 8 * 1 * 9 = 328.
+  EdgeBenefit SxGx =
+      Model.edgeBenefit(kernelByName(P, "sx"), kernelByName(P, "gx"));
+  EXPECT_EQ(SxGx.Scenario, FusionScenario::PointToLocal);
+  EXPECT_DOUBLE_EQ(SxGx.Weight, 328.0);
+
+  EdgeBenefit SyGy =
+      Model.edgeBenefit(kernelByName(P, "sy"), kernelByName(P, "gy"));
+  EXPECT_DOUBLE_EQ(SyGy.Weight, 328.0);
+
+  // sxy -> gxy: sxy has two input images, w = 400 - 8 * 2 * 9 = 256.
+  EdgeBenefit SxyGxy =
+      Model.edgeBenefit(kernelByName(P, "sxy"), kernelByName(P, "gxy"));
+  EXPECT_EQ(SxyGxy.Scenario, FusionScenario::PointToLocal);
+  EXPECT_DOUBLE_EQ(SxyGxy.Weight, 256.0);
+}
+
+TEST(BenefitModel, HarrisIllegalEdgesGetEpsilon) {
+  Program P = makeHarris(64, 64);
+  HardwareModel HW = paperModel();
+  LegalityChecker Checker(P, HW);
+  BenefitModel Model(Checker);
+
+  // dx -> sx: dx's output is also consumed by sxy (external output dep).
+  EdgeBenefit DxSx =
+      Model.edgeBenefit(kernelByName(P, "dx"), kernelByName(P, "sx"));
+  EXPECT_EQ(DxSx.Scenario, FusionScenario::Illegal);
+  EXPECT_DOUBLE_EQ(DxSx.Weight, HW.Epsilon);
+  EXPECT_FALSE(DxSx.IllegalReason.empty());
+
+  // gx -> hc: hc reads gy and gxy, which no source kernel of the pair
+  // preserves (external input dependence; the paper's Figure 2d).
+  EdgeBenefit GxHc =
+      Model.edgeBenefit(kernelByName(P, "gx"), kernelByName(P, "hc"));
+  EXPECT_EQ(GxHc.Scenario, FusionScenario::Illegal);
+  EXPECT_DOUBLE_EQ(GxHc.Weight, HW.Epsilon);
+}
+
+TEST(BenefitModel, HarrisWeightedDagHasTenEdges) {
+  Program P = makeHarris(64, 64);
+  LegalityChecker Checker(P, paperModel());
+  BenefitModel Model(Checker);
+  std::vector<EdgeBenefit> Info;
+  Digraph Dag = Model.buildWeightedDag(&Info);
+  // "Those nine kernels are connected by ten edges."
+  EXPECT_EQ(Dag.numNodes(), 9u);
+  EXPECT_EQ(Dag.numEdges(), 10u);
+  ASSERT_EQ(Info.size(), 10u);
+
+  // Exactly three legal edges: {(sx,gx), (sxy,gxy), (sy,gy)}.
+  unsigned NumLegal = 0;
+  for (const EdgeBenefit &B : Info)
+    if (B.Scenario != FusionScenario::Illegal)
+      ++NumLegal;
+  EXPECT_EQ(NumLegal, 3u);
+}
+
+TEST(BenefitModel, PointBasedScenarioUsesRegisterImprovement) {
+  Program P = makeEnhancement(64, 64);
+  HardwareModel HW = paperModel();
+  LegalityChecker Checker(P, HW);
+  BenefitModel Model(Checker);
+  // gmean -> gamma: consumer is a point kernel => point-based (the paper's
+  // Eq. 5 applies "regardless of the compute pattern" of the producer).
+  EdgeBenefit B =
+      Model.edgeBenefit(kernelByName(P, "gmean"), kernelByName(P, "gamma"));
+  EXPECT_EQ(B.Scenario, FusionScenario::PointBased);
+  EXPECT_DOUBLE_EQ(B.Weight, 400.0);
+  EXPECT_DOUBLE_EQ(B.RecomputeCost, 0.0);
+}
+
+TEST(BenefitModel, SobelEdgesArePairwiseIllegalButBlockFuses) {
+  // The Sobel magnitude kernel reads both derivative images, so each
+  // *pair* has an external input dependence (epsilon weight) -- yet the
+  // three-kernel block is legal. This is precisely the "larger scope"
+  // advantage of the min-cut formulation over pairwise approaches.
+  Program P = makeSobel(64, 64);
+  HardwareModel HW = paperModel();
+  LegalityChecker Checker(P, HW);
+  BenefitModel Model(Checker);
+  EdgeBenefit B =
+      Model.edgeBenefit(kernelByName(P, "dx"), kernelByName(P, "mag"));
+  EXPECT_EQ(B.Scenario, FusionScenario::Illegal);
+  EXPECT_DOUBLE_EQ(B.Weight, HW.Epsilon);
+
+  std::vector<KernelId> All = {kernelByName(P, "dx"), kernelByName(P, "dy"),
+                               kernelByName(P, "mag")};
+  EXPECT_TRUE(Checker.checkBlock(All).Legal);
+  EXPECT_EQ(fusibleBlockRejection(Model, All), "");
+}
+
+TEST(BenefitModel, NightAtrousChainIsNotBeneficial) {
+  Program P = makeNight(64, 64);
+  HardwareModel HW = paperModel();
+  LegalityChecker Checker(P, HW);
+  BenefitModel Model(Checker);
+
+  // atrous0 -> atrous1 is a legal local-to-local pair, but the producer is
+  // far too expensive: the recompute cost dwarfs delta_shared = 100 and
+  // the weight clamps to epsilon (Section V: "the first two local kernels
+  // are not fused").
+  EdgeBenefit A0A1 = Model.edgeBenefit(kernelByName(P, "atrous0"),
+                                       kernelByName(P, "atrous1"));
+  EXPECT_EQ(A0A1.Scenario, FusionScenario::LocalToLocal);
+  EXPECT_DOUBLE_EQ(A0A1.Weight, HW.Epsilon);
+  EXPECT_GT(A0A1.RecomputeCost, A0A1.Locality);
+
+  // atrous1 -> scoto is local-to-point: point-based, beneficial.
+  EdgeBenefit A1Sc = Model.edgeBenefit(kernelByName(P, "atrous1"),
+                                       kernelByName(P, "scoto"));
+  EXPECT_EQ(A1Sc.Scenario, FusionScenario::PointBased);
+  EXPECT_DOUBLE_EQ(A1Sc.Weight, 400.0);
+}
+
+TEST(BenefitModel, GammaTermShiftsWeights) {
+  Program P = makeEnhancement(64, 64);
+  HardwareModel HW = paperModel();
+  HW.Gamma = 25.0;
+  LegalityChecker Checker(P, HW);
+  BenefitModel Model(Checker);
+  EdgeBenefit B =
+      Model.edgeBenefit(kernelByName(P, "gmean"), kernelByName(P, "gamma"));
+  EXPECT_DOUBLE_EQ(B.Weight, 425.0);
+}
+
+TEST(BenefitModel, LocalToLocalUsesGrownWindow) {
+  // A cheap 3x3 -> 3x3 chain: phi = cost_op * 1 * g(9, 9) with g = 25.
+  Program P = makeBlurChain(32, 32, BorderMode::Clamp);
+  HardwareModel HW = paperModel();
+  LegalityChecker Checker(P, HW);
+  BenefitModel Model(Checker);
+  EdgeBenefit B =
+      Model.edgeBenefit(kernelByName(P, "conv0"), kernelByName(P, "conv1"));
+  EXPECT_EQ(B.Scenario, FusionScenario::LocalToLocal);
+  EXPECT_DOUBLE_EQ(B.Locality, 100.0); // tg / ts = 400 / 4.
+  // conv0: 9 muls + 8 adds + store = 18 ALU -> cost_op 72; phi = 72 * 25.
+  EXPECT_DOUBLE_EQ(B.RecomputeCost, 72.0 * 25.0);
+  EXPECT_DOUBLE_EQ(B.Weight, HW.Epsilon); // 100 - 1800 clamps.
+}
+
+TEST(BenefitModel, LocalToLocalCanBeBeneficialOnFastSharedMemory) {
+  // With a architecture where shared memory is dramatically faster
+  // relative to the recompute cost, local-to-local fusion pays off.
+  Program P = makeBlurChain(32, 32, BorderMode::Clamp);
+  HardwareModel HW = paperModel();
+  HW.GlobalAccessCycles = 8000.0; // Pathologically slow global memory.
+  LegalityChecker Checker(P, HW);
+  BenefitModel Model(Checker);
+  EdgeBenefit B =
+      Model.edgeBenefit(kernelByName(P, "conv0"), kernelByName(P, "conv1"));
+  EXPECT_EQ(B.Scenario, FusionScenario::LocalToLocal);
+  EXPECT_DOUBLE_EQ(B.Weight, 2000.0 - 1800.0);
+}
+
+} // namespace

@@ -1,0 +1,222 @@
+//===- tests/test_fusion_legality.cpp - Legality rules (Sec. II-B) -------------===//
+//
+// The four dependence scenarios of Figure 2, header compatibility, the
+// shared-memory constraint of Eq. 2 (with the paper's Harris arithmetic),
+// and the grown-window computation behind it.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fusion/BenefitModel.h"
+#include "fusion/Legality.h"
+#include "ir/Verifier.h"
+#include "pipelines/Masks.h"
+#include "pipelines/Pipelines.h"
+
+#include <gtest/gtest.h>
+
+using namespace kf;
+
+namespace {
+
+HardwareModel paperModel() {
+  HardwareModel HW;
+  HW.SharedMemThreshold = 2.0;
+  return HW;
+}
+
+KernelId kernelByName(const Program &P, const std::string &Name) {
+  for (KernelId Id = 0; Id != P.numKernels(); ++Id)
+    if (P.kernel(Id).Name == Name)
+      return Id;
+  ADD_FAILURE() << "kernel not found: " << Name;
+  return 0;
+}
+
+TEST(Legality, SingletonsAreLegalEmptyIsNot) {
+  Program P = makeSobel(16, 16);
+  LegalityChecker Checker(P, paperModel());
+  EXPECT_TRUE(Checker.checkBlock({0}).Legal);
+  EXPECT_FALSE(Checker.checkBlock({}).Legal);
+}
+
+TEST(Legality, Figure2aTrueDependenceIsLegal) {
+  Program P = makeEnhancement(16, 16);
+  LegalityChecker Checker(P, paperModel());
+  LegalityResult R = Checker.checkBlock(
+      {kernelByName(P, "gmean"), kernelByName(P, "gamma")});
+  EXPECT_TRUE(R.Legal) << R.Reason;
+}
+
+TEST(Legality, Figure2bSharedInputIsLegal) {
+  // Unsharp: all four kernels read the source image; fusing the whole DAG
+  // is legal because the source kernel (blur) preserves that input.
+  Program P = makeUnsharp(16, 16);
+  LegalityChecker Checker(P, paperModel());
+  LegalityResult R = Checker.checkBlock({0, 1, 2, 3});
+  EXPECT_TRUE(R.Legal) << R.Reason;
+}
+
+TEST(Legality, Figure2cExternalOutputIsIllegal) {
+  // Harris {dx, sx}: dx's output also feeds sxy outside the block.
+  Program P = makeHarris(16, 16);
+  LegalityChecker Checker(P, paperModel());
+  LegalityResult R =
+      Checker.checkBlock({kernelByName(P, "dx"), kernelByName(P, "sx")});
+  EXPECT_FALSE(R.Legal);
+  EXPECT_NE(R.Reason.find("external output"), std::string::npos);
+}
+
+TEST(Legality, Figure2dExternalInputIsIllegal) {
+  // Harris {gx, hc}: hc reads gy and gxy, which no source kernel of the
+  // block preserves.
+  Program P = makeHarris(16, 16);
+  LegalityChecker Checker(P, paperModel());
+  LegalityResult R =
+      Checker.checkBlock({kernelByName(P, "gx"), kernelByName(P, "hc")});
+  EXPECT_FALSE(R.Legal);
+  EXPECT_NE(R.Reason.find("external input"), std::string::npos);
+}
+
+TEST(Legality, DisconnectedBlockIsIllegal) {
+  Program P = makeHarris(16, 16);
+  LegalityChecker Checker(P, paperModel());
+  LegalityResult R =
+      Checker.checkBlock({kernelByName(P, "dx"), kernelByName(P, "dy")});
+  EXPECT_FALSE(R.Legal);
+  EXPECT_NE(R.Reason.find("connected"), std::string::npos);
+}
+
+TEST(Legality, TwoSinksAreIllegal) {
+  // {dx, sx, sxy}: both sx and sxy have no in-block consumer.
+  Program P = makeHarris(16, 16);
+  LegalityChecker Checker(P, paperModel());
+  LegalityResult R = Checker.checkBlock({kernelByName(P, "dx"),
+                                         kernelByName(P, "sx"),
+                                         kernelByName(P, "sxy")});
+  EXPECT_FALSE(R.Legal);
+  EXPECT_NE(R.Reason.find("destination"), std::string::npos);
+}
+
+TEST(Legality, HarrisFullGraphViolatesEq2WithRatioFive) {
+  // The paper's arithmetic: fusing all nine kernels quintuples the
+  // shared-memory consumption; threshold 2 rejects it.
+  Program P = makeHarris(16, 16);
+  LegalityChecker Checker(P, paperModel());
+  std::vector<KernelId> All;
+  for (KernelId Id = 0; Id != P.numKernels(); ++Id)
+    All.push_back(Id);
+  LegalityResult R = Checker.checkBlock(All);
+  EXPECT_FALSE(R.Legal);
+  EXPECT_DOUBLE_EQ(R.SharedRatio, 5.0);
+  EXPECT_NE(R.Reason.find("shared memory"), std::string::npos);
+
+  // A permissive threshold admits the block.
+  HardwareModel Loose = paperModel();
+  Loose.SharedMemThreshold = 5.0;
+  LegalityChecker LooseChecker(P, Loose);
+  EXPECT_TRUE(LooseChecker.checkBlock(All).Legal);
+}
+
+TEST(Legality, EffectiveWindowWidthGrowsThroughPointStages) {
+  // gx fused with {dx, sx}: the point stage sx passes dx's halo through,
+  // so gx's effective window is 5 (Eq. 9: 3x3 after 3x3).
+  Program P = makeHarris(16, 16);
+  LegalityChecker Checker(P, paperModel());
+  std::vector<KernelId> Block = {kernelByName(P, "dx"),
+                                 kernelByName(P, "sx"),
+                                 kernelByName(P, "gx")};
+  EXPECT_EQ(Checker.effectiveWindowWidth(Block, kernelByName(P, "gx")), 5);
+  // Without dx in the block, sx carries no halo: gx stays 3.
+  std::vector<KernelId> Pair = {kernelByName(P, "sx"),
+                                kernelByName(P, "gx")};
+  EXPECT_EQ(Checker.effectiveWindowWidth(Pair, kernelByName(P, "gx")), 3);
+}
+
+TEST(Legality, SharedRatioZeroWithoutInternalWindowConsumers) {
+  // Sobel {dx, dy, mag}: the locals consume only the external input, so
+  // Eq. 2 is vacuous for the fused kernel.
+  Program P = makeSobel(16, 16);
+  LegalityChecker Checker(P, paperModel());
+  EXPECT_DOUBLE_EQ(Checker.sharedMemoryRatio({0, 1, 2}), 0.0);
+}
+
+TEST(Legality, BlurChainSharedRatio) {
+  // conv0 -> conv1 (both 3x3): the fused consumer window is 5, the widest
+  // member window is 3: ratio 5/3.
+  Program P = makeBlurChain(16, 16, BorderMode::Clamp);
+  LegalityChecker Checker(P, paperModel());
+  EXPECT_NEAR(Checker.sharedMemoryRatio({0, 1}), 5.0 / 3.0, 1e-12);
+  EXPECT_TRUE(Checker.checkBlock({0, 1}).Legal);
+}
+
+TEST(Legality, HeaderMismatchGranularity) {
+  Program P("granularity");
+  ExprContext &C = P.context();
+  ImageId In = P.addImage("in", 8, 8);
+  ImageId Mid = P.addImage("mid", 8, 8);
+  ImageId Out = P.addImage("out", 8, 8);
+  Kernel K1;
+  K1.Name = "a";
+  K1.Kind = OperatorKind::Point;
+  K1.Inputs = {In};
+  K1.Output = Mid;
+  K1.Body = C.inputAt(0);
+  P.addKernel(std::move(K1));
+  Kernel K2;
+  K2.Name = "b";
+  K2.Kind = OperatorKind::Point;
+  K2.Inputs = {Mid};
+  K2.Output = Out;
+  K2.Body = C.inputAt(0);
+  K2.Granularity = 2; // Incompatible header.
+  P.addKernel(std::move(K2));
+  verifyProgramOrDie(P);
+
+  LegalityChecker Checker(P, paperModel());
+  LegalityResult R = Checker.checkBlock({0, 1});
+  EXPECT_FALSE(R.Legal);
+  EXPECT_NE(R.Reason.find("granularity"), std::string::npos);
+}
+
+TEST(Legality, GlobalOperatorsAreBarriers) {
+  Program P("global");
+  ExprContext &C = P.context();
+  ImageId In = P.addImage("in", 8, 8);
+  ImageId Mid = P.addImage("mid", 8, 8);
+  ImageId Out = P.addImage("out", 8, 8);
+  Kernel K1;
+  K1.Name = "a";
+  K1.Kind = OperatorKind::Point;
+  K1.Inputs = {In};
+  K1.Output = Mid;
+  K1.Body = C.inputAt(0);
+  P.addKernel(std::move(K1));
+  Kernel K2;
+  K2.Name = "reduce";
+  K2.Kind = OperatorKind::Global;
+  K2.Inputs = {Mid};
+  K2.Output = Out;
+  K2.Body = C.inputAt(0);
+  P.addKernel(std::move(K2));
+
+  LegalityChecker Checker(P, paperModel());
+  LegalityResult R = Checker.checkBlock({0, 1});
+  EXPECT_FALSE(R.Legal);
+  EXPECT_NE(R.Reason.find("global operator"), std::string::npos);
+}
+
+TEST(Legality, NightBlockPassesEq2ButFailsBenefit) {
+  // {atrous0, atrous1, scoto} satisfies the resource constraint (ratio
+  // 7/5 = 1.4 <= 2) -- it is the benefit barrier, not Eq. 2, that keeps
+  // the atrous kernels apart.
+  Program P = makeNight(16, 16);
+  LegalityChecker Checker(P, paperModel());
+  std::vector<KernelId> All = {0, 1, 2};
+  EXPECT_NEAR(Checker.sharedMemoryRatio(All), 7.0 / 5.0, 1e-12);
+  EXPECT_TRUE(Checker.checkBlock(All).Legal);
+
+  BenefitModel Model(Checker);
+  EXPECT_NE(fusibleBlockRejection(Model, All), "");
+}
+
+} // namespace

@@ -1,0 +1,226 @@
+//===- tests/test_graph.cpp - Graph substrate tests ----------------------------===//
+//
+// Digraph invariants, topological sorting, connectivity, and -- most
+// importantly -- the Stoer-Wagner minimum cut validated against the
+// exhaustive oracle on randomized connected graphs (the property the
+// fusion algorithm's splitting step relies on).
+//
+//===----------------------------------------------------------------------===//
+
+#include "graph/BruteForceMinCut.h"
+#include "graph/Digraph.h"
+#include "graph/MinCut.h"
+#include "graph/RandomGraphs.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace kf;
+
+namespace {
+
+TEST(Digraph, BasicConstruction) {
+  Digraph G;
+  Digraph::NodeId A = G.addNode("a");
+  Digraph::NodeId B = G.addNode("b");
+  Digraph::EdgeId E = G.addEdge(A, B, 3.5);
+  EXPECT_EQ(G.numNodes(), 2u);
+  EXPECT_EQ(G.numEdges(), 1u);
+  EXPECT_EQ(G.label(A), "a");
+  EXPECT_DOUBLE_EQ(G.edge(E).Weight, 3.5);
+  EXPECT_EQ(G.successors(A), std::vector<Digraph::NodeId>{B});
+  EXPECT_EQ(G.predecessors(B), std::vector<Digraph::NodeId>{A});
+  EXPECT_TRUE(G.successors(B).empty());
+}
+
+TEST(Digraph, FindNodeByLabel) {
+  Digraph G;
+  G.addNode("x");
+  Digraph::NodeId Y = G.addNode("y");
+  EXPECT_EQ(G.findNode("y"), Y);
+  EXPECT_FALSE(G.findNode("z").has_value());
+}
+
+TEST(Digraph, TopologicalOrderIsDeterministicAndValid) {
+  Digraph G;
+  for (int I = 0; I != 5; ++I)
+    G.addNode("n" + std::to_string(I));
+  G.addEdge(0, 2);
+  G.addEdge(1, 2);
+  G.addEdge(2, 3);
+  G.addEdge(2, 4);
+  auto Order = G.topologicalOrder();
+  ASSERT_TRUE(Order.has_value());
+  // Kahn with smallest-id tie-break: 0 1 2 3 4.
+  EXPECT_EQ(*Order, (std::vector<Digraph::NodeId>{0, 1, 2, 3, 4}));
+}
+
+TEST(Digraph, CycleDetection) {
+  Digraph G;
+  G.addNode("a");
+  G.addNode("b");
+  G.addEdge(0, 1);
+  EXPECT_FALSE(G.hasCycle());
+  G.addEdge(1, 0);
+  EXPECT_TRUE(G.hasCycle());
+  EXPECT_FALSE(G.topologicalOrder().has_value());
+}
+
+TEST(Digraph, WeakConnectivityIgnoresDirection) {
+  Digraph G;
+  for (int I = 0; I != 4; ++I)
+    G.addNode("n" + std::to_string(I));
+  G.addEdge(0, 1);
+  G.addEdge(2, 1); // 2 connects against the flow.
+  EXPECT_TRUE(G.isWeaklyConnected({0, 1, 2}));
+  EXPECT_FALSE(G.isWeaklyConnected({0, 3}));
+  EXPECT_TRUE(G.isWeaklyConnected({3}));
+  EXPECT_FALSE(G.isWeaklyConnected({}));
+}
+
+TEST(Digraph, InternalEdgesAndBlockWeight) {
+  Digraph G;
+  for (int I = 0; I != 3; ++I)
+    G.addNode("n" + std::to_string(I));
+  G.addEdge(0, 1, 5.0);
+  G.addEdge(1, 2, 7.0);
+  EXPECT_EQ(G.internalEdges({0, 1}).size(), 1u);
+  EXPECT_DOUBLE_EQ(G.blockWeight({0, 1}), 5.0);
+  EXPECT_DOUBLE_EQ(G.blockWeight({0, 1, 2}), 12.0);
+  EXPECT_DOUBLE_EQ(G.totalWeight(), 12.0);
+}
+
+TEST(StoerWagner, TwoVertexGraph) {
+  std::vector<std::vector<double>> W = {{0, 4}, {4, 0}};
+  CutResult Cut = stoerWagnerMinCut(W);
+  EXPECT_DOUBLE_EQ(Cut.Weight, 4.0);
+  EXPECT_EQ(Cut.SideA.size() + Cut.SideB.size(), 2u);
+}
+
+TEST(StoerWagner, DisconnectedGraphCutsForFree) {
+  std::vector<std::vector<double>> W = {{0, 1, 0, 0},
+                                        {1, 0, 0, 0},
+                                        {0, 0, 0, 1},
+                                        {0, 0, 1, 0}};
+  CutResult Cut = stoerWagnerMinCut(W);
+  EXPECT_DOUBLE_EQ(Cut.Weight, 0.0);
+}
+
+TEST(StoerWagner, KnownWheatstoneBridge) {
+  // Classic example: path weights force the cut across the light edges.
+  //   0 -2- 1
+  //   |     |
+  //   3     1
+  //   |     |
+  //   2 -2- 3
+  std::vector<std::vector<double>> W(4, std::vector<double>(4, 0.0));
+  W[0][1] = W[1][0] = 2.0;
+  W[0][2] = W[2][0] = 3.0;
+  W[1][3] = W[3][1] = 1.0;
+  W[2][3] = W[3][2] = 2.0;
+  CutResult Cut = stoerWagnerMinCut(W);
+  EXPECT_DOUBLE_EQ(Cut.Weight, 3.0); // Isolate vertex 3: 1 + 2.
+}
+
+TEST(StoerWagner, MatchesBruteForceOnRandomGraphs) {
+  // Property: on random connected graphs the Stoer-Wagner cut weight
+  // equals the exhaustive minimum over all bipartitions.
+  Rng Gen(2026);
+  for (int Round = 0; Round != 60; ++Round) {
+    unsigned N = 2 + static_cast<unsigned>(Gen.nextBelow(9));
+    unsigned Extra = static_cast<unsigned>(Gen.nextBelow(2 * N));
+    auto W = randomConnectedWeights(N, Extra, 1.0, 50.0, Gen);
+    CutResult Fast = stoerWagnerMinCut(W);
+    CutResult Oracle = bruteForceMinCut(W);
+    EXPECT_NEAR(Fast.Weight, Oracle.Weight, 1e-9)
+        << "round " << Round << ", n=" << N;
+  }
+}
+
+TEST(StoerWagner, CutSidesPartitionTheVertices) {
+  Rng Gen(7);
+  auto W = randomConnectedWeights(12, 10, 1.0, 10.0, Gen);
+  CutResult Cut = stoerWagnerMinCut(W);
+  std::vector<bool> Seen(12, false);
+  for (unsigned V : Cut.SideA)
+    Seen[V] = true;
+  for (unsigned V : Cut.SideB) {
+    EXPECT_FALSE(Seen[V]) << "vertex on both sides";
+    Seen[V] = true;
+  }
+  EXPECT_TRUE(std::all_of(Seen.begin(), Seen.end(),
+                          [](bool B) { return B; }));
+}
+
+TEST(StoerWagner, ReportedWeightMatchesCrossingEdges) {
+  Rng Gen(11);
+  for (int Round = 0; Round != 20; ++Round) {
+    auto W = randomConnectedWeights(8, 6, 1.0, 9.0, Gen);
+    CutResult Cut = stoerWagnerMinCut(W);
+    double Crossing = 0.0;
+    for (unsigned A : Cut.SideA)
+      for (unsigned B : Cut.SideB)
+        Crossing += W[A][B];
+    EXPECT_NEAR(Cut.Weight, Crossing, 1e-9);
+  }
+}
+
+TEST(StoerWagner, DigraphOverloadSumsAntiparallelEdges) {
+  Digraph G;
+  for (int I = 0; I != 3; ++I)
+    G.addNode("n" + std::to_string(I));
+  G.addEdge(0, 1, 2.0);
+  G.addEdge(1, 0, 3.0); // Anti-parallel: undirected weight 5.
+  G.addEdge(1, 2, 1.0);
+  CutResult Cut = stoerWagnerMinCut(G, {0, 1, 2});
+  EXPECT_DOUBLE_EQ(Cut.Weight, 1.0); // Isolate node 2.
+  // Sides are node ids of G.
+  std::vector<unsigned> All = Cut.SideA;
+  All.insert(All.end(), Cut.SideB.begin(), Cut.SideB.end());
+  std::sort(All.begin(), All.end());
+  EXPECT_EQ(All, (std::vector<unsigned>{0, 1, 2}));
+}
+
+TEST(StoerWagner, SubsetCutIgnoresOutsideEdges) {
+  Digraph G;
+  for (int I = 0; I != 4; ++I)
+    G.addNode("n" + std::to_string(I));
+  G.addEdge(0, 1, 10.0);
+  G.addEdge(1, 2, 1.0);
+  G.addEdge(2, 3, 10.0); // Outside the queried subset.
+  CutResult Cut = stoerWagnerMinCut(G, {0, 1, 2});
+  EXPECT_DOUBLE_EQ(Cut.Weight, 1.0);
+}
+
+TEST(BruteForce, FourVertexExact) {
+  std::vector<std::vector<double>> W(4, std::vector<double>(4, 0.0));
+  W[0][1] = W[1][0] = 1.0;
+  W[1][2] = W[2][1] = 1.0;
+  W[2][3] = W[3][2] = 1.0;
+  W[3][0] = W[0][3] = 1.0;
+  CutResult Cut = bruteForceMinCut(W);
+  EXPECT_DOUBLE_EQ(Cut.Weight, 2.0); // Any cut of the 4-cycle crosses 2.
+}
+
+TEST(RandomGraphs, DagIsAcyclicAndConnected) {
+  Rng Gen(77);
+  for (int Round = 0; Round != 10; ++Round) {
+    Digraph G = randomDag(15, 0.1, Gen);
+    EXPECT_FALSE(G.hasCycle());
+    std::vector<Digraph::NodeId> All;
+    for (Digraph::NodeId N = 0; N != G.numNodes(); ++N)
+      All.push_back(N);
+    EXPECT_TRUE(G.isWeaklyConnected(All));
+  }
+}
+
+TEST(RandomGraphs, WeightsMatrixIsSymmetric) {
+  Rng Gen(3);
+  auto W = randomConnectedWeights(10, 8, 1.0, 5.0, Gen);
+  for (size_t I = 0; I != W.size(); ++I)
+    for (size_t J = 0; J != W.size(); ++J)
+      EXPECT_DOUBLE_EQ(W[I][J], W[J][I]);
+}
+
+} // namespace

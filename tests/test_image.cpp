@@ -1,0 +1,176 @@
+//===- tests/test_image.cpp - Image substrate tests -----------------------------===//
+
+#include "image/Border.h"
+#include "image/Compare.h"
+#include "image/Generators.h"
+#include "image/ImageIO.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+using namespace kf;
+
+namespace {
+
+TEST(Image, ConstructionAndAccess) {
+  Image Img(4, 3, 2, 0.5f);
+  EXPECT_EQ(Img.width(), 4);
+  EXPECT_EQ(Img.height(), 3);
+  EXPECT_EQ(Img.channels(), 2);
+  EXPECT_EQ(Img.iterationSpace(), 12);
+  EXPECT_EQ(Img.sizeInBytes(), 12 * 2 * 4);
+  EXPECT_FLOAT_EQ(Img.at(3, 2, 1), 0.5f);
+  Img.at(1, 1, 0) = 2.0f;
+  EXPECT_FLOAT_EQ(Img.at(1, 1, 0), 2.0f);
+}
+
+TEST(Image, SameShape) {
+  Image A(4, 4, 1), B(4, 4, 1), C(4, 4, 3);
+  EXPECT_TRUE(A.sameShape(B));
+  EXPECT_FALSE(A.sameShape(C));
+}
+
+TEST(Border, ClampExchange) {
+  EXPECT_EQ(exchangeIndex(-1, 5, BorderMode::Clamp), 0);
+  EXPECT_EQ(exchangeIndex(-10, 5, BorderMode::Clamp), 0);
+  EXPECT_EQ(exchangeIndex(5, 5, BorderMode::Clamp), 4);
+  EXPECT_EQ(exchangeIndex(2, 5, BorderMode::Clamp), 2);
+}
+
+TEST(Border, MirrorExchange) {
+  // Edge pixel included: -1 -> 0, -2 -> 1, size -> size-1.
+  EXPECT_EQ(exchangeIndex(-1, 5, BorderMode::Mirror), 0);
+  EXPECT_EQ(exchangeIndex(-2, 5, BorderMode::Mirror), 1);
+  EXPECT_EQ(exchangeIndex(5, 5, BorderMode::Mirror), 4);
+  EXPECT_EQ(exchangeIndex(6, 5, BorderMode::Mirror), 3);
+  // Far out-of-range still lands inside.
+  for (int I = -20; I != 20; ++I) {
+    int E = exchangeIndex(I, 5, BorderMode::Mirror);
+    EXPECT_GE(E, 0);
+    EXPECT_LT(E, 5);
+  }
+}
+
+TEST(Border, RepeatExchange) {
+  EXPECT_EQ(exchangeIndex(-1, 5, BorderMode::Repeat), 4);
+  EXPECT_EQ(exchangeIndex(5, 5, BorderMode::Repeat), 0);
+  EXPECT_EQ(exchangeIndex(12, 5, BorderMode::Repeat), 2);
+  EXPECT_EQ(exchangeIndex(-6, 5, BorderMode::Repeat), 4);
+}
+
+TEST(Border, ConstantSignalsSentinel) {
+  EXPECT_EQ(exchangeIndex(-1, 5, BorderMode::Constant), -1);
+  EXPECT_EQ(exchangeIndex(2, 5, BorderMode::Constant), 2);
+}
+
+TEST(Border, SampleWithBorder) {
+  Image Img(3, 3, 1);
+  Img.at(0, 0) = 7.0f;
+  Img.at(2, 2) = 9.0f;
+  EXPECT_FLOAT_EQ(sampleWithBorder(Img, -2, -2, 0, BorderMode::Clamp), 7.0f);
+  EXPECT_FLOAT_EQ(sampleWithBorder(Img, 3, 3, 0, BorderMode::Clamp), 9.0f);
+  EXPECT_FLOAT_EQ(
+      sampleWithBorder(Img, -1, 0, 0, BorderMode::Constant, 5.5f), 5.5f);
+  EXPECT_FLOAT_EQ(sampleWithBorder(Img, 1, 1, 0, BorderMode::Constant, 5.5f),
+                  0.0f);
+}
+
+TEST(Border, ModeNames) {
+  EXPECT_STREQ(borderModeName(BorderMode::Clamp), "clamp");
+  EXPECT_STREQ(borderModeName(BorderMode::Mirror), "mirror");
+  EXPECT_STREQ(borderModeName(BorderMode::Repeat), "repeat");
+  EXPECT_STREQ(borderModeName(BorderMode::Constant), "constant");
+}
+
+TEST(Generators, RandomImageDeterministicAndInRange) {
+  Rng A(42), B(42);
+  Image ImgA = makeRandomImage(8, 8, 1, A, 0.25f, 0.75f);
+  Image ImgB = makeRandomImage(8, 8, 1, B, 0.25f, 0.75f);
+  EXPECT_DOUBLE_EQ(maxAbsDifference(ImgA, ImgB), 0.0);
+  for (float V : ImgA.data()) {
+    EXPECT_GE(V, 0.25f);
+    EXPECT_LT(V, 0.75f);
+  }
+}
+
+TEST(Generators, Figure4MatrixMatchesPaper) {
+  Image M = makeFigure4Matrix();
+  EXPECT_EQ(M.width(), 5);
+  EXPECT_FLOAT_EQ(M.at(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(M.at(2, 1), 9.0f);
+  EXPECT_FLOAT_EQ(M.at(4, 4), 2.0f);
+  EXPECT_FLOAT_EQ(M.at(2, 2), 3.0f);
+}
+
+TEST(Generators, CheckerboardAlternates) {
+  Image M = makeCheckerboardImage(8, 8, 2, 0.0f, 1.0f);
+  EXPECT_FLOAT_EQ(M.at(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(M.at(2, 0), 1.0f);
+  EXPECT_FLOAT_EQ(M.at(2, 2), 0.0f);
+}
+
+TEST(Generators, GradientMonotone) {
+  Image M = makeGradientImage(8, 8);
+  EXPECT_LT(M.at(0, 0), M.at(7, 0));
+  EXPECT_LT(M.at(7, 0), M.at(7, 7));
+}
+
+TEST(Compare, CountAndMax) {
+  Image A(4, 4, 1, 1.0f), B(4, 4, 1, 1.0f);
+  B.at(2, 2) = 1.5f;
+  B.at(0, 0) = 1.0001f;
+  EXPECT_DOUBLE_EQ(maxAbsDifference(A, B), 0.5);
+  EXPECT_EQ(countDifferingSamples(A, B, 0.01), 1);
+  EXPECT_FALSE(imagesAlmostEqual(A, B, 0.1));
+  EXPECT_TRUE(imagesAlmostEqual(A, B, 0.6));
+}
+
+TEST(Compare, HaloVsInterior) {
+  Image A(6, 6, 1, 0.0f), B(6, 6, 1, 0.0f);
+  B.at(0, 0) = 1.0f; // Halo difference.
+  B.at(3, 3) = 2.0f; // Interior difference.
+  EXPECT_DOUBLE_EQ(maxAbsDifferenceInHalo(A, B, 1), 1.0);
+  EXPECT_DOUBLE_EQ(maxAbsDifferenceInInterior(A, B, 1), 2.0);
+}
+
+TEST(ImageIO, PgmRoundTrip) {
+  Image Src(7, 5, 1);
+  for (int Y = 0; Y != 5; ++Y)
+    for (int X = 0; X != 7; ++X)
+      Src.at(X, Y) = static_cast<float>((X + Y) % 5) / 4.0f;
+  std::string Path = ::testing::TempDir() + "kf_roundtrip.pgm";
+  ASSERT_TRUE(writePnm(Src, Path));
+  std::optional<Image> Back = readPnm(Path);
+  ASSERT_TRUE(Back.has_value());
+  EXPECT_TRUE(Back->sameShape(Src));
+  // 8-bit quantization: within 1/255 plus rounding.
+  EXPECT_LE(maxAbsDifference(Src, *Back), 0.5 / 255.0 + 1e-6);
+  std::remove(Path.c_str());
+}
+
+TEST(ImageIO, PpmRoundTripRgb) {
+  Image Src(4, 4, 3);
+  for (int Y = 0; Y != 4; ++Y)
+    for (int X = 0; X != 4; ++X)
+      for (int Ch = 0; Ch != 3; ++Ch)
+        Src.at(X, Y, Ch) = static_cast<float>(Ch) / 2.0f;
+  std::string Path = ::testing::TempDir() + "kf_roundtrip.ppm";
+  ASSERT_TRUE(writePnm(Src, Path));
+  std::optional<Image> Back = readPnm(Path);
+  ASSERT_TRUE(Back.has_value());
+  EXPECT_EQ(Back->channels(), 3);
+  EXPECT_LE(maxAbsDifference(Src, *Back), 0.5 / 255.0 + 1e-6);
+  std::remove(Path.c_str());
+}
+
+TEST(ImageIO, RejectsMissingFile) {
+  EXPECT_FALSE(readPnm("/nonexistent/path.pgm").has_value());
+}
+
+TEST(ImageIO, RejectsUnsupportedChannelCount) {
+  Image TwoChannel(4, 4, 2);
+  EXPECT_FALSE(writePnm(TwoChannel, ::testing::TempDir() + "kf_bad.pnm"));
+}
+
+} // namespace

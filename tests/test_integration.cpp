@@ -1,0 +1,191 @@
+//===- tests/test_integration.cpp - End-to-end pipeline properties --------------===//
+//
+// The system-level property behind the whole paper: for every application,
+// the fused programs (both the optimized partition and the basic prior-
+// work partition) produce outputs identical to the unfused baseline --
+// kernel fusion is a pure locality transformation. Plus end-to-end
+// simulated-performance orderings across the three GPUs.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fusion/BasicFusion.h"
+#include "fusion/MinCutPartitioner.h"
+#include "image/Compare.h"
+#include "image/Generators.h"
+#include "pipelines/Pipelines.h"
+#include "sim/Executor.h"
+#include "sim/Runner.h"
+#include "transform/Fuser.h"
+
+#include <gtest/gtest.h>
+
+using namespace kf;
+
+namespace {
+
+HardwareModel paperModel() {
+  HardwareModel HW;
+  HW.SharedMemThreshold = 2.0;
+  return HW;
+}
+
+/// Correctness sweep: fused == unfused for one pipeline and one seed.
+class PipelineCorrectness
+    : public ::testing::TestWithParam<std::tuple<std::string, int>> {};
+
+TEST_P(PipelineCorrectness, FusedMatchesBaselineExactly) {
+  const auto &[Name, Seed] = GetParam();
+  const PipelineSpec *Spec = findPipeline(Name);
+  ASSERT_NE(Spec, nullptr);
+  // Reduced sizes keep the interpreter fast; the transform is size-
+  // agnostic. Keep the Night aspect ratio (RGB path).
+  int W = Name == "night" ? 20 : 24;
+  int H = Name == "night" ? 12 : 24;
+  Program P = Spec->Builder(W, H);
+
+  Rng Gen(static_cast<uint64_t>(Seed) * 7919 + 13);
+  const ImageInfo &InInfo = P.image(0);
+  Image Input = makeRandomImage(InInfo.Width, InInfo.Height,
+                                InInfo.Channels, Gen);
+
+  std::vector<Image> Reference = makeImagePool(P);
+  Reference[0] = Input;
+  runUnfused(P, Reference);
+
+  // Optimized fusion.
+  MinCutFusionResult MinCut = runMinCutFusion(P, paperModel());
+  FusedProgram Optimized =
+      fuseProgram(P, MinCut.Blocks, FusionStyle::Optimized);
+  std::vector<Image> OptPool = makeImagePool(P);
+  OptPool[0] = Input;
+  runFused(Optimized, OptPool);
+
+  // Basic (prior work) fusion.
+  BasicFusionResult Basic = runBasicFusion(P, paperModel());
+  FusedProgram BasicFused =
+      fuseProgram(P, Basic.Blocks, FusionStyle::Basic);
+  std::vector<Image> BasicPool = makeImagePool(P);
+  BasicPool[0] = Input;
+  runFused(BasicFused, BasicPool);
+
+  for (ImageId Out : P.terminalOutputs()) {
+    EXPECT_DOUBLE_EQ(maxAbsDifference(OptPool[Out], Reference[Out]), 0.0)
+        << Name << " optimized, output image " << Out;
+    EXPECT_DOUBLE_EQ(maxAbsDifference(BasicPool[Out], Reference[Out]), 0.0)
+        << Name << " basic, output image " << Out;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPipelines, PipelineCorrectness,
+    ::testing::Combine(::testing::Values("harris", "sobel", "unsharp",
+                                         "shitomasi", "enhance", "night"),
+                       ::testing::Values(1, 2, 3)),
+    [](const auto &Info) {
+      return std::get<0>(Info.param) + "_seed" +
+             std::to_string(std::get<1>(Info.param));
+    });
+
+TEST(Integration, SpeedupOrderingAcrossVariants) {
+  // Optimized must never lose to basic, and basic never to baseline, on
+  // any of the three GPUs (Table I's columns are all >= 1, modulo noise).
+  CostModelParams Params;
+  for (const PipelineSpec &Spec : paperPipelines()) {
+    Program P = Spec.build();
+    ProgramStats Base = accountFusedProgram(unfusedProgram(P));
+    MinCutFusionResult MinCut = runMinCutFusion(P, paperModel());
+    ProgramStats Opt = accountFusedProgram(
+        fuseProgram(P, MinCut.Blocks, FusionStyle::Optimized));
+    BasicFusionResult Basic = runBasicFusion(P, paperModel());
+    ProgramStats Bas = accountFusedProgram(
+        fuseProgram(P, Basic.Blocks, FusionStyle::Basic));
+
+    for (const DeviceSpec &Device : DeviceSpec::paperDevices()) {
+      double TBase = estimateProgramTimeMs(Base, Device, Params);
+      double TBasic = estimateProgramTimeMs(Bas, Device, Params);
+      double TOpt = estimateProgramTimeMs(Opt, Device, Params);
+      EXPECT_LE(TOpt, TBasic * 1.005)
+          << Spec.Name << " on " << Device.Name;
+      EXPECT_LE(TBasic, TBase * 1.005)
+          << Spec.Name << " on " << Device.Name;
+    }
+  }
+}
+
+TEST(Integration, UnsharpShowsTheLargestOptimizedOverBasicGain) {
+  // Table I's headline: basic fails on Unsharp entirely, optimized fuses
+  // it into one kernel -- the optimized-over-basic ratio must be the
+  // largest among the six applications on every GPU.
+  CostModelParams Params;
+  for (const DeviceSpec &Device : DeviceSpec::paperDevices()) {
+    double UnsharpRatio = 0.0;
+    double BestOtherRatio = 0.0;
+    for (const PipelineSpec &Spec : paperPipelines()) {
+      Program P = Spec.build();
+      BasicFusionResult Basic = runBasicFusion(P, paperModel());
+      MinCutFusionResult MinCut = runMinCutFusion(P, paperModel());
+      double TBasic = estimateProgramTimeMs(
+          accountFusedProgram(
+              fuseProgram(P, Basic.Blocks, FusionStyle::Basic)),
+          Device, Params);
+      double TOpt = estimateProgramTimeMs(
+          accountFusedProgram(
+              fuseProgram(P, MinCut.Blocks, FusionStyle::Optimized)),
+          Device, Params);
+      double Ratio = TBasic / TOpt;
+      if (Spec.Name == "unsharp")
+        UnsharpRatio = Ratio;
+      else
+        BestOtherRatio = std::max(BestOtherRatio, Ratio);
+    }
+    EXPECT_GT(UnsharpRatio, BestOtherRatio) << Device.Name;
+    EXPECT_GT(UnsharpRatio, 1.5) << Device.Name;
+  }
+}
+
+TEST(Integration, FusionPassIsDeterministic) {
+  for (const PipelineSpec &Spec : paperPipelines()) {
+    Program P1 = Spec.Builder(64, 64);
+    Program P2 = Spec.Builder(64, 64);
+    MinCutFusionResult R1 = runMinCutFusion(P1, paperModel());
+    MinCutFusionResult R2 = runMinCutFusion(P2, paperModel());
+    EXPECT_TRUE(R1.Blocks == R2.Blocks) << Spec.Name;
+    EXPECT_DOUBLE_EQ(R1.TotalBenefit, R2.TotalBenefit) << Spec.Name;
+    EXPECT_EQ(R1.Trace.size(), R2.Trace.size()) << Spec.Name;
+  }
+}
+
+TEST(Integration, FusedProgramsEliminateIntermediates) {
+  // After fused execution, eliminated intermediates must stay empty --
+  // they were never materialized in (simulated) global memory.
+  Program P = makeUnsharp(24, 24);
+  MinCutFusionResult MinCut = runMinCutFusion(P, paperModel());
+  FusedProgram FP = fuseProgram(P, MinCut.Blocks, FusionStyle::Optimized);
+  std::vector<Image> Pool = makeImagePool(P);
+  Rng Gen(3);
+  Pool[0] = makeRandomImage(24, 24, 1, Gen);
+  runFused(FP, Pool);
+  EXPECT_TRUE(Pool[1].empty()); // blur_out eliminated.
+  EXPECT_TRUE(Pool[2].empty()); // hi_out eliminated.
+  EXPECT_TRUE(Pool[3].empty()); // cub_out eliminated.
+  EXPECT_FALSE(Pool[4].empty());
+}
+
+TEST(Integration, GradientInputFusionIsExactToo) {
+  // Structured (non-random) inputs exercise different value patterns in
+  // the border paths.
+  Program P = makeHarris(24, 24);
+  MinCutFusionResult MinCut = runMinCutFusion(P, paperModel());
+  FusedProgram FP = fuseProgram(P, MinCut.Blocks, FusionStyle::Optimized);
+
+  std::vector<Image> Reference = makeImagePool(P);
+  Reference[0] = makeGradientImage(24, 24);
+  runUnfused(P, Reference);
+
+  std::vector<Image> Pool = makeImagePool(P);
+  Pool[0] = makeGradientImage(24, 24);
+  runFused(FP, Pool);
+  EXPECT_DOUBLE_EQ(maxAbsDifference(Pool[9], Reference[9]), 0.0);
+}
+
+} // namespace

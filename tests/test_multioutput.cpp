@@ -1,0 +1,231 @@
+//===- tests/test_multioutput.cpp - Multi-destination fusion extension ----------===//
+//
+// The extension beyond the paper: fused kernels with several destination
+// outputs (LegalityOptions::AllowMultipleDestinations). Checks legality
+// relaxation, partitioning, transform structure, execution exactness, and
+// the emitted entry-point signatures.
+//
+//===----------------------------------------------------------------------===//
+
+#include "backend/cpu/CppEmitter.h"
+#include "backend/cuda/CudaEmitter.h"
+#include "fusion/MinCutPartitioner.h"
+#include "image/Compare.h"
+#include "image/Generators.h"
+#include "ir/Verifier.h"
+#include "pipelines/Pipelines.h"
+#include "sim/CostModel.h"
+#include "sim/Executor.h"
+#include "transform/Fuser.h"
+
+#include <gtest/gtest.h>
+
+using namespace kf;
+
+namespace {
+
+HardwareModel paperModel() {
+  HardwareModel HW;
+  HW.SharedMemThreshold = 2.0;
+  return HW;
+}
+
+LegalityOptions multiOut() {
+  LegalityOptions Options;
+  Options.AllowMultipleDestinations = true;
+  return Options;
+}
+
+/// A pipeline with two terminal outputs sharing one producer: grad
+/// computes a derivative, and two point kernels derive both a magnitude
+/// and a sign map from it.
+Program makeTwoOutputs(int Width, int Height) {
+  Program P("twoout");
+  ExprContext &C = P.context();
+  ImageId In = P.addImage("in", Width, Height);
+  ImageId G = P.addImage("grad", Width, Height);
+  ImageId MagOut = P.addImage("mag", Width, Height);
+  ImageId SignOut = P.addImage("sign", Width, Height);
+
+  Kernel Grad;
+  Grad.Name = "grad";
+  Grad.Kind = OperatorKind::Point;
+  Grad.Inputs = {In};
+  Grad.Output = G;
+  Grad.Body = C.sub(C.mul(C.inputAt(0), C.inputAt(0)), C.floatConst(0.25f));
+  P.addKernel(std::move(Grad));
+
+  Kernel Mag;
+  Mag.Name = "mag";
+  Mag.Kind = OperatorKind::Point;
+  Mag.Inputs = {G};
+  Mag.Output = MagOut;
+  Mag.Body = C.unary(UnOp::Abs, C.inputAt(0));
+  P.addKernel(std::move(Mag));
+
+  Kernel Sign;
+  Sign.Name = "sign";
+  Sign.Kind = OperatorKind::Point;
+  Sign.Inputs = {G};
+  Sign.Output = SignOut;
+  Sign.Body = C.binary(BinOp::CmpGT, C.inputAt(0), C.floatConst(0.0f));
+  P.addKernel(std::move(Sign));
+
+  verifyProgramOrDie(P);
+  return P;
+}
+
+TEST(MultiOutput, LegalityRelaxesSinkCount) {
+  Program P = makeTwoOutputs(16, 16);
+  std::vector<KernelId> All = {0, 1, 2};
+
+  LegalityChecker Strict(P, paperModel());
+  LegalityResult StrictResult = Strict.checkBlock(All);
+  EXPECT_FALSE(StrictResult.Legal);
+  EXPECT_NE(StrictResult.Reason.find("destination"), std::string::npos);
+
+  LegalityChecker Relaxed(P, paperModel(), multiOut());
+  EXPECT_TRUE(Relaxed.checkBlock(All).Legal);
+}
+
+TEST(MultiOutput, OtherRulesStayInForce) {
+  // Multi-destination does not legalize escaping *intermediates*: in
+  // Harris, {dx, sx} still fails because dx's output feeds sxy outside.
+  Program P = makeHarris(16, 16);
+  LegalityChecker Relaxed(P, paperModel(), multiOut());
+  LegalityResult R = Relaxed.checkBlock({0, 2});
+  EXPECT_FALSE(R.Legal);
+  EXPECT_NE(R.Reason.find("external output"), std::string::npos);
+}
+
+TEST(MultiOutput, PartitionerFusesTwoOutputPipeline) {
+  Program P = makeTwoOutputs(16, 16);
+  // Paper rules: {grad, mag} or {grad, sign} can pair at best.
+  MinCutFusionResult Single = runMinCutFusion(P, paperModel());
+  EXPECT_GE(Single.Blocks.Blocks.size(), 2u);
+  // Extension: the whole pipeline becomes one launch.
+  MinCutFusionResult Multi = runMinCutFusion(P, paperModel(), multiOut());
+  EXPECT_EQ(Multi.Blocks.Blocks.size(), 1u);
+  EXPECT_GE(Multi.TotalBenefit, Single.TotalBenefit);
+}
+
+TEST(MultiOutput, FuserRecordsAllDestinations) {
+  Program P = makeTwoOutputs(16, 16);
+  MinCutFusionResult Multi = runMinCutFusion(P, paperModel(), multiOut());
+  FusedProgram FP = fuseProgram(P, Multi.Blocks, FusionStyle::Optimized);
+  ASSERT_EQ(FP.numLaunches(), 1u);
+  const FusedKernel &FK = FP.Kernels.front();
+  EXPECT_EQ(FK.Destinations.size(), 2u);
+  EXPECT_TRUE(FK.isDestination(1));
+  EXPECT_TRUE(FK.isDestination(2));
+  EXPECT_FALSE(FK.isDestination(0));
+  // grad is register-placed; both destinations write global memory.
+  EXPECT_EQ(FK.findStage(0)->OutputPlacement, Placement::Register);
+  EXPECT_EQ(FK.findStage(1)->OutputPlacement, Placement::Global);
+  EXPECT_EQ(FK.findStage(2)->OutputPlacement, Placement::Global);
+}
+
+TEST(MultiOutput, ExecutionMatchesBaselineOnBothOutputs) {
+  Program P = makeTwoOutputs(20, 14);
+  MinCutFusionResult Multi = runMinCutFusion(P, paperModel(), multiOut());
+  FusedProgram FP = fuseProgram(P, Multi.Blocks, FusionStyle::Optimized);
+
+  Rng Gen(77);
+  std::vector<Image> Reference = makeImagePool(P);
+  Reference[0] = makeRandomImage(20, 14, 1, Gen);
+  runUnfused(P, Reference);
+
+  std::vector<Image> Pool = makeImagePool(P);
+  Pool[0] = Reference[0];
+  runFused(FP, Pool);
+  EXPECT_DOUBLE_EQ(maxAbsDifference(Pool[2], Reference[2]), 0.0);
+  EXPECT_DOUBLE_EQ(maxAbsDifference(Pool[3], Reference[3]), 0.0);
+  EXPECT_TRUE(Pool[1].empty()); // grad eliminated.
+}
+
+TEST(MultiOutput, AccountingWritesBothOutputsReadsInputOnce) {
+  Program P = makeTwoOutputs(64, 64);
+  MinCutFusionResult Multi = runMinCutFusion(P, paperModel(), multiOut());
+  FusedProgram FP = fuseProgram(P, Multi.Blocks, FusionStyle::Optimized);
+  ProgramStats Stats = accountFusedProgram(FP);
+  ASSERT_EQ(Stats.Launches.size(), 1u);
+  double ImageBytes = 64.0 * 64.0 * 4.0;
+  EXPECT_DOUBLE_EQ(Stats.Launches[0].GlobalBytesWritten, 2.0 * ImageBytes);
+  EXPECT_DOUBLE_EQ(Stats.Launches[0].GlobalBytesRead, ImageBytes);
+
+  // Against the baseline: 3 launches, 4 reads + 3 writes.
+  ProgramStats Base = accountFusedProgram(unfusedProgram(P));
+  EXPECT_EQ(Base.numLaunches(), 3u);
+  EXPECT_GT(Base.totalGlobalBytes(),
+            Stats.Launches[0].totalGlobalBytes());
+}
+
+TEST(MultiOutput, EmittersTakeOneOutputPointerPerDestination) {
+  Program P = makeTwoOutputs(16, 16);
+  MinCutFusionResult Multi = runMinCutFusion(P, paperModel(), multiOut());
+  FusedProgram FP = fuseProgram(P, Multi.Blocks, FusionStyle::Optimized);
+  std::string Cuda = emitCudaProgram(FP);
+  EXPECT_NE(Cuda.find("float *out_mag, float *out_sign"),
+            std::string::npos);
+  EXPECT_NE(Cuda.find("out_mag[(y * width + x) * 1 + c]"),
+            std::string::npos);
+  EXPECT_NE(Cuda.find("out_sign[(y * width + x) * 1 + c]"),
+            std::string::npos);
+  std::string Cpp = emitCppProgram(FP);
+  EXPECT_NE(Cpp.find("extern \"C\" void twoout_grad_mag_sign_kernel("
+                     "float *out_mag, float *out_sign"),
+            std::string::npos);
+}
+
+TEST(MultiOutput, SingleDestinationSignaturesUnchanged) {
+  // The extension must not disturb the paper-mode output.
+  Program P = makeSobel(16, 16);
+  MinCutFusionResult Fusion = runMinCutFusion(P, paperModel());
+  FusedProgram FP = fuseProgram(P, Fusion.Blocks, FusionStyle::Optimized);
+  std::string Cuda = emitCudaProgram(FP);
+  EXPECT_NE(Cuda.find("sobel_dx_dy_mag_kernel(float *out, "),
+            std::string::npos);
+}
+
+TEST(MultiOutput, HarrisGainsLaunchesUnderExtension) {
+  // With multiple destinations, Harris can fuse {dx, dy, sx, sy, sxy}
+  // (three destinations) -- fewer launches than the paper partition.
+  Program P = makeHarris(32, 32);
+  MinCutFusionResult Single = runMinCutFusion(P, paperModel());
+  MinCutFusionResult Multi = runMinCutFusion(P, paperModel(), multiOut());
+  EXPECT_LE(Multi.Blocks.Blocks.size(), Single.Blocks.Blocks.size());
+  EXPECT_GE(Multi.TotalBenefit, Single.TotalBenefit);
+
+  // Whatever the partition, execution stays exact.
+  FusedProgram FP = fuseProgram(P, Multi.Blocks, FusionStyle::Optimized);
+  Rng Gen(9);
+  std::vector<Image> Reference = makeImagePool(P);
+  Reference[0] = makeRandomImage(32, 32, 1, Gen);
+  runUnfused(P, Reference);
+  std::vector<Image> Pool = makeImagePool(P);
+  Pool[0] = Reference[0];
+  runFused(FP, Pool);
+  EXPECT_DOUBLE_EQ(maxAbsDifference(Pool[9], Reference[9]), 0.0);
+}
+
+TEST(MultiOutput, RandomPipelinesStayExact) {
+  Rng Gen(2025);
+  for (int Trial = 0; Trial != 10; ++Trial) {
+    Program P = makeRandomPipeline(8, 0.4, 14, 14, Gen);
+    MinCutFusionResult Multi =
+        runMinCutFusion(P, paperModel(), multiOut());
+    ASSERT_EQ(validatePartition(P, Multi.Blocks), "") << Trial;
+    FusedProgram FP = fuseProgram(P, Multi.Blocks, FusionStyle::Optimized);
+    std::vector<Image> Reference = makeImagePool(P);
+    Reference[0] = makeRandomImage(14, 14, 1, Gen);
+    runUnfused(P, Reference);
+    std::vector<Image> Pool = makeImagePool(P);
+    Pool[0] = Reference[0];
+    runFused(FP, Pool);
+    for (ImageId Out : P.terminalOutputs())
+      EXPECT_DOUBLE_EQ(maxAbsDifference(Pool[Out], Reference[Out]), 0.0)
+          << "trial " << Trial;
+  }
+}
+
+} // namespace

@@ -1,0 +1,232 @@
+//===- tests/test_pipelines.cpp - Application structure tests -------------------===//
+//
+// Each benchmark application must have the kernel-DAG structure the paper
+// describes (Section V-B), with the right operator kinds, image sizes, and
+// filter semantics.
+//
+//===----------------------------------------------------------------------===//
+
+#include "image/Compare.h"
+#include "image/Generators.h"
+#include "ir/CostInfo.h"
+#include "pipelines/Masks.h"
+#include "pipelines/Pipelines.h"
+#include "sim/Executor.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace kf;
+
+namespace {
+
+KernelId kernelByName(const Program &P, const std::string &Name) {
+  for (KernelId Id = 0; Id != P.numKernels(); ++Id)
+    if (P.kernel(Id).Name == Name)
+      return Id;
+  ADD_FAILURE() << "kernel not found: " << Name;
+  return 0;
+}
+
+TEST(Registry, SixApplicationsWithPaperSizes) {
+  const std::vector<PipelineSpec> &Specs = paperPipelines();
+  ASSERT_EQ(Specs.size(), 6u);
+  for (const PipelineSpec &Spec : Specs) {
+    if (Spec.Name == "night") {
+      EXPECT_EQ(Spec.Width, 1920);
+      EXPECT_EQ(Spec.Height, 1200);
+    } else {
+      EXPECT_EQ(Spec.Width, 2048);
+      EXPECT_EQ(Spec.Height, 2048);
+    }
+  }
+  EXPECT_NE(findPipeline("harris"), nullptr);
+  EXPECT_EQ(findPipeline("does-not-exist"), nullptr);
+}
+
+TEST(HarrisPipeline, NineKernelsTenEdges) {
+  Program P = makeHarris(64, 64);
+  EXPECT_EQ(P.numKernels(), 9u);
+  EXPECT_EQ(P.buildKernelDag().numEdges(), 10u);
+  // Operator kinds per the paper: dx/dy/gx/gy/gxy local, rest point.
+  for (const char *Name : {"dx", "dy", "gx", "gy", "gxy"})
+    EXPECT_EQ(P.kernel(kernelByName(P, Name)).Kind, OperatorKind::Local)
+        << Name;
+  for (const char *Name : {"sx", "sy", "sxy", "hc"})
+    EXPECT_EQ(P.kernel(kernelByName(P, Name)).Kind, OperatorKind::Point)
+        << Name;
+}
+
+TEST(HarrisPipeline, CornerResponsePeaksAtCorner) {
+  // A bright square in the middle of a dark image: the response magnitude
+  // at the square's corner must exceed the response at flat regions.
+  Program P = makeHarris(32, 32);
+  std::vector<Image> Pool = makeImagePool(P);
+  Image In(32, 32, 1, 0.0f);
+  for (int Y = 10; Y != 22; ++Y)
+    for (int X = 10; X != 22; ++X)
+      In.at(X, Y) = 1.0f;
+  Pool[0] = In;
+  runUnfused(P, Pool);
+  const Image &Hc = Pool[9];
+  double CornerMag = std::abs(Hc.at(10, 10));
+  double FlatMag = std::abs(Hc.at(4, 4));
+  double EdgeMidMag = std::abs(Hc.at(16, 10));
+  EXPECT_GT(CornerMag, FlatMag);
+  EXPECT_GT(CornerMag, 1e-6);
+  // Edges score lower than corners for the Harris measure.
+  EXPECT_GT(CornerMag, EdgeMidMag);
+}
+
+TEST(SobelPipeline, DetectsVerticalEdge) {
+  Program P = makeSobel(16, 16);
+  std::vector<Image> Pool = makeImagePool(P);
+  Image In(16, 16, 1, 0.0f);
+  for (int Y = 0; Y != 16; ++Y)
+    for (int X = 8; X != 16; ++X)
+      In.at(X, Y) = 1.0f;
+  Pool[0] = In;
+  runUnfused(P, Pool);
+  const Image &Mag = Pool[3];
+  EXPECT_GT(Mag.at(8, 8), 0.1f);  // On the edge.
+  EXPECT_LT(Mag.at(3, 8), 1e-6f); // Flat region.
+}
+
+TEST(UnsharpPipeline, SharpensEdges) {
+  Program P = makeUnsharp(16, 16);
+  std::vector<Image> Pool = makeImagePool(P);
+  Image In(16, 16, 1, 0.0f);
+  for (int Y = 0; Y != 16; ++Y)
+    for (int X = 8; X != 16; ++X)
+      In.at(X, Y) = 1.0f;
+  Pool[0] = In;
+  runUnfused(P, Pool);
+  const Image &Out = Pool[4];
+  // Overshoot on the bright side of the edge, undershoot on the dark side.
+  EXPECT_GT(Out.at(8, 8), 1.0f);
+  EXPECT_LE(Out.at(7, 8), 0.0f + 1e-6f);
+  // Flat regions are unchanged.
+  EXPECT_NEAR(Out.at(2, 8), 0.0f, 1e-6);
+  EXPECT_NEAR(Out.at(14, 8), 1.0f, 1e-5);
+}
+
+TEST(UnsharpPipeline, AllFourKernelsReadTheSource) {
+  // The Figure 2b shape that defeats basic fusion.
+  Program P = makeUnsharp(32, 32);
+  unsigned ReadersOfInput = P.consumersOf(0).size();
+  EXPECT_EQ(ReadersOfInput, 4u);
+}
+
+TEST(ShiTomasiPipeline, ResponseIsMinEigenvalue) {
+  // For the structure matrix, min-eigenvalue <= harris response ... just
+  // validate the response is finite and non-positive-definite regions
+  // score lower than corners.
+  Program P = makeShiTomasi(32, 32);
+  std::vector<Image> Pool = makeImagePool(P);
+  Pool[0] = makeCheckerboardImage(32, 32, 8, 0.0f, 1.0f);
+  runUnfused(P, Pool);
+  for (float V : Pool[9].data())
+    ASSERT_TRUE(std::isfinite(V));
+}
+
+TEST(EnhancementPipeline, GeometricMeanSmoothsAndGammaBrightens) {
+  Program P = makeEnhancement(16, 16);
+  std::vector<Image> Pool = makeImagePool(P);
+  Rng Gen(5);
+  Pool[0] = makeRandomImage(16, 16, 1, Gen, 0.2f, 0.8f);
+  runUnfused(P, Pool);
+  // Geometric mean output lies within the input range.
+  for (float V : Pool[1].data()) {
+    EXPECT_GT(V, 0.15f);
+    EXPECT_LT(V, 0.85f);
+  }
+  // Gamma 0.8 brightens mid-tones.
+  for (size_t I = 0; I != Pool[2].data().size(); ++I)
+    EXPECT_GE(Pool[2].data()[I], Pool[1].data()[I] - 1e-6f);
+}
+
+TEST(NightPipeline, RgbShapeAndKernelKinds) {
+  Program P = makeNight(32, 32);
+  EXPECT_EQ(P.numKernels(), 3u);
+  EXPECT_EQ(P.image(0).Channels, 3);
+  EXPECT_EQ(P.image(3).Channels, 3);
+  EXPECT_EQ(P.kernel(0).Kind, OperatorKind::Local);
+  EXPECT_EQ(P.kernel(1).Kind, OperatorKind::Local);
+  EXPECT_EQ(P.kernel(2).Kind, OperatorKind::Point);
+  // The atrous masks: 3x3 then 5x5 as in the paper.
+  KernelCost A0 = analyzeKernelCost(P, 0);
+  KernelCost A1 = analyzeKernelCost(P, 1);
+  EXPECT_EQ(A0.WindowWidth, 3);
+  EXPECT_EQ(A1.WindowWidth, 5);
+}
+
+TEST(NightPipeline, BilateralPreservesEdgesBetterThanItsBlur) {
+  // The range kernel suppresses smoothing across strong edges: after the
+  // bilateral stage an edge must remain sharper than a plain binomial
+  // blur would leave it.
+  Program P = makeNight(16, 16);
+  std::vector<Image> Pool = makeImagePool(P);
+  Image In(16, 16, 3, 0.0f);
+  for (int Y = 0; Y != 16; ++Y)
+    for (int X = 8; X != 16; ++X)
+      for (int Ch = 0; Ch != 3; ++Ch)
+        In.at(X, Y, Ch) = 1.0f;
+  Pool[0] = In;
+  runUnfused(P, Pool);
+  const Image &A0 = Pool[1];
+  // At the dark side of the edge the bilateral output stays near 0
+  // (a plain binomial would pull it to ~0.25).
+  EXPECT_LT(A0.at(7, 8, 0), 0.1f);
+  EXPECT_GT(A0.at(8, 8, 0), 0.9f);
+}
+
+TEST(NightPipeline, ScotoOutputStaysInDisplayRange) {
+  Program P = makeNight(16, 16);
+  std::vector<Image> Pool = makeImagePool(P);
+  Rng Gen(11);
+  Pool[0] = makeRandomImage(16, 16, 3, Gen, 0.0f, 1.0f);
+  runUnfused(P, Pool);
+  for (float V : Pool[3].data()) {
+    EXPECT_GE(V, 0.0f);
+    EXPECT_LE(V, 1.3f);
+  }
+}
+
+TEST(Masks, AtrousHasHoles) {
+  Mask M = atrous5();
+  EXPECT_EQ(M.Width, 5);
+  // Holes: odd offsets are zero.
+  EXPECT_FLOAT_EQ(M.at(-1, 0), 0.0f);
+  EXPECT_FLOAT_EQ(M.at(0, 1), 0.0f);
+  EXPECT_GT(M.at(0, 0), 0.0f);
+  EXPECT_GT(M.at(2, 2), 0.0f);
+}
+
+TEST(Masks, SobelMasksAntisymmetric) {
+  Mask X = sobelX3();
+  Mask Y = sobelY3();
+  for (int D = -1; D <= 1; ++D) {
+    EXPECT_FLOAT_EQ(X.at(-1, D), -X.at(1, D));
+    EXPECT_FLOAT_EQ(Y.at(D, -1), -Y.at(D, 1));
+    EXPECT_FLOAT_EQ(X.at(0, D), 0.0f);
+  }
+}
+
+TEST(Masks, BinomialNormalizedSumsToOne) {
+  Mask M = binomial3Normalized();
+  float Sum = 0.0f;
+  for (float W : M.Weights)
+    Sum += W;
+  EXPECT_NEAR(Sum, 1.0f, 1e-6);
+}
+
+TEST(PointChain, HasRequestedArithmeticLoad) {
+  Program P = makePointChain(16, 16, 3, 10);
+  EXPECT_EQ(P.numKernels(), 3u);
+  KernelCost Cost = analyzeKernelCost(P, 0);
+  // 10 arithmetic nodes plus the store.
+  EXPECT_EQ(Cost.NumAlu, 11);
+}
+
+} // namespace

@@ -1,0 +1,123 @@
+//===- tests/test_property_random.cpp - Randomized properties -------------------===//
+//
+// Property-based testing over randomly generated pipelines: for arbitrary
+// DAG-shaped programs, Algorithm 1 must produce valid, legal partitions,
+// the fuser must materialize them, and fused execution must equal the
+// unfused baseline exactly -- the core soundness property of the system.
+// All randomness is seeded; failures reproduce deterministically.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fusion/BasicFusion.h"
+#include "fusion/ExhaustivePartitioner.h"
+#include "fusion/GreedyPartitioner.h"
+#include "fusion/MinCutPartitioner.h"
+#include "image/Compare.h"
+#include "image/Generators.h"
+#include "ir/Verifier.h"
+#include "pipelines/Pipelines.h"
+#include "sim/Executor.h"
+#include "transform/Fuser.h"
+
+#include <gtest/gtest.h>
+
+using namespace kf;
+
+namespace {
+
+HardwareModel paperModel() {
+  HardwareModel HW;
+  HW.SharedMemThreshold = 2.0;
+  return HW;
+}
+
+/// One randomized soundness round, parameterized by seed.
+class RandomPipelineProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomPipelineProperty, MinCutPartitionIsValidLegalAndExact) {
+  uint64_t Seed = static_cast<uint64_t>(GetParam());
+  Rng Gen(Seed * 1000003 + 17);
+  unsigned NumKernels = 3 + static_cast<unsigned>(Gen.nextBelow(10));
+  double LocalFraction = Gen.uniform(0.0, 0.7);
+  Program P = makeRandomPipeline(NumKernels, LocalFraction, 16, 12, Gen);
+  ASSERT_TRUE(verifyProgram(P).empty());
+
+  HardwareModel HW = paperModel();
+  MinCutFusionResult Result = runMinCutFusion(P, HW);
+
+  // Partition invariants of Section II-A.
+  ASSERT_EQ(validatePartition(P, Result.Blocks), "");
+  LegalityChecker Checker(P, HW);
+  BenefitModel Model(Checker);
+  for (const PartitionBlock &Block : Result.Blocks.Blocks)
+    EXPECT_EQ(fusibleBlockRejection(Model, Block.Kernels), "")
+        << "seed " << Seed;
+
+  // Functional soundness: fused == unfused on random data, all outputs.
+  FusedProgram FP = fuseProgram(P, Result.Blocks, FusionStyle::Optimized);
+  std::vector<Image> Reference = makeImagePool(P);
+  Reference[0] = makeRandomImage(16, 12, 1, Gen, 0.1f, 1.0f);
+  runUnfused(P, Reference);
+
+  std::vector<Image> Pool = makeImagePool(P);
+  Pool[0] = Reference[0];
+  runFused(FP, Pool);
+  for (ImageId Out : P.terminalOutputs())
+    EXPECT_DOUBLE_EQ(maxAbsDifference(Pool[Out], Reference[Out]), 0.0)
+        << "seed " << Seed << ", output " << P.image(Out).Name;
+}
+
+TEST_P(RandomPipelineProperty, BasicFusionIsSoundToo) {
+  uint64_t Seed = static_cast<uint64_t>(GetParam());
+  Rng Gen(Seed * 7777777 + 3);
+  unsigned NumKernels = 3 + static_cast<unsigned>(Gen.nextBelow(8));
+  Program P = makeRandomPipeline(NumKernels, 0.5, 14, 14, Gen);
+
+  BasicFusionResult Basic = runBasicFusion(P, paperModel());
+  ASSERT_EQ(validatePartition(P, Basic.Blocks), "");
+  FusedProgram FP = fuseProgram(P, Basic.Blocks, FusionStyle::Basic);
+
+  std::vector<Image> Reference = makeImagePool(P);
+  Reference[0] = makeRandomImage(14, 14, 1, Gen, 0.1f, 1.0f);
+  runUnfused(P, Reference);
+  std::vector<Image> Pool = makeImagePool(P);
+  Pool[0] = Reference[0];
+  runFused(FP, Pool);
+  for (ImageId Out : P.terminalOutputs())
+    EXPECT_DOUBLE_EQ(maxAbsDifference(Pool[Out], Reference[Out]), 0.0)
+        << "seed " << Seed;
+}
+
+TEST_P(RandomPipelineProperty, GreedyNeverBeatsExhaustive) {
+  uint64_t Seed = static_cast<uint64_t>(GetParam());
+  Rng Gen(Seed * 31337 + 29);
+  unsigned NumKernels = 3 + static_cast<unsigned>(Gen.nextBelow(6));
+  Program P = makeRandomPipeline(NumKernels, 0.4, 16, 16, Gen);
+
+  HardwareModel HW = paperModel();
+  ExhaustiveFusionResult Optimal = runExhaustiveFusion(P, HW);
+  GreedyFusionResult Greedy = runGreedyFusion(P, HW);
+  MinCutFusionResult MinCut = runMinCutFusion(P, HW);
+  EXPECT_LE(Greedy.TotalBenefit, Optimal.TotalBenefit + 1e-9)
+      << "seed " << Seed;
+  EXPECT_LE(MinCut.TotalBenefit, Optimal.TotalBenefit + 1e-9)
+      << "seed " << Seed;
+  // Every exhaustive-optimal block must itself be acceptable (sanity of
+  // the oracle).
+  ASSERT_EQ(validatePartition(P, Optimal.Blocks), "");
+}
+
+TEST_P(RandomPipelineProperty, FusionIsDeterministicPerSeed) {
+  uint64_t Seed = static_cast<uint64_t>(GetParam());
+  Rng GenA(Seed), GenB(Seed);
+  Program PA = makeRandomPipeline(8, 0.4, 16, 16, GenA);
+  Program PB = makeRandomPipeline(8, 0.4, 16, 16, GenB);
+  MinCutFusionResult RA = runMinCutFusion(PA, paperModel());
+  MinCutFusionResult RB = runMinCutFusion(PB, paperModel());
+  EXPECT_TRUE(RA.Blocks == RB.Blocks) << "seed " << Seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomPipelineProperty,
+                         ::testing::Range(1, 21));
+
+} // namespace

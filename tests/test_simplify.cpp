@@ -1,0 +1,192 @@
+//===- tests/test_simplify.cpp - Simplifier & CSE analysis ----------------------===//
+
+#include "image/Compare.h"
+#include "image/Generators.h"
+#include "ir/Simplify.h"
+#include "pipelines/Pipelines.h"
+#include "sim/Executor.h"
+
+#include <gtest/gtest.h>
+
+using namespace kf;
+
+namespace {
+
+TEST(Simplify, FoldsConstantArithmetic) {
+  ExprContext C;
+  const Expr *E = C.add(C.mul(C.floatConst(2.0f), C.floatConst(3.0f)),
+                        C.floatConst(1.0f));
+  const Expr *S = simplifyExpr(C, E);
+  ASSERT_EQ(S->Kind, ExprKind::FloatConst);
+  EXPECT_FLOAT_EQ(S->Value, 7.0f);
+}
+
+TEST(Simplify, FoldsConstantCallsAndComparisons) {
+  ExprContext C;
+  const Expr *Sqrt = C.unary(UnOp::Sqrt, C.floatConst(9.0f));
+  EXPECT_FLOAT_EQ(simplifyExpr(C, Sqrt)->Value, 3.0f);
+  const Expr *Cmp =
+      C.binary(BinOp::CmpLT, C.floatConst(1.0f), C.floatConst(2.0f));
+  EXPECT_FLOAT_EQ(simplifyExpr(C, Cmp)->Value, 1.0f);
+  const Expr *Pw =
+      C.binary(BinOp::Pow, C.floatConst(2.0f), C.floatConst(10.0f));
+  EXPECT_FLOAT_EQ(simplifyExpr(C, Pw)->Value, 1024.0f);
+}
+
+TEST(Simplify, AppliesIdentities) {
+  ExprContext C;
+  const Expr *X = C.inputAt(0);
+  EXPECT_EQ(simplifyExpr(C, C.add(X, C.floatConst(0.0f))), X);
+  EXPECT_EQ(simplifyExpr(C, C.add(C.floatConst(0.0f), X)), X);
+  EXPECT_EQ(simplifyExpr(C, C.sub(X, C.floatConst(0.0f))), X);
+  EXPECT_EQ(simplifyExpr(C, C.mul(X, C.floatConst(1.0f))), X);
+  EXPECT_EQ(simplifyExpr(C, C.mul(C.floatConst(1.0f), X)), X);
+  EXPECT_EQ(simplifyExpr(C, C.div(X, C.floatConst(1.0f))), X);
+  EXPECT_EQ(
+      simplifyExpr(C, C.unary(UnOp::Neg, C.unary(UnOp::Neg, X))), X);
+}
+
+TEST(Simplify, DoesNotApplyUnsafeZeroRule) {
+  // x * 0 must NOT fold to 0: x could be NaN or infinite.
+  ExprContext C;
+  const Expr *E = C.mul(C.inputAt(0), C.floatConst(0.0f));
+  const Expr *S = simplifyExpr(C, E);
+  EXPECT_EQ(S->Kind, ExprKind::Binary);
+}
+
+TEST(Simplify, ResolvesConstantSelect) {
+  ExprContext C;
+  const Expr *A = C.inputAt(0);
+  const Expr *B = C.inputAt(1);
+  EXPECT_EQ(simplifyExpr(C, C.select(C.floatConst(1.0f), A, B)), A);
+  EXPECT_EQ(simplifyExpr(C, C.select(C.floatConst(0.0f), A, B)), B);
+}
+
+TEST(Simplify, ReturnsSamePointerWhenUnchanged) {
+  ExprContext C;
+  const Expr *E = C.mul(C.inputAt(0), C.inputAt(1));
+  EXPECT_EQ(simplifyExpr(C, E), E);
+}
+
+TEST(Simplify, SimplifiesInsideStencilElements) {
+  ExprContext C;
+  const Expr *Elem = C.mul(C.maskValue(),
+                           C.mul(C.stencilInput(0), C.floatConst(1.0f)));
+  const Expr *E = C.stencil(0, ReduceOp::Sum, Elem);
+  const Expr *S = simplifyExpr(C, E);
+  ASSERT_EQ(S->Kind, ExprKind::Stencil);
+  // The inner * 1 disappeared.
+  EXPECT_EQ(S->Lhs->Rhs->Kind, ExprKind::StencilInput);
+}
+
+TEST(Simplify, ProgramPassPreservesSemantics) {
+  // Build a pipeline with foldable fat, simplify, and check outputs are
+  // unchanged.
+  Program P("fat");
+  ExprContext &C = P.context();
+  ImageId In = P.addImage("in", 12, 12);
+  ImageId Out = P.addImage("out", 12, 12);
+  Kernel K;
+  K.Name = "k";
+  K.Kind = OperatorKind::Point;
+  K.Inputs = {In};
+  K.Output = Out;
+  K.Body = C.add(C.mul(C.inputAt(0), C.floatConst(1.0f)),
+                 C.mul(C.floatConst(2.0f), C.floatConst(0.25f)));
+  P.addKernel(std::move(K));
+
+  Rng Gen(3);
+  std::vector<Image> Before = makeImagePool(P);
+  Before[0] = makeRandomImage(12, 12, 1, Gen);
+  runUnfused(P, Before);
+
+  EXPECT_EQ(simplifyProgram(P), 1u);
+  std::vector<Image> After = makeImagePool(P);
+  After[0] = Before[0];
+  runUnfused(P, After);
+  EXPECT_DOUBLE_EQ(maxAbsDifference(Before[1], After[1]), 0.0);
+  // Paper pipelines are already tight: simplification changes nothing.
+  Program Harris = makeHarris(16, 16);
+  EXPECT_EQ(simplifyProgram(Harris), 0u);
+}
+
+TEST(CseAnalysis, UniqueVsTotalOps) {
+  ExprContext C;
+  // (a*b) + (a*b): total 3 ops, unique 2 (the product shared).
+  const Expr *Prod = C.mul(C.inputAt(0), C.inputAt(1));
+  const Expr *E = C.add(Prod, C.mul(C.inputAt(0), C.inputAt(1)));
+  EXPECT_EQ(countTotalOps(E), 3);
+  EXPECT_EQ(countUniqueOps(E), 2);
+}
+
+TEST(CseAnalysis, CrossKernelSavingsSeesThroughImageIds) {
+  // Two kernels computing the same subexpression of the same image: the
+  // fused scope dedups it.
+  Program P("cse");
+  ExprContext &C = P.context();
+  ImageId In = P.addImage("in", 8, 8);
+  ImageId A = P.addImage("a", 8, 8);
+  ImageId B = P.addImage("b", 8, 8);
+  auto addK = [&](const char *Name, ImageId Out) {
+    Kernel K;
+    K.Name = Name;
+    K.Kind = OperatorKind::Point;
+    K.Inputs = {In};
+    K.Output = Out;
+    // in*in + const: the square is common across both kernels.
+    K.Body = C.add(C.mul(C.inputAt(0), C.inputAt(0)),
+                   C.floatConst(Out == A ? 1.0f : 2.0f));
+    P.addKernel(std::move(K));
+  };
+  addK("ka", A);
+  addK("kb", B);
+  // Each kernel: 2 unique ops (mul, add). Union: mul shared -> 3.
+  EXPECT_EQ(crossKernelCseSavings(P, {0, 1}), 1);
+}
+
+TEST(CseAnalysis, NoSavingsAcrossDifferentImages) {
+  Program P = makeSobel(16, 16);
+  // dx and dy convolve the same input with different masks: nothing to
+  // share beyond leaf loads (which are not ops).
+  EXPECT_EQ(crossKernelCseSavings(P, {0, 1}), 0);
+}
+
+TEST(CseAnalysis, HarrisSquareKernelsShareTheDerivativeLoads) {
+  Program P = makeHarris(16, 16);
+  // sx = dx*dx, sxy = dx*dy: distinct products, no op savings; the
+  // derived gamma is then just the launch-overhead share.
+  long long Savings = crossKernelCseSavings(P, {2, 4});
+  EXPECT_EQ(Savings, 0);
+  double Gamma = deriveGamma(P, 2, 4, 4.0, 0.5);
+  EXPECT_DOUBLE_EQ(Gamma, 0.5);
+}
+
+TEST(CseAnalysis, DerivedGammaFeedsTheBenefitModel) {
+  // Using a derived gamma instead of the default 0 shifts weights exactly
+  // as Eq. 12 prescribes.
+  Program P("g");
+  ExprContext &C = P.context();
+  ImageId In = P.addImage("in", 8, 8);
+  ImageId Mid = P.addImage("mid", 8, 8);
+  ImageId Out = P.addImage("out", 8, 8);
+  Kernel K1;
+  K1.Name = "a";
+  K1.Kind = OperatorKind::Point;
+  K1.Inputs = {In};
+  K1.Output = Mid;
+  K1.Body = C.mul(C.inputAt(0), C.inputAt(0));
+  P.addKernel(std::move(K1));
+  Kernel K2;
+  K2.Name = "b";
+  K2.Kind = OperatorKind::Point;
+  K2.Inputs = {In, Mid};
+  K2.Output = Out;
+  // Recomputes in*in redundantly: fusion scope saves one multiply.
+  K2.Body = C.add(C.mul(C.inputAt(0), C.inputAt(0)), C.inputAt(1));
+  P.addKernel(std::move(K2));
+
+  EXPECT_EQ(crossKernelCseSavings(P, {0, 1}), 1);
+  EXPECT_DOUBLE_EQ(deriveGamma(P, 0, 1, 4.0, 0.25), 4.25);
+}
+
+} // namespace

@@ -1,0 +1,186 @@
+//===- tests/test_support.cpp - Support library tests --------------------------===//
+
+#include "support/CommandLine.h"
+#include "support/DotWriter.h"
+#include "support/Random.h"
+#include "support/Statistics.h"
+#include "support/StringUtils.h"
+#include "support/TablePrinter.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace kf;
+
+namespace {
+
+TEST(Statistics, BoxStatsOfConstantSample) {
+  BoxStats Stats = computeBoxStats({5.0, 5.0, 5.0, 5.0});
+  EXPECT_DOUBLE_EQ(Stats.Min, 5.0);
+  EXPECT_DOUBLE_EQ(Stats.Max, 5.0);
+  EXPECT_DOUBLE_EQ(Stats.Median, 5.0);
+  EXPECT_DOUBLE_EQ(Stats.Q25, 5.0);
+  EXPECT_DOUBLE_EQ(Stats.Q75, 5.0);
+  EXPECT_EQ(Stats.Count, 4u);
+}
+
+TEST(Statistics, BoxStatsQuartilesInterpolate) {
+  // 1..5: median 3, quartiles 2 and 4 under the R-7 definition.
+  BoxStats Stats = computeBoxStats({5.0, 1.0, 4.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(Stats.Median, 3.0);
+  EXPECT_DOUBLE_EQ(Stats.Q25, 2.0);
+  EXPECT_DOUBLE_EQ(Stats.Q75, 4.0);
+  EXPECT_DOUBLE_EQ(Stats.Mean, 3.0);
+}
+
+TEST(Statistics, QuantileSingleElement) {
+  std::vector<double> One{7.5};
+  EXPECT_DOUBLE_EQ(quantileSorted(One, 0.0), 7.5);
+  EXPECT_DOUBLE_EQ(quantileSorted(One, 1.0), 7.5);
+}
+
+TEST(Statistics, QuantileInterpolatesLinearly) {
+  std::vector<double> Sorted{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(quantileSorted(Sorted, 0.25), 2.5);
+  EXPECT_DOUBLE_EQ(quantileSorted(Sorted, 0.5), 5.0);
+}
+
+TEST(Statistics, GeometricMeanMatchesHandValue) {
+  // The Table II computation: geomean of per-GPU speedups.
+  EXPECT_NEAR(geometricMean({2.0, 8.0}), 4.0, 1e-12);
+  EXPECT_NEAR(geometricMean({1.145, 1.344, 1.146}),
+              std::cbrt(1.145 * 1.344 * 1.146), 1e-12);
+}
+
+TEST(Statistics, ArithmeticMean) {
+  EXPECT_DOUBLE_EQ(arithmeticMean({1.0, 2.0, 3.0, 6.0}), 3.0);
+}
+
+TEST(Random, DeterministicAcrossInstances) {
+  Rng A(42), B(42);
+  for (int I = 0; I != 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(Random, UniformStaysInRange) {
+  Rng Gen(7);
+  for (int I = 0; I != 1000; ++I) {
+    double V = Gen.uniform(2.0, 5.0);
+    EXPECT_GE(V, 2.0);
+    EXPECT_LT(V, 5.0);
+  }
+}
+
+TEST(Random, GaussianHasPlausibleMoments) {
+  Rng Gen(123);
+  double Sum = 0.0, SumSq = 0.0;
+  const int N = 20000;
+  for (int I = 0; I != N; ++I) {
+    double V = Gen.nextGaussian();
+    Sum += V;
+    SumSq += V * V;
+  }
+  EXPECT_NEAR(Sum / N, 0.0, 0.05);
+  EXPECT_NEAR(SumSq / N, 1.0, 0.05);
+}
+
+TEST(Random, NextBelowRespectsBound) {
+  Rng Gen(5);
+  for (int I = 0; I != 1000; ++I)
+    EXPECT_LT(Gen.nextBelow(17), 17u);
+}
+
+TEST(StringUtils, SplitAndJoinRoundTrip) {
+  std::vector<std::string> Parts = splitString("a,b,,c", ',');
+  ASSERT_EQ(Parts.size(), 4u);
+  EXPECT_EQ(Parts[2], "");
+  EXPECT_EQ(joinStrings(Parts, ","), "a,b,,c");
+}
+
+TEST(StringUtils, TrimStripsWhitespace) {
+  EXPECT_EQ(trimString("  hi \t\n"), "hi");
+  EXPECT_EQ(trimString(""), "");
+  EXPECT_EQ(trimString("   "), "");
+}
+
+TEST(StringUtils, Padding) {
+  EXPECT_EQ(padLeft("ab", 4), "  ab");
+  EXPECT_EQ(padRight("ab", 4), "ab  ");
+  EXPECT_EQ(padLeft("abcd", 2), "abcd");
+}
+
+TEST(StringUtils, FormatDouble) {
+  EXPECT_EQ(formatDouble(2.5215, 3), "2.522");
+  EXPECT_EQ(formatDouble(1.0, 0), "1");
+}
+
+TEST(StringUtils, IntegerLiteralDetection) {
+  EXPECT_TRUE(isIntegerLiteral("42"));
+  EXPECT_TRUE(isIntegerLiteral("-7"));
+  EXPECT_FALSE(isIntegerLiteral("4.2"));
+  EXPECT_FALSE(isIntegerLiteral(""));
+  EXPECT_FALSE(isIntegerLiteral("-"));
+}
+
+TEST(TablePrinter, RendersAlignedColumns) {
+  TablePrinter Table({"App", "Speedup"});
+  Table.addRow({"harris", "1.208"});
+  Table.addRow({"unsharp", "2.522"});
+  std::string Text = Table.render();
+  EXPECT_NE(Text.find("App"), std::string::npos);
+  EXPECT_NE(Text.find("2.522"), std::string::npos);
+  // Header separator line present.
+  EXPECT_NE(Text.find("---"), std::string::npos);
+}
+
+TEST(TablePrinter, CsvOutput) {
+  TablePrinter Table({"a", "b"});
+  Table.addRow({"1", "2"});
+  EXPECT_EQ(Table.renderCsv(), "a,b\n1,2\n");
+}
+
+TEST(TablePrinter, RowArityMismatchDies) {
+  TablePrinter Table({"a", "b"});
+  EXPECT_DEATH(Table.addRow({"only-one"}), "arity");
+}
+
+TEST(DotWriter, EmitsNodesEdgesClusters) {
+  DotWriter Dot("g");
+  Dot.addNode("a", "kernel a");
+  Dot.addNode("b", "kernel b");
+  Dot.addEdge("a", "b", "328");
+  Dot.addCluster("block 0", {"a", "b"});
+  std::string Text = Dot.finish();
+  EXPECT_NE(Text.find("digraph"), std::string::npos);
+  EXPECT_NE(Text.find("\"a\" -> \"b\""), std::string::npos);
+  EXPECT_NE(Text.find("label=\"328\""), std::string::npos);
+  EXPECT_NE(Text.find("subgraph cluster_0"), std::string::npos);
+}
+
+TEST(CommandLine, ParsesOptionsAndPositionals) {
+  const char *Argv[] = {"prog", "--runs", "500", "--gpu=GTX680",
+                        "harris", "--verbose"};
+  CommandLine Cl(6, Argv, {"verbose"});
+  EXPECT_EQ(Cl.getIntOption("runs", 0), 500);
+  EXPECT_EQ(Cl.getOption("gpu", ""), "GTX680");
+  EXPECT_TRUE(Cl.hasOption("verbose"));
+  ASSERT_EQ(Cl.positional().size(), 1u);
+  EXPECT_EQ(Cl.positional().front(), "harris");
+}
+
+TEST(CommandLine, DefaultsWhenAbsent) {
+  const char *Argv[] = {"prog"};
+  CommandLine Cl(1, Argv);
+  EXPECT_EQ(Cl.getIntOption("runs", 500), 500);
+  EXPECT_DOUBLE_EQ(Cl.getDoubleOption("eps", 0.5), 0.5);
+  EXPECT_FALSE(Cl.hasOption("runs"));
+}
+
+TEST(CommandLine, MalformedIntegerDies) {
+  const char *Argv[] = {"prog", "--runs", "abc"};
+  CommandLine Cl(3, Argv);
+  EXPECT_DEATH(Cl.getIntOption("runs", 0), "expects an integer");
+}
+
+} // namespace

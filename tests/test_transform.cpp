@@ -1,0 +1,159 @@
+//===- tests/test_transform.cpp - Fuser structure tests -----------------------===//
+//
+// Structural properties of the fusion transform: stage ordering,
+// placement decisions (register vs register-recompute vs shared tile,
+// optimized vs basic style), multiplicities along recompute chains, and
+// the grown window metadata (Eq. 9).
+//
+//===----------------------------------------------------------------------===//
+
+#include "fusion/BasicFusion.h"
+#include "fusion/MinCutPartitioner.h"
+#include "pipelines/Pipelines.h"
+#include "transform/Fuser.h"
+
+#include <gtest/gtest.h>
+
+using namespace kf;
+
+namespace {
+
+HardwareModel paperModel() {
+  HardwareModel HW;
+  HW.GlobalAccessCycles = 400.0;
+  HW.SharedAccessCycles = 4.0;
+  HW.AluCost = 4.0;
+  HW.SharedMemThreshold = 2.0;
+  return HW;
+}
+
+const FusedKernel *kernelNamed(const FusedProgram &FP,
+                               const std::string &Name) {
+  for (const FusedKernel &FK : FP.Kernels)
+    if (FK.Name == Name)
+      return &FK;
+  return nullptr;
+}
+
+TEST(Fuser, UnfusedProgramHasOneLaunchPerKernel) {
+  Program P = makeHarris(32, 32);
+  FusedProgram FP = unfusedProgram(P);
+  EXPECT_EQ(FP.numLaunches(), P.numKernels());
+  for (const FusedKernel &FK : FP.Kernels) {
+    EXPECT_TRUE(FK.isSingleton());
+    EXPECT_EQ(FK.destinationStage().OutputPlacement, Placement::Global);
+    EXPECT_DOUBLE_EQ(FK.destinationStage().Multiplicity, 1.0);
+  }
+}
+
+TEST(Fuser, HarrisOptimizedPlacesRecompute) {
+  Program P = makeHarris(32, 32);
+  MinCutFusionResult Fusion = runMinCutFusion(P, paperModel());
+  FusedProgram FP = fuseProgram(P, Fusion.Blocks, FusionStyle::Optimized);
+  EXPECT_EQ(FP.numLaunches(), 6u);
+
+  const FusedKernel *SxGx = kernelNamed(FP, "sx+gx");
+  ASSERT_NE(SxGx, nullptr);
+  ASSERT_EQ(SxGx->Stages.size(), 2u);
+  // sx is window-consumed by the local gx: optimized style recomputes it
+  // into registers, 9 evaluations per output pixel (the 3x3 window).
+  EXPECT_EQ(SxGx->Stages[0].OutputPlacement, Placement::RegisterRecompute);
+  EXPECT_DOUBLE_EQ(SxGx->Stages[0].Multiplicity, 9.0);
+  EXPECT_EQ(SxGx->Stages[1].OutputPlacement, Placement::Global);
+}
+
+TEST(Fuser, HarrisBasicStyleStagesThroughSharedMemory) {
+  Program P = makeHarris(32, 32);
+  BasicFusionResult Fusion = runBasicFusion(P, paperModel());
+  FusedProgram FP = fuseProgram(P, Fusion.Blocks, FusionStyle::Basic);
+  const FusedKernel *SxGx = kernelNamed(FP, "sx+gx");
+  ASSERT_NE(SxGx, nullptr);
+  // Prior work stages the point-to-local intermediate in shared memory.
+  EXPECT_EQ(SxGx->Stages[0].OutputPlacement, Placement::SharedTile);
+  // Tile fill is amortized over the thread block: multiplicity is the
+  // tile-to-block area ratio, slightly above 1.
+  EXPECT_GT(SxGx->Stages[0].Multiplicity, 1.0);
+  EXPECT_LT(SxGx->Stages[0].Multiplicity, 9.0);
+}
+
+TEST(Fuser, SobelFusedKernelUsesRegistersForPointConsumer) {
+  Program P = makeSobel(32, 32);
+  MinCutFusionResult Fusion = runMinCutFusion(P, paperModel());
+  FusedProgram FP = fuseProgram(P, Fusion.Blocks, FusionStyle::Optimized);
+  ASSERT_EQ(FP.numLaunches(), 1u);
+  const FusedKernel &FK = FP.Kernels.front();
+  ASSERT_EQ(FK.Stages.size(), 3u);
+  // dx and dy are consumed point-wise by mag: plain register placement.
+  EXPECT_EQ(FK.Stages[0].OutputPlacement, Placement::Register);
+  EXPECT_EQ(FK.Stages[1].OutputPlacement, Placement::Register);
+  EXPECT_DOUBLE_EQ(FK.Stages[0].Multiplicity, 1.0);
+  EXPECT_EQ(FK.Stages[2].OutputPlacement, Placement::Global);
+}
+
+TEST(Fuser, BlurChainGrowsWindowPerEquation9) {
+  Program P = makeBlurChain(32, 32, BorderMode::Clamp);
+  Partition S;
+  S.Blocks.push_back(PartitionBlock{{0, 1}});
+  FusedProgram FP = fuseProgram(P, S, FusionStyle::Optimized);
+  ASSERT_EQ(FP.numLaunches(), 1u);
+  const FusedKernel &FK = FP.Kernels.front();
+  // conv0 keeps its own window (3); the destination conv1 grows to 5.
+  EXPECT_EQ(FK.Stages[0].EffectiveWindowWidth, 3);
+  EXPECT_EQ(FK.Stages[1].EffectiveWindowWidth, 5);
+  // Local producer window-consumed by a local consumer: shared tile.
+  EXPECT_EQ(FK.Stages[0].OutputPlacement, Placement::SharedTile);
+}
+
+TEST(Fuser, UnsharpSingleKernelKeepsEverythingInRegisters) {
+  Program P = makeUnsharp(32, 32);
+  MinCutFusionResult Fusion = runMinCutFusion(P, paperModel());
+  FusedProgram FP = fuseProgram(P, Fusion.Blocks, FusionStyle::Optimized);
+  ASSERT_EQ(FP.numLaunches(), 1u);
+  const FusedKernel &FK = FP.Kernels.front();
+  ASSERT_EQ(FK.Stages.size(), 4u);
+  for (size_t I = 0; I + 1 < FK.Stages.size(); ++I) {
+    EXPECT_EQ(FK.Stages[I].OutputPlacement, Placement::Register);
+    EXPECT_DOUBLE_EQ(FK.Stages[I].Multiplicity, 1.0);
+  }
+}
+
+TEST(Fuser, LaunchOrderRespectsBlockDependences) {
+  Program P = makeNight(32, 32);
+  MinCutFusionResult Fusion = runMinCutFusion(P, paperModel());
+  FusedProgram FP = fuseProgram(P, Fusion.Blocks, FusionStyle::Optimized);
+  ASSERT_EQ(FP.numLaunches(), 2u);
+  // atrous0 must launch before the fused atrous1+scoto kernel.
+  EXPECT_EQ(FP.Kernels[0].Name, "atrous0");
+  EXPECT_EQ(FP.Kernels[1].Name, "atrous1+scoto");
+}
+
+TEST(Fuser, InvalidPartitionDies) {
+  Program P = makeSobel(16, 16);
+  Partition S; // Missing kernels: not a cover.
+  S.Blocks.push_back(PartitionBlock{{0}});
+  EXPECT_DEATH(fuseProgram(P, S, FusionStyle::Optimized), "not covered");
+}
+
+TEST(Fuser, FusedProgramToStringMentionsPlacements) {
+  Program P = makeHarris(32, 32);
+  MinCutFusionResult Fusion = runMinCutFusion(P, paperModel());
+  FusedProgram FP = fuseProgram(P, Fusion.Blocks, FusionStyle::Optimized);
+  std::string Text = fusedProgramToString(FP);
+  EXPECT_NE(Text.find("register-recompute"), std::string::npos);
+  EXPECT_NE(Text.find("sx+gx"), std::string::npos);
+  EXPECT_NE(Text.find("6 launches"), std::string::npos);
+}
+
+TEST(Fuser, ProducerOfLocatesFusedKernels) {
+  Program P = makeNight(16, 16);
+  MinCutFusionResult Fusion = runMinCutFusion(P, paperModel());
+  FusedProgram FP = fuseProgram(P, Fusion.Blocks, FusionStyle::Optimized);
+  // Image 1 is atrous0's output: produced by the singleton kernel.
+  const FusedKernel *A0 = FP.producerOf(1);
+  ASSERT_NE(A0, nullptr);
+  EXPECT_EQ(A0->Name, "atrous0");
+  // Image 0 is the pipeline input: no producer.
+  EXPECT_EQ(FP.producerOf(0), nullptr);
+}
+
+} // namespace

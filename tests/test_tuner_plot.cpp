@@ -1,0 +1,87 @@
+//===- tests/test_tuner_plot.cpp - Autotuner & ASCII plots ----------------------===//
+
+#include "support/AsciiPlot.h"
+#include "pipelines/Pipelines.h"
+#include "sim/Tuner.h"
+
+#include <gtest/gtest.h>
+
+using namespace kf;
+
+namespace {
+
+TEST(Tuner, DefaultGridCrossesThresholdsAndTiles) {
+  std::vector<TuneCandidate> Grid = defaultTuneGrid();
+  EXPECT_EQ(Grid.size(), 30u); // 6 thresholds x 5 tiles.
+}
+
+TEST(Tuner, BestIsNoWorseThanAnyExploredPoint) {
+  Program P = makeHarris(128, 128);
+  HardwareModel HW;
+  CostModelParams Params;
+  TuneResult Result = tuneFusion(P, DeviceSpec::gtx680(), HW, Params);
+  ASSERT_EQ(Result.Explored.size(), defaultTuneGrid().size());
+  for (const TunePoint &Point : Result.Explored)
+    EXPECT_LE(Result.Best.TimeMs, Point.TimeMs);
+  EXPECT_EQ(validatePartition(P, Result.BestPartition), "");
+}
+
+TEST(Tuner, SingleCandidateGridIsIdentity) {
+  Program P = makeSobel(64, 64);
+  HardwareModel HW;
+  CostModelParams Params;
+  TuneCandidate Default;
+  TuneResult Result =
+      tuneFusion(P, DeviceSpec::k20c(), HW, Params, {Default});
+  EXPECT_EQ(Result.Explored.size(), 1u);
+  EXPECT_DOUBLE_EQ(Result.Best.TimeMs, Result.Explored.front().TimeMs);
+  EXPECT_DOUBLE_EQ(Result.Best.Candidate.SharedMemThreshold, 2.0);
+}
+
+TEST(Tuner, Deterministic) {
+  Program P1 = makeUnsharp(64, 64);
+  Program P2 = makeUnsharp(64, 64);
+  HardwareModel HW;
+  CostModelParams Params;
+  TuneResult A = tuneFusion(P1, DeviceSpec::gtx745(), HW, Params);
+  TuneResult B = tuneFusion(P2, DeviceSpec::gtx745(), HW, Params);
+  EXPECT_DOUBLE_EQ(A.Best.TimeMs, B.Best.TimeMs);
+  EXPECT_DOUBLE_EQ(A.Best.Candidate.SharedMemThreshold,
+                   B.Best.Candidate.SharedMemThreshold);
+}
+
+TEST(AsciiPlot, RendersWhiskersBoxAndMedian) {
+  BoxStats Stats;
+  Stats.Min = 1.0;
+  Stats.Q25 = 4.0;
+  Stats.Median = 5.0;
+  Stats.Q75 = 6.0;
+  Stats.Max = 9.0;
+  std::string Out =
+      renderBoxPlots({BoxPlotRow{"row", Stats}}, /*Width=*/41,
+                     /*AxisMax=*/10.0);
+  // Whisker dashes, box brackets, and the median bar all present.
+  EXPECT_NE(Out.find('-'), std::string::npos);
+  EXPECT_NE(Out.find('['), std::string::npos);
+  EXPECT_NE(Out.find(']'), std::string::npos);
+  EXPECT_NE(Out.find('|'), std::string::npos);
+  // Median value printed at the end of the row.
+  EXPECT_NE(Out.find("5.000"), std::string::npos);
+  // Median bar lands mid-axis: column 4 + (5/10)*40 = 26 overall.
+  size_t Bar = Out.find('|');
+  EXPECT_EQ(Bar, 5u + 20u); // label(3) + 2 spaces + 20 columns.
+}
+
+TEST(AsciiPlot, SharedAxisAcrossRows) {
+  BoxStats Small;
+  Small.Min = Small.Q25 = Small.Median = Small.Q75 = Small.Max = 1.0;
+  BoxStats Large = Small;
+  Large.Max = 100.0;
+  Large.Median = 50.0;
+  std::string Out = renderBoxPlots(
+      {BoxPlotRow{"small", Small}, BoxPlotRow{"large", Large}}, 30);
+  // The axis ends at the largest maximum.
+  EXPECT_NE(Out.find("100.00"), std::string::npos);
+}
+
+} // namespace
