@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_multioutput.dir/ablation_multioutput.cpp.o"
+  "CMakeFiles/ablation_multioutput.dir/ablation_multioutput.cpp.o.d"
+  "ablation_multioutput"
+  "ablation_multioutput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_multioutput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

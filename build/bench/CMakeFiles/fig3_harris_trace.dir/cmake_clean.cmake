@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_harris_trace.dir/fig3_harris_trace.cpp.o"
+  "CMakeFiles/fig3_harris_trace.dir/fig3_harris_trace.cpp.o.d"
+  "fig3_harris_trace"
+  "fig3_harris_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_harris_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

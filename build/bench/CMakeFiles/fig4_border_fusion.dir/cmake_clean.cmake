@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_border_fusion.dir/fig4_border_fusion.cpp.o"
+  "CMakeFiles/fig4_border_fusion.dir/fig4_border_fusion.cpp.o.d"
+  "fig4_border_fusion"
+  "fig4_border_fusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_border_fusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

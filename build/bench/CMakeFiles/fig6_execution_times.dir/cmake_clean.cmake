@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_execution_times.dir/fig6_execution_times.cpp.o"
+  "CMakeFiles/fig6_execution_times.dir/fig6_execution_times.cpp.o.d"
+  "fig6_execution_times"
+  "fig6_execution_times.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_execution_times.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../lib/libkf_bench_common.a"
+  "../lib/libkf_bench_common.pdb"
+  "CMakeFiles/kf_bench_common.dir/common/BenchCommon.cpp.o"
+  "CMakeFiles/kf_bench_common.dir/common/BenchCommon.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kf_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libkf_bench_common.a"
+)

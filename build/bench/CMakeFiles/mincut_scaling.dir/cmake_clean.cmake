@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mincut_scaling.dir/mincut_scaling.cpp.o"
+  "CMakeFiles/mincut_scaling.dir/mincut_scaling.cpp.o.d"
+  "mincut_scaling"
+  "mincut_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mincut_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_speedups.dir/table1_speedups.cpp.o"
+  "CMakeFiles/table1_speedups.dir/table1_speedups.cpp.o.d"
+  "table1_speedups"
+  "table1_speedups.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_speedups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

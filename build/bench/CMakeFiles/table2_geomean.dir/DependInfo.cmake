@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table2_geomean.cpp" "bench/CMakeFiles/table2_geomean.dir/table2_geomean.cpp.o" "gcc" "bench/CMakeFiles/table2_geomean.dir/table2_geomean.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/kf_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/backend/CMakeFiles/kf_backend.dir/DependInfo.cmake"
+  "/root/repo/build/src/pipelines/CMakeFiles/kf_pipelines.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/kf_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/transform/CMakeFiles/kf_transform.dir/DependInfo.cmake"
+  "/root/repo/build/src/fusion/CMakeFiles/kf_fusion.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/kf_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/kf_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/kf_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/kf_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_geomean.dir/table2_geomean.cpp.o"
+  "CMakeFiles/table2_geomean.dir/table2_geomean.cpp.o.d"
+  "table2_geomean"
+  "table2_geomean.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_geomean.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/border_handling.dir/border_handling.cpp.o"
+  "CMakeFiles/border_handling.dir/border_handling.cpp.o.d"
+  "border_handling"
+  "border_handling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/border_handling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for border_handling.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_dsl.dir/custom_dsl.cpp.o"
+  "CMakeFiles/custom_dsl.dir/custom_dsl.cpp.o.d"
+  "custom_dsl"
+  "custom_dsl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_dsl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harris_pipeline.dir/harris_pipeline.cpp.o"
+  "CMakeFiles/harris_pipeline.dir/harris_pipeline.cpp.o.d"
+  "harris_pipeline"
+  "harris_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harris_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

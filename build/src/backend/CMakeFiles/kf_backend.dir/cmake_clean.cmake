@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kf_backend.dir/EmitterCore.cpp.o"
+  "CMakeFiles/kf_backend.dir/EmitterCore.cpp.o.d"
+  "CMakeFiles/kf_backend.dir/cpu/CppEmitter.cpp.o"
+  "CMakeFiles/kf_backend.dir/cpu/CppEmitter.cpp.o.d"
+  "CMakeFiles/kf_backend.dir/cuda/CudaEmitter.cpp.o"
+  "CMakeFiles/kf_backend.dir/cuda/CudaEmitter.cpp.o.d"
+  "CMakeFiles/kf_backend.dir/opencl/ClEmitter.cpp.o"
+  "CMakeFiles/kf_backend.dir/opencl/ClEmitter.cpp.o.d"
+  "libkf_backend.a"
+  "libkf_backend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kf_backend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kf_frontend.dir/Lexer.cpp.o"
+  "CMakeFiles/kf_frontend.dir/Lexer.cpp.o.d"
+  "CMakeFiles/kf_frontend.dir/Parser.cpp.o"
+  "CMakeFiles/kf_frontend.dir/Parser.cpp.o.d"
+  "CMakeFiles/kf_frontend.dir/Serializer.cpp.o"
+  "CMakeFiles/kf_frontend.dir/Serializer.cpp.o.d"
+  "libkf_frontend.a"
+  "libkf_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kf_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libkf_frontend.a"
+)

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fusion/BasicFusion.cpp" "src/fusion/CMakeFiles/kf_fusion.dir/BasicFusion.cpp.o" "gcc" "src/fusion/CMakeFiles/kf_fusion.dir/BasicFusion.cpp.o.d"
+  "/root/repo/src/fusion/BenefitModel.cpp" "src/fusion/CMakeFiles/kf_fusion.dir/BenefitModel.cpp.o" "gcc" "src/fusion/CMakeFiles/kf_fusion.dir/BenefitModel.cpp.o.d"
+  "/root/repo/src/fusion/Distribution.cpp" "src/fusion/CMakeFiles/kf_fusion.dir/Distribution.cpp.o" "gcc" "src/fusion/CMakeFiles/kf_fusion.dir/Distribution.cpp.o.d"
+  "/root/repo/src/fusion/ExhaustivePartitioner.cpp" "src/fusion/CMakeFiles/kf_fusion.dir/ExhaustivePartitioner.cpp.o" "gcc" "src/fusion/CMakeFiles/kf_fusion.dir/ExhaustivePartitioner.cpp.o.d"
+  "/root/repo/src/fusion/GreedyPartitioner.cpp" "src/fusion/CMakeFiles/kf_fusion.dir/GreedyPartitioner.cpp.o" "gcc" "src/fusion/CMakeFiles/kf_fusion.dir/GreedyPartitioner.cpp.o.d"
+  "/root/repo/src/fusion/Legality.cpp" "src/fusion/CMakeFiles/kf_fusion.dir/Legality.cpp.o" "gcc" "src/fusion/CMakeFiles/kf_fusion.dir/Legality.cpp.o.d"
+  "/root/repo/src/fusion/MinCutPartitioner.cpp" "src/fusion/CMakeFiles/kf_fusion.dir/MinCutPartitioner.cpp.o" "gcc" "src/fusion/CMakeFiles/kf_fusion.dir/MinCutPartitioner.cpp.o.d"
+  "/root/repo/src/fusion/Partition.cpp" "src/fusion/CMakeFiles/kf_fusion.dir/Partition.cpp.o" "gcc" "src/fusion/CMakeFiles/kf_fusion.dir/Partition.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/kf_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/kf_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/kf_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/kf_image.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kf_fusion.dir/BasicFusion.cpp.o"
+  "CMakeFiles/kf_fusion.dir/BasicFusion.cpp.o.d"
+  "CMakeFiles/kf_fusion.dir/BenefitModel.cpp.o"
+  "CMakeFiles/kf_fusion.dir/BenefitModel.cpp.o.d"
+  "CMakeFiles/kf_fusion.dir/Distribution.cpp.o"
+  "CMakeFiles/kf_fusion.dir/Distribution.cpp.o.d"
+  "CMakeFiles/kf_fusion.dir/ExhaustivePartitioner.cpp.o"
+  "CMakeFiles/kf_fusion.dir/ExhaustivePartitioner.cpp.o.d"
+  "CMakeFiles/kf_fusion.dir/GreedyPartitioner.cpp.o"
+  "CMakeFiles/kf_fusion.dir/GreedyPartitioner.cpp.o.d"
+  "CMakeFiles/kf_fusion.dir/Legality.cpp.o"
+  "CMakeFiles/kf_fusion.dir/Legality.cpp.o.d"
+  "CMakeFiles/kf_fusion.dir/MinCutPartitioner.cpp.o"
+  "CMakeFiles/kf_fusion.dir/MinCutPartitioner.cpp.o.d"
+  "CMakeFiles/kf_fusion.dir/Partition.cpp.o"
+  "CMakeFiles/kf_fusion.dir/Partition.cpp.o.d"
+  "libkf_fusion.a"
+  "libkf_fusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kf_fusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

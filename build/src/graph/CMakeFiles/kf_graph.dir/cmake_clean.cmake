@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kf_graph.dir/BruteForceMinCut.cpp.o"
+  "CMakeFiles/kf_graph.dir/BruteForceMinCut.cpp.o.d"
+  "CMakeFiles/kf_graph.dir/Digraph.cpp.o"
+  "CMakeFiles/kf_graph.dir/Digraph.cpp.o.d"
+  "CMakeFiles/kf_graph.dir/MinCut.cpp.o"
+  "CMakeFiles/kf_graph.dir/MinCut.cpp.o.d"
+  "CMakeFiles/kf_graph.dir/RandomGraphs.cpp.o"
+  "CMakeFiles/kf_graph.dir/RandomGraphs.cpp.o.d"
+  "libkf_graph.a"
+  "libkf_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kf_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/image/Border.cpp" "src/image/CMakeFiles/kf_image.dir/Border.cpp.o" "gcc" "src/image/CMakeFiles/kf_image.dir/Border.cpp.o.d"
+  "/root/repo/src/image/Compare.cpp" "src/image/CMakeFiles/kf_image.dir/Compare.cpp.o" "gcc" "src/image/CMakeFiles/kf_image.dir/Compare.cpp.o.d"
+  "/root/repo/src/image/Generators.cpp" "src/image/CMakeFiles/kf_image.dir/Generators.cpp.o" "gcc" "src/image/CMakeFiles/kf_image.dir/Generators.cpp.o.d"
+  "/root/repo/src/image/Image.cpp" "src/image/CMakeFiles/kf_image.dir/Image.cpp.o" "gcc" "src/image/CMakeFiles/kf_image.dir/Image.cpp.o.d"
+  "/root/repo/src/image/ImageIO.cpp" "src/image/CMakeFiles/kf_image.dir/ImageIO.cpp.o" "gcc" "src/image/CMakeFiles/kf_image.dir/ImageIO.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/kf_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kf_image.dir/Border.cpp.o"
+  "CMakeFiles/kf_image.dir/Border.cpp.o.d"
+  "CMakeFiles/kf_image.dir/Compare.cpp.o"
+  "CMakeFiles/kf_image.dir/Compare.cpp.o.d"
+  "CMakeFiles/kf_image.dir/Generators.cpp.o"
+  "CMakeFiles/kf_image.dir/Generators.cpp.o.d"
+  "CMakeFiles/kf_image.dir/Image.cpp.o"
+  "CMakeFiles/kf_image.dir/Image.cpp.o.d"
+  "CMakeFiles/kf_image.dir/ImageIO.cpp.o"
+  "CMakeFiles/kf_image.dir/ImageIO.cpp.o.d"
+  "libkf_image.a"
+  "libkf_image.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kf_image.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

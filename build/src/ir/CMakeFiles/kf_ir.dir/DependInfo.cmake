@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/CostInfo.cpp" "src/ir/CMakeFiles/kf_ir.dir/CostInfo.cpp.o" "gcc" "src/ir/CMakeFiles/kf_ir.dir/CostInfo.cpp.o.d"
+  "/root/repo/src/ir/Expr.cpp" "src/ir/CMakeFiles/kf_ir.dir/Expr.cpp.o" "gcc" "src/ir/CMakeFiles/kf_ir.dir/Expr.cpp.o.d"
+  "/root/repo/src/ir/ExprVM.cpp" "src/ir/CMakeFiles/kf_ir.dir/ExprVM.cpp.o" "gcc" "src/ir/CMakeFiles/kf_ir.dir/ExprVM.cpp.o.d"
+  "/root/repo/src/ir/Kernel.cpp" "src/ir/CMakeFiles/kf_ir.dir/Kernel.cpp.o" "gcc" "src/ir/CMakeFiles/kf_ir.dir/Kernel.cpp.o.d"
+  "/root/repo/src/ir/Printer.cpp" "src/ir/CMakeFiles/kf_ir.dir/Printer.cpp.o" "gcc" "src/ir/CMakeFiles/kf_ir.dir/Printer.cpp.o.d"
+  "/root/repo/src/ir/Program.cpp" "src/ir/CMakeFiles/kf_ir.dir/Program.cpp.o" "gcc" "src/ir/CMakeFiles/kf_ir.dir/Program.cpp.o.d"
+  "/root/repo/src/ir/Simplify.cpp" "src/ir/CMakeFiles/kf_ir.dir/Simplify.cpp.o" "gcc" "src/ir/CMakeFiles/kf_ir.dir/Simplify.cpp.o.d"
+  "/root/repo/src/ir/Verifier.cpp" "src/ir/CMakeFiles/kf_ir.dir/Verifier.cpp.o" "gcc" "src/ir/CMakeFiles/kf_ir.dir/Verifier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/kf_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/kf_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/kf_image.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kf_ir.dir/CostInfo.cpp.o"
+  "CMakeFiles/kf_ir.dir/CostInfo.cpp.o.d"
+  "CMakeFiles/kf_ir.dir/Expr.cpp.o"
+  "CMakeFiles/kf_ir.dir/Expr.cpp.o.d"
+  "CMakeFiles/kf_ir.dir/ExprVM.cpp.o"
+  "CMakeFiles/kf_ir.dir/ExprVM.cpp.o.d"
+  "CMakeFiles/kf_ir.dir/Kernel.cpp.o"
+  "CMakeFiles/kf_ir.dir/Kernel.cpp.o.d"
+  "CMakeFiles/kf_ir.dir/Printer.cpp.o"
+  "CMakeFiles/kf_ir.dir/Printer.cpp.o.d"
+  "CMakeFiles/kf_ir.dir/Program.cpp.o"
+  "CMakeFiles/kf_ir.dir/Program.cpp.o.d"
+  "CMakeFiles/kf_ir.dir/Simplify.cpp.o"
+  "CMakeFiles/kf_ir.dir/Simplify.cpp.o.d"
+  "CMakeFiles/kf_ir.dir/Verifier.cpp.o"
+  "CMakeFiles/kf_ir.dir/Verifier.cpp.o.d"
+  "libkf_ir.a"
+  "libkf_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kf_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pipelines/ConvChains.cpp" "src/pipelines/CMakeFiles/kf_pipelines.dir/ConvChains.cpp.o" "gcc" "src/pipelines/CMakeFiles/kf_pipelines.dir/ConvChains.cpp.o.d"
+  "/root/repo/src/pipelines/Enhancement.cpp" "src/pipelines/CMakeFiles/kf_pipelines.dir/Enhancement.cpp.o" "gcc" "src/pipelines/CMakeFiles/kf_pipelines.dir/Enhancement.cpp.o.d"
+  "/root/repo/src/pipelines/Harris.cpp" "src/pipelines/CMakeFiles/kf_pipelines.dir/Harris.cpp.o" "gcc" "src/pipelines/CMakeFiles/kf_pipelines.dir/Harris.cpp.o.d"
+  "/root/repo/src/pipelines/Masks.cpp" "src/pipelines/CMakeFiles/kf_pipelines.dir/Masks.cpp.o" "gcc" "src/pipelines/CMakeFiles/kf_pipelines.dir/Masks.cpp.o.d"
+  "/root/repo/src/pipelines/Night.cpp" "src/pipelines/CMakeFiles/kf_pipelines.dir/Night.cpp.o" "gcc" "src/pipelines/CMakeFiles/kf_pipelines.dir/Night.cpp.o.d"
+  "/root/repo/src/pipelines/Registry.cpp" "src/pipelines/CMakeFiles/kf_pipelines.dir/Registry.cpp.o" "gcc" "src/pipelines/CMakeFiles/kf_pipelines.dir/Registry.cpp.o.d"
+  "/root/repo/src/pipelines/ShiTomasi.cpp" "src/pipelines/CMakeFiles/kf_pipelines.dir/ShiTomasi.cpp.o" "gcc" "src/pipelines/CMakeFiles/kf_pipelines.dir/ShiTomasi.cpp.o.d"
+  "/root/repo/src/pipelines/Sobel.cpp" "src/pipelines/CMakeFiles/kf_pipelines.dir/Sobel.cpp.o" "gcc" "src/pipelines/CMakeFiles/kf_pipelines.dir/Sobel.cpp.o.d"
+  "/root/repo/src/pipelines/Synthetic.cpp" "src/pipelines/CMakeFiles/kf_pipelines.dir/Synthetic.cpp.o" "gcc" "src/pipelines/CMakeFiles/kf_pipelines.dir/Synthetic.cpp.o.d"
+  "/root/repo/src/pipelines/Unsharp.cpp" "src/pipelines/CMakeFiles/kf_pipelines.dir/Unsharp.cpp.o" "gcc" "src/pipelines/CMakeFiles/kf_pipelines.dir/Unsharp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/kf_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/kf_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/kf_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/kf_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

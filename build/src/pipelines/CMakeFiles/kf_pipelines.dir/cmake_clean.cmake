@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kf_pipelines.dir/ConvChains.cpp.o"
+  "CMakeFiles/kf_pipelines.dir/ConvChains.cpp.o.d"
+  "CMakeFiles/kf_pipelines.dir/Enhancement.cpp.o"
+  "CMakeFiles/kf_pipelines.dir/Enhancement.cpp.o.d"
+  "CMakeFiles/kf_pipelines.dir/Harris.cpp.o"
+  "CMakeFiles/kf_pipelines.dir/Harris.cpp.o.d"
+  "CMakeFiles/kf_pipelines.dir/Masks.cpp.o"
+  "CMakeFiles/kf_pipelines.dir/Masks.cpp.o.d"
+  "CMakeFiles/kf_pipelines.dir/Night.cpp.o"
+  "CMakeFiles/kf_pipelines.dir/Night.cpp.o.d"
+  "CMakeFiles/kf_pipelines.dir/Registry.cpp.o"
+  "CMakeFiles/kf_pipelines.dir/Registry.cpp.o.d"
+  "CMakeFiles/kf_pipelines.dir/ShiTomasi.cpp.o"
+  "CMakeFiles/kf_pipelines.dir/ShiTomasi.cpp.o.d"
+  "CMakeFiles/kf_pipelines.dir/Sobel.cpp.o"
+  "CMakeFiles/kf_pipelines.dir/Sobel.cpp.o.d"
+  "CMakeFiles/kf_pipelines.dir/Synthetic.cpp.o"
+  "CMakeFiles/kf_pipelines.dir/Synthetic.cpp.o.d"
+  "CMakeFiles/kf_pipelines.dir/Unsharp.cpp.o"
+  "CMakeFiles/kf_pipelines.dir/Unsharp.cpp.o.d"
+  "libkf_pipelines.a"
+  "libkf_pipelines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kf_pipelines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kf_sim.dir/CostModel.cpp.o"
+  "CMakeFiles/kf_sim.dir/CostModel.cpp.o.d"
+  "CMakeFiles/kf_sim.dir/DeviceSpec.cpp.o"
+  "CMakeFiles/kf_sim.dir/DeviceSpec.cpp.o.d"
+  "CMakeFiles/kf_sim.dir/Executor.cpp.o"
+  "CMakeFiles/kf_sim.dir/Executor.cpp.o.d"
+  "CMakeFiles/kf_sim.dir/Runner.cpp.o"
+  "CMakeFiles/kf_sim.dir/Runner.cpp.o.d"
+  "CMakeFiles/kf_sim.dir/Tuner.cpp.o"
+  "CMakeFiles/kf_sim.dir/Tuner.cpp.o.d"
+  "libkf_sim.a"
+  "libkf_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kf_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/support/AsciiPlot.cpp" "src/support/CMakeFiles/kf_support.dir/AsciiPlot.cpp.o" "gcc" "src/support/CMakeFiles/kf_support.dir/AsciiPlot.cpp.o.d"
+  "/root/repo/src/support/CommandLine.cpp" "src/support/CMakeFiles/kf_support.dir/CommandLine.cpp.o" "gcc" "src/support/CMakeFiles/kf_support.dir/CommandLine.cpp.o.d"
+  "/root/repo/src/support/DotWriter.cpp" "src/support/CMakeFiles/kf_support.dir/DotWriter.cpp.o" "gcc" "src/support/CMakeFiles/kf_support.dir/DotWriter.cpp.o.d"
+  "/root/repo/src/support/Error.cpp" "src/support/CMakeFiles/kf_support.dir/Error.cpp.o" "gcc" "src/support/CMakeFiles/kf_support.dir/Error.cpp.o.d"
+  "/root/repo/src/support/Random.cpp" "src/support/CMakeFiles/kf_support.dir/Random.cpp.o" "gcc" "src/support/CMakeFiles/kf_support.dir/Random.cpp.o.d"
+  "/root/repo/src/support/Statistics.cpp" "src/support/CMakeFiles/kf_support.dir/Statistics.cpp.o" "gcc" "src/support/CMakeFiles/kf_support.dir/Statistics.cpp.o.d"
+  "/root/repo/src/support/StringUtils.cpp" "src/support/CMakeFiles/kf_support.dir/StringUtils.cpp.o" "gcc" "src/support/CMakeFiles/kf_support.dir/StringUtils.cpp.o.d"
+  "/root/repo/src/support/TablePrinter.cpp" "src/support/CMakeFiles/kf_support.dir/TablePrinter.cpp.o" "gcc" "src/support/CMakeFiles/kf_support.dir/TablePrinter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kf_support.dir/AsciiPlot.cpp.o"
+  "CMakeFiles/kf_support.dir/AsciiPlot.cpp.o.d"
+  "CMakeFiles/kf_support.dir/CommandLine.cpp.o"
+  "CMakeFiles/kf_support.dir/CommandLine.cpp.o.d"
+  "CMakeFiles/kf_support.dir/DotWriter.cpp.o"
+  "CMakeFiles/kf_support.dir/DotWriter.cpp.o.d"
+  "CMakeFiles/kf_support.dir/Error.cpp.o"
+  "CMakeFiles/kf_support.dir/Error.cpp.o.d"
+  "CMakeFiles/kf_support.dir/Random.cpp.o"
+  "CMakeFiles/kf_support.dir/Random.cpp.o.d"
+  "CMakeFiles/kf_support.dir/Statistics.cpp.o"
+  "CMakeFiles/kf_support.dir/Statistics.cpp.o.d"
+  "CMakeFiles/kf_support.dir/StringUtils.cpp.o"
+  "CMakeFiles/kf_support.dir/StringUtils.cpp.o.d"
+  "CMakeFiles/kf_support.dir/TablePrinter.cpp.o"
+  "CMakeFiles/kf_support.dir/TablePrinter.cpp.o.d"
+  "libkf_support.a"
+  "libkf_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kf_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

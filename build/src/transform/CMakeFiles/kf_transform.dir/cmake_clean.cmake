@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kf_transform.dir/Fuser.cpp.o"
+  "CMakeFiles/kf_transform.dir/Fuser.cpp.o.d"
+  "libkf_transform.a"
+  "libkf_transform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kf_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,53 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_backend.cpp" "tests/CMakeFiles/kf_tests.dir/test_backend.cpp.o" "gcc" "tests/CMakeFiles/kf_tests.dir/test_backend.cpp.o.d"
+  "/root/repo/tests/test_backend_cpu.cpp" "tests/CMakeFiles/kf_tests.dir/test_backend_cpu.cpp.o" "gcc" "tests/CMakeFiles/kf_tests.dir/test_backend_cpu.cpp.o.d"
+  "/root/repo/tests/test_backend_opencl.cpp" "tests/CMakeFiles/kf_tests.dir/test_backend_opencl.cpp.o" "gcc" "tests/CMakeFiles/kf_tests.dir/test_backend_opencl.cpp.o.d"
+  "/root/repo/tests/test_costmodel.cpp" "tests/CMakeFiles/kf_tests.dir/test_costmodel.cpp.o" "gcc" "tests/CMakeFiles/kf_tests.dir/test_costmodel.cpp.o.d"
+  "/root/repo/tests/test_distribution.cpp" "tests/CMakeFiles/kf_tests.dir/test_distribution.cpp.o" "gcc" "tests/CMakeFiles/kf_tests.dir/test_distribution.cpp.o.d"
+  "/root/repo/tests/test_executor.cpp" "tests/CMakeFiles/kf_tests.dir/test_executor.cpp.o" "gcc" "tests/CMakeFiles/kf_tests.dir/test_executor.cpp.o.d"
+  "/root/repo/tests/test_exprvm.cpp" "tests/CMakeFiles/kf_tests.dir/test_exprvm.cpp.o" "gcc" "tests/CMakeFiles/kf_tests.dir/test_exprvm.cpp.o.d"
+  "/root/repo/tests/test_frontend.cpp" "tests/CMakeFiles/kf_tests.dir/test_frontend.cpp.o" "gcc" "tests/CMakeFiles/kf_tests.dir/test_frontend.cpp.o.d"
+  "/root/repo/tests/test_frontend_robustness.cpp" "tests/CMakeFiles/kf_tests.dir/test_frontend_robustness.cpp.o" "gcc" "tests/CMakeFiles/kf_tests.dir/test_frontend_robustness.cpp.o.d"
+  "/root/repo/tests/test_fusion_benefit.cpp" "tests/CMakeFiles/kf_tests.dir/test_fusion_benefit.cpp.o" "gcc" "tests/CMakeFiles/kf_tests.dir/test_fusion_benefit.cpp.o.d"
+  "/root/repo/tests/test_fusion_legality.cpp" "tests/CMakeFiles/kf_tests.dir/test_fusion_legality.cpp.o" "gcc" "tests/CMakeFiles/kf_tests.dir/test_fusion_legality.cpp.o.d"
+  "/root/repo/tests/test_fusion_partitioners.cpp" "tests/CMakeFiles/kf_tests.dir/test_fusion_partitioners.cpp.o" "gcc" "tests/CMakeFiles/kf_tests.dir/test_fusion_partitioners.cpp.o.d"
+  "/root/repo/tests/test_graph.cpp" "tests/CMakeFiles/kf_tests.dir/test_graph.cpp.o" "gcc" "tests/CMakeFiles/kf_tests.dir/test_graph.cpp.o.d"
+  "/root/repo/tests/test_image.cpp" "tests/CMakeFiles/kf_tests.dir/test_image.cpp.o" "gcc" "tests/CMakeFiles/kf_tests.dir/test_image.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/kf_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/kf_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_ir.cpp" "tests/CMakeFiles/kf_tests.dir/test_ir.cpp.o" "gcc" "tests/CMakeFiles/kf_tests.dir/test_ir.cpp.o.d"
+  "/root/repo/tests/test_kfp_sync.cpp" "tests/CMakeFiles/kf_tests.dir/test_kfp_sync.cpp.o" "gcc" "tests/CMakeFiles/kf_tests.dir/test_kfp_sync.cpp.o.d"
+  "/root/repo/tests/test_misc_coverage.cpp" "tests/CMakeFiles/kf_tests.dir/test_misc_coverage.cpp.o" "gcc" "tests/CMakeFiles/kf_tests.dir/test_misc_coverage.cpp.o.d"
+  "/root/repo/tests/test_multioutput.cpp" "tests/CMakeFiles/kf_tests.dir/test_multioutput.cpp.o" "gcc" "tests/CMakeFiles/kf_tests.dir/test_multioutput.cpp.o.d"
+  "/root/repo/tests/test_pipelines.cpp" "tests/CMakeFiles/kf_tests.dir/test_pipelines.cpp.o" "gcc" "tests/CMakeFiles/kf_tests.dir/test_pipelines.cpp.o.d"
+  "/root/repo/tests/test_property_random.cpp" "tests/CMakeFiles/kf_tests.dir/test_property_random.cpp.o" "gcc" "tests/CMakeFiles/kf_tests.dir/test_property_random.cpp.o.d"
+  "/root/repo/tests/test_simplify.cpp" "tests/CMakeFiles/kf_tests.dir/test_simplify.cpp.o" "gcc" "tests/CMakeFiles/kf_tests.dir/test_simplify.cpp.o.d"
+  "/root/repo/tests/test_support.cpp" "tests/CMakeFiles/kf_tests.dir/test_support.cpp.o" "gcc" "tests/CMakeFiles/kf_tests.dir/test_support.cpp.o.d"
+  "/root/repo/tests/test_transform.cpp" "tests/CMakeFiles/kf_tests.dir/test_transform.cpp.o" "gcc" "tests/CMakeFiles/kf_tests.dir/test_transform.cpp.o.d"
+  "/root/repo/tests/test_tuner_plot.cpp" "tests/CMakeFiles/kf_tests.dir/test_tuner_plot.cpp.o" "gcc" "tests/CMakeFiles/kf_tests.dir/test_tuner_plot.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pipelines/CMakeFiles/kf_pipelines.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/kf_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/backend/CMakeFiles/kf_backend.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/kf_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/transform/CMakeFiles/kf_transform.dir/DependInfo.cmake"
+  "/root/repo/build/src/fusion/CMakeFiles/kf_fusion.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/kf_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/kf_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/kf_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/kf_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
