@@ -4,7 +4,11 @@
 
 #include "fusion/BasicFusion.h"
 #include "fusion/MinCutPartitioner.h"
+#include "image/Generators.h"
 #include "support/Error.h"
+
+#include <chrono>
+#include <cmath>
 
 using namespace kf;
 
@@ -43,10 +47,12 @@ const FusedProgram &AppVariants::variant(Variant V) const {
   KF_UNREACHABLE("unknown variant");
 }
 
-AppVariants kf::buildAppVariants(const PipelineSpec &Spec) {
+AppVariants kf::buildAppVariants(const PipelineSpec &Spec, double Scale) {
   AppVariants App;
   App.Name = Spec.Name;
-  App.Source = std::make_unique<Program>(Spec.build());
+  int W = std::max(8, static_cast<int>(std::lround(Spec.Width * Scale)));
+  int H = std::max(8, static_cast<int>(std::lround(Spec.Height * Scale)));
+  App.Source = std::make_unique<Program>(Spec.Builder(W, H));
   const Program &P = *App.Source;
   HardwareModel HW = paperHardwareModel();
   App.Baseline = unfusedProgram(P);
@@ -55,6 +61,60 @@ AppVariants kf::buildAppVariants(const PipelineSpec &Spec) {
   MinCutFusionResult Optimized = runMinCutFusion(P, HW);
   App.Optimized = fuseProgram(P, Optimized.Blocks, FusionStyle::Optimized);
   return App;
+}
+
+const char *kf::execEngineName(ExecEngine E) {
+  switch (E) {
+  case ExecEngine::Ast:
+    return "ast";
+  case ExecEngine::Vm:
+    return "vm";
+  }
+  KF_UNREACHABLE("unknown engine");
+}
+
+void kf::fillExternalInputs(const Program &P, std::vector<Image> &Pool,
+                            uint64_t Seed) {
+  std::vector<bool> Produced(P.numImages());
+  for (KernelId Id = 0; Id != P.numKernels(); ++Id)
+    Produced[P.kernel(Id).Output] = true;
+  Rng Gen(Seed);
+  for (ImageId Id = 0; Id != P.numImages(); ++Id)
+    if (!Produced[Id]) {
+      const ImageInfo &Info = P.image(Id);
+      Pool[Id] =
+          makeRandomImage(Info.Width, Info.Height, Info.Channels, Gen);
+    }
+}
+
+double kf::measureVariantWallMs(const AppVariants &App, Variant V,
+                                const ExecutionOptions &Options,
+                                ExecEngine Engine, int Repeats) {
+  const Program &P = *App.Source;
+  const FusedProgram &FP = App.variant(V);
+  std::vector<Image> Pool = makeImagePool(P);
+  fillExternalInputs(P, Pool, 0xbe7c);
+
+  double Best = 0.0;
+  for (int R = 0; R < std::max(Repeats, 1); ++R) {
+    auto Start = std::chrono::steady_clock::now();
+    if (V == Variant::Baseline) {
+      if (Engine == ExecEngine::Ast)
+        runUnfused(P, Pool, Options);
+      else
+        runUnfusedVm(P, Pool, Options);
+    } else {
+      if (Engine == ExecEngine::Ast)
+        runFused(FP, Pool, Options);
+      else
+        runFusedVm(FP, Pool, Options);
+    }
+    double Ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - Start)
+                    .count();
+    Best = R == 0 ? Ms : std::min(Best, Ms);
+  }
+  return Best;
 }
 
 double kf::variantTimeMs(const AppVariants &App, Variant V,

@@ -15,6 +15,7 @@
 #include "fusion/HardwareModel.h"
 #include "pipelines/Pipelines.h"
 #include "sim/CostModel.h"
+#include "sim/Executor.h"
 #include "sim/Runner.h"
 #include "transform/Fuser.h"
 
@@ -46,8 +47,32 @@ struct AppVariants {
   const FusedProgram &variant(Variant V) const;
 };
 
-/// Builds the three variants of \p Spec at its paper image size.
-AppVariants buildAppVariants(const PipelineSpec &Spec);
+/// Builds the three variants of \p Spec at its paper image size scaled by
+/// \p Scale on each axis (1.0 = the paper size; benchmarks use smaller
+/// scales to keep host-execution runs tractable).
+AppVariants buildAppVariants(const PipelineSpec &Spec, double Scale = 1.0);
+
+/// Which host evaluation engine executes a variant's pixels.
+enum class ExecEngine {
+  Ast, ///< Tree-walking interpreter (semantic reference).
+  Vm,  ///< Bytecode VM with interior/halo split + row-wise evaluation.
+};
+
+const char *execEngineName(ExecEngine E);
+
+/// Fills every external input of \p P (images no kernel produces) in
+/// \p Pool with deterministic random data, so measured runs are
+/// reproducible across invocations and engines.
+void fillExternalInputs(const Program &P, std::vector<Image> &Pool,
+                        uint64_t Seed);
+
+/// Wall-clock milliseconds to actually execute one variant's pixels on
+/// the host with the given engine and execution options (best of
+/// \p Repeats runs on a shared pre-filled pool). The Baseline variant
+/// runs the unfused engines; fused variants run runFused / runFusedVm.
+double measureVariantWallMs(const AppVariants &App, Variant V,
+                            const ExecutionOptions &Options,
+                            ExecEngine Engine, int Repeats = 3);
 
 /// Analytic execution time of one variant on one device (milliseconds).
 double variantTimeMs(const AppVariants &App, Variant V,

@@ -8,6 +8,12 @@
 //
 // Options: --runs N (default 500), --csv (machine-readable output).
 //
+// With --measure the harness executes the variants' pixels for real on
+// the host (bytecode VM engine, see sim/Executor.h) instead of querying
+// the analytic model: one "host" row replaces the three simulated GPUs.
+// --threads N and --scale S (image-size factor, default 0.25) control
+// the measured runs.
+//
 //===----------------------------------------------------------------------===//
 
 #include "bench/common/BenchCommon.h"
@@ -21,10 +27,41 @@
 using namespace kf;
 
 int main(int Argc, char **Argv) {
-  CommandLine Cl(Argc, Argv, {"csv", "plot"});
+  CommandLine Cl(Argc, Argv, {"csv", "plot", "measure"});
   int Runs = static_cast<int>(Cl.getIntOption("runs", 500));
   bool Csv = Cl.hasOption("csv");
   bool Plot = Cl.hasOption("plot");
+
+  if (Cl.hasOption("measure")) {
+    double Scale = Cl.getDoubleOption("scale", 0.25);
+    ExecutionOptions Options;
+    Options.Threads = static_cast<int>(Cl.getIntOption("threads", 0));
+    int Repeats = static_cast<int>(Cl.getIntOption("repeats", 3));
+
+    std::printf("=== Figure 6 (measured): host wall-clock times in ms "
+                "(VM engine, scale %.3g, best of %d) ===\n\n",
+                Scale, Repeats);
+    TablePrinter Table({"app", "size", "variant", "wall ms"});
+    for (const PipelineSpec &Spec : paperPipelines()) {
+      AppVariants App = buildAppVariants(Spec, Scale);
+      const ImageInfo &In = App.Source->image(0);
+      std::string Size =
+          std::to_string(In.Width) + "x" + std::to_string(In.Height);
+      for (Variant V : {Variant::Baseline, Variant::BasicFusion,
+                        Variant::OptimizedFusion}) {
+        double Ms =
+            measureVariantWallMs(App, V, Options, ExecEngine::Vm, Repeats);
+        Table.addRow({App.Name, Size, variantName(V),
+                      formatDouble(Ms, 3)});
+      }
+    }
+    std::fputs(Table.render().c_str(), stdout);
+    std::printf("\nHost caveat: recompute-based fusion trades memory "
+                "traffic for arithmetic, which\npays off on GPUs (the "
+                "simulated rows) but can lose on a CPU interpreter "
+                "for\ncompute-bound apps (Night).\n");
+    return 0;
+  }
 
   CostModelParams Params;
   std::vector<AppVariants> Apps;

@@ -4,6 +4,10 @@
 // the three GPUs, per application and comparison, next to the published
 // values (headline: up to 2.52 on Unsharp).
 //
+// With --measure the numbers come from real host execution of the
+// variants (bytecode VM engine); --threads N and --scale S (default
+// 0.25) control the measured runs.
+//
 //===----------------------------------------------------------------------===//
 
 #include "bench/common/BenchCommon.h"
@@ -17,17 +21,39 @@
 using namespace kf;
 
 int main(int Argc, char **Argv) {
-  CommandLine Cl(Argc, Argv);
+  CommandLine Cl(Argc, Argv, {"measure"});
   int Runs = static_cast<int>(Cl.getIntOption("runs", 500));
+  bool Measure = Cl.hasOption("measure");
+  double Scale = Cl.getDoubleOption("scale", 0.25);
+  ExecutionOptions ExecOptions;
+  ExecOptions.Threads = static_cast<int>(Cl.getIntOption("threads", 0));
+  int Repeats = static_cast<int>(Cl.getIntOption("repeats", 3));
 
   CostModelParams Params;
   std::vector<AppVariants> Apps;
   for (const PipelineSpec &Spec : paperPipelines())
-    Apps.push_back(buildAppVariants(Spec));
+    Apps.push_back(Measure ? buildAppVariants(Spec, Scale)
+                           : buildAppVariants(Spec));
   const PaperTable2 &Paper = paperTable2();
 
-  std::printf("=== Table II: geometric mean of speedups across all GPUs "
-              "(measured, paper in parentheses) ===\n\n");
+  // --measure: real host execution (VM engine); the "geomean" collapses
+  // to the single host measurement per app.
+  std::map<std::string, std::map<std::string, double>> HostMs;
+  if (Measure)
+    for (const AppVariants &App : Apps)
+      for (Variant V : {Variant::Baseline, Variant::BasicFusion,
+                        Variant::OptimizedFusion})
+        HostMs[App.Name][variantName(V)] = measureVariantWallMs(
+            App, V, ExecOptions, ExecEngine::Vm, Repeats);
+
+  if (Measure)
+    std::printf("=== Table II (measured): host wall-clock speedups "
+                "(VM engine, scale %.3g; paper GPU\ngeomeans in "
+                "parentheses for context) ===\n\n",
+                Scale);
+  else
+    std::printf("=== Table II: geometric mean of speedups across all GPUs "
+                "(measured, paper in parentheses) ===\n\n");
 
   struct Comparison {
     const char *Title;
@@ -53,12 +79,17 @@ int main(int Argc, char **Argv) {
     std::vector<std::string> Row{Cmp.Title};
     for (const AppVariants &App : Apps) {
       std::vector<double> Speedups;
-      for (const DeviceSpec &Device : DeviceSpec::paperDevices()) {
-        double Slow =
-            variantRunStats(App, Cmp.Num, Device, Params, Runs).Median;
-        double Fast =
-            variantRunStats(App, Cmp.Den, Device, Params, Runs).Median;
-        Speedups.push_back(Slow / Fast);
+      if (Measure) {
+        Speedups.push_back(HostMs[App.Name][variantName(Cmp.Num)] /
+                           HostMs[App.Name][variantName(Cmp.Den)]);
+      } else {
+        for (const DeviceSpec &Device : DeviceSpec::paperDevices()) {
+          double Slow =
+              variantRunStats(App, Cmp.Num, Device, Params, Runs).Median;
+          double Fast =
+              variantRunStats(App, Cmp.Den, Device, Params, Runs).Median;
+          Speedups.push_back(Slow / Fast);
+        }
       }
       Row.push_back(formatDouble(geometricMean(Speedups), 3) + " (" +
                     formatDouble(Cmp.Published->at(App.Name), 3) + ")");

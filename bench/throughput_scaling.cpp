@@ -1,0 +1,141 @@
+//===- bench/throughput_scaling.cpp - Host engine throughput -------------------===//
+//
+// Measures real (wall-clock) pixel throughput of the host evaluation
+// engines -- the AST walker on the fused program, the bytecode VM on the
+// unfused program, and the staged fused-kernel VM -- across thread counts
+// {1, 2, 4, hardware}. This is the harness behind the reproduction's
+// "fast path" claims: the fused VM's interior/halo split plus row-wise
+// evaluation versus per-pixel tree walking.
+//
+// Options:
+//   --app <name>      pipeline registry name (default harris)
+//   --width/--height  image size (default 512x512; the paper size 2048
+//                     is reachable but slow for the AST rows)
+//   --repeats N       best-of-N timing per configuration (default 3)
+//   --out FILE        JSON results file (default BENCH_throughput.json)
+//   --skip-ast        omit the slow AST rows (VM scaling only)
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/common/BenchCommon.h"
+#include "support/CommandLine.h"
+#include "support/StringUtils.h"
+#include "support/TablePrinter.h"
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+using namespace kf;
+
+namespace {
+
+struct Row {
+  std::string Engine;
+  int Threads = 1;
+  double WallMs = 0.0;
+  double PixelsPerSec = 0.0;
+};
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  CommandLine Cl(Argc, Argv, {"skip-ast"});
+  std::string AppName = Cl.getOption("app", "harris");
+  const PipelineSpec *Spec = findPipeline(AppName);
+  if (!Spec) {
+    std::fprintf(stderr, "error: unknown pipeline '%s'\n", AppName.c_str());
+    return 1;
+  }
+  int Width = static_cast<int>(Cl.getIntOption("width", 512));
+  int Height = static_cast<int>(Cl.getIntOption("height", 512));
+  int Repeats = static_cast<int>(Cl.getIntOption("repeats", 3));
+  std::string OutFile = Cl.getOption("out", "BENCH_throughput.json");
+  bool SkipAst = Cl.hasOption("skip-ast");
+
+  PipelineSpec Sized = *Spec;
+  Sized.Width = Width;
+  Sized.Height = Height;
+  AppVariants App = buildAppVariants(Sized);
+
+  std::vector<int> ThreadCounts{1, 2, 4};
+  int Hardware =
+      static_cast<int>(std::max(std::thread::hardware_concurrency(), 1u));
+  ThreadCounts.push_back(Hardware);
+  std::sort(ThreadCounts.begin(), ThreadCounts.end());
+  ThreadCounts.erase(std::unique(ThreadCounts.begin(), ThreadCounts.end()),
+                     ThreadCounts.end());
+
+  double Pixels = static_cast<double>(Width) * Height;
+  std::printf("=== Host throughput: %s at %dx%d (best of %d, "
+              "hardware threads: %d) ===\n\n",
+              AppName.c_str(), Width, Height, Repeats, Hardware);
+
+  struct EngineSpec {
+    const char *Name;
+    Variant V;
+    ExecEngine Engine;
+    bool AstPriced; ///< Slow row, skipped under --skip-ast.
+  };
+  const EngineSpec Engines[3] = {
+      {"ast-fused", Variant::OptimizedFusion, ExecEngine::Ast, true},
+      {"vm-unfused", Variant::Baseline, ExecEngine::Vm, false},
+      {"vm-fused", Variant::OptimizedFusion, ExecEngine::Vm, false},
+  };
+
+  std::vector<Row> Rows;
+  TablePrinter Table({"engine", "threads", "wall ms", "Mpixels/s",
+                      "vs ast-fused@1"});
+  double AstSingleMs = 0.0;
+  for (const EngineSpec &E : Engines) {
+    if (SkipAst && E.AstPriced)
+      continue;
+    for (int Threads : ThreadCounts) {
+      ExecutionOptions Options;
+      Options.Threads = Threads;
+      double Ms =
+          measureVariantWallMs(App, E.V, Options, E.Engine, Repeats);
+      if (E.AstPriced && Threads == 1)
+        AstSingleMs = Ms;
+      Row R{E.Name, Threads, Ms, Pixels * 1000.0 / Ms};
+      Table.addRow({R.Engine, std::to_string(R.Threads),
+                    formatDouble(R.WallMs, 3),
+                    formatDouble(R.PixelsPerSec / 1e6, 2),
+                    AstSingleMs > 0.0 ? formatDouble(AstSingleMs / Ms, 2)
+                                      : "-"});
+      Rows.push_back(R);
+    }
+  }
+  std::fputs(Table.render().c_str(), stdout);
+
+  if (FILE *Out = std::fopen(OutFile.c_str(), "w")) {
+    std::fprintf(Out,
+                 "{\n  \"app\": \"%s\",\n  \"width\": %d,\n"
+                 "  \"height\": %d,\n  \"repeats\": %d,\n"
+                 "  \"hardware_threads\": %d,\n  \"results\": [\n",
+                 AppName.c_str(), Width, Height, Repeats, Hardware);
+    for (size_t I = 0; I != Rows.size(); ++I)
+      std::fprintf(Out,
+                   "    {\"engine\": \"%s\", \"threads\": %d, "
+                   "\"wall_ms\": %.4f, \"pixels_per_sec\": %.1f}%s\n",
+                   Rows[I].Engine.c_str(), Rows[I].Threads, Rows[I].WallMs,
+                   Rows[I].PixelsPerSec, I + 1 == Rows.size() ? "" : ",");
+    std::fputs("  ]\n}\n", Out);
+    std::fclose(Out);
+    std::printf("\nwrote %s\n", OutFile.c_str());
+  } else {
+    std::fprintf(stderr, "error: cannot write %s\n", OutFile.c_str());
+    return 1;
+  }
+
+  std::printf("\nExpected shape: both VM engines >> ast-fused at every "
+              "thread count; scaling with\nthreads tracks the machine's "
+              "core count. vm-unfused can beat vm-fused on a CPU\nhost: "
+              "recompute-based fusion pays real arithmetic to save memory "
+              "traffic that is\ncheap here (on the paper's GPUs the trade "
+              "goes the other way). Results are\nbit-identical at every "
+              "thread count -- see tests/test_fusedvm.cpp.\n");
+  return 0;
+}

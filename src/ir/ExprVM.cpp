@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <map>
 
 using namespace kf;
 
@@ -21,10 +22,14 @@ struct StencilBinding {
   bool Active = false;
 };
 
-/// Recursive compiler from expression trees to the linear VM form.
+/// Recursive compiler from expression trees to the linear VM form. When
+/// \p Eliminated maps an input image to a stage index, reads of that
+/// image compile to StageCall instructions (fused-kernel compilation).
 class VmCompiler {
 public:
-  VmCompiler(const Program &P) : P(P) {}
+  VmCompiler(const Program &P, const Kernel *K = nullptr,
+             const std::map<ImageId, uint16_t> *Eliminated = nullptr)
+      : P(P), K(K), Eliminated(Eliminated) {}
 
   VmProgram compile(const Expr *Body) {
     VmProgram VM;
@@ -94,6 +99,14 @@ private:
         Inst.Oy = static_cast<int16_t>(Env.Dy);
       }
       Inst.Channel = static_cast<int16_t>(E->Channel);
+      if (Eliminated) {
+        assert(K && "staged compilation needs the owning kernel");
+        auto Stage = Eliminated->find(K->Inputs[E->InputIdx]);
+        if (Stage != Eliminated->end()) {
+          Inst.Op = VmOp::StageCall;
+          Inst.Sel = Stage->second;
+        }
+      }
       VM.Insts.push_back(Inst);
       return Inst.Dst;
     }
@@ -212,14 +225,93 @@ private:
   }
 
   const Program &P;
+  const Kernel *K;
+  const std::map<ImageId, uint16_t> *Eliminated;
   unsigned NextReg = 0;
 };
+
+/// Evaluates one non-load, non-call instruction into \p Regs. Shared by
+/// the scalar evaluators.
+inline void evalAluInst(const VmInst &Inst, float *Regs, int X, int Y) {
+  switch (Inst.Op) {
+  case VmOp::Const:
+    Regs[Inst.Dst] = Inst.Imm;
+    break;
+  case VmOp::CoordX:
+    Regs[Inst.Dst] = static_cast<float>(X);
+    break;
+  case VmOp::CoordY:
+    Regs[Inst.Dst] = static_cast<float>(Y);
+    break;
+  case VmOp::Add:
+    Regs[Inst.Dst] = Regs[Inst.A] + Regs[Inst.B];
+    break;
+  case VmOp::Sub:
+    Regs[Inst.Dst] = Regs[Inst.A] - Regs[Inst.B];
+    break;
+  case VmOp::Mul:
+    Regs[Inst.Dst] = Regs[Inst.A] * Regs[Inst.B];
+    break;
+  case VmOp::Div:
+    Regs[Inst.Dst] = Regs[Inst.A] / Regs[Inst.B];
+    break;
+  case VmOp::Min:
+    Regs[Inst.Dst] = std::min(Regs[Inst.A], Regs[Inst.B]);
+    break;
+  case VmOp::Max:
+    Regs[Inst.Dst] = std::max(Regs[Inst.A], Regs[Inst.B]);
+    break;
+  case VmOp::Pow:
+    Regs[Inst.Dst] = std::pow(Regs[Inst.A], Regs[Inst.B]);
+    break;
+  case VmOp::CmpLT:
+    Regs[Inst.Dst] = Regs[Inst.A] < Regs[Inst.B] ? 1.0f : 0.0f;
+    break;
+  case VmOp::CmpGT:
+    Regs[Inst.Dst] = Regs[Inst.A] > Regs[Inst.B] ? 1.0f : 0.0f;
+    break;
+  case VmOp::Neg:
+    Regs[Inst.Dst] = -Regs[Inst.A];
+    break;
+  case VmOp::Abs:
+    Regs[Inst.Dst] = std::abs(Regs[Inst.A]);
+    break;
+  case VmOp::Sqrt:
+    Regs[Inst.Dst] = std::sqrt(Regs[Inst.A]);
+    break;
+  case VmOp::Exp:
+    Regs[Inst.Dst] = std::exp(Regs[Inst.A]);
+    break;
+  case VmOp::Log:
+    Regs[Inst.Dst] = std::log(Regs[Inst.A]);
+    break;
+  case VmOp::Floor:
+    Regs[Inst.Dst] = std::floor(Regs[Inst.A]);
+    break;
+  case VmOp::Select:
+    Regs[Inst.Dst] = Regs[Inst.Sel] != 0.0f ? Regs[Inst.A] : Regs[Inst.B];
+    break;
+  case VmOp::Load:
+  case VmOp::StageCall:
+    KF_UNREACHABLE("memory op reached the ALU path");
+  }
+}
 
 } // namespace
 
 VmProgram kf::compileKernelBody(const Program &P, KernelId Id) {
   VmCompiler Compiler(P);
   return Compiler.compile(P.kernel(Id).Body);
+}
+
+int kf::vmHalo(const VmProgram &VM) {
+  int Halo = 0;
+  for (const VmInst &Inst : VM.Insts)
+    if (Inst.Op == VmOp::Load || Inst.Op == VmOp::StageCall)
+      Halo = std::max(Halo,
+                      std::max(std::abs(static_cast<int>(Inst.Ox)),
+                               std::abs(static_cast<int>(Inst.Oy))));
+  return Halo;
 }
 
 /// Shared evaluation loop; \p Bordered selects bordered vs direct loads.
@@ -229,17 +321,7 @@ static float runVmImpl(const VmProgram &VM, const Program &P, KernelId Id,
                        int Channel, float *Regs) {
   const Kernel &K = P.kernel(Id);
   for (const VmInst &Inst : VM.Insts) {
-    switch (Inst.Op) {
-    case VmOp::Const:
-      Regs[Inst.Dst] = Inst.Imm;
-      break;
-    case VmOp::CoordX:
-      Regs[Inst.Dst] = static_cast<float>(X);
-      break;
-    case VmOp::CoordY:
-      Regs[Inst.Dst] = static_cast<float>(Y);
-      break;
-    case VmOp::Load: {
+    if (Inst.Op == VmOp::Load) {
       const Image &Img = Pool[K.Inputs[Inst.InputIdx]];
       int Ch = Inst.Channel < 0 ? Channel : Inst.Channel;
       if (Bordered)
@@ -247,57 +329,9 @@ static float runVmImpl(const VmProgram &VM, const Program &P, KernelId Id,
                                           Ch, K.Border, K.BorderConstant);
       else
         Regs[Inst.Dst] = Img.at(X + Inst.Ox, Y + Inst.Oy, Ch);
-      break;
+      continue;
     }
-    case VmOp::Add:
-      Regs[Inst.Dst] = Regs[Inst.A] + Regs[Inst.B];
-      break;
-    case VmOp::Sub:
-      Regs[Inst.Dst] = Regs[Inst.A] - Regs[Inst.B];
-      break;
-    case VmOp::Mul:
-      Regs[Inst.Dst] = Regs[Inst.A] * Regs[Inst.B];
-      break;
-    case VmOp::Div:
-      Regs[Inst.Dst] = Regs[Inst.A] / Regs[Inst.B];
-      break;
-    case VmOp::Min:
-      Regs[Inst.Dst] = std::min(Regs[Inst.A], Regs[Inst.B]);
-      break;
-    case VmOp::Max:
-      Regs[Inst.Dst] = std::max(Regs[Inst.A], Regs[Inst.B]);
-      break;
-    case VmOp::Pow:
-      Regs[Inst.Dst] = std::pow(Regs[Inst.A], Regs[Inst.B]);
-      break;
-    case VmOp::CmpLT:
-      Regs[Inst.Dst] = Regs[Inst.A] < Regs[Inst.B] ? 1.0f : 0.0f;
-      break;
-    case VmOp::CmpGT:
-      Regs[Inst.Dst] = Regs[Inst.A] > Regs[Inst.B] ? 1.0f : 0.0f;
-      break;
-    case VmOp::Neg:
-      Regs[Inst.Dst] = -Regs[Inst.A];
-      break;
-    case VmOp::Abs:
-      Regs[Inst.Dst] = std::abs(Regs[Inst.A]);
-      break;
-    case VmOp::Sqrt:
-      Regs[Inst.Dst] = std::sqrt(Regs[Inst.A]);
-      break;
-    case VmOp::Exp:
-      Regs[Inst.Dst] = std::exp(Regs[Inst.A]);
-      break;
-    case VmOp::Log:
-      Regs[Inst.Dst] = std::log(Regs[Inst.A]);
-      break;
-    case VmOp::Floor:
-      Regs[Inst.Dst] = std::floor(Regs[Inst.A]);
-      break;
-    case VmOp::Select:
-      Regs[Inst.Dst] = Regs[Inst.Sel] != 0.0f ? Regs[Inst.A] : Regs[Inst.B];
-      break;
-    }
+    evalAluInst(Inst, Regs, X, Y);
   }
   return Regs[VM.ResultReg];
 }
@@ -314,6 +348,361 @@ float kf::runVmInterior(const VmProgram &VM, const Program &P, KernelId Id,
   return runVmImpl<false>(VM, P, Id, Pool, X, Y, Channel, Regs);
 }
 
+//===----------------------------------------------------------------------===//
+// Row-wise (instruction-major) interior evaluation
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Executes \p Code instruction-major over pixels [X0, X1) of row \p Y.
+/// \p Inputs resolves Load pool images; \p CallRow handles StageCall ops
+/// (writes the callee's value per pixel into the destination row).
+template <class CallRowFn>
+void evalRowImpl(const VmProgram &Code, const std::vector<Image> &Pool,
+                 const std::vector<ImageId> &Inputs, int Y, int X0, int X1,
+                 int Channel, float *RowRegs, float *Out, int OutStride,
+                 CallRowFn &&CallRow) {
+  const int W = X1 - X0;
+  auto Row = [&](uint16_t Reg) {
+    return RowRegs + static_cast<size_t>(Reg) * W;
+  };
+  for (const VmInst &Inst : Code.Insts) {
+    float *D = Row(Inst.Dst);
+    switch (Inst.Op) {
+    case VmOp::Const:
+      for (int I = 0; I != W; ++I)
+        D[I] = Inst.Imm;
+      break;
+    case VmOp::CoordX:
+      for (int I = 0; I != W; ++I)
+        D[I] = static_cast<float>(X0 + I);
+      break;
+    case VmOp::CoordY:
+      for (int I = 0; I != W; ++I)
+        D[I] = static_cast<float>(Y);
+      break;
+    case VmOp::Load: {
+      const Image &Img = Pool[Inputs[Inst.InputIdx]];
+      int Ch = Inst.Channel < 0 ? Channel : Inst.Channel;
+      assert(Y + Inst.Oy >= 0 && Y + Inst.Oy < Img.height() &&
+             X0 + Inst.Ox >= 0 && X1 - 1 + Inst.Ox < Img.width() &&
+             "row evaluation outside the interior region");
+      const float *Base =
+          Img.data().data() +
+          (static_cast<size_t>(Y + Inst.Oy) * Img.width() + (X0 + Inst.Ox)) *
+              Img.channels() +
+          Ch;
+      const int Stride = Img.channels();
+      for (int I = 0; I != W; ++I)
+        D[I] = Base[static_cast<size_t>(I) * Stride];
+      break;
+    }
+    case VmOp::Add: {
+      const float *A = Row(Inst.A), *B = Row(Inst.B);
+      for (int I = 0; I != W; ++I)
+        D[I] = A[I] + B[I];
+      break;
+    }
+    case VmOp::Sub: {
+      const float *A = Row(Inst.A), *B = Row(Inst.B);
+      for (int I = 0; I != W; ++I)
+        D[I] = A[I] - B[I];
+      break;
+    }
+    case VmOp::Mul: {
+      const float *A = Row(Inst.A), *B = Row(Inst.B);
+      for (int I = 0; I != W; ++I)
+        D[I] = A[I] * B[I];
+      break;
+    }
+    case VmOp::Div: {
+      const float *A = Row(Inst.A), *B = Row(Inst.B);
+      for (int I = 0; I != W; ++I)
+        D[I] = A[I] / B[I];
+      break;
+    }
+    case VmOp::Min: {
+      const float *A = Row(Inst.A), *B = Row(Inst.B);
+      for (int I = 0; I != W; ++I)
+        D[I] = std::min(A[I], B[I]);
+      break;
+    }
+    case VmOp::Max: {
+      const float *A = Row(Inst.A), *B = Row(Inst.B);
+      for (int I = 0; I != W; ++I)
+        D[I] = std::max(A[I], B[I]);
+      break;
+    }
+    case VmOp::Pow: {
+      const float *A = Row(Inst.A), *B = Row(Inst.B);
+      for (int I = 0; I != W; ++I)
+        D[I] = std::pow(A[I], B[I]);
+      break;
+    }
+    case VmOp::CmpLT: {
+      const float *A = Row(Inst.A), *B = Row(Inst.B);
+      for (int I = 0; I != W; ++I)
+        D[I] = A[I] < B[I] ? 1.0f : 0.0f;
+      break;
+    }
+    case VmOp::CmpGT: {
+      const float *A = Row(Inst.A), *B = Row(Inst.B);
+      for (int I = 0; I != W; ++I)
+        D[I] = A[I] > B[I] ? 1.0f : 0.0f;
+      break;
+    }
+    case VmOp::Neg: {
+      const float *A = Row(Inst.A);
+      for (int I = 0; I != W; ++I)
+        D[I] = -A[I];
+      break;
+    }
+    case VmOp::Abs: {
+      const float *A = Row(Inst.A);
+      for (int I = 0; I != W; ++I)
+        D[I] = std::abs(A[I]);
+      break;
+    }
+    case VmOp::Sqrt: {
+      const float *A = Row(Inst.A);
+      for (int I = 0; I != W; ++I)
+        D[I] = std::sqrt(A[I]);
+      break;
+    }
+    case VmOp::Exp: {
+      const float *A = Row(Inst.A);
+      for (int I = 0; I != W; ++I)
+        D[I] = std::exp(A[I]);
+      break;
+    }
+    case VmOp::Log: {
+      const float *A = Row(Inst.A);
+      for (int I = 0; I != W; ++I)
+        D[I] = std::log(A[I]);
+      break;
+    }
+    case VmOp::Floor: {
+      const float *A = Row(Inst.A);
+      for (int I = 0; I != W; ++I)
+        D[I] = std::floor(A[I]);
+      break;
+    }
+    case VmOp::Select: {
+      const float *A = Row(Inst.A), *B = Row(Inst.B), *S = Row(Inst.Sel);
+      for (int I = 0; I != W; ++I)
+        D[I] = S[I] != 0.0f ? A[I] : B[I];
+      break;
+    }
+    case VmOp::StageCall:
+      CallRow(Inst, D);
+      break;
+    }
+  }
+  const float *Result = Row(Code.ResultReg);
+  for (int I = 0; I != W; ++I)
+    Out[static_cast<size_t>(I) * OutStride] = Result[I];
+}
+
+} // namespace
+
+void kf::runVmRow(const VmProgram &VM, const Program &P, KernelId Id,
+                  const std::vector<Image> &Pool, int Y, int X0, int X1,
+                  int Channel, float *RowRegs, float *Out, int OutStride) {
+  if (X1 <= X0)
+    return;
+  const Kernel &K = P.kernel(Id);
+  evalRowImpl(VM, Pool, K.Inputs, Y, X0, X1, Channel, RowRegs, Out,
+              OutStride, [](const VmInst &, float *) {
+                KF_UNREACHABLE("StageCall in a plain kernel body");
+              });
+}
+
+//===----------------------------------------------------------------------===//
+// Staged (fused-kernel) programs
+//===----------------------------------------------------------------------===//
+
+StagedVmProgram
+kf::compileStagedProgram(const Program &P,
+                         const std::vector<KernelId> &StageKernels,
+                         const std::vector<bool> &IsEliminated) {
+  assert(StageKernels.size() == IsEliminated.size() &&
+         "one elimination flag per stage");
+  assert(StageKernels.size() <= 0xFFFF && "stage index must fit Sel");
+
+  std::map<ImageId, uint16_t> Eliminated;
+  for (size_t I = 0; I != StageKernels.size(); ++I)
+    if (IsEliminated[I])
+      Eliminated[P.kernel(StageKernels[I]).Output] =
+          static_cast<uint16_t>(I);
+
+  StagedVmProgram SP;
+  SP.Reach.resize(StageKernels.size(), 0);
+  unsigned RegBase = 0;
+  int RefW = -1, RefH = -1;
+  auto noteExtent = [&](int W, int H) {
+    if (RefW < 0) {
+      RefW = W;
+      RefH = H;
+    } else if (W != RefW || H != RefH) {
+      SP.UniformExtents = false;
+    }
+  };
+
+  for (size_t I = 0; I != StageKernels.size(); ++I) {
+    const Kernel &K = P.kernel(StageKernels[I]);
+    VmStage Stage;
+    VmCompiler Compiler(P, &K, &Eliminated);
+    Stage.Code = Compiler.compile(K.Body);
+    Stage.Inputs = K.Inputs;
+    Stage.Border = K.Border;
+    Stage.BorderConstant = K.BorderConstant;
+    const ImageInfo &OutInfo = P.image(K.Output);
+    Stage.OutW = OutInfo.Width;
+    Stage.OutH = OutInfo.Height;
+    Stage.RegBase = RegBase;
+    RegBase += Stage.Code.NumRegs;
+    noteExtent(Stage.OutW, Stage.OutH);
+
+    // Transitive reach: direct load offsets, plus call offsets grown by
+    // the callee's reach (callees precede their consumers in stage
+    // order, so Reach is final when read).
+    int Reach = 0;
+    for (const VmInst &Inst : Stage.Code.Insts) {
+      int Off = std::max(std::abs(static_cast<int>(Inst.Ox)),
+                         std::abs(static_cast<int>(Inst.Oy)));
+      if (Inst.Op == VmOp::Load) {
+        const ImageInfo &In = P.image(K.Inputs[Inst.InputIdx]);
+        noteExtent(In.Width, In.Height);
+        Reach = std::max(Reach, Off);
+      } else if (Inst.Op == VmOp::StageCall) {
+        assert(Inst.Sel < I && "stage call to a non-preceding stage");
+        Reach = std::max(Reach, Off + SP.Reach[Inst.Sel]);
+      }
+    }
+    SP.Reach[I] = Reach;
+    SP.Stages.push_back(std::move(Stage));
+  }
+  SP.NumRegs = RegBase;
+  return SP;
+}
+
+namespace {
+
+/// Scalar staged evaluation; \p Bordered selects the halo-correct slow
+/// path (bordered loads, index-exchanged stage calls) vs the interior
+/// fast path (direct loads, unchecked calls).
+template <bool Bordered>
+float evalStagedVm(const StagedVmProgram &SP, uint16_t StageIdx,
+                   const std::vector<Image> &Pool, int X, int Y, int Channel,
+                   float *Regs, bool UseIndexExchange) {
+  const VmStage &Stage = SP.Stages[StageIdx];
+  float *Frame = Regs + Stage.RegBase;
+  for (const VmInst &Inst : Stage.Code.Insts) {
+    switch (Inst.Op) {
+    case VmOp::Load: {
+      const Image &Img = Pool[Stage.Inputs[Inst.InputIdx]];
+      assert(!Img.empty() && "reading an unmaterialized image");
+      int Ch = Inst.Channel < 0 ? Channel : Inst.Channel;
+      if (Bordered)
+        Frame[Inst.Dst] =
+            sampleWithBorder(Img, X + Inst.Ox, Y + Inst.Oy, Ch,
+                             Stage.Border, Stage.BorderConstant);
+      else
+        Frame[Inst.Dst] = Img.at(X + Inst.Ox, Y + Inst.Oy, Ch);
+      break;
+    }
+    case VmOp::StageCall: {
+      const VmStage &Callee = SP.Stages[Inst.Sel];
+      int Ch = Inst.Channel < 0 ? Channel : Inst.Channel;
+      int TX = X + Inst.Ox;
+      int TY = Y + Inst.Oy;
+      if (Bordered) {
+        bool Exterior = TX < 0 || TX >= Callee.OutW || TY < 0 ||
+                        TY >= Callee.OutH;
+        if (Exterior && UseIndexExchange) {
+          // Index exchange (Section IV-B): exterior accesses to the
+          // eliminated intermediate are exchanged per the *consuming*
+          // stage's border handling before the producer is evaluated.
+          int EX = exchangeIndex(TX, Callee.OutW, Stage.Border);
+          int EY = exchangeIndex(TY, Callee.OutH, Stage.Border);
+          if (EX < 0 || EY < 0) {
+            Frame[Inst.Dst] = Stage.BorderConstant;
+            break;
+          }
+          TX = EX;
+          TY = EY;
+        }
+        // Without the exchange the producer is (incorrectly) evaluated
+        // at the raw exterior position -- reproducing Figure 4b.
+      }
+      Frame[Inst.Dst] = evalStagedVm<Bordered>(SP, Inst.Sel, Pool, TX, TY,
+                                               Ch, Regs, UseIndexExchange);
+      break;
+    }
+    default:
+      evalAluInst(Inst, Frame, X, Y);
+      break;
+    }
+  }
+  return Frame[Stage.Code.ResultReg];
+}
+
+} // namespace
+
+float kf::runStagedVm(const StagedVmProgram &SP, uint16_t RootStage,
+                      const std::vector<Image> &Pool, int X, int Y,
+                      int Channel, float *Regs, bool UseIndexExchange) {
+  return evalStagedVm<true>(SP, RootStage, Pool, X, Y, Channel, Regs,
+                            UseIndexExchange);
+}
+
+float kf::runStagedVmInterior(const StagedVmProgram &SP, uint16_t RootStage,
+                              const std::vector<Image> &Pool, int X, int Y,
+                              int Channel, float *Regs) {
+  return evalStagedVm<false>(SP, RootStage, Pool, X, Y, Channel, Regs, true);
+}
+
+namespace {
+
+/// Row-wise interior evaluation of one stage over columns [X0, X1) of
+/// row \p Y. Stage calls recurse row-wise too -- the callee streams its
+/// subprogram across the (offset-shifted) scanline straight into the
+/// caller's destination row register -- so the whole staged program
+/// stays instruction-major. \p RowRegs holds SP.NumRegs * RowWidth
+/// floats partitioned by the stages' RegBase frames; the acyclic call
+/// graph guarantees a stage never reuses a live frame, and sequential
+/// calls to the same callee simply overwrite its frame.
+void evalStagedRow(const StagedVmProgram &SP, uint16_t StageIdx,
+                   const std::vector<Image> &Pool, int Y, int X0, int X1,
+                   int Channel, float *RowRegs, size_t RowWidth, float *Out,
+                   int OutStride) {
+  const VmStage &Stage = SP.Stages[StageIdx];
+  float *Frame = RowRegs + static_cast<size_t>(Stage.RegBase) * RowWidth;
+  evalRowImpl(Stage.Code, Pool, Stage.Inputs, Y, X0, X1, Channel, Frame,
+              Out, OutStride, [&](const VmInst &Inst, float *D) {
+                int Ch = Inst.Channel < 0 ? Channel : Inst.Channel;
+                evalStagedRow(SP, Inst.Sel, Pool, Y + Inst.Oy,
+                              X0 + Inst.Ox, X1 + Inst.Ox, Ch, RowRegs,
+                              RowWidth, D, 1);
+              });
+}
+
+} // namespace
+
+void kf::runStagedVmRow(const StagedVmProgram &SP, uint16_t RootStage,
+                        const std::vector<Image> &Pool, int Y, int X0,
+                        int X1, int Channel, float *RowRegs, float *Out,
+                        int OutStride) {
+  if (X1 <= X0)
+    return;
+  evalStagedRow(SP, RootStage, Pool, Y, X0, X1, Channel, RowRegs,
+                static_cast<size_t>(X1 - X0), Out, OutStride);
+}
+
+//===----------------------------------------------------------------------===//
+// Serial unfused driver (the parallel one lives in sim/Executor)
+//===----------------------------------------------------------------------===//
+
 void kf::runUnfusedVm(const Program &P, std::vector<Image> &Pool) {
   assert(Pool.size() == P.numImages() && "pool size mismatch");
   std::optional<std::vector<Digraph::NodeId>> Order =
@@ -321,6 +710,7 @@ void kf::runUnfusedVm(const Program &P, std::vector<Image> &Pool) {
   assert(Order && "kernel DAG has a cycle");
 
   std::vector<float> Regs;
+  std::vector<float> RowRegs;
   for (KernelId Id : *Order) {
     const Kernel &K = P.kernel(Id);
     const ImageInfo &Info = P.image(K.Output);
@@ -329,24 +719,33 @@ void kf::runUnfusedVm(const Program &P, std::vector<Image> &Pool) {
     Image Out(Info.Width, Info.Height, Info.Channels);
 
     // Interior/halo decomposition (the Section IV-B regions): the
-    // interior takes the direct-indexing fast path, only the halo pays
-    // for border handling.
-    int Halo = 0;
-    for (const VmInst &Inst : VM.Insts)
-      if (Inst.Op == VmOp::Load)
-        Halo = std::max(
-            Halo, std::max(std::abs(static_cast<int>(Inst.Ox)),
-                           std::abs(static_cast<int>(Inst.Oy))));
+    // interior takes the row-wise direct-indexing fast path, only the
+    // halo pays for border handling. Inputs of an unfused kernel always
+    // match the output extent in the bundled pipelines, but guard
+    // against mismatched extents by keeping the halo conservative.
+    int Halo = vmHalo(VM);
+    for (ImageId In : K.Inputs) {
+      const ImageInfo &InInfo = P.image(In);
+      if (InInfo.Width != Info.Width || InInfo.Height != Info.Height)
+        Halo = std::max(Info.Width, Info.Height);
+    }
     int X0 = std::min(Halo, Info.Width);
     int Y0 = std::min(Halo, Info.Height);
     int X1 = std::max(X0, Info.Width - Halo);
     int Y1 = std::max(Y0, Info.Height - Halo);
 
-    for (int Y = Y0; Y < Y1; ++Y)
-      for (int X = X0; X < X1; ++X)
+    RowRegs.resize(std::max<size_t>(
+        RowRegs.size(), static_cast<size_t>(VM.NumRegs) *
+                            std::max(0, X1 - X0)));
+    if (X0 < X1)
+      for (int Y = Y0; Y < Y1; ++Y)
         for (int Ch = 0; Ch != Info.Channels; ++Ch)
-          Out.at(X, Y, Ch) =
-              runVmInterior(VM, P, Id, Pool, X, Y, Ch, Regs.data());
+          runVmRow(VM, P, Id, Pool, Y, X0, X1, Ch, RowRegs.data(),
+                   Out.data().data() +
+                       (static_cast<size_t>(Y) * Info.Width + X0) *
+                           Info.Channels +
+                       Ch,
+                   Info.Channels);
     for (int Y = 0; Y != Info.Height; ++Y)
       for (int X = 0; X != Info.Width; ++X) {
         bool Interior = X >= X0 && X < X1 && Y >= Y0 && Y < Y1;

@@ -6,6 +6,16 @@
 /// per node), the VM compiles a body once -- unrolling stencil loops and
 /// folding mask coefficients and window offsets into immediate operands
 /// -- and then evaluates a flat instruction stream into a register file.
+///
+/// Fused kernels compile to a *staged* VM program (StagedVmProgram): one
+/// subprogram per original kernel, where reads of eliminated intermediates
+/// become StageCall instructions that evaluate the producer's subprogram at
+/// an offset-shifted position -- the runtime mirror of the recompute-based
+/// fusion of Section IV, including the index-exchange border handling of
+/// Section IV-B. Interior evaluation (runVmInterior / runStagedVmInterior /
+/// the row-wise variants) skips every border check, implementing the
+/// interior/halo specialization the generated GPU code performs.
+///
 /// This is the evaluation path the benchmarks use for large images; the
 /// tree walker stays the semantic reference (the test suite asserts
 /// bit-identical results).
@@ -45,7 +55,10 @@ enum class VmOp : uint8_t {
   Exp,
   Log,
   Floor,
-  Select, ///< Dst = regs[C] != 0 ? A : B  (C in the Sel field).
+  Select,    ///< Dst = regs[C] != 0 ? A : B  (C in the Sel field).
+  StageCall, ///< Dst = stage Sel of the staged program, evaluated at
+             ///< (x + Ox, y + Oy) with the channel field's rules. Only
+             ///< valid inside a StagedVmProgram.
 };
 
 /// One VM instruction (fixed width; unused fields are zero).
@@ -54,12 +67,12 @@ struct VmInst {
   uint16_t Dst = 0;
   uint16_t A = 0;
   uint16_t B = 0;
-  uint16_t Sel = 0;     ///< Select condition register.
+  uint16_t Sel = 0;     ///< Select condition register / StageCall callee.
   float Imm = 0.0f;     ///< Const immediate.
   int16_t InputIdx = 0; ///< Load: kernel input index.
-  int16_t Ox = 0;       ///< Load: x offset (stencil offsets baked in).
-  int16_t Oy = 0;       ///< Load: y offset.
-  int16_t Channel = -1; ///< Load: -1 = current channel.
+  int16_t Ox = 0;       ///< Load/StageCall: x offset (stencil baked in).
+  int16_t Oy = 0;       ///< Load/StageCall: y offset.
+  int16_t Channel = -1; ///< Load/StageCall: -1 = current channel.
 };
 
 /// A compiled kernel body.
@@ -92,8 +105,93 @@ float runVmInterior(const VmProgram &VM, const Program &P, KernelId Id,
                     const std::vector<Image> &Pool, int X, int Y,
                     int Channel, float *Regs);
 
+/// Row-wise interior evaluation: computes pixels [X0, X1) of row \p Y for
+/// \p Channel in one call, writing result i to Out[i * OutStride]. The
+/// instruction stream is executed instruction-major -- each op streams
+/// across the whole scanline -- which amortizes per-pixel dispatch and
+/// lets the compiler vectorize the inner loops. \p RowRegs must hold
+/// VM.NumRegs * (X1 - X0) floats. Interior-only, like runVmInterior.
+void runVmRow(const VmProgram &VM, const Program &P, KernelId Id,
+              const std::vector<Image> &Pool, int Y, int X0, int X1,
+              int Channel, float *RowRegs, float *Out, int OutStride = 1);
+
+/// The largest absolute load offset of \p VM on either axis: the kernel's
+/// access halo, bounding the region where border handling can trigger.
+int vmHalo(const VmProgram &VM);
+
+/// One stage of a staged (fused-kernel) VM program.
+struct VmStage {
+  VmProgram Code;              ///< Body; may contain StageCall ops.
+  std::vector<ImageId> Inputs; ///< Pool image ids for Load ops.
+  BorderMode Border = BorderMode::Clamp; ///< Owning kernel's border mode.
+  float BorderConstant = 0.0f;
+  int OutW = 0; ///< Extent of the stage's output image (index exchange
+  int OutH = 0; ///< happens against this when the stage is a callee).
+  unsigned RegBase = 0; ///< This stage's frame in the shared scratch.
+};
+
+/// A fused kernel compiled to bytecode: one subprogram per stage (in the
+/// fused kernel's topological stage order), where every read of an
+/// eliminated intermediate is a StageCall into the producer's subprogram.
+/// Because the stage call graph is acyclic, each stage owns a fixed
+/// register frame inside one shared scratch block of NumRegs floats.
+struct StagedVmProgram {
+  std::vector<VmStage> Stages;
+  unsigned NumRegs = 0;
+
+  /// Reach[i]: how far stage i's evaluation can read from its own
+  /// position, transitively through stage calls -- the fused halo when
+  /// i is a destination (Eq. 9's grown window, measured in pixels).
+  std::vector<int> Reach;
+
+  /// True when every stage output and every loaded input share one
+  /// extent; only then is an interior region (border checks statically
+  /// impossible) well-defined.
+  bool UniformExtents = true;
+};
+
+/// Compiles kernels \p StageKernels of \p P (topological order) into a
+/// staged program. \p IsEliminated[i] marks stages whose output image is
+/// eliminated by fusion: reads of those images from later stages become
+/// StageCall instructions instead of pool loads. sim/Executor uses this
+/// to compile FusedKernels (compileFusedKernel).
+StagedVmProgram compileStagedProgram(const Program &P,
+                                     const std::vector<KernelId> &StageKernels,
+                                     const std::vector<bool> &IsEliminated);
+
+/// Evaluates stage \p RootStage of \p SP at (X, Y, Channel) with full
+/// border handling: pool loads are bordered, and exterior stage calls
+/// apply the index exchange of Section IV-B (or, with
+/// \p UseIndexExchange false, reproduce the incorrect naive border fusion
+/// of Figure 4b by evaluating producers at raw exterior positions).
+/// \p Regs must hold SP.NumRegs floats.
+float runStagedVm(const StagedVmProgram &SP, uint16_t RootStage,
+                  const std::vector<Image> &Pool, int X, int Y, int Channel,
+                  float *Regs, bool UseIndexExchange = true);
+
+/// Interior fast path: direct loads, unchecked stage calls. Valid only
+/// when (X, Y) is at least SP.Reach[RootStage] away from every border
+/// (and SP.UniformExtents holds).
+float runStagedVmInterior(const StagedVmProgram &SP, uint16_t RootStage,
+                          const std::vector<Image> &Pool, int X, int Y,
+                          int Channel, float *Regs);
+
+/// Row-wise interior evaluation of a staged program: every stage's
+/// instruction stream runs instruction-major across the scanline --
+/// StageCall ops recurse row-wise, streaming the callee's subprogram
+/// over the offset-shifted column range straight into the caller's
+/// destination row register. \p RowRegs must hold
+/// SP.NumRegs * (X1 - X0) floats (one row-register frame per stage,
+/// partitioned by VmStage::RegBase).
+void runStagedVmRow(const StagedVmProgram &SP, uint16_t RootStage,
+                    const std::vector<Image> &Pool, int Y, int X0, int X1,
+                    int Channel, float *RowRegs, float *Out,
+                    int OutStride = 1);
+
 /// Executes every kernel of \p P unfused through the VM, filling the
 /// pool's non-input images -- the fast-path equivalent of runUnfused.
+/// Serial; the parallel tiled driver lives in sim/Executor
+/// (runUnfusedVm with ExecutionOptions).
 void runUnfusedVm(const Program &P, std::vector<Image> &Pool);
 
 } // namespace kf

@@ -4,7 +4,9 @@
 
 #include "image/Border.h"
 #include "support/Error.h"
+#include "support/ThreadPool.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 
@@ -147,19 +149,16 @@ private:
 /// border handling: the unfused semantics.
 class PoolSource : public InputSource {
 public:
-  PoolSource(const Program &P, const Kernel &K,
-             const std::vector<Image> &Pool)
-      : P(P), K(K), Pool(Pool) {}
+  PoolSource(const Kernel &K, const std::vector<Image> &Pool)
+      : K(K), Pool(Pool) {}
 
   float read(int InputIdx, int X, int Y, int Channel) override {
     const Image &Img = Pool[K.Inputs[InputIdx]];
     assert(!Img.empty() && "reading an unmaterialized image");
-    (void)P;
     return sampleWithBorder(Img, X, Y, Channel, K.Border, K.BorderConstant);
   }
 
 private:
-  const Program &P;
   const Kernel &K;
   const std::vector<Image> &Pool;
 };
@@ -172,12 +171,19 @@ public:
   FusedEvaluator(const FusedProgram &FP, const FusedKernel &FK,
                  const std::vector<Image> &Pool,
                  const ExecutionOptions &Options)
-      : P(*FP.Source), FK(FK), Pool(Pool), Options(Options) {}
+      : P(*FP.Source), Pool(Pool), Options(Options) {
+    // Image -> eliminated producer stage, resolved once per fused
+    // kernel. (Destination outputs are materialized, not eliminated.)
+    EliminatedProducer.assign(P.numImages(), nullptr);
+    for (const FusedStage &Stage : FK.Stages)
+      if (!FK.isDestination(Stage.Kernel))
+        EliminatedProducer[P.kernel(Stage.Kernel).Output] = &Stage;
+  }
 
   /// Value of stage kernel \p Id at (X, Y, Channel). Coordinates must be
   /// inside the image for the destination; intermediate requests handle
   /// the exterior via index exchange at the call site (stageRead).
-  float evalStage(KernelId Id, int X, int Y, int Channel) {
+  float evalStage(KernelId Id, int X, int Y, int Channel) const {
     const Kernel &K = P.kernel(Id);
     StageSource Source(*this, K);
     ExprEvaluator Eval(P, Source);
@@ -188,7 +194,7 @@ private:
   /// Resolves reads performed by stage \p Requesting.
   class StageSource : public InputSource {
   public:
-    StageSource(FusedEvaluator &Parent, const Kernel &Requesting)
+    StageSource(const FusedEvaluator &Parent, const Kernel &Requesting)
         : Parent(Parent), Requesting(Requesting) {}
 
     float read(int InputIdx, int X, int Y, int Channel) override {
@@ -197,22 +203,13 @@ private:
     }
 
   private:
-    FusedEvaluator &Parent;
+    const FusedEvaluator &Parent;
     const Kernel &Requesting;
   };
 
   float stageRead(const Kernel &Requesting, ImageId Img, int X, int Y,
-                  int Channel) {
-    // Intermediate eliminated by this fused kernel? (Destination outputs
-    // are materialized, not eliminated.)
-    const FusedStage *Producer = nullptr;
-    for (const FusedStage &Stage : FK.Stages)
-      if (P.kernel(Stage.Kernel).Output == Img &&
-          !FK.isDestination(Stage.Kernel)) {
-        Producer = &Stage;
-        break;
-      }
-
+                  int Channel) const {
+    const FusedStage *Producer = EliminatedProducer[Img];
     if (!Producer) {
       // Materialized image (pipeline input or another fused kernel's
       // output): plain bordered read.
@@ -242,19 +239,69 @@ private:
   }
 
   const Program &P;
-  const FusedKernel &FK;
   const std::vector<Image> &Pool;
   ExecutionOptions Options;
+  std::vector<const FusedStage *> EliminatedProducer;
 };
 
-} // namespace
+//===--------------------------------------------------------------------===//
+// Tiled parallel driver
+//===--------------------------------------------------------------------===//
 
-std::vector<Image> kf::makeImagePool(const Program &P) {
-  return std::vector<Image>(P.numImages());
+/// Row-band heuristic: enough tiles to load-balance interior vs halo
+/// work without drowning in scheduling overhead.
+int defaultTileHeight(int Height, unsigned Threads) {
+  int Bands = static_cast<int>(Threads) * 4;
+  return std::clamp(Height / std::max(Bands, 1), 1, 64);
 }
 
-static void checkExternalInputs(const Program &P,
-                                const std::vector<Image> &Pool) {
+/// Runs the interior/halo-decomposed tile loop over one output image.
+/// Rows inside [Y0int, Y1int) split into a halo-left span, an interior
+/// span evaluated by \p Row (row-wise fast path), and a halo-right span;
+/// rows outside are entirely halo, evaluated per pixel by \p Pixel (the
+/// bordered slow path). \p Halo is the fused access footprint.
+template <class RowFn, class PixelFn>
+void runTiledImage(ThreadPool &TP, const ExecutionOptions &Options,
+                   Image &Out, int Halo, RowFn &&Row, PixelFn &&Pixel) {
+  const int W = Out.width(), H = Out.height(), C = Out.channels();
+  const int X0 = std::min(Halo, W), Y0 = std::min(Halo, H);
+  const int X1 = std::max(X0, W - Halo), Y1 = std::max(Y0, H - Halo);
+  float *OutBase = Out.data().data();
+
+  int TileW = Options.TileWidth > 0 ? std::min(Options.TileWidth, W) : W;
+  int TileH = Options.TileHeight > 0
+                  ? Options.TileHeight
+                  : defaultTileHeight(H, TP.numThreads());
+
+  TP.parallelFor2D(W, H, TileW, TileH, [&](const TileRange &T,
+                                           unsigned Worker) {
+    for (int Y = T.Y0; Y != T.Y1; ++Y) {
+      const bool RowHasInterior = Y >= Y0 && Y < Y1;
+      const int IA = RowHasInterior ? std::clamp(X0, T.X0, T.X1) : T.X1;
+      const int IB = RowHasInterior ? std::clamp(X1, T.X0, T.X1) : T.X1;
+      for (int X = T.X0; X < IA; ++X)
+        for (int Ch = 0; Ch != C; ++Ch)
+          OutBase[(static_cast<size_t>(Y) * W + X) * C + Ch] =
+              Pixel(X, Y, Ch, Worker);
+      if (IA < IB)
+        for (int Ch = 0; Ch != C; ++Ch)
+          Row(Y, IA, IB, Ch,
+              OutBase + (static_cast<size_t>(Y) * W + IA) * C + Ch, C,
+              Worker);
+      for (int X = IB; X < T.X1; ++X)
+        for (int Ch = 0; Ch != C; ++Ch)
+          OutBase[(static_cast<size_t>(Y) * W + X) * C + Ch] =
+              Pixel(X, Y, Ch, Worker);
+    }
+  });
+}
+
+/// Resolved tile width an interior row span can reach (row scratch cap).
+int rowCapacity(const ExecutionOptions &Options, int Width) {
+  return Options.TileWidth > 0 ? std::min(Options.TileWidth, Width) : Width;
+}
+
+void checkExternalInputs(const Program &P, const std::vector<Image> &Pool) {
   for (ImageId Id : P.externalInputs()) {
     const Image &Img = Pool[Id];
     const ImageInfo &Info = P.image(Id);
@@ -265,23 +312,83 @@ static void checkExternalInputs(const Program &P,
   }
 }
 
-void kf::runUnfused(const Program &P, std::vector<Image> &Pool) {
+} // namespace
+
+std::vector<Image> kf::makeImagePool(const Program &P) {
+  return std::vector<Image>(P.numImages());
+}
+
+void kf::runUnfused(const Program &P, std::vector<Image> &Pool,
+                    const ExecutionOptions &Options) {
   assert(Pool.size() == P.numImages() && "pool size mismatch");
   checkExternalInputs(P, Pool);
 
   std::optional<std::vector<Digraph::NodeId>> Order =
       P.buildKernelDag().topologicalOrder();
   assert(Order && "kernel DAG has a cycle");
+  ThreadPool TP(resolveThreadCount(Options.Threads));
   for (KernelId Id : *Order) {
     const Kernel &K = P.kernel(Id);
     const ImageInfo &Info = P.image(K.Output);
     Image Out(Info.Width, Info.Height, Info.Channels);
-    PoolSource Source(P, K, Pool);
+    PoolSource Source(K, Pool);
     ExprEvaluator Eval(P, Source);
-    for (int Y = 0; Y != Info.Height; ++Y)
-      for (int X = 0; X != Info.Width; ++X)
-        for (int Ch = 0; Ch != Info.Channels; ++Ch)
-          Out.at(X, Y, Ch) = Eval.eval(K.Body, X, Y, Ch, nullptr);
+    // The AST engine has no interior specialization (border handling is
+    // resolved per read): every pixel takes the Pixel path.
+    runTiledImage(
+        TP, Options, Out, std::max(Info.Width, Info.Height),
+        [](int, int, int, int, float *, int, unsigned) {},
+        [&](int X, int Y, int Ch, unsigned) {
+          return Eval.eval(K.Body, X, Y, Ch, nullptr);
+        });
+    Pool[K.Output] = std::move(Out);
+  }
+}
+
+void kf::runUnfusedVm(const Program &P, std::vector<Image> &Pool,
+                      const ExecutionOptions &Options) {
+  assert(Pool.size() == P.numImages() && "pool size mismatch");
+  checkExternalInputs(P, Pool);
+
+  std::optional<std::vector<Digraph::NodeId>> Order =
+      P.buildKernelDag().topologicalOrder();
+  assert(Order && "kernel DAG has a cycle");
+  ThreadPool TP(resolveThreadCount(Options.Threads));
+
+  std::vector<std::vector<float>> Regs(TP.numThreads());
+  std::vector<std::vector<float>> RowRegs(TP.numThreads());
+  for (KernelId Id : *Order) {
+    const Kernel &K = P.kernel(Id);
+    const ImageInfo &Info = P.image(K.Output);
+    VmProgram VM = compileKernelBody(P, Id);
+    Image Out(Info.Width, Info.Height, Info.Channels);
+
+    // Interior/halo decomposition; inputs of a different extent make the
+    // whole image halo (bordered reads everywhere).
+    int Halo = vmHalo(VM);
+    for (ImageId In : K.Inputs) {
+      const ImageInfo &InInfo = P.image(In);
+      if (InInfo.Width != Info.Width || InInfo.Height != Info.Height)
+        Halo = std::max(Info.Width, Info.Height);
+    }
+
+    size_t RowScratch =
+        static_cast<size_t>(VM.NumRegs) * rowCapacity(Options, Info.Width);
+    for (unsigned I = 0; I != TP.numThreads(); ++I) {
+      Regs[I].resize(std::max<size_t>(Regs[I].size(), VM.NumRegs));
+      RowRegs[I].resize(std::max(RowRegs[I].size(), RowScratch));
+    }
+
+    runTiledImage(
+        TP, Options, Out, Halo,
+        [&](int Y, int XA, int XB, int Ch, float *OutPtr, int Stride,
+            unsigned Worker) {
+          runVmRow(VM, P, Id, Pool, Y, XA, XB, Ch, RowRegs[Worker].data(),
+                   OutPtr, Stride);
+        },
+        [&](int X, int Y, int Ch, unsigned Worker) {
+          return runVm(VM, P, Id, Pool, X, Y, Ch, Regs[Worker].data());
+        });
     Pool[K.Output] = std::move(Out);
   }
 }
@@ -291,6 +398,7 @@ void kf::runFused(const FusedProgram &FP, std::vector<Image> &Pool,
   const Program &P = *FP.Source;
   assert(Pool.size() == P.numImages() && "pool size mismatch");
   checkExternalInputs(P, Pool);
+  ThreadPool TP(resolveThreadCount(Options.Threads));
 
   for (const FusedKernel &FK : FP.Kernels) {
     FusedEvaluator Evaluator(FP, FK, Pool, Options);
@@ -300,10 +408,75 @@ void kf::runFused(const FusedProgram &FP, std::vector<Image> &Pool,
       const Kernel &Dest = P.kernel(DestId);
       const ImageInfo &Info = P.image(Dest.Output);
       Image Out(Info.Width, Info.Height, Info.Channels);
-      for (int Y = 0; Y != Info.Height; ++Y)
-        for (int X = 0; X != Info.Width; ++X)
-          for (int Ch = 0; Ch != Info.Channels; ++Ch)
-            Out.at(X, Y, Ch) = Evaluator.evalStage(DestId, X, Y, Ch);
+      runTiledImage(
+          TP, Options, Out, std::max(Info.Width, Info.Height),
+          [](int, int, int, int, float *, int, unsigned) {},
+          [&](int X, int Y, int Ch, unsigned) {
+            return Evaluator.evalStage(DestId, X, Y, Ch);
+          });
+      Pool[Dest.Output] = std::move(Out);
+    }
+  }
+}
+
+StagedVmProgram kf::compileFusedKernel(const FusedProgram &FP,
+                                       const FusedKernel &FK) {
+  const Program &P = *FP.Source;
+  std::vector<KernelId> StageKernels;
+  std::vector<bool> IsEliminated;
+  StageKernels.reserve(FK.Stages.size());
+  for (const FusedStage &Stage : FK.Stages) {
+    StageKernels.push_back(Stage.Kernel);
+    IsEliminated.push_back(!FK.isDestination(Stage.Kernel));
+  }
+  return compileStagedProgram(P, StageKernels, IsEliminated);
+}
+
+void kf::runFusedVm(const FusedProgram &FP, std::vector<Image> &Pool,
+                    const ExecutionOptions &Options) {
+  const Program &P = *FP.Source;
+  assert(Pool.size() == P.numImages() && "pool size mismatch");
+  checkExternalInputs(P, Pool);
+  ThreadPool TP(resolveThreadCount(Options.Threads));
+
+  std::vector<std::vector<float>> PixelRegs(TP.numThreads());
+  std::vector<std::vector<float>> RowRegs(TP.numThreads());
+  for (const FusedKernel &FK : FP.Kernels) {
+    StagedVmProgram SP = compileFusedKernel(FP, FK);
+    for (KernelId DestId : FK.Destinations) {
+      uint16_t Root = 0;
+      for (size_t I = 0; I != FK.Stages.size(); ++I)
+        if (FK.Stages[I].Kernel == DestId)
+          Root = static_cast<uint16_t>(I);
+      const Kernel &Dest = P.kernel(DestId);
+      const ImageInfo &Info = P.image(Dest.Output);
+      Image Out(Info.Width, Info.Height, Info.Channels);
+
+      // The fused footprint: interior pixels can reach no border through
+      // any chain of stage calls. Mixed extents void the interior.
+      int Halo = SP.UniformExtents ? SP.Reach[Root]
+                                   : std::max(Info.Width, Info.Height);
+
+      size_t RowScratch = static_cast<size_t>(SP.NumRegs) *
+                          rowCapacity(Options, Info.Width);
+      for (unsigned I = 0; I != TP.numThreads(); ++I) {
+        PixelRegs[I].resize(std::max<size_t>(PixelRegs[I].size(),
+                                             SP.NumRegs));
+        RowRegs[I].resize(std::max(RowRegs[I].size(), RowScratch));
+      }
+
+      runTiledImage(
+          TP, Options, Out, Halo,
+          [&](int Y, int XA, int XB, int Ch, float *OutPtr, int Stride,
+              unsigned Worker) {
+            runStagedVmRow(SP, Root, Pool, Y, XA, XB, Ch,
+                           RowRegs[Worker].data(), OutPtr, Stride);
+          },
+          [&](int X, int Y, int Ch, unsigned Worker) {
+            return runStagedVm(SP, Root, Pool, X, Y, Ch,
+                               PixelRegs[Worker].data(),
+                               Options.UseIndexExchange);
+          });
       Pool[Dest.Output] = std::move(Out);
     }
   }
@@ -313,7 +486,7 @@ float kf::evalKernelAt(const Program &P, KernelId Id,
                        const std::vector<Image> &Pool, int X, int Y,
                        int Channel) {
   const Kernel &K = P.kernel(Id);
-  PoolSource Source(P, K, Pool);
+  PoolSource Source(K, Pool);
   ExprEvaluator Eval(P, Source);
   return Eval.eval(K.Body, X, Y, Channel, nullptr);
 }

@@ -8,24 +8,50 @@
 /// index exchange) are about. Fused execution supports disabling the index
 /// exchange to reproduce the *incorrect* naive border fusion of Figure 4b.
 ///
+/// Two evaluation engines share those semantics:
+///   - the AST walker (runUnfused / runFused): virtual dispatch per
+///     expression node, recursive producer re-evaluation -- the semantic
+///     reference;
+///   - the bytecode VM (runUnfusedVm / runFusedVm): kernels compile once
+///     to flat instruction streams (fused kernels to staged programs with
+///     stage-call ops, see ir/ExprVM.h), evaluated row-wise over the
+///     interior and per-pixel over the halo.
+/// Both engines execute over a tile decomposition driven by a thread pool
+/// (support/ThreadPool.h). Every pixel is a pure function of the inputs,
+/// so results are bit-identical at any thread count; the test suite
+/// asserts this.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef KF_SIM_EXECUTOR_H
 #define KF_SIM_EXECUTOR_H
 
 #include "image/Image.h"
+#include "ir/ExprVM.h"
 #include "transform/FusedKernel.h"
 
 #include <vector>
 
 namespace kf {
 
-/// Options controlling fused execution.
+/// Options controlling execution.
 struct ExecutionOptions {
   /// Apply the index-exchange method of Section IV-B to window accesses
   /// that reach into the exterior region of eliminated intermediates.
   /// Disabling this reproduces the incorrect border fusion of Figure 4b.
   bool UseIndexExchange = true;
+
+  /// Worker threads for the tiled executors. 0 resolves via the
+  /// KF_THREADS environment variable, falling back to the hardware
+  /// concurrency (see resolveThreadCount); 1 forces the serial path.
+  int Threads = 0;
+
+  /// Tile extents for the parallel decomposition. Non-positive width
+  /// selects full-row tiles (best for the row-wise VM path);
+  /// non-positive height selects a heuristic from the image height and
+  /// thread count.
+  int TileWidth = 0;
+  int TileHeight = 0;
 };
 
 /// Allocates an image pool for \p P: one (empty) image slot per program
@@ -34,13 +60,37 @@ struct ExecutionOptions {
 std::vector<Image> makeImagePool(const Program &P);
 
 /// Executes every kernel of \p P unfused, in topological order, filling
-/// the pool's non-input images. External inputs must be present.
-void runUnfused(const Program &P, std::vector<Image> &Pool);
+/// the pool's non-input images. External inputs must be present. AST
+/// engine (the semantic reference), tiled across Options.Threads.
+void runUnfused(const Program &P, std::vector<Image> &Pool,
+                const ExecutionOptions &Options = ExecutionOptions());
+
+/// Executes every kernel of \p P unfused through the bytecode VM with
+/// the interior/halo split and row-wise evaluation, tiled across
+/// Options.Threads. Bit-identical to runUnfused.
+void runUnfusedVm(const Program &P, std::vector<Image> &Pool,
+                  const ExecutionOptions &Options);
 
 /// Executes \p FP, writing only the fused kernels' destination outputs;
 /// eliminated intermediates stay empty (that is the point of fusion).
+/// AST engine: eliminated producers are re-evaluated recursively per
+/// read, with index exchange at exterior positions.
 void runFused(const FusedProgram &FP, std::vector<Image> &Pool,
               const ExecutionOptions &Options = ExecutionOptions());
+
+/// Compiles fused kernel \p FK of \p FP into a staged bytecode program:
+/// one subprogram per stage, reads of eliminated intermediates lowered
+/// to offset-shifted stage calls. Stage order (and thus stage indices)
+/// matches FK.Stages.
+StagedVmProgram compileFusedKernel(const FusedProgram &FP,
+                                   const FusedKernel &FK);
+
+/// Executes \p FP through the staged bytecode VM: interior tiles run the
+/// border-check-free fast path, halo tiles the index-exchange-correct
+/// slow path. Bit-identical to runFused at any thread count -- the fast
+/// path the benchmarks use for large images.
+void runFusedVm(const FusedProgram &FP, std::vector<Image> &Pool,
+                const ExecutionOptions &Options = ExecutionOptions());
 
 /// Evaluates a single kernel of \p P at one pixel, reading inputs from
 /// \p Pool (border handling per the kernel). Exposed for unit tests.

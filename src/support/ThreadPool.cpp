@@ -1,0 +1,108 @@
+//===- support/ThreadPool.cpp ---------------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+
+using namespace kf;
+
+unsigned kf::resolveThreadCount(int Requested) {
+  if (Requested > 0)
+    return static_cast<unsigned>(Requested);
+  if (const char *Env = std::getenv("KF_THREADS")) {
+    char *End = nullptr;
+    long Value = std::strtol(Env, &End, 10);
+    if (End != Env && *End == '\0' && Value > 0)
+      return static_cast<unsigned>(Value);
+  }
+  unsigned Hardware = std::thread::hardware_concurrency();
+  return Hardware > 0 ? Hardware : 1;
+}
+
+ThreadPool::ThreadPool(unsigned ThreadsIn)
+    : NumThreads(ThreadsIn > 0 ? ThreadsIn : 1) {
+  Workers.reserve(NumThreads - 1);
+  for (unsigned I = 1; I != NumThreads; ++I)
+    Workers.emplace_back([this, I] { workerLoop(I); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Shutdown = true;
+  }
+  StartCv.notify_all();
+  for (std::thread &Worker : Workers)
+    Worker.join();
+}
+
+void ThreadPool::drainTiles(unsigned WorkerIdx) {
+  size_t Count = Tiles.size();
+  for (size_t I = NextTile.fetch_add(1, std::memory_order_relaxed);
+       I < Count; I = NextTile.fetch_add(1, std::memory_order_relaxed))
+    (*JobFn)(Tiles[I], WorkerIdx);
+}
+
+void ThreadPool::workerLoop(unsigned WorkerIdx) {
+  uint64_t SeenGeneration = 0;
+  while (true) {
+    {
+      std::unique_lock<std::mutex> Lock(Mutex);
+      StartCv.wait(Lock, [&] {
+        return Shutdown || JobGeneration != SeenGeneration;
+      });
+      if (Shutdown)
+        return;
+      SeenGeneration = JobGeneration;
+    }
+    drainTiles(WorkerIdx);
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      --ActiveWorkers;
+    }
+    DoneCv.notify_one();
+  }
+}
+
+void ThreadPool::parallelFor2D(
+    int Width, int Height, int TileW, int TileH,
+    const std::function<void(const TileRange &, unsigned)> &Fn) {
+  if (Width <= 0 || Height <= 0)
+    return;
+  if (TileW <= 0)
+    TileW = Width;
+  if (TileH <= 0)
+    TileH = Height;
+
+  std::vector<TileRange> Enumerated;
+  for (int Y0 = 0; Y0 < Height; Y0 += TileH)
+    for (int X0 = 0; X0 < Width; X0 += TileW)
+      Enumerated.push_back(TileRange{X0, Y0, std::min(X0 + TileW, Width),
+                                     std::min(Y0 + TileH, Height)});
+
+  // Serial reference path: no workers, or nothing worth fanning out.
+  if (NumThreads == 1 || Enumerated.size() == 1) {
+    for (const TileRange &Tile : Enumerated)
+      Fn(Tile, 0);
+    return;
+  }
+
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    JobFn = &Fn;
+    Tiles = std::move(Enumerated);
+    NextTile.store(0, std::memory_order_relaxed);
+    ActiveWorkers = NumThreads - 1;
+    ++JobGeneration;
+  }
+  StartCv.notify_all();
+
+  drainTiles(0); // The caller is worker 0.
+
+  std::unique_lock<std::mutex> Lock(Mutex);
+  DoneCv.wait(Lock, [&] { return ActiveWorkers == 0; });
+  JobFn = nullptr;
+  Tiles.clear();
+}

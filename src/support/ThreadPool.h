@@ -1,0 +1,93 @@
+//===- support/ThreadPool.h - Tiled data-parallel execution -----*- C++ -*-===//
+///
+/// \file
+/// A reusable pool of worker threads with a 2-D tiled parallel-for
+/// primitive, the host-side analogue of the tiled GPU launches the paper's
+/// generated kernels use. The iteration space is decomposed into tiles in
+/// a fixed row-major order; workers claim tiles from an atomic cursor
+/// (static enumeration, dynamic work-queue assignment), so load imbalance
+/// between cheap interior tiles and expensive halo tiles self-schedules.
+/// Every executor callback writes a disjoint tile of the output and reads
+/// only immutable inputs, so results are bit-identical at any thread
+/// count; with one thread the tiles run inline on the caller in
+/// enumeration order (the serial reference path).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KF_SUPPORT_THREADPOOL_H
+#define KF_SUPPORT_THREADPOOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace kf {
+
+/// A half-open 2-D tile [X0, X1) x [Y0, Y1) of an iteration space.
+struct TileRange {
+  int X0 = 0;
+  int Y0 = 0;
+  int X1 = 0;
+  int Y1 = 0;
+
+  int width() const { return X1 - X0; }
+  int height() const { return Y1 - Y0; }
+  long long area() const {
+    return static_cast<long long>(width()) * height();
+  }
+};
+
+/// Resolves a requested worker count: \p Requested > 0 is taken verbatim;
+/// 0 consults the KF_THREADS environment variable and falls back to
+/// std::thread::hardware_concurrency(). The result is always >= 1.
+unsigned resolveThreadCount(int Requested);
+
+/// A fixed-size pool of persistent worker threads. The pool is created
+/// once and reused across many parallelFor2D launches (kernel launches of
+/// a program run), so thread start-up cost is not paid per kernel.
+class ThreadPool {
+public:
+  /// Spawns \p ThreadsIn - 1 workers (the caller participates as worker
+  /// 0). A count of 0 or 1 creates no threads: every launch runs inline.
+  explicit ThreadPool(unsigned ThreadsIn);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  unsigned numThreads() const { return NumThreads; }
+
+  /// Decomposes the Width x Height space into TileW x TileH tiles (edge
+  /// tiles are clipped) and invokes \p Fn once per tile with the tile and
+  /// the index of the executing worker (in [0, numThreads())). Blocks
+  /// until every tile has run. Empty spaces invoke nothing. Non-positive
+  /// tile extents select the full corresponding extent.
+  void parallelFor2D(int Width, int Height, int TileW, int TileH,
+                     const std::function<void(const TileRange &, unsigned)> &Fn);
+
+private:
+  void workerLoop(unsigned WorkerIdx);
+  void drainTiles(unsigned WorkerIdx);
+
+  unsigned NumThreads = 1;
+  std::vector<std::thread> Workers;
+
+  std::mutex Mutex;
+  std::condition_variable StartCv;
+  std::condition_variable DoneCv;
+  bool Shutdown = false;
+  uint64_t JobGeneration = 0;  ///< Bumped per launch to wake the workers.
+  unsigned ActiveWorkers = 0;  ///< Workers still draining the current job.
+
+  // Current job (valid while ActiveWorkers > 0 or the caller drains).
+  const std::function<void(const TileRange &, unsigned)> *JobFn = nullptr;
+  std::vector<TileRange> Tiles;
+  std::atomic<size_t> NextTile{0};
+};
+
+} // namespace kf
+
+#endif // KF_SUPPORT_THREADPOOL_H

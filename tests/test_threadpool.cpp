@@ -1,0 +1,147 @@
+//===- tests/test_threadpool.cpp - Tiled thread-pool primitives -----------------===//
+
+#include "support/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <vector>
+
+using namespace kf;
+
+namespace {
+
+/// Runs parallelFor2D and returns a per-cell visit-count grid.
+std::vector<int> paintCells(ThreadPool &TP, int W, int H, int TileW,
+                            int TileH) {
+  std::vector<int> Counts(static_cast<size_t>(std::max(W, 0)) *
+                          std::max(H, 0));
+  TP.parallelFor2D(W, H, TileW, TileH,
+                   [&](const TileRange &T, unsigned) {
+                     for (int Y = T.Y0; Y != T.Y1; ++Y)
+                       for (int X = T.X0; X != T.X1; ++X)
+                         ++Counts[static_cast<size_t>(Y) * W + X];
+                   });
+  return Counts;
+}
+
+TEST(ThreadPool, EmptyRangeInvokesNothing) {
+  ThreadPool TP(4);
+  std::atomic<int> Calls{0};
+  TP.parallelFor2D(0, 8, 4, 4,
+                   [&](const TileRange &, unsigned) { ++Calls; });
+  TP.parallelFor2D(8, 0, 4, 4,
+                   [&](const TileRange &, unsigned) { ++Calls; });
+  TP.parallelFor2D(-3, 5, 4, 4,
+                   [&](const TileRange &, unsigned) { ++Calls; });
+  EXPECT_EQ(Calls.load(), 0);
+}
+
+TEST(ThreadPool, SingleTileCoversWholeSpace) {
+  ThreadPool TP(4);
+  std::mutex M;
+  std::vector<TileRange> Seen;
+  TP.parallelFor2D(7, 5, 16, 16, [&](const TileRange &T, unsigned) {
+    std::lock_guard<std::mutex> Lock(M);
+    Seen.push_back(T);
+  });
+  ASSERT_EQ(Seen.size(), 1u);
+  EXPECT_EQ(Seen[0].X0, 0);
+  EXPECT_EQ(Seen[0].Y0, 0);
+  EXPECT_EQ(Seen[0].X1, 7);
+  EXPECT_EQ(Seen[0].Y1, 5);
+}
+
+TEST(ThreadPool, NonPositiveTileExtentsSelectFullExtent) {
+  ThreadPool TP(2);
+  std::atomic<int> Calls{0};
+  TP.parallelFor2D(9, 6, 0, -1, [&](const TileRange &T, unsigned) {
+    ++Calls;
+    EXPECT_EQ(T.width(), 9);
+    EXPECT_EQ(T.height(), 6);
+  });
+  EXPECT_EQ(Calls.load(), 1);
+}
+
+TEST(ThreadPool, OddRemainderTilesPartitionExactly) {
+  // 37 x 13 with 16 x 5 tiles: clipped edge tiles, every cell exactly once.
+  for (unsigned Threads : {1u, 3u}) {
+    ThreadPool TP(Threads);
+    std::vector<int> Counts = paintCells(TP, 37, 13, 16, 5);
+    for (int C : Counts)
+      EXPECT_EQ(C, 1);
+  }
+}
+
+TEST(ThreadPool, TilesStayInsideTheSpaceAndAreNonEmpty) {
+  ThreadPool TP(3);
+  std::mutex M;
+  std::vector<TileRange> Seen;
+  TP.parallelFor2D(33, 9, 8, 4, [&](const TileRange &T, unsigned) {
+    std::lock_guard<std::mutex> Lock(M);
+    Seen.push_back(T);
+  });
+  // ceil(33/8) * ceil(9/4) tiles.
+  EXPECT_EQ(Seen.size(), 5u * 3u);
+  for (const TileRange &T : Seen) {
+    EXPECT_GE(T.X0, 0);
+    EXPECT_GE(T.Y0, 0);
+    EXPECT_LE(T.X1, 33);
+    EXPECT_LE(T.Y1, 9);
+    EXPECT_GT(T.area(), 0);
+  }
+}
+
+TEST(ThreadPool, WorkerIndexStaysInRange) {
+  ThreadPool TP(4);
+  EXPECT_EQ(TP.numThreads(), 4u);
+  TP.parallelFor2D(64, 64, 8, 8, [&](const TileRange &, unsigned Worker) {
+    EXPECT_LT(Worker, 4u);
+  });
+}
+
+TEST(ThreadPool, PoolIsReusableAcrossLaunches) {
+  ThreadPool TP(3);
+  for (int Round = 0; Round != 5; ++Round) {
+    std::vector<int> Counts = paintCells(TP, 21, 17, 4, 3);
+    for (int C : Counts)
+      EXPECT_EQ(C, 1);
+  }
+}
+
+TEST(ThreadPool, SingleThreadRunsTilesInRowMajorOrder) {
+  // The serial reference path: deterministic enumeration order.
+  ThreadPool TP(1);
+  std::vector<TileRange> Seen;
+  TP.parallelFor2D(8, 8, 4, 4, [&](const TileRange &T, unsigned Worker) {
+    EXPECT_EQ(Worker, 0u);
+    Seen.push_back(T);
+  });
+  ASSERT_EQ(Seen.size(), 4u);
+  EXPECT_EQ(Seen[0].X0, 0);
+  EXPECT_EQ(Seen[0].Y0, 0);
+  EXPECT_EQ(Seen[1].X0, 4);
+  EXPECT_EQ(Seen[1].Y0, 0);
+  EXPECT_EQ(Seen[2].X0, 0);
+  EXPECT_EQ(Seen[2].Y0, 4);
+  EXPECT_EQ(Seen[3].X0, 4);
+  EXPECT_EQ(Seen[3].Y0, 4);
+}
+
+TEST(ThreadPool, ResolveThreadCountPrefersExplicitRequest) {
+  EXPECT_EQ(resolveThreadCount(5), 5u);
+  EXPECT_EQ(resolveThreadCount(1), 1u);
+}
+
+TEST(ThreadPool, ResolveThreadCountReadsEnvironment) {
+  setenv("KF_THREADS", "3", 1);
+  EXPECT_EQ(resolveThreadCount(0), 3u);
+  setenv("KF_THREADS", "not-a-number", 1);
+  EXPECT_GE(resolveThreadCount(0), 1u);
+  unsetenv("KF_THREADS");
+  EXPECT_GE(resolveThreadCount(0), 1u);
+}
+
+} // namespace

@@ -26,15 +26,21 @@
 #include "frontend/Serializer.h"
 #include "fusion/BasicFusion.h"
 #include "fusion/MinCutPartitioner.h"
+#include "image/Compare.h"
+#include "image/Generators.h"
 #include "ir/Printer.h"
 #include "ir/Simplify.h"
 #include "sim/CostModel.h"
+#include "sim/Executor.h"
 #include "support/CommandLine.h"
 #include "support/DotWriter.h"
 #include "support/StringUtils.h"
 #include "support/TablePrinter.h"
+#include "support/ThreadPool.h"
 #include "transform/Fuser.h"
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 
 using namespace kf;
@@ -47,6 +53,9 @@ static void printUsage() {
       "  --style optimized|basic|none fusion strategy (default optimized)\n"
       "  --trace                      print the Algorithm 1 iterations\n"
       "  --time                       print simulated GPU times\n"
+      "  --run                        execute on random input: fused VM vs\n"
+      "                               unfused AST wall time + max |diff|\n"
+      "  --threads <n>                worker threads for --run (0 = auto)\n"
       "  --fold                       run constant folding/simplification\n"
       "  --multi-out                  allow multi-destination fusion\n"
       "  --tg/--ts/--calu/--csfu/--cmshared/--gamma <num>  model knobs\n");
@@ -61,7 +70,8 @@ static std::string blockNames(const Program &P,
 }
 
 int main(int Argc, char **Argv) {
-  CommandLine Cl(Argc, Argv, {"trace", "time", "fold", "multi-out", "help"});
+  CommandLine Cl(Argc, Argv,
+                 {"trace", "time", "fold", "multi-out", "run", "help"});
   if (Cl.hasOption("help") || Cl.positional().size() != 1) {
     printUsage();
     return Cl.hasOption("help") ? 0 : 1;
@@ -112,6 +122,56 @@ int main(int Argc, char **Argv) {
     return 1;
   }
   FusedProgram FP = fuseProgram(P, Blocks, TransformStyle);
+
+  if (Cl.hasOption("run")) {
+    ExecutionOptions Exec;
+    Exec.Threads = static_cast<int>(Cl.getIntOption("threads", 0));
+
+    // Deterministic random fill of every external input (images no
+    // kernel produces), so runs are reproducible across invocations.
+    std::vector<bool> Produced(P.numImages());
+    for (KernelId Id = 0; Id != P.numKernels(); ++Id)
+      Produced[P.kernel(Id).Output] = true;
+    std::vector<Image> Reference = makeImagePool(P);
+    Rng Gen(2026);
+    for (ImageId Id = 0; Id != P.numImages(); ++Id)
+      if (!Produced[Id]) {
+        const ImageInfo &Info = P.image(Id);
+        Reference[Id] =
+            makeRandomImage(Info.Width, Info.Height, Info.Channels, Gen);
+      }
+    std::vector<Image> VmPool = Reference;
+
+    auto WallMs = [](auto &&Fn) {
+      auto Start = std::chrono::steady_clock::now();
+      Fn();
+      return std::chrono::duration<double, std::milli>(
+                 std::chrono::steady_clock::now() - Start)
+          .count();
+    };
+    double AstMs = WallMs([&] { runUnfused(P, Reference, Exec); });
+    double VmMs = WallMs([&] { runFusedVm(FP, VmPool, Exec); });
+
+    double MaxDiff = 0.0;
+    for (const FusedKernel &FK : FP.Kernels)
+      for (KernelId Dest : FK.Destinations) {
+        ImageId Out = P.kernel(Dest).Output;
+        MaxDiff = std::max(MaxDiff,
+                           maxAbsDifference(VmPool[Out], Reference[Out]));
+      }
+
+    std::printf("executed '%s' with %u threads (%s fusion)\n",
+                P.name().c_str(), resolveThreadCount(Exec.Threads),
+                Style.c_str());
+    TablePrinter Run({"engine", "wall ms", "speedup"});
+    Run.addRow({"unfused ast", formatDouble(AstMs, 3), "1.000"});
+    Run.addRow(
+        {"fused vm", formatDouble(VmMs, 3), formatDouble(AstMs / VmMs, 3)});
+    std::fputs(Run.render().c_str(), stdout);
+    std::printf("max |fused vm - unfused ast| over destinations: %g\n",
+                MaxDiff);
+    return 0;
+  }
 
   std::string Emit = Cl.getOption("emit", "");
   if (Emit == "cuda") {
