@@ -1,0 +1,208 @@
+//===- bench/frame_throughput.cpp - Streaming session frame rate ----------------===//
+//
+// Measures frames/sec of a streaming serving workload -- the same fused
+// pipeline applied to a stream of frames -- cold versus warm:
+//
+//   cold  per-frame runFusedVm loop: every frame re-compiles the staged
+//         bytecode, rebuilds the thread pool, and allocates every buffer
+//         (what a naive serving loop over the PR-1 engine pays);
+//   warm  PipelineSession: the plan is compiled once and served from the
+//         plan cache, frame buffers recycle through the session's frame
+//         pool, and the next frame's input fill overlaps execution on a
+//         filler thread (double buffering).
+//
+// Results are appended to the throughput JSON (BENCH_throughput.json) as
+// a "frame_throughput" section. The final cold and warm frames use the
+// same input and are checked bit-identical.
+//
+// Options:
+//   --app <name>      pipeline registry name (default harris)
+//   --width/--height  frame size (default the paper's 2048x2048)
+//   --frames N        frames per measured stream (default 4)
+//   --threads N       worker threads (0 = auto)
+//   --out FILE        JSON results file (default BENCH_throughput.json)
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/common/BenchCommon.h"
+#include "image/Compare.h"
+#include "image/Generators.h"
+#include "sim/Session.h"
+#include "support/CommandLine.h"
+#include "support/StringUtils.h"
+#include "support/TablePrinter.h"
+
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+using namespace kf;
+
+namespace {
+
+double sinceMs(std::chrono::steady_clock::time_point Start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - Start)
+      .count();
+}
+
+/// Splices \p Section into \p Path's top-level JSON object as the
+/// "frame_throughput" member, replacing a previous run's section; writes
+/// a fresh object when the file is missing or unrecognizable.
+bool appendFrameSection(const std::string &Path, const std::string &Section) {
+  std::string Content;
+  {
+    std::ifstream In(Path, std::ios::binary);
+    std::ostringstream Buf;
+    Buf << In.rdbuf();
+    Content = Buf.str();
+  }
+
+  size_t Prev = Content.find("\"frame_throughput\"");
+  if (Prev != std::string::npos) {
+    size_t Comma = Content.rfind(',', Prev);
+    if (Comma != std::string::npos)
+      Content.erase(Comma); // The section is always last; drop to EOF.
+  }
+  while (!Content.empty() &&
+         (std::isspace(static_cast<unsigned char>(Content.back())) ||
+          Content.back() == '}'))
+    Content.pop_back();
+
+  std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+  if (!Out.good())
+    return false;
+  if (Content.empty())
+    Out << "{";
+  else
+    Out << Content << ",";
+  Out << "\n  \"frame_throughput\": " << Section << "\n}\n";
+  return Out.good();
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  CommandLine Cl(Argc, Argv, {});
+  std::string AppName = Cl.getOption("app", "harris");
+  const PipelineSpec *Spec = findPipeline(AppName);
+  if (!Spec) {
+    std::fprintf(stderr, "error: unknown pipeline '%s'\n", AppName.c_str());
+    return 1;
+  }
+  int Width = static_cast<int>(Cl.getIntOption("width", 2048));
+  int Height = static_cast<int>(Cl.getIntOption("height", 2048));
+  int Frames = std::max(2, static_cast<int>(Cl.getIntOption("frames", 4)));
+  std::string OutFile = Cl.getOption("out", "BENCH_throughput.json");
+
+  ExecutionOptions Options;
+  Options.Threads = static_cast<int>(Cl.getIntOption("threads", 0));
+
+  PipelineSpec Sized = *Spec;
+  Sized.Width = Width;
+  Sized.Height = Height;
+  AppVariants App = buildAppVariants(Sized);
+  const Program &P = *App.Source;
+  const FusedProgram &FP = App.Optimized;
+
+  auto FillFrame = [&](int Frame, std::vector<Image> &Pool) {
+    fillExternalInputs(P, Pool, 0xf3a7e + static_cast<uint64_t>(Frame));
+  };
+
+  std::printf("=== Frame throughput: %s at %dx%d, %d frames, %u threads "
+              "===\n\n",
+              AppName.c_str(), Width, Height, Frames,
+              resolveThreadCount(Options.Threads));
+
+  // Cold: a per-frame runFusedVm loop -- compile, thread pool, and every
+  // buffer paid per frame.
+  std::vector<Image> ColdLast;
+  auto ColdStart = std::chrono::steady_clock::now();
+  for (int F = 0; F != Frames; ++F) {
+    std::vector<Image> Pool = makeImagePool(P);
+    FillFrame(F, Pool);
+    runFusedVm(FP, Pool, Options);
+    if (F + 1 == Frames)
+      ColdLast = std::move(Pool);
+  }
+  double ColdMs = sinceMs(ColdStart);
+
+  // Warm: one primer frame compiles the plan and charges the cold-start
+  // cost, then the measured stream runs entirely from the caches.
+  PlanCache Cache;
+  PipelineSession Session(FP, Options, &Cache);
+  auto PrimeStart = std::chrono::steady_clock::now();
+  Session.runFrames(1, FillFrame);
+  double PrimeMs = sinceMs(PrimeStart);
+
+  std::vector<Image> WarmLast;
+  auto WarmStart = std::chrono::steady_clock::now();
+  Session.runFrames(Frames, FillFrame,
+                    [&](int F, const std::vector<Image> &Pool) {
+                      if (F + 1 == Frames)
+                        WarmLast = Pool;
+                    });
+  double WarmMs = sinceMs(WarmStart);
+
+  double MaxDiff = 0.0;
+  for (const FusedKernel &FK : FP.Kernels)
+    for (KernelId Dest : FK.Destinations) {
+      ImageId Out = P.kernel(Dest).Output;
+      MaxDiff =
+          std::max(MaxDiff, maxAbsDifference(WarmLast[Out], ColdLast[Out]));
+    }
+
+  double ColdFps = Frames * 1000.0 / ColdMs;
+  double WarmFps = Frames * 1000.0 / WarmMs;
+  const SessionStats &S = Session.stats();
+
+  TablePrinter Table({"mode", "wall ms", "frames/s", "speedup"});
+  Table.addRow({"cold per-frame runFusedVm", formatDouble(ColdMs, 3),
+                formatDouble(ColdFps, 3), "1.000"});
+  Table.addRow({"warm session stream", formatDouble(WarmMs, 3),
+                formatDouble(WarmFps, 3), formatDouble(WarmFps / ColdFps, 3)});
+  std::fputs(Table.render().c_str(), stdout);
+  std::printf("session cold-start (first frame incl. compile): %.3f ms; "
+              "plan cache: %llu hits, %llu misses; frame buffers: %llu "
+              "reused, %llu allocated\n",
+              PrimeMs, static_cast<unsigned long long>(S.PlanHits),
+              static_cast<unsigned long long>(S.PlanMisses),
+              static_cast<unsigned long long>(S.FramesReused),
+              static_cast<unsigned long long>(S.FramesAllocated));
+  std::printf("max |warm - cold| over destinations: %g\n", MaxDiff);
+
+  char Section[512];
+  std::snprintf(
+      Section, sizeof(Section),
+      "{\"app\": \"%s\", \"width\": %d, \"height\": %d, \"frames\": %d, "
+      "\"threads\": %u, \"cold_wall_ms\": %.4f, \"warm_wall_ms\": %.4f, "
+      "\"cold_frames_per_sec\": %.4f, \"warm_frames_per_sec\": %.4f, "
+      "\"warm_over_cold\": %.4f, \"session_cold_start_ms\": %.4f, "
+      "\"plan_cache_hits\": %llu, \"plan_cache_misses\": %llu}",
+      AppName.c_str(), Width, Height, Frames,
+      resolveThreadCount(Options.Threads), ColdMs, WarmMs, ColdFps, WarmFps,
+      WarmFps / ColdFps, PrimeMs,
+      static_cast<unsigned long long>(S.PlanHits),
+      static_cast<unsigned long long>(S.PlanMisses));
+  if (appendFrameSection(OutFile, Section))
+    std::printf("\nappended frame_throughput section to %s\n",
+                OutFile.c_str());
+  else {
+    std::fprintf(stderr, "error: cannot write %s\n", OutFile.c_str());
+    return 1;
+  }
+
+  std::printf("\nExpected shape: warm >= cold -- the warm stream serves "
+              "the compiled plan from the\nplan cache, recycles frame "
+              "buffers instead of reallocating, and overlaps input\nfill "
+              "with execution; the gap widens with core count (the fill "
+              "thread and the\ntile workers genuinely overlap) and "
+              "narrows at 1 thread where only the saved\ncompile, "
+              "allocation, and zero-fill passes remain. Outputs are "
+              "bit-identical\n(max |warm - cold| must print 0).\n");
+  return 0;
+}

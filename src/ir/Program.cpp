@@ -3,9 +3,127 @@
 #include "ir/Program.h"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 
 using namespace kf;
+
+namespace {
+
+/// FNV-1a accumulator used for the structural hash. Every ingested value
+/// is tagged by the caller with a distinct field code so that, e.g., a
+/// mask extent can never collide with an image extent.
+class StructuralHasher {
+public:
+  void u64(uint64_t Value) {
+    for (int Byte = 0; Byte != 8; ++Byte) {
+      H ^= (Value >> (Byte * 8)) & 0xff;
+      H *= 1099511628211ull;
+    }
+  }
+
+  void i32(int Value) { u64(static_cast<uint64_t>(static_cast<uint32_t>(Value))); }
+
+  /// Floats hash by bit pattern: -0.0f != +0.0f and every NaN payload is
+  /// distinct, so the hash is exactly as strict as bit-identity.
+  void f32(float Value) { u64(std::bit_cast<uint32_t>(Value)); }
+
+  void str(const std::string &S) {
+    u64(S.size());
+    for (char Ch : S) {
+      H ^= static_cast<unsigned char>(Ch);
+      H *= 1099511628211ull;
+    }
+  }
+
+  void expr(const Expr *E) {
+    if (!E) {
+      u64(0xfeed);
+      return;
+    }
+    u64(static_cast<uint64_t>(E->Kind) + 0x100);
+    switch (E->Kind) {
+    case ExprKind::FloatConst:
+      f32(E->Value);
+      break;
+    case ExprKind::CoordX:
+    case ExprKind::CoordY:
+    case ExprKind::MaskValue:
+    case ExprKind::StencilOffX:
+    case ExprKind::StencilOffY:
+      break;
+    case ExprKind::InputAt:
+      i32(E->InputIdx);
+      i32(E->OffsetX);
+      i32(E->OffsetY);
+      i32(E->Channel);
+      break;
+    case ExprKind::StencilInput:
+      i32(E->InputIdx);
+      i32(E->Channel);
+      break;
+    case ExprKind::Binary:
+      u64(static_cast<uint64_t>(E->BinaryOp));
+      expr(E->Lhs);
+      expr(E->Rhs);
+      break;
+    case ExprKind::Unary:
+      u64(static_cast<uint64_t>(E->UnaryOp));
+      expr(E->Lhs);
+      break;
+    case ExprKind::Select:
+      expr(E->Cond);
+      expr(E->Lhs);
+      expr(E->Rhs);
+      break;
+    case ExprKind::Stencil:
+      u64(static_cast<uint64_t>(E->Reduce));
+      i32(E->MaskIdx);
+      expr(E->Lhs);
+      break;
+    }
+  }
+
+  uint64_t finish() const { return H; }
+
+private:
+  uint64_t H = 1469598103934665603ull;
+};
+
+} // namespace
+
+uint64_t Program::structuralHash() const {
+  StructuralHasher Hash;
+  Hash.str(Name);
+  Hash.u64(Images.size());
+  for (const ImageInfo &Info : Images) {
+    Hash.str(Info.Name);
+    Hash.i32(Info.Width);
+    Hash.i32(Info.Height);
+    Hash.i32(Info.Channels);
+  }
+  Hash.u64(Masks.size());
+  for (const Mask &M : Masks) {
+    Hash.i32(M.Width);
+    Hash.i32(M.Height);
+    for (float W : M.Weights)
+      Hash.f32(W);
+  }
+  Hash.u64(Kernels.size());
+  for (const Kernel &K : Kernels) {
+    Hash.str(K.Name);
+    Hash.u64(static_cast<uint64_t>(K.Kind));
+    Hash.u64(K.Inputs.size());
+    for (ImageId In : K.Inputs)
+      Hash.u64(In);
+    Hash.u64(K.Output);
+    Hash.u64(static_cast<uint64_t>(K.Border));
+    Hash.f32(K.BorderConstant);
+    Hash.i32(K.Granularity);
+    Hash.expr(K.Body);
+  }
+  return Hash.finish();
+}
 
 ImageId Program::addImage(std::string ImageName, int Width, int Height,
                           int Channels) {

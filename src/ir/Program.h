@@ -88,6 +88,15 @@ public:
   std::optional<ImageId> communicatedImage(KernelId Producer,
                                            KernelId Consumer) const;
 
+  /// Content hash of the program IR: images (names and shapes), masks
+  /// (extents and coefficient bits), and kernels (header fields and the
+  /// full body expression tree, float constants hashed by bit pattern).
+  /// Two programs built independently -- e.g. parsed from the same .kfp
+  /// text -- hash equally iff they are structurally identical; changing
+  /// any single constant in any kernel body changes the hash. Used as the
+  /// plan-cache key of the serving layer (sim/Session.h).
+  uint64_t structuralHash() const;
+
 private:
   std::string Name;
   std::vector<ImageInfo> Images;

@@ -432,6 +432,48 @@ StagedVmProgram kf::compileFusedKernel(const FusedProgram &FP,
   return compileStagedProgram(P, StageKernels, IsEliminated);
 }
 
+void VmScratch::ensure(unsigned Threads, size_t PixelFloats,
+                       size_t RowFloats) {
+  if (PixelRegs.size() < Threads)
+    PixelRegs.resize(Threads);
+  if (RowRegs.size() < Threads)
+    RowRegs.resize(Threads);
+  for (unsigned I = 0; I != Threads; ++I) {
+    PixelRegs[I].resize(std::max(PixelRegs[I].size(), PixelFloats));
+    RowRegs[I].resize(std::max(RowRegs[I].size(), RowFloats));
+  }
+}
+
+int kf::fusedLaunchHalo(const StagedVmProgram &SP, uint16_t Root,
+                        const ImageInfo &Info) {
+  // The fused footprint: interior pixels can reach no border through
+  // any chain of stage calls. Mixed extents void the interior.
+  return SP.UniformExtents ? SP.Reach[Root]
+                           : std::max(Info.Width, Info.Height);
+}
+
+void kf::runCompiledLaunch(const StagedVmProgram &SP, uint16_t Root,
+                           int Halo, const std::vector<Image> &Pool,
+                           Image &Out, const ExecutionOptions &Options,
+                           ThreadPool &TP, VmScratch &Scratch) {
+  size_t RowScratch =
+      static_cast<size_t>(SP.NumRegs) * rowCapacity(Options, Out.width());
+  Scratch.ensure(TP.numThreads(), SP.NumRegs, RowScratch);
+
+  runTiledImage(
+      TP, Options, Out, Halo,
+      [&](int Y, int XA, int XB, int Ch, float *OutPtr, int Stride,
+          unsigned Worker) {
+        runStagedVmRow(SP, Root, Pool, Y, XA, XB, Ch,
+                       Scratch.RowRegs[Worker].data(), OutPtr, Stride);
+      },
+      [&](int X, int Y, int Ch, unsigned Worker) {
+        return runStagedVm(SP, Root, Pool, X, Y, Ch,
+                           Scratch.PixelRegs[Worker].data(),
+                           Options.UseIndexExchange);
+      });
+}
+
 void kf::runFusedVm(const FusedProgram &FP, std::vector<Image> &Pool,
                     const ExecutionOptions &Options) {
   const Program &P = *FP.Source;
@@ -439,8 +481,7 @@ void kf::runFusedVm(const FusedProgram &FP, std::vector<Image> &Pool,
   checkExternalInputs(P, Pool);
   ThreadPool TP(resolveThreadCount(Options.Threads));
 
-  std::vector<std::vector<float>> PixelRegs(TP.numThreads());
-  std::vector<std::vector<float>> RowRegs(TP.numThreads());
+  VmScratch Scratch;
   for (const FusedKernel &FK : FP.Kernels) {
     StagedVmProgram SP = compileFusedKernel(FP, FK);
     for (KernelId DestId : FK.Destinations) {
@@ -451,32 +492,8 @@ void kf::runFusedVm(const FusedProgram &FP, std::vector<Image> &Pool,
       const Kernel &Dest = P.kernel(DestId);
       const ImageInfo &Info = P.image(Dest.Output);
       Image Out(Info.Width, Info.Height, Info.Channels);
-
-      // The fused footprint: interior pixels can reach no border through
-      // any chain of stage calls. Mixed extents void the interior.
-      int Halo = SP.UniformExtents ? SP.Reach[Root]
-                                   : std::max(Info.Width, Info.Height);
-
-      size_t RowScratch = static_cast<size_t>(SP.NumRegs) *
-                          rowCapacity(Options, Info.Width);
-      for (unsigned I = 0; I != TP.numThreads(); ++I) {
-        PixelRegs[I].resize(std::max<size_t>(PixelRegs[I].size(),
-                                             SP.NumRegs));
-        RowRegs[I].resize(std::max(RowRegs[I].size(), RowScratch));
-      }
-
-      runTiledImage(
-          TP, Options, Out, Halo,
-          [&](int Y, int XA, int XB, int Ch, float *OutPtr, int Stride,
-              unsigned Worker) {
-            runStagedVmRow(SP, Root, Pool, Y, XA, XB, Ch,
-                           RowRegs[Worker].data(), OutPtr, Stride);
-          },
-          [&](int X, int Y, int Ch, unsigned Worker) {
-            return runStagedVm(SP, Root, Pool, X, Y, Ch,
-                               PixelRegs[Worker].data(),
-                               Options.UseIndexExchange);
-          });
+      runCompiledLaunch(SP, Root, fusedLaunchHalo(SP, Root, Info), Pool,
+                        Out, Options, TP, Scratch);
       Pool[Dest.Output] = std::move(Out);
     }
   }

@@ -28,6 +28,7 @@
 
 #include "image/Image.h"
 #include "ir/ExprVM.h"
+#include "support/ThreadPool.h"
 #include "transform/FusedKernel.h"
 
 #include <vector>
@@ -91,6 +92,35 @@ StagedVmProgram compileFusedKernel(const FusedProgram &FP,
 /// path the benchmarks use for large images.
 void runFusedVm(const FusedProgram &FP, std::vector<Image> &Pool,
                 const ExecutionOptions &Options = ExecutionOptions());
+
+/// Per-worker register scratch of the VM engines, grown on demand and
+/// reusable across launches and frames. The serving layer (sim/Session.h)
+/// keeps one per session so the streaming hot path performs no per-frame
+/// scratch allocation.
+struct VmScratch {
+  std::vector<std::vector<float>> PixelRegs; ///< NumRegs floats per worker.
+  std::vector<std::vector<float>> RowRegs;   ///< Row-wise frames per worker.
+
+  /// Grows the per-worker vectors to at least the given float counts.
+  void ensure(unsigned Threads, size_t PixelFloats, size_t RowFloats);
+};
+
+/// The interior/halo split parameter of one fused launch: how far from the
+/// border the staged program rooted at \p Root can reach. Mixed stage or
+/// input extents void the interior entirely (every pixel is halo).
+int fusedLaunchHalo(const StagedVmProgram &SP, uint16_t Root,
+                    const ImageInfo &Info);
+
+/// Executes one compiled fused launch -- the staged program \p SP rooted
+/// at stage \p Root with interior/halo split \p Halo -- writing the
+/// destination image into \p Out *in place*. \p Out must already be shaped
+/// like the destination; it is fully overwritten (no prior clear needed).
+/// Building block of both runFusedVm (fresh buffers per call) and the
+/// streaming session layer (recycled buffers, persistent pool + scratch).
+void runCompiledLaunch(const StagedVmProgram &SP, uint16_t Root, int Halo,
+                       const std::vector<Image> &Pool, Image &Out,
+                       const ExecutionOptions &Options, ThreadPool &TP,
+                       VmScratch &Scratch);
 
 /// Evaluates a single kernel of \p P at one pixel, reading inputs from
 /// \p Pool (border handling per the kernel). Exposed for unit tests.

@@ -1,0 +1,306 @@
+//===- sim/Session.cpp ------------------------------------------------------===//
+
+#include "sim/Session.h"
+
+#include "support/Error.h"
+
+#include <cassert>
+#include <chrono>
+#include <thread>
+
+using namespace kf;
+
+namespace {
+
+/// splitmix64 finalizer: a full-avalanche 64-bit mixer.
+uint64_t mix64(uint64_t X) {
+  X += 0x9e3779b97f4a7c15ull;
+  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ull;
+  X = (X ^ (X >> 27)) * 0x94d049bb133111ebull;
+  return X ^ (X >> 31);
+}
+
+double sinceMs(std::chrono::steady_clock::time_point Start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - Start)
+      .count();
+}
+
+} // namespace
+
+uint64_t kf::hashNamedField(const char *Name, uint64_t Value) {
+  uint64_t H = 1469598103934665603ull;
+  for (const char *C = Name; *C; ++C) {
+    H ^= static_cast<unsigned char>(*C);
+    H *= 1099511628211ull;
+  }
+  return mix64(H ^ mix64(Value));
+}
+
+uint64_t kf::hashExecutionOptions(const ExecutionOptions &Options) {
+  // XOR-combined named fields: commutative, so the hash survives field
+  // reordering in ExecutionOptions (and in this function).
+  return hashNamedField("UseIndexExchange", Options.UseIndexExchange ? 1 : 0) ^
+         hashNamedField("Threads", static_cast<uint32_t>(Options.Threads)) ^
+         hashNamedField("TileWidth",
+                        static_cast<uint32_t>(Options.TileWidth)) ^
+         hashNamedField("TileHeight",
+                        static_cast<uint32_t>(Options.TileHeight));
+}
+
+uint64_t kf::planKey(const FusedProgram &FP, const ExecutionOptions &Options) {
+  assert(FP.Source && "fused program without a source program");
+  uint64_t H = FP.Source->structuralHash();
+  H = mix64(H ^ static_cast<uint64_t>(FP.Style));
+  for (const FusedKernel &FK : FP.Kernels) {
+    H = mix64(H ^ 0xb10c);
+    for (const FusedStage &Stage : FK.Stages)
+      H = mix64(H ^ ((static_cast<uint64_t>(Stage.Kernel) << 8) |
+                     static_cast<uint64_t>(Stage.OutputPlacement)));
+    for (KernelId Dest : FK.Destinations)
+      H = mix64(H ^ (0xde57 + Dest));
+  }
+  return H ^ hashExecutionOptions(Options);
+}
+
+std::shared_ptr<const CompiledPlan>
+kf::compilePlan(const FusedProgram &FP, const ExecutionOptions &Options) {
+  const Program &P = *FP.Source;
+  auto Plan = std::make_shared<CompiledPlan>();
+  Plan->Key = planKey(FP, Options);
+  Plan->ProgramName = P.name();
+  Plan->Shapes.reserve(P.numImages());
+  for (ImageId Id = 0; Id != P.numImages(); ++Id)
+    Plan->Shapes.push_back(P.image(Id));
+  Plan->ExternalInputs = P.externalInputs();
+
+  for (const FusedKernel &FK : FP.Kernels) {
+    StagedVmProgram SP = compileFusedKernel(FP, FK);
+    for (KernelId DestId : FK.Destinations) {
+      CompiledLaunch Launch;
+      for (size_t I = 0; I != FK.Stages.size(); ++I)
+        if (FK.Stages[I].Kernel == DestId)
+          Launch.Root = static_cast<uint16_t>(I);
+      Launch.Output = P.kernel(DestId).Output;
+      Launch.Halo =
+          fusedLaunchHalo(SP, Launch.Root, P.image(Launch.Output));
+      Launch.Code = SP;
+      Plan->Launches.push_back(std::move(Launch));
+    }
+  }
+  return Plan;
+}
+
+//===--------------------------------------------------------------------===//
+// PlanCache
+//===--------------------------------------------------------------------===//
+
+PlanCache::PlanCache(size_t CapacityIn)
+    : Capacity(CapacityIn == 0 ? 1 : CapacityIn) {}
+
+std::shared_ptr<const CompiledPlan> PlanCache::lookup(uint64_t Key) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto It = Index.find(Key);
+  if (It == Index.end()) {
+    ++Stats.Misses;
+    return nullptr;
+  }
+  ++Stats.Hits;
+  Lru.splice(Lru.begin(), Lru, It->second); // Promote to most recent.
+  return *It->second;
+}
+
+void PlanCache::insert(std::shared_ptr<const CompiledPlan> Plan) {
+  assert(Plan && "inserting a null plan");
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto It = Index.find(Plan->Key);
+  if (It != Index.end()) {
+    *It->second = std::move(Plan);
+    Lru.splice(Lru.begin(), Lru, It->second);
+    return;
+  }
+  Lru.push_front(std::move(Plan));
+  Index[Lru.front()->Key] = Lru.begin();
+  while (Lru.size() > Capacity) {
+    Index.erase(Lru.back()->Key);
+    Lru.pop_back();
+    ++Stats.Evictions;
+  }
+}
+
+PlanCacheStats PlanCache::stats() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  PlanCacheStats Out = Stats;
+  Out.Entries = Lru.size();
+  return Out;
+}
+
+void PlanCache::clear() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Lru.clear();
+  Index.clear();
+  Stats = PlanCacheStats();
+}
+
+PlanCache &kf::globalPlanCache() {
+  static PlanCache Cache(16);
+  return Cache;
+}
+
+//===--------------------------------------------------------------------===//
+// FramePool
+//===--------------------------------------------------------------------===//
+
+std::vector<Image>
+FramePool::acquire(const std::vector<ImageInfo> &Shapes,
+                   const std::vector<ImageId> &Outputs) {
+  std::vector<Image> Frame;
+  if (!Free.empty() && Free.back().size() == Shapes.size()) {
+    Frame = std::move(Free.back());
+    Free.pop_back();
+    ++Reused;
+  } else {
+    Frame.resize(Shapes.size());
+    ++Allocated;
+  }
+  // (Re)shape the launch outputs; recycled frames of the same session
+  // already match and keep their buffers.
+  for (ImageId Id : Outputs) {
+    const ImageInfo &Info = Shapes[Id];
+    const Image &Existing = Frame[Id];
+    if (Existing.width() != Info.Width || Existing.height() != Info.Height ||
+        Existing.channels() != Info.Channels)
+      Frame[Id] = Image(Info.Width, Info.Height, Info.Channels);
+  }
+  return Frame;
+}
+
+void FramePool::release(std::vector<Image> &&Frame) {
+  Free.push_back(std::move(Frame));
+}
+
+//===--------------------------------------------------------------------===//
+// PipelineSession
+//===--------------------------------------------------------------------===//
+
+PipelineSession::PipelineSession(const FusedProgram &FPIn,
+                                 ExecutionOptions OptionsIn,
+                                 PlanCache *CacheIn)
+    : FP(&FPIn), Options(OptionsIn),
+      Cache(CacheIn ? CacheIn : &globalPlanCache()) {
+  const Program &P = *FP->Source;
+  Shapes.reserve(P.numImages());
+  for (ImageId Id = 0; Id != P.numImages(); ++Id)
+    Shapes.push_back(P.image(Id));
+  for (const FusedKernel &FK : FP->Kernels)
+    for (KernelId Dest : FK.Destinations)
+      Outputs.push_back(P.kernel(Dest).Output);
+}
+
+void PipelineSession::setOptions(const ExecutionOptions &NewOptions) {
+  Options = NewOptions;
+  Plan.reset(); // Next frame re-keys; the thread pool rebuilds lazily.
+}
+
+void PipelineSession::ensureThreadPool() {
+  unsigned Want = resolveThreadCount(Options.Threads);
+  if (!Pool || PoolThreads != Want) {
+    Pool = std::make_unique<ThreadPool>(Want);
+    PoolThreads = Want;
+  }
+}
+
+std::shared_ptr<const CompiledPlan> PipelineSession::plan() {
+  uint64_t Key = planKey(*FP, Options);
+  std::shared_ptr<const CompiledPlan> Cached = Cache->lookup(Key);
+  if (Cached) {
+    ++Stats.PlanHits;
+  } else {
+    ++Stats.PlanMisses;
+    auto Start = std::chrono::steady_clock::now();
+    Cached = compilePlan(*FP, Options);
+    Stats.CompileMs += sinceMs(Start);
+    Cache->insert(Cached);
+  }
+  Plan = Cached;
+  return Cached;
+}
+
+std::vector<Image> PipelineSession::acquireFrame() {
+  std::vector<Image> Frame = Frames.acquire(Shapes, Outputs);
+  Stats.FramesReused = Frames.framesReused();
+  Stats.FramesAllocated = Frames.framesAllocated();
+  return Frame;
+}
+
+void PipelineSession::releaseFrame(std::vector<Image> &&Frame) {
+  Frames.release(std::move(Frame));
+}
+
+void PipelineSession::runFrame(std::vector<Image> &Frame) {
+  std::shared_ptr<const CompiledPlan> Current = plan();
+  ensureThreadPool();
+
+  if (Frame.size() != Current->Shapes.size())
+    reportFatalError("session frame pool size mismatch for '" +
+                     Current->ProgramName + "'");
+  for (ImageId Id : Current->ExternalInputs) {
+    const Image &In = Frame[Id];
+    const ImageInfo &Info = Current->Shapes[Id];
+    if (In.empty() || In.width() != Info.Width ||
+        In.height() != Info.Height || In.channels() != Info.Channels)
+      reportFatalError("external input '" + Info.Name +
+                       "' missing or mis-shaped in the session frame");
+  }
+
+  auto Start = std::chrono::steady_clock::now();
+  for (const CompiledLaunch &Launch : Current->Launches) {
+    const ImageInfo &Info = Current->Shapes[Launch.Output];
+    Image &Out = Frame[Launch.Output];
+    if (Out.width() != Info.Width || Out.height() != Info.Height ||
+        Out.channels() != Info.Channels)
+      Out = Image(Info.Width, Info.Height, Info.Channels);
+    // In-place write: a launch never reads its own output (the kernel DAG
+    // is acyclic), so reusing the previous frame's buffer is safe.
+    runCompiledLaunch(Launch.Code, Launch.Root, Launch.Halo, Frame, Out,
+                      Options, *Pool, Scratch);
+  }
+  Stats.ExecMs += sinceMs(Start);
+  ++Stats.Frames;
+}
+
+SessionStats PipelineSession::runFrames(int NumFrames,
+                                        const FrameFiller &Fill,
+                                        const FrameConsumer &Consume) {
+  if (NumFrames <= 0)
+    return Stats;
+
+  std::vector<Image> Current = acquireFrame();
+  if (Fill)
+    Fill(0, Current);
+  for (int F = 0; F != NumFrames; ++F) {
+    // Double buffering: fill frame F+1 on a filler thread while frame F
+    // executes on the session's thread pool. The two frames are disjoint
+    // buffers; join() orders the fill before the swap below.
+    std::vector<Image> Next;
+    std::thread Filler;
+    if (F + 1 != NumFrames) {
+      Next = acquireFrame();
+      if (Fill)
+        Filler = std::thread([&Fill, &Next, F] { Fill(F + 1, Next); });
+    }
+
+    runFrame(Current);
+    if (Consume)
+      Consume(F, Current);
+
+    if (Filler.joinable())
+      Filler.join();
+    if (F + 1 != NumFrames) {
+      releaseFrame(std::move(Current));
+      Current = std::move(Next);
+    }
+  }
+  releaseFrame(std::move(Current));
+  return Stats;
+}

@@ -8,6 +8,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "frontend/Parser.h"
+#include "frontend/Serializer.h"
 #include "fusion/BasicFusion.h"
 #include "fusion/ExhaustivePartitioner.h"
 #include "fusion/GreedyPartitioner.h"
@@ -17,6 +19,7 @@
 #include "ir/Verifier.h"
 #include "pipelines/Pipelines.h"
 #include "sim/Executor.h"
+#include "sim/Session.h"
 #include "transform/Fuser.h"
 
 #include <gtest/gtest.h>
@@ -105,6 +108,56 @@ TEST_P(RandomPipelineProperty, GreedyNeverBeatsExhaustive) {
   // Every exhaustive-optimal block must itself be acceptable (sanity of
   // the oracle).
   ASSERT_EQ(validatePartition(P, Optimal.Blocks), "");
+}
+
+TEST_P(RandomPipelineProperty, SerializeParseSessionRoundTripIsExact) {
+  uint64_t Seed = static_cast<uint64_t>(GetParam());
+  Rng Gen(Seed * 424243 + 11);
+  unsigned NumKernels = 3 + static_cast<unsigned>(Gen.nextBelow(8));
+  double LocalFraction = Gen.uniform(0.0, 0.6);
+  Program P = makeRandomPipeline(NumKernels, LocalFraction, 18, 14, Gen);
+
+  // Round-trip the IR through the textual format: the parsed copy must be
+  // structurally identical (same plan-cache key).
+  ParseResult Parsed = parsePipelineText(serializeProgram(P));
+  ASSERT_TRUE(Parsed.success())
+      << "seed " << Seed << ": "
+      << (Parsed.Errors.empty() ? "?" : Parsed.Errors.front());
+  Program &Q = *Parsed.Prog;
+  ASSERT_EQ(P.structuralHash(), Q.structuralHash()) << "seed " << Seed;
+
+  // Direct execution of the original program.
+  std::vector<Image> Reference = makeImagePool(P);
+  Rng Fill(Seed * 31 + 5);
+  for (ImageId In : P.externalInputs()) {
+    const ImageInfo &Info = P.image(In);
+    Reference[In] = makeRandomImage(Info.Width, Info.Height, Info.Channels,
+                                    Fill, 0.1f, 1.0f);
+  }
+  runUnfused(P, Reference);
+
+  // Fuse the parsed copy and stream it through a session (cold + warm
+  // frame with the same inputs). The warm frame must match exactly.
+  MinCutFusionResult Result = runMinCutFusion(Q, paperModel());
+  FusedProgram FP = fuseProgram(Q, Result.Blocks, FusionStyle::Optimized);
+  PlanCache Cache;
+  PipelineSession Session(FP, ExecutionOptions(), &Cache);
+  std::vector<Image> Warm;
+  Session.runFrames(
+      2,
+      [&](int, std::vector<Image> &Frame) {
+        for (ImageId In : Q.externalInputs())
+          Frame[In] = Reference[In];
+      },
+      [&](int Frame, const std::vector<Image> &Pool) {
+        if (Frame == 1)
+          Warm = Pool;
+      });
+  EXPECT_EQ(Session.stats().PlanHits, 1u) << "seed " << Seed;
+
+  for (ImageId Out : Q.terminalOutputs())
+    EXPECT_DOUBLE_EQ(maxAbsDifference(Warm[Out], Reference[Out]), 0.0)
+        << "seed " << Seed << ", output " << Q.image(Out).Name;
 }
 
 TEST_P(RandomPipelineProperty, FusionIsDeterministicPerSeed) {

@@ -1,0 +1,347 @@
+//===- tests/test_session.cpp - Streaming session differential harness ----------===//
+//
+// The serving layer must be invisible in the results: a session's cached
+// warm-run output has to be bit-identical to a fresh runFusedVm call and
+// to the runFused AST reference, for every registry pipeline, across
+// border modes and thread counts. Alongside the differential harness this
+// file unit-tests the plan cache (LRU, hit/miss counters), the frame
+// pool's buffer recycling, and the structural/options hashing that keys
+// the cache.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Parser.h"
+#include "frontend/Serializer.h"
+#include "fusion/MinCutPartitioner.h"
+#include "image/Compare.h"
+#include "image/Generators.h"
+#include "pipelines/Pipelines.h"
+#include "sim/Session.h"
+#include "transform/Fuser.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+using namespace kf;
+
+namespace {
+
+/// Deterministically fills every external input of \p P in \p Pool.
+void fillInputs(const Program &P, std::vector<Image> &Pool, uint64_t Seed) {
+  Rng Gen(Seed);
+  for (ImageId Id : P.externalInputs()) {
+    const ImageInfo &Info = P.image(Id);
+    Pool[Id] = makeRandomImage(Info.Width, Info.Height, Info.Channels, Gen,
+                               0.05f, 1.0f);
+  }
+}
+
+/// Worker-thread counts the differential harness sweeps: serial, an
+/// uneven count, and whatever the hardware reports.
+std::vector<int> threadSweep() {
+  int Hardware =
+      static_cast<int>(std::max(std::thread::hardware_concurrency(), 1u));
+  std::vector<int> Counts{1, 3};
+  if (Hardware != 1 && Hardware != 3)
+    Counts.push_back(Hardware);
+  return Counts;
+}
+
+/// Runs the full differential check for one program: the session's warm
+/// (second) frame must be bit-identical to fresh runFusedVm and runFused
+/// references at every swept thread count.
+void expectSessionMatchesReferences(const Program &P,
+                                    const std::string &Label) {
+  HardwareModel HW;
+  MinCutFusionResult MinCut = runMinCutFusion(P, HW);
+  FusedProgram FP = fuseProgram(P, MinCut.Blocks, FusionStyle::Optimized);
+
+  // AST reference (the semantic ground truth).
+  std::vector<Image> AstPool = makeImagePool(P);
+  fillInputs(P, AstPool, 0x5e55);
+  runFused(FP, AstPool);
+
+  for (int Threads : threadSweep()) {
+    ExecutionOptions Options;
+    Options.Threads = Threads;
+
+    // Fresh per-call fused VM reference.
+    std::vector<Image> VmPool = makeImagePool(P);
+    fillInputs(P, VmPool, 0x5e55);
+    runFusedVm(FP, VmPool, Options);
+
+    // Session: two frames with identical input; keep the warm frame.
+    PlanCache Cache;
+    PipelineSession Session(FP, Options, &Cache);
+    std::vector<Image> Warm;
+    Session.runFrames(
+        2,
+        [&](int, std::vector<Image> &Frame) {
+          fillInputs(P, Frame, 0x5e55);
+        },
+        [&](int Frame, const std::vector<Image> &Pool) {
+          if (Frame == 1)
+            Warm = Pool;
+        });
+
+    EXPECT_EQ(Session.stats().PlanMisses, 1u) << Label;
+    EXPECT_EQ(Session.stats().PlanHits, 1u)
+        << Label << ": second frame must hit the plan cache";
+
+    for (const FusedKernel &FK : FP.Kernels)
+      for (KernelId Dest : FK.Destinations) {
+        ImageId Out = P.kernel(Dest).Output;
+        EXPECT_DOUBLE_EQ(maxAbsDifference(Warm[Out], VmPool[Out]), 0.0)
+            << Label << " vs fresh runFusedVm, threads=" << Threads
+            << ", output " << P.image(Out).Name;
+        EXPECT_DOUBLE_EQ(maxAbsDifference(Warm[Out], AstPool[Out]), 0.0)
+            << Label << " vs runFused AST, threads=" << Threads
+            << ", output " << P.image(Out).Name;
+      }
+  }
+}
+
+//===--------------------------------------------------------------------===//
+// Differential harness
+//===--------------------------------------------------------------------===//
+
+class SessionDifferential : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(SessionDifferential, WarmFrameBitIdenticalToFreshExecution) {
+  const PipelineSpec *Spec = findPipeline(GetParam());
+  ASSERT_NE(Spec, nullptr);
+  // Paper-shaped but test-sized (the night pipeline keeps its RGB shape).
+  Program P = Spec->Builder(64, 52);
+  expectSessionMatchesReferences(P, GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(RegistryPipelines, SessionDifferential,
+                         ::testing::Values("harris", "sobel", "unsharp",
+                                           "shitomasi", "enhance", "night"),
+                         [](const auto &Info) { return Info.param; });
+
+class SessionBorderModes : public ::testing::TestWithParam<BorderMode> {};
+
+TEST_P(SessionBorderModes, BlurChainMatchesAcrossBorders) {
+  Program P = makeBlurChain(40, 34, GetParam());
+  expectSessionMatchesReferences(P,
+                                 std::string("blurchain-") +
+                                     borderModeName(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModes, SessionBorderModes,
+                         ::testing::Values(BorderMode::Clamp,
+                                           BorderMode::Mirror,
+                                           BorderMode::Repeat,
+                                           BorderMode::Constant),
+                         [](const auto &Info) {
+                           return borderModeName(Info.param);
+                         });
+
+TEST(SessionCache, OptionsChangeMissesThenRehits) {
+  Program P = makeSobel(32, 28);
+  MinCutFusionResult MinCut = runMinCutFusion(P, HardwareModel());
+  FusedProgram FP = fuseProgram(P, MinCut.Blocks, FusionStyle::Optimized);
+
+  PlanCache Cache;
+  PipelineSession Session(FP, ExecutionOptions(), &Cache);
+  auto Fill = [&](int, std::vector<Image> &Frame) {
+    fillInputs(P, Frame, 7);
+  };
+  Session.runFrames(2, Fill);
+  EXPECT_EQ(Session.stats().PlanMisses, 1u);
+  EXPECT_EQ(Session.stats().PlanHits, 1u);
+
+  // A changed execution configuration is a different plan: miss.
+  ExecutionOptions Tiled;
+  Tiled.TileHeight = 8;
+  Session.setOptions(Tiled);
+  Session.runFrames(2, Fill);
+  EXPECT_EQ(Session.stats().PlanMisses, 2u);
+  EXPECT_EQ(Session.stats().PlanHits, 2u);
+
+  // Switching back re-hits the still-cached original plan.
+  Session.setOptions(ExecutionOptions());
+  Session.runFrames(1, Fill);
+  EXPECT_EQ(Session.stats().PlanMisses, 2u);
+  EXPECT_EQ(Session.stats().PlanHits, 3u);
+  EXPECT_EQ(Cache.stats().Entries, 2u);
+}
+
+TEST(SessionFrames, BuffersAreRecycledAcrossFrames) {
+  Program P = makeSobel(24, 20);
+  MinCutFusionResult MinCut = runMinCutFusion(P, HardwareModel());
+  FusedProgram FP = fuseProgram(P, MinCut.Blocks, FusionStyle::Optimized);
+
+  PlanCache Cache;
+  PipelineSession Session(FP, ExecutionOptions(), &Cache);
+  Session.runFrames(6, [&](int Frame, std::vector<Image> &Pool) {
+    fillInputs(P, Pool, static_cast<uint64_t>(Frame));
+  });
+  EXPECT_EQ(Session.stats().Frames, 6u);
+  // Double buffering holds two frames in flight; every later acquire
+  // must be served from the pool.
+  EXPECT_EQ(Session.stats().FramesAllocated, 2u);
+  EXPECT_GE(Session.stats().FramesReused, 4u);
+}
+
+TEST(SessionFrames, ManualFrameLoopMatchesStreaming) {
+  Program P = makeBlurChain(30, 26, BorderMode::Mirror);
+  MinCutFusionResult MinCut = runMinCutFusion(P, HardwareModel());
+  FusedProgram FP = fuseProgram(P, MinCut.Blocks, FusionStyle::Optimized);
+
+  PlanCache Cache;
+  PipelineSession Session(FP, ExecutionOptions(), &Cache);
+  std::vector<Image> Frame = Session.acquireFrame();
+  fillInputs(P, Frame, 99);
+  Session.runFrame(Frame);
+
+  std::vector<Image> Reference = makeImagePool(P);
+  fillInputs(P, Reference, 99);
+  runFusedVm(FP, Reference, ExecutionOptions());
+  for (ImageId Out : P.terminalOutputs())
+    EXPECT_DOUBLE_EQ(maxAbsDifference(Frame[Out], Reference[Out]), 0.0);
+  Session.releaseFrame(std::move(Frame));
+}
+
+//===--------------------------------------------------------------------===//
+// PlanCache unit tests
+//===--------------------------------------------------------------------===//
+
+std::shared_ptr<const CompiledPlan> dummyPlan(uint64_t Key) {
+  auto Plan = std::make_shared<CompiledPlan>();
+  Plan->Key = Key;
+  return Plan;
+}
+
+TEST(PlanCache, CountsHitsAndMisses) {
+  PlanCache Cache(4);
+  EXPECT_EQ(Cache.lookup(1), nullptr);
+  Cache.insert(dummyPlan(1));
+  EXPECT_NE(Cache.lookup(1), nullptr);
+  PlanCacheStats Stats = Cache.stats();
+  EXPECT_EQ(Stats.Misses, 1u);
+  EXPECT_EQ(Stats.Hits, 1u);
+  EXPECT_EQ(Stats.Entries, 1u);
+}
+
+TEST(PlanCache, EvictsLeastRecentlyUsed) {
+  PlanCache Cache(2);
+  Cache.insert(dummyPlan(1));
+  Cache.insert(dummyPlan(2));
+  EXPECT_NE(Cache.lookup(1), nullptr); // 1 is now most recent.
+  Cache.insert(dummyPlan(3));          // Evicts 2.
+  EXPECT_NE(Cache.lookup(1), nullptr);
+  EXPECT_EQ(Cache.lookup(2), nullptr);
+  EXPECT_NE(Cache.lookup(3), nullptr);
+  EXPECT_EQ(Cache.stats().Evictions, 1u);
+  EXPECT_EQ(Cache.stats().Entries, 2u);
+}
+
+TEST(PlanCache, ReinsertReplacesWithoutGrowth) {
+  PlanCache Cache(2);
+  Cache.insert(dummyPlan(1));
+  Cache.insert(dummyPlan(1));
+  EXPECT_EQ(Cache.stats().Entries, 1u);
+  EXPECT_EQ(Cache.stats().Evictions, 0u);
+}
+
+TEST(PlanCache, ClearResets) {
+  PlanCache Cache(2);
+  Cache.insert(dummyPlan(1));
+  (void)Cache.lookup(1);
+  Cache.clear();
+  PlanCacheStats Stats = Cache.stats();
+  EXPECT_EQ(Stats.Entries, 0u);
+  EXPECT_EQ(Stats.Hits, 0u);
+  EXPECT_EQ(Cache.lookup(1), nullptr);
+}
+
+//===--------------------------------------------------------------------===//
+// Cache-key hashing
+//===--------------------------------------------------------------------===//
+
+TEST(OptionsHash, StableAcrossFieldReordering) {
+  // The options hash is an XOR of named-field hashes, so any fold order
+  // -- i.e. any field order in ExecutionOptions -- produces the same key.
+  uint64_t Forward = hashNamedField("UseIndexExchange", 1) ^
+                     hashNamedField("Threads", 4) ^
+                     hashNamedField("TileWidth", 0) ^
+                     hashNamedField("TileHeight", 16);
+  uint64_t Reordered = hashNamedField("TileHeight", 16) ^
+                       hashNamedField("TileWidth", 0) ^
+                       hashNamedField("Threads", 4) ^
+                       hashNamedField("UseIndexExchange", 1);
+  EXPECT_EQ(Forward, Reordered);
+
+  ExecutionOptions Options;
+  Options.Threads = 4;
+  Options.TileHeight = 16;
+  EXPECT_EQ(hashExecutionOptions(Options), Forward);
+}
+
+TEST(OptionsHash, SensitiveToEveryField) {
+  ExecutionOptions Base;
+  uint64_t H = hashExecutionOptions(Base);
+  ExecutionOptions A = Base;
+  A.UseIndexExchange = false;
+  ExecutionOptions B = Base;
+  B.Threads = 2;
+  ExecutionOptions C = Base;
+  C.TileWidth = 32;
+  ExecutionOptions D = Base;
+  D.TileHeight = 8;
+  EXPECT_NE(hashExecutionOptions(A), H);
+  EXPECT_NE(hashExecutionOptions(B), H);
+  EXPECT_NE(hashExecutionOptions(C), H);
+  EXPECT_NE(hashExecutionOptions(D), H);
+}
+
+TEST(StructuralHash, IndependentParsesHashEqually) {
+  Program Built = makeHarris(48, 40);
+  std::string Text = serializeProgram(Built);
+  ParseResult First = parsePipelineText(Text);
+  ParseResult Second = parsePipelineText(Text);
+  ASSERT_TRUE(First.success());
+  ASSERT_TRUE(Second.success());
+  EXPECT_EQ(First.Prog->structuralHash(), Second.Prog->structuralHash());
+  EXPECT_EQ(Built.structuralHash(), First.Prog->structuralHash());
+}
+
+TEST(StructuralHash, OneConstantChangeChangesEveryKernelHash) {
+  // Flipping a single constant in any kernel's body must re-key the plan.
+  Program Base = makeUnsharp(32, 28);
+  uint64_t BaseHash = Base.structuralHash();
+  for (KernelId Id = 0; Id != Base.numKernels(); ++Id) {
+    Program Mutated = makeUnsharp(32, 28);
+    Kernel &K = Mutated.kernel(Id);
+    const Expr *Bump = Mutated.context().floatConst(1e-3f);
+    K.Body = Mutated.context().add(K.Body, Bump);
+    EXPECT_NE(Mutated.structuralHash(), BaseHash)
+        << "kernel " << Base.kernel(Id).Name;
+  }
+}
+
+TEST(StructuralHash, DistinguishesShapesAndBorders) {
+  EXPECT_NE(makeSobel(32, 28).structuralHash(),
+            makeSobel(32, 30).structuralHash());
+  EXPECT_NE(makeBlurChain(24, 24, BorderMode::Clamp).structuralHash(),
+            makeBlurChain(24, 24, BorderMode::Mirror).structuralHash());
+}
+
+TEST(StructuralHash, PlanKeySeparatesPartitionsAndOptions) {
+  Program P = makeSobel(32, 28);
+  MinCutFusionResult MinCut = runMinCutFusion(P, HardwareModel());
+  FusedProgram Fused =
+      fuseProgram(P, MinCut.Blocks, FusionStyle::Optimized);
+  FusedProgram Unfused = unfusedProgram(P);
+
+  ExecutionOptions Options;
+  EXPECT_NE(planKey(Fused, Options), planKey(Unfused, Options));
+  ExecutionOptions Other;
+  Other.Threads = 5;
+  EXPECT_NE(planKey(Fused, Options), planKey(Fused, Other));
+}
+
+} // namespace

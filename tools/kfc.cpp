@@ -32,6 +32,7 @@
 #include "ir/Simplify.h"
 #include "sim/CostModel.h"
 #include "sim/Executor.h"
+#include "sim/Session.h"
 #include "support/CommandLine.h"
 #include "support/DotWriter.h"
 #include "support/StringUtils.h"
@@ -56,6 +57,11 @@ static void printUsage() {
       "  --run                        execute on random input: fused VM vs\n"
       "                               unfused AST wall time + max |diff|\n"
       "  --threads <n>                worker threads for --run (0 = auto)\n"
+      "  --frames <n>                 with --run: stream n frames through a\n"
+      "                               pipeline session (compiled-plan cache\n"
+      "                               + frame buffer reuse)\n"
+      "  --repeat <k>                 with --frames: repeat the stream k\n"
+      "                               times on one session (warm repeats)\n"
       "  --fold                       run constant folding/simplification\n"
       "  --multi-out                  allow multi-destination fusion\n"
       "  --tg/--ts/--calu/--csfu/--cmshared/--gamma <num>  model knobs\n");
@@ -126,6 +132,71 @@ int main(int Argc, char **Argv) {
   if (Cl.hasOption("run")) {
     ExecutionOptions Exec;
     Exec.Threads = static_cast<int>(Cl.getIntOption("threads", 0));
+
+    int Frames = static_cast<int>(Cl.getIntOption("frames", 0));
+    int Repeat = std::max(1, static_cast<int>(Cl.getIntOption("repeat", 1)));
+    if (Frames > 0) {
+      // Session streaming mode: compile the fused plan once, stream
+      // frames through recycled buffers with double-buffered input fill.
+      auto FillFrame = [&](int Frame, std::vector<Image> &Pool) {
+        Rng Gen(2026 + static_cast<uint64_t>(Frame) * 977);
+        for (ImageId Id : P.externalInputs()) {
+          const ImageInfo &Info = P.image(Id);
+          Pool[Id] =
+              makeRandomImage(Info.Width, Info.Height, Info.Channels, Gen);
+        }
+      };
+
+      // Unfused AST reference for the stream's final frame.
+      std::vector<Image> Reference = makeImagePool(P);
+      FillFrame(Frames - 1, Reference);
+      runUnfused(P, Reference, Exec);
+
+      PipelineSession Session(FP, Exec);
+      std::vector<Image> LastFrame;
+      TablePrinter Stream({"repeat", "wall ms", "frames/s"});
+      for (int R = 0; R != Repeat; ++R) {
+        auto Start = std::chrono::steady_clock::now();
+        Session.runFrames(
+            Frames, FillFrame,
+            [&](int Frame, const std::vector<Image> &Pool) {
+              if (R + 1 == Repeat && Frame + 1 == Frames)
+                LastFrame = Pool;
+            });
+        double Ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - Start)
+                        .count();
+        Stream.addRow({std::to_string(R + 1) + (R == 0 ? " (cold)" : ""),
+                       formatDouble(Ms, 3),
+                       formatDouble(Frames * 1000.0 / Ms, 3)});
+      }
+
+      double MaxDiff = 0.0;
+      for (const FusedKernel &FK : FP.Kernels)
+        for (KernelId Dest : FK.Destinations) {
+          ImageId Out = P.kernel(Dest).Output;
+          MaxDiff = std::max(
+              MaxDiff, maxAbsDifference(LastFrame[Out], Reference[Out]));
+        }
+
+      const SessionStats &S = Session.stats();
+      std::printf("streamed '%s' with %u threads (%s fusion), %d frames x "
+                  "%d repeats\n",
+                  P.name().c_str(), resolveThreadCount(Exec.Threads),
+                  Style.c_str(), Frames, Repeat);
+      std::fputs(Stream.render().c_str(), stdout);
+      std::printf("plan cache: %llu hits, %llu misses (compile %.3f ms); "
+                  "frame buffers: %llu reused, %llu allocated\n",
+                  static_cast<unsigned long long>(S.PlanHits),
+                  static_cast<unsigned long long>(S.PlanMisses),
+                  S.CompileMs,
+                  static_cast<unsigned long long>(S.FramesReused),
+                  static_cast<unsigned long long>(S.FramesAllocated));
+      std::printf("max |session frame - unfused ast| over destinations: "
+                  "%g\n",
+                  MaxDiff);
+      return 0;
+    }
 
     // Deterministic random fill of every external input (images no
     // kernel produces), so runs are reproducible across invocations.

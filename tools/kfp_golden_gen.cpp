@@ -1,0 +1,52 @@
+//===- tools/kfp_golden_gen.cpp - Regenerate .kfp golden fixtures ---------------===//
+//
+// Writes the canonical serializeProgram output of each golden-test builder
+// into a directory (default tests/golden/). Run after an *intentional*
+// serializer format change, then review the diff; tests/test_golden_kfp.cpp
+// pins these files byte-for-byte.
+//
+//   kfp_golden_gen [--dir tests/golden/]
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Serializer.h"
+#include "pipelines/Pipelines.h"
+#include "support/CommandLine.h"
+
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <string>
+
+using namespace kf;
+
+int main(int Argc, char **Argv) {
+  CommandLine Cl(Argc, Argv, {});
+  std::string Dir = Cl.getOption("dir", "tests/golden/");
+  if (!Dir.empty() && Dir.back() != '/')
+    Dir += '/';
+
+  struct Fixture {
+    const char *File;
+    std::function<Program()> Builder;
+  };
+  // Must stay in sync with the GoldenCase table in tests/test_golden_kfp.cpp.
+  const Fixture Fixtures[] = {
+      {"blur_chain_clamp.kfp",
+       [] { return makeBlurChain(8, 6, BorderMode::Clamp); }},
+      {"figure4.kfp", [] { return makeFigure4Program(); }},
+      {"sobel_small.kfp", [] { return makeSobel(12, 10); }},
+  };
+
+  for (const Fixture &F : Fixtures) {
+    std::string Path = Dir + F.File;
+    std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+    if (!Out.good()) {
+      std::fprintf(stderr, "error: cannot write %s\n", Path.c_str());
+      return 1;
+    }
+    Out << serializeProgram(F.Builder());
+    std::printf("wrote %s\n", Path.c_str());
+  }
+  return 0;
+}
