@@ -5,6 +5,8 @@
 #include "frontend/Lexer.h"
 #include "ir/Verifier.h"
 
+#include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
@@ -106,8 +108,29 @@ private:
     Token Tok = expect(TokenKind::Number, What);
     if (Failed)
       return 0;
+    errno = 0;
     long Value = std::strtol(Tok.Text.c_str(), nullptr, 10);
+    if (errno == ERANGE) {
+      // Without the check an out-of-range literal silently clamps to
+      // LONG_MAX and parses "successfully".
+      error("integer literal '" + Tok.Text + "' is out of range");
+      return 0;
+    }
     return Negative ? -Value : Value;
+  }
+
+  /// Converts a Number token to float with overflow detection: a literal
+  /// like 1e999 clamps to HUGE_VALF with ERANGE and must be a parse
+  /// error, while underflow to a denormal or zero is an acceptable
+  /// nearest representation.
+  float floatLiteral(const Token &Tok) {
+    errno = 0;
+    float Value = std::strtof(Tok.Text.c_str(), nullptr);
+    if (errno == ERANGE && std::abs(Value) == HUGE_VALF) {
+      error("float literal '" + Tok.Text + "' is out of range");
+      return 0.0f;
+    }
+    return Value;
   }
 
   float parseFloat(const std::string &What) {
@@ -119,7 +142,7 @@ private:
     Token Tok = expect(TokenKind::Number, What);
     if (Failed)
       return 0.0f;
-    float Value = std::strtof(Tok.Text.c_str(), nullptr);
+    float Value = floatLiteral(Tok);
     return Negative ? -Value : Value;
   }
 
@@ -306,8 +329,7 @@ private:
       // negative literals round-trip to the same AST.
       if (peek().Kind == TokenKind::Number) {
         Token Tok = advance();
-        return Prog->context().floatConst(
-            -std::strtof(Tok.Text.c_str(), nullptr));
+        return Prog->context().floatConst(-floatLiteral(Tok));
       }
       const Expr *Operand = parseUnary();
       if (Failed)
@@ -380,7 +402,7 @@ private:
 
     if (peek().Kind == TokenKind::Number) {
       Token Tok = advance();
-      return C.floatConst(std::strtof(Tok.Text.c_str(), nullptr));
+      return C.floatConst(floatLiteral(Tok));
     }
     if (peek().Kind == TokenKind::LParen) {
       advance();

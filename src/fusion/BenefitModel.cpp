@@ -3,8 +3,10 @@
 #include "fusion/BenefitModel.h"
 
 #include "support/Error.h"
+#include "support/Trace.h"
 
 #include <cmath>
+#include <string>
 
 using namespace kf;
 
@@ -130,6 +132,7 @@ std::string kf::fusibleBlockRejection(const BenefitModel &Model,
 }
 
 Digraph BenefitModel::buildWeightedDag(std::vector<EdgeBenefit> *Info) const {
+  TraceSpan Span("fusion.benefit_dag", "fusion");
   const Program &P = Checker.program();
   Digraph Dag = P.buildKernelDag();
   if (Info) {
@@ -140,8 +143,13 @@ Digraph BenefitModel::buildWeightedDag(std::vector<EdgeBenefit> *Info) const {
     const Digraph::Edge &Ed = Dag.edge(E);
     EdgeBenefit Benefit = edgeBenefit(Ed.From, Ed.To);
     Dag.setEdgeWeight(E, Benefit.Weight);
+    if (TraceRecorder::enabled())
+      TraceRecorder::global().addCounter(
+          std::string("fusion.edges.") + fusionScenarioName(Benefit.Scenario),
+          1.0);
     if (Info)
       Info->push_back(std::move(Benefit));
   }
+  Span.arg("edges", static_cast<double>(Dag.numEdges()));
   return Dag;
 }

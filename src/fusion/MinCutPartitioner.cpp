@@ -3,6 +3,7 @@
 #include "fusion/MinCutPartitioner.h"
 
 #include "graph/MinCut.h"
+#include "support/Trace.h"
 
 #include <algorithm>
 #include <deque>
@@ -19,6 +20,7 @@ public:
       : Checker(P, HW, Options), Model(Checker) {}
 
   MinCutFusionResult run() {
+    TraceSpan Span("fusion.mincut", "fusion");
     MinCutFusionResult Result;
     Result.WeightedDag = Model.buildWeightedDag(&Result.EdgeInfo);
 
@@ -63,6 +65,16 @@ public:
     Result.Blocks.Blocks = std::move(Ready);
     Result.Blocks.normalize();
     Result.TotalBenefit = partitionBenefit(Result.WeightedDag, Result.Blocks);
+    if (Span.active()) {
+      uint64_t Cuts = 0;
+      for (const FusionTraceStep &Step : Result.Trace)
+        if (!Step.Accepted)
+          ++Cuts;
+      Span.arg("steps", static_cast<double>(Result.Trace.size()));
+      Span.arg("cuts", static_cast<double>(Cuts));
+      Span.arg("blocks", static_cast<double>(Result.Blocks.Blocks.size()));
+      Span.arg("total_benefit", Result.TotalBenefit);
+    }
     return Result;
   }
 

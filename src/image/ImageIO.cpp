@@ -3,7 +3,10 @@
 #include "image/ImageIO.h"
 
 #include <algorithm>
+#include <cerrno>
+#include <climits>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 
 using namespace kf;
@@ -47,6 +50,23 @@ bool kf::writePnm(const Image &Source, const std::string &Path) {
   return true;
 }
 
+/// Parses a PNM header field: a decimal integer in [Min, Max] with no
+/// trailing garbage. std::atoi would be undefined on overflow and accept
+/// "123abc"; checked strtol rejects both.
+static bool parseHeaderInt(const std::string &Text, long Min, long Max,
+                           int &Out) {
+  if (Text.empty())
+    return false;
+  char *End = nullptr;
+  errno = 0;
+  long Value = std::strtol(Text.c_str(), &End, 10);
+  if (End == Text.c_str() || *End != '\0' || errno == ERANGE ||
+      Value < Min || Value > Max)
+    return false;
+  Out = static_cast<int>(Value);
+  return true;
+}
+
 /// Reads one whitespace-delimited ASCII token, skipping '#' comments.
 static bool readToken(std::FILE *File, std::string &Token) {
   Token.clear();
@@ -81,12 +101,15 @@ std::optional<Image> kf::readPnm(const std::string &Path) {
     Channels = 3;
   else
     return std::nullopt;
-  int Width = std::atoi(WidthText.c_str());
-  int Height = std::atoi(HeightText.c_str());
-  int MaxValue = std::atoi(MaxText.c_str());
-  if (Width <= 0 || Height <= 0 || MaxValue != 255)
+  int Width = 0, Height = 0, MaxValue = 0;
+  // 8-bit PNM allows any maxval in [1, 255]; samples are scaled by the
+  // declared maxval so e.g. a maxval-15 file reads as full-range floats.
+  if (!parseHeaderInt(WidthText, 1, INT_MAX, Width) ||
+      !parseHeaderInt(HeightText, 1, INT_MAX, Height) ||
+      !parseHeaderInt(MaxText, 1, 255, MaxValue))
     return std::nullopt;
 
+  const float Scale = 1.0f / static_cast<float>(MaxValue);
   Image Result(Width, Height, Channels);
   std::vector<unsigned char> Row(static_cast<size_t>(Width) * Channels);
   for (int Y = 0; Y != Height; ++Y) {
@@ -95,7 +118,7 @@ std::optional<Image> kf::readPnm(const std::string &Path) {
     size_t Pos = 0;
     for (int X = 0; X != Width; ++X)
       for (int Ch = 0; Ch != Channels; ++Ch)
-        Result.at(X, Y, Ch) = static_cast<float>(Row[Pos++]) / 255.0f;
+        Result.at(X, Y, Ch) = static_cast<float>(Row[Pos++]) * Scale;
   }
   return Result;
 }

@@ -21,8 +21,10 @@ namespace kf {
 /// false on I/O failure or unsupported channel count.
 bool writePnm(const Image &Source, const std::string &Path);
 
-/// Reads a binary PGM/PPM file written by writePnm. Returns std::nullopt on
-/// parse or I/O failure. Samples are scaled back into [0, 1].
+/// Reads a binary 8-bit PGM/PPM file (any declared maxval in [1, 255];
+/// samples scale by it back into [0, 1]). Header fields are parsed with
+/// full range and trailing-garbage checking; returns std::nullopt on any
+/// parse or I/O failure.
 std::optional<Image> readPnm(const std::string &Path);
 
 } // namespace kf

@@ -3,11 +3,14 @@
 #include "sim/Executor.h"
 
 #include "image/Border.h"
+#include "sim/Metrics.h"
 #include "support/Error.h"
 #include "support/ThreadPool.h"
+#include "support/Trace.h"
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <cmath>
 
 using namespace kf;
@@ -262,7 +265,8 @@ int defaultTileHeight(int Height, unsigned Threads) {
 /// bordered slow path). \p Halo is the fused access footprint.
 template <class RowFn, class PixelFn>
 void runTiledImage(ThreadPool &TP, const ExecutionOptions &Options,
-                   Image &Out, int Halo, RowFn &&Row, PixelFn &&Pixel) {
+                   Image &Out, int Halo, RowFn &&Row, PixelFn &&Pixel,
+                   LaunchTiming *Timing = nullptr) {
   const int W = Out.width(), H = Out.height(), C = Out.channels();
   const int X0 = std::min(Halo, W), Y0 = std::min(Halo, H);
   const int X1 = std::max(X0, W - Halo), Y1 = std::max(Y0, H - Halo);
@@ -273,27 +277,74 @@ void runTiledImage(ThreadPool &TP, const ExecutionOptions &Options,
                   ? Options.TileHeight
                   : defaultTileHeight(H, TP.numThreads());
 
+  // The halo span [XA, XB) of one row: per-pixel bordered evaluation.
+  auto haloSpan = [&](int Y, int XA, int XB, unsigned Worker) {
+    for (int X = XA; X < XB; ++X)
+      for (int Ch = 0; Ch != C; ++Ch)
+        OutBase[(static_cast<size_t>(Y) * W + X) * C + Ch] =
+            Pixel(X, Y, Ch, Worker);
+  };
+  // The interior span [IA, IB) of one row: row-wise fast path.
+  auto interiorSpan = [&](int Y, int IA, int IB, unsigned Worker) {
+    for (int Ch = 0; Ch != C; ++Ch)
+      Row(Y, IA, IB, Ch,
+          OutBase + (static_cast<size_t>(Y) * W + IA) * C + Ch, C, Worker);
+  };
+  auto rowBounds = [&](int Y, const TileRange &T, int &IA, int &IB) {
+    const bool RowHasInterior = Y >= Y0 && Y < Y1;
+    IA = RowHasInterior ? std::clamp(X0, T.X0, T.X1) : T.X1;
+    IB = RowHasInterior ? std::clamp(X1, T.X0, T.X1) : T.X1;
+  };
+
+  if (!Timing) {
+    TP.parallelFor2D(W, H, TileW, TileH,
+                     [&](const TileRange &T, unsigned Worker) {
+                       for (int Y = T.Y0; Y != T.Y1; ++Y) {
+                         int IA, IB;
+                         rowBounds(Y, T, IA, IB);
+                         haloSpan(Y, T.X0, IA, Worker);
+                         if (IA < IB)
+                           interiorSpan(Y, IA, IB, Worker);
+                         haloSpan(Y, IB, T.X1, Worker);
+                       }
+                     });
+    return;
+  }
+
+  // Timing path: clock reads bracket the halo and interior spans of each
+  // row, accumulated per worker (disjoint slots, summed after the join).
+  using Clock = std::chrono::steady_clock;
+  auto Us = [](Clock::time_point A, Clock::time_point B) {
+    return std::chrono::duration<double, std::micro>(B - A).count();
+  };
+  std::vector<double> InteriorUs(TP.numThreads(), 0.0);
+  std::vector<double> HaloUs(TP.numThreads(), 0.0);
+  Clock::time_point Start = Clock::now();
   TP.parallelFor2D(W, H, TileW, TileH, [&](const TileRange &T,
                                            unsigned Worker) {
+    double TileInterior = 0.0, TileHalo = 0.0;
     for (int Y = T.Y0; Y != T.Y1; ++Y) {
-      const bool RowHasInterior = Y >= Y0 && Y < Y1;
-      const int IA = RowHasInterior ? std::clamp(X0, T.X0, T.X1) : T.X1;
-      const int IB = RowHasInterior ? std::clamp(X1, T.X0, T.X1) : T.X1;
-      for (int X = T.X0; X < IA; ++X)
-        for (int Ch = 0; Ch != C; ++Ch)
-          OutBase[(static_cast<size_t>(Y) * W + X) * C + Ch] =
-              Pixel(X, Y, Ch, Worker);
+      int IA, IB;
+      rowBounds(Y, T, IA, IB);
+      Clock::time_point T0 = Clock::now();
+      haloSpan(Y, T.X0, IA, Worker);
+      Clock::time_point T1 = Clock::now();
       if (IA < IB)
-        for (int Ch = 0; Ch != C; ++Ch)
-          Row(Y, IA, IB, Ch,
-              OutBase + (static_cast<size_t>(Y) * W + IA) * C + Ch, C,
-              Worker);
-      for (int X = IB; X < T.X1; ++X)
-        for (int Ch = 0; Ch != C; ++Ch)
-          OutBase[(static_cast<size_t>(Y) * W + X) * C + Ch] =
-              Pixel(X, Y, Ch, Worker);
+        interiorSpan(Y, IA, IB, Worker);
+      Clock::time_point T2 = Clock::now();
+      haloSpan(Y, IB, T.X1, Worker);
+      Clock::time_point T3 = Clock::now();
+      TileHalo += Us(T0, T1) + Us(T2, T3);
+      TileInterior += Us(T1, T2);
     }
+    InteriorUs[Worker] += TileInterior;
+    HaloUs[Worker] += TileHalo;
   });
+  Timing->TotalMs += Us(Start, Clock::now()) / 1e3;
+  for (unsigned I = 0; I != TP.numThreads(); ++I) {
+    Timing->InteriorMs += InteriorUs[I] / 1e3;
+    Timing->HaloMs += HaloUs[I] / 1e3;
+  }
 }
 
 /// Resolved tile width an interior row span can reach (row scratch cap).
@@ -330,6 +381,8 @@ void kf::runUnfused(const Program &P, std::vector<Image> &Pool,
   for (KernelId Id : *Order) {
     const Kernel &K = P.kernel(Id);
     const ImageInfo &Info = P.image(K.Output);
+    std::string Label = "launch " + K.Name;
+    TraceSpan Span(Label.c_str(), "sim");
     Image Out(Info.Width, Info.Height, Info.Channels);
     PoolSource Source(K, Pool);
     ExprEvaluator Eval(P, Source);
@@ -360,6 +413,8 @@ void kf::runUnfusedVm(const Program &P, std::vector<Image> &Pool,
   for (KernelId Id : *Order) {
     const Kernel &K = P.kernel(Id);
     const ImageInfo &Info = P.image(K.Output);
+    std::string Label = "launch " + K.Name;
+    TraceSpan Span(Label.c_str(), "sim");
     VmProgram VM = compileKernelBody(P, Id);
     Image Out(Info.Width, Info.Height, Info.Channels);
 
@@ -455,7 +510,8 @@ int kf::fusedLaunchHalo(const StagedVmProgram &SP, uint16_t Root,
 void kf::runCompiledLaunch(const StagedVmProgram &SP, uint16_t Root,
                            int Halo, const std::vector<Image> &Pool,
                            Image &Out, const ExecutionOptions &Options,
-                           ThreadPool &TP, VmScratch &Scratch) {
+                           ThreadPool &TP, VmScratch &Scratch,
+                           LaunchTiming *Timing) {
   size_t RowScratch =
       static_cast<size_t>(SP.NumRegs) * rowCapacity(Options, Out.width());
   Scratch.ensure(TP.numThreads(), SP.NumRegs, RowScratch);
@@ -471,7 +527,8 @@ void kf::runCompiledLaunch(const StagedVmProgram &SP, uint16_t Root,
         return runStagedVm(SP, Root, Pool, X, Y, Ch,
                            Scratch.PixelRegs[Worker].data(),
                            Options.UseIndexExchange);
-      });
+      },
+      Timing);
 }
 
 void kf::runFusedVm(const FusedProgram &FP, std::vector<Image> &Pool,
@@ -480,6 +537,12 @@ void kf::runFusedVm(const FusedProgram &FP, std::vector<Image> &Pool,
   assert(Pool.size() == P.numImages() && "pool size mismatch");
   checkExternalInputs(P, Pool);
   ThreadPool TP(resolveThreadCount(Options.Threads));
+
+  // Launch-level observability: the interior/halo timing split is only
+  // collected (clock reads per row) when some consumer is listening.
+  const bool Observe = TraceRecorder::enabled() || MetricsRegistry::enabled();
+  if (MetricsRegistry::enabled())
+    MetricsRegistry::global().recordPrediction(P.name(), FP);
 
   VmScratch Scratch;
   for (const FusedKernel &FK : FP.Kernels) {
@@ -492,8 +555,23 @@ void kf::runFusedVm(const FusedProgram &FP, std::vector<Image> &Pool,
       const Kernel &Dest = P.kernel(DestId);
       const ImageInfo &Info = P.image(Dest.Output);
       Image Out(Info.Width, Info.Height, Info.Channels);
-      runCompiledLaunch(SP, Root, fusedLaunchHalo(SP, Root, Info), Pool,
-                        Out, Options, TP, Scratch);
+      if (!Observe) {
+        runCompiledLaunch(SP, Root, fusedLaunchHalo(SP, Root, Info), Pool,
+                          Out, Options, TP, Scratch);
+      } else {
+        std::string Label = "launch " + FK.Name;
+        LaunchTiming Timing;
+        TraceSpan Span(Label.c_str(), "sim");
+        runCompiledLaunch(SP, Root, fusedLaunchHalo(SP, Root, Info), Pool,
+                          Out, Options, TP, Scratch, &Timing);
+        Span.arg("interior_ms", Timing.InteriorMs);
+        Span.arg("halo_ms", Timing.HaloMs);
+        Span.arg("stages", static_cast<double>(FK.Stages.size()));
+        MetricsRegistry::global().recordLaunch(P.name(), FK.Name,
+                                               Timing.TotalMs,
+                                               Timing.InteriorMs,
+                                               Timing.HaloMs);
+      }
       Pool[Dest.Output] = std::move(Out);
     }
   }

@@ -111,16 +111,30 @@ struct VmScratch {
 int fusedLaunchHalo(const StagedVmProgram &SP, uint16_t Root,
                     const ImageInfo &Info);
 
+/// Fine-grained timing of one launch, split between the border-check-free
+/// interior row path and the index-exchange halo pixel path. Collected
+/// only on request (clock reads per row are not free); the tracing /
+/// metrics layer asks for it when enabled. Interior + halo is CPU time
+/// summed across workers, so it can exceed TotalMs (wall time) on
+/// multi-threaded launches.
+struct LaunchTiming {
+  double TotalMs = 0.0;
+  double InteriorMs = 0.0;
+  double HaloMs = 0.0;
+};
+
 /// Executes one compiled fused launch -- the staged program \p SP rooted
 /// at stage \p Root with interior/halo split \p Halo -- writing the
 /// destination image into \p Out *in place*. \p Out must already be shaped
 /// like the destination; it is fully overwritten (no prior clear needed).
 /// Building block of both runFusedVm (fresh buffers per call) and the
 /// streaming session layer (recycled buffers, persistent pool + scratch).
+/// A non-null \p Timing collects the wall time and the interior/halo CPU
+/// split of this launch.
 void runCompiledLaunch(const StagedVmProgram &SP, uint16_t Root, int Halo,
                        const std::vector<Image> &Pool, Image &Out,
                        const ExecutionOptions &Options, ThreadPool &TP,
-                       VmScratch &Scratch);
+                       VmScratch &Scratch, LaunchTiming *Timing = nullptr);
 
 /// Evaluates a single kernel of \p P at one pixel, reading inputs from
 /// \p Pool (border handling per the kernel). Exposed for unit tests.

@@ -1,0 +1,165 @@
+//===- sim/Metrics.cpp ------------------------------------------------------===//
+
+#include "sim/Metrics.h"
+
+#include "sim/CostModel.h"
+#include "support/StringUtils.h"
+#include "support/TablePrinter.h"
+
+#include <cmath>
+
+using namespace kf;
+
+std::atomic<bool> MetricsRegistry::EnabledFlag{false};
+
+MetricsRegistry &MetricsRegistry::global() {
+  static MetricsRegistry Registry;
+  return Registry;
+}
+
+void MetricsRegistry::setEnabled(bool Enabled) {
+  EnabledFlag.store(Enabled, std::memory_order_relaxed);
+}
+
+DeviceSpec MetricsRegistry::referenceDevice() { return DeviceSpec::gtx745(); }
+
+LaunchModelRecord &
+MetricsRegistry::findOrCreate(const std::string &Program,
+                              const std::string &Launch) {
+  for (LaunchModelRecord &Record : Records)
+    if (Record.Program == Program && Record.Launch == Launch)
+      return Record;
+  LaunchModelRecord Record;
+  Record.Program = Program;
+  Record.Launch = Launch;
+  Records.push_back(std::move(Record));
+  return Records.back();
+}
+
+void MetricsRegistry::recordPrediction(const std::string &Program,
+                                       const FusedProgram &FP) {
+  if (!enabled())
+    return;
+  DeviceSpec Device = referenceDevice();
+  CostModelParams Params;
+  ProgramStats Stats = accountFusedProgram(FP);
+  std::lock_guard<std::mutex> Lock(Mutex);
+  for (const LaunchStats &LS : Stats.Launches) {
+    LaunchModelRecord &Record = findOrCreate(Program, LS.Name);
+    Record.Stages = LS.NumStages;
+    Record.Pixels = LS.OutputPixels;
+    Record.PredictedMs = estimateLaunchTimeMs(LS, Device, Params);
+    // Milliseconds on the reference device expressed in its core cycles.
+    Record.PredictedCycles =
+        Record.PredictedMs * 1e-3 * Device.CoreClockGHz * 1e9;
+  }
+}
+
+void MetricsRegistry::recordLaunch(const std::string &Program,
+                                   const std::string &Launch,
+                                   double MeasuredMs, double InteriorMs,
+                                   double HaloMs) {
+  if (!enabled())
+    return;
+  std::lock_guard<std::mutex> Lock(Mutex);
+  LaunchModelRecord &Record = findOrCreate(Program, Launch);
+  ++Record.Runs;
+  Record.MeasuredMs += MeasuredMs;
+  Record.InteriorMs += InteriorMs;
+  Record.HaloMs += HaloMs;
+}
+
+std::vector<LaunchModelRecord> MetricsRegistry::records() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Records;
+}
+
+double MetricsRegistry::geomeanRatio() const {
+  std::vector<LaunchModelRecord> Snapshot = records();
+  double LogSum = 0.0;
+  unsigned Count = 0;
+  for (const LaunchModelRecord &Record : Snapshot) {
+    double Ratio = Record.ratio();
+    if (Ratio > 0.0) {
+      LogSum += std::log(Ratio);
+      ++Count;
+    }
+  }
+  return Count ? std::exp(LogSum / Count) : 0.0;
+}
+
+std::string MetricsRegistry::renderTable() const {
+  std::vector<LaunchModelRecord> Snapshot = records();
+  if (Snapshot.empty())
+    return "";
+  TablePrinter Table({"program", "launch", "stages", "pixels", "pred Mcyc",
+                      "pred ms", "runs", "meas ms", "interior ms", "halo ms",
+                      "pred/meas"});
+  for (const LaunchModelRecord &Record : Snapshot) {
+    double Runs = Record.Runs ? static_cast<double>(Record.Runs) : 1.0;
+    Table.addRow({Record.Program, Record.Launch,
+                  std::to_string(Record.Stages),
+                  std::to_string(Record.Pixels),
+                  formatDouble(Record.PredictedCycles / 1e6, 3),
+                  formatDouble(Record.PredictedMs, 4),
+                  std::to_string(Record.Runs),
+                  formatDouble(Record.measuredMeanMs(), 4),
+                  formatDouble(Record.InteriorMs / Runs, 4),
+                  formatDouble(Record.HaloMs / Runs, 4),
+                  Record.ratio() > 0.0 ? formatDouble(Record.ratio(), 3)
+                                       : std::string("-")});
+  }
+  std::string Result = Table.render();
+  double Geomean = geomeanRatio();
+  if (Geomean > 0.0) {
+    Result += "geomean predicted/measured ratio: ";
+    Result += formatDouble(Geomean, 3);
+    Result += "\n";
+  }
+  return Result;
+}
+
+/// Minimal JSON string escape (names are identifiers, but be safe).
+static std::string jsonEscape(const std::string &Text) {
+  std::string Out;
+  Out.reserve(Text.size());
+  for (char C : Text) {
+    if (C == '"' || C == '\\')
+      Out += '\\';
+    Out += C;
+  }
+  return Out;
+}
+
+std::string MetricsRegistry::toJson(const std::string &Indent) const {
+  std::vector<LaunchModelRecord> Snapshot = records();
+  std::string Out = "[";
+  bool First = true;
+  for (const LaunchModelRecord &Record : Snapshot) {
+    if (!First)
+      Out += ",";
+    First = false;
+    Out += "\n" + Indent + "{";
+    Out += "\"program\": \"" + jsonEscape(Record.Program) + "\", ";
+    Out += "\"launch\": \"" + jsonEscape(Record.Launch) + "\", ";
+    Out += "\"stages\": " + std::to_string(Record.Stages) + ", ";
+    Out += "\"pixels\": " + std::to_string(Record.Pixels) + ", ";
+    Out += "\"predicted_cycles\": " + formatDouble(Record.PredictedCycles, 1) +
+           ", ";
+    Out += "\"predicted_ms\": " + formatDouble(Record.PredictedMs, 6) + ", ";
+    Out += "\"runs\": " + std::to_string(Record.Runs) + ", ";
+    Out += "\"measured_mean_ms\": " +
+           formatDouble(Record.measuredMeanMs(), 6) + ", ";
+    Out += "\"interior_ms\": " + formatDouble(Record.InteriorMs, 6) + ", ";
+    Out += "\"halo_ms\": " + formatDouble(Record.HaloMs, 6) + ", ";
+    Out += "\"ratio\": " + formatDouble(Record.ratio(), 6);
+    Out += "}";
+  }
+  Out += "\n" + (Indent.size() >= 2 ? Indent.substr(2) : std::string()) + "]";
+  return Out;
+}
+
+void MetricsRegistry::clear() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Records.clear();
+}

@@ -2,7 +2,9 @@
 
 #include "sim/Session.h"
 
+#include "sim/Metrics.h"
 #include "support/Error.h"
+#include "support/Trace.h"
 
 #include <cassert>
 #include <chrono>
@@ -66,6 +68,11 @@ uint64_t kf::planKey(const FusedProgram &FP, const ExecutionOptions &Options) {
 std::shared_ptr<const CompiledPlan>
 kf::compilePlan(const FusedProgram &FP, const ExecutionOptions &Options) {
   const Program &P = *FP.Source;
+  TraceSpan Span("session.compile", "session");
+  // Plan compilation is where a streaming run's launches take shape, so
+  // it is also where their model predictions are recorded.
+  if (MetricsRegistry::enabled())
+    MetricsRegistry::global().recordPrediction(P.name(), FP);
   auto Plan = std::make_shared<CompiledPlan>();
   Plan->Key = planKey(FP, Options);
   Plan->ProgramName = P.name();
@@ -78,6 +85,7 @@ kf::compilePlan(const FusedProgram &FP, const ExecutionOptions &Options) {
     StagedVmProgram SP = compileFusedKernel(FP, FK);
     for (KernelId DestId : FK.Destinations) {
       CompiledLaunch Launch;
+      Launch.Name = FK.Name;
       for (size_t I = 0; I != FK.Stages.size(); ++I)
         if (FK.Stages[I].Kernel == DestId)
           Launch.Root = static_cast<uint16_t>(I);
@@ -253,6 +261,8 @@ void PipelineSession::runFrame(std::vector<Image> &Frame) {
                        "' missing or mis-shaped in the session frame");
   }
 
+  const bool Observe = TraceRecorder::enabled() || MetricsRegistry::enabled();
+  TraceSpan FrameSpan("session.frame", "session");
   auto Start = std::chrono::steady_clock::now();
   for (const CompiledLaunch &Launch : Current->Launches) {
     const ImageInfo &Info = Current->Shapes[Launch.Output];
@@ -262,8 +272,22 @@ void PipelineSession::runFrame(std::vector<Image> &Frame) {
       Out = Image(Info.Width, Info.Height, Info.Channels);
     // In-place write: a launch never reads its own output (the kernel DAG
     // is acyclic), so reusing the previous frame's buffer is safe.
-    runCompiledLaunch(Launch.Code, Launch.Root, Launch.Halo, Frame, Out,
-                      Options, *Pool, Scratch);
+    if (!Observe) {
+      runCompiledLaunch(Launch.Code, Launch.Root, Launch.Halo, Frame, Out,
+                        Options, *Pool, Scratch);
+    } else {
+      std::string Label = "launch " + Launch.Name;
+      LaunchTiming Timing;
+      TraceSpan Span(Label.c_str(), "sim");
+      runCompiledLaunch(Launch.Code, Launch.Root, Launch.Halo, Frame, Out,
+                        Options, *Pool, Scratch, &Timing);
+      Span.arg("interior_ms", Timing.InteriorMs);
+      Span.arg("halo_ms", Timing.HaloMs);
+      MetricsRegistry::global().recordLaunch(Current->ProgramName,
+                                             Launch.Name, Timing.TotalMs,
+                                             Timing.InteriorMs,
+                                             Timing.HaloMs);
+    }
   }
   Stats.ExecMs += sinceMs(Start);
   ++Stats.Frames;
@@ -287,7 +311,12 @@ SessionStats PipelineSession::runFrames(int NumFrames,
     if (F + 1 != NumFrames) {
       Next = acquireFrame();
       if (Fill)
-        Filler = std::thread([&Fill, &Next, F] { Fill(F + 1, Next); });
+        Filler = std::thread([&Fill, &Next, F] {
+          // Spanning the fill on its own thread makes the fill/exec
+          // overlap directly visible on the trace timeline.
+          TraceSpan Span("session.fill", "session");
+          Fill(F + 1, Next);
+        });
     }
 
     runFrame(Current);

@@ -57,6 +57,7 @@ uint64_t hashNamedField(const char *Name, uint64_t Value);
 /// One launch of a compiled plan: a staged bytecode program, the root
 /// stage computing the destination, and the interior/halo split.
 struct CompiledLaunch {
+  std::string Name;   ///< Fused kernel name (trace/metrics label).
   StagedVmProgram Code;
   uint16_t Root = 0;
   ImageId Output = 0; ///< Pool image the launch writes.

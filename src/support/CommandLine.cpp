@@ -6,6 +6,8 @@
 #include "support/StringUtils.h"
 
 #include <algorithm>
+#include <cerrno>
+#include <cmath>
 #include <cstdlib>
 
 using namespace kf;
@@ -53,7 +55,12 @@ long CommandLine::getIntOption(const std::string &Name, long Default) const {
   if (!isIntegerLiteral(It->second))
     reportFatalError("option --" + Name + " expects an integer, got '" +
                      It->second + "'");
-  return std::strtol(It->second.c_str(), nullptr, 10);
+  errno = 0;
+  long Value = std::strtol(It->second.c_str(), nullptr, 10);
+  if (errno == ERANGE)
+    reportFatalError("option --" + Name + " value '" + It->second +
+                     "' is out of range");
+  return Value;
 }
 
 double CommandLine::getDoubleOption(const std::string &Name,
@@ -62,9 +69,15 @@ double CommandLine::getDoubleOption(const std::string &Name,
   if (It == Options.end())
     return Default;
   char *End = nullptr;
+  errno = 0;
   double Value = std::strtod(It->second.c_str(), &End);
   if (End == It->second.c_str() || *End != '\0')
     reportFatalError("option --" + Name + " expects a number, got '" +
                      It->second + "'");
+  // Overflow clamps to +/-HUGE_VAL with ERANGE; underflow (denormal or
+  // zero result) also raises ERANGE but is an acceptable representation.
+  if (errno == ERANGE && std::abs(Value) == HUGE_VAL)
+    reportFatalError("option --" + Name + " value '" + It->second +
+                     "' is out of range");
   return Value;
 }

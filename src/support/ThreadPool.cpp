@@ -2,7 +2,12 @@
 
 #include "support/ThreadPool.h"
 
+#include "support/Trace.h"
+
 #include <algorithm>
+#include <cerrno>
+#include <climits>
+#include <cstdio>
 #include <cstdlib>
 #include <string>
 
@@ -13,16 +18,27 @@ unsigned kf::resolveThreadCount(int Requested) {
     return static_cast<unsigned>(Requested);
   if (const char *Env = std::getenv("KF_THREADS")) {
     char *End = nullptr;
+    errno = 0;
     long Value = std::strtol(Env, &End, 10);
-    if (End != Env && *End == '\0' && Value > 0)
+    if (End != Env && *End == '\0' && errno != ERANGE && Value > 0 &&
+        Value <= INT_MAX)
       return static_cast<unsigned>(Value);
+    // A malformed / non-positive / out-of-range KF_THREADS silently
+    // changing the parallelism of every run is a debugging trap: say so,
+    // but only once per process (resolveThreadCount runs per launch).
+    static std::atomic<bool> Warned{false};
+    if (!Warned.exchange(true))
+      std::fprintf(stderr,
+                   "warning: ignoring invalid KF_THREADS='%s' (expected a "
+                   "positive integer); using hardware concurrency\n",
+                   Env);
   }
   unsigned Hardware = std::thread::hardware_concurrency();
   return Hardware > 0 ? Hardware : 1;
 }
 
 ThreadPool::ThreadPool(unsigned ThreadsIn)
-    : NumThreads(ThreadsIn > 0 ? ThreadsIn : 1) {
+    : NumThreads(ThreadsIn > 0 ? ThreadsIn : 1), TileCounts(NumThreads) {
   Workers.reserve(NumThreads - 1);
   for (unsigned I = 1; I != NumThreads; ++I)
     Workers.emplace_back([this, I] { workerLoop(I); });
@@ -36,13 +52,48 @@ ThreadPool::~ThreadPool() {
   StartCv.notify_all();
   for (std::thread &Worker : Workers)
     Worker.join();
+
+  // A pool created inside a single run (runFusedVm, a session) dies with
+  // it; exporting its scheduling counters here gives the tracing layer
+  // tile-queue utilization without threading the pool object out.
+  if (TraceRecorder::enabled()) {
+    TraceRecorder &Recorder = TraceRecorder::global();
+    ThreadPoolStats Stats = stats();
+    Recorder.addCounter("threadpool.launches",
+                        static_cast<double>(Stats.Launches));
+    Recorder.addCounter("threadpool.tiles",
+                        static_cast<double>(Stats.Tiles));
+    Recorder.addCounter("threadpool.idle_waits",
+                        static_cast<double>(Stats.IdleWaits));
+    for (unsigned I = 0; I != Stats.TilesPerWorker.size(); ++I)
+      Recorder.addCounter("threadpool.tiles.worker" + std::to_string(I),
+                          static_cast<double>(Stats.TilesPerWorker[I]));
+  }
+}
+
+ThreadPoolStats ThreadPool::stats() const {
+  ThreadPoolStats Stats;
+  Stats.TilesPerWorker.resize(NumThreads);
+  for (unsigned I = 0; I != NumThreads; ++I) {
+    Stats.TilesPerWorker[I] = TileCounts[I].load(std::memory_order_relaxed);
+    Stats.Tiles += Stats.TilesPerWorker[I];
+  }
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Stats.Launches = LaunchCount;
+  Stats.IdleWaits = IdleWaitCount;
+  return Stats;
 }
 
 void ThreadPool::drainTiles(unsigned WorkerIdx) {
   size_t Count = Tiles.size();
+  uint64_t Drained = 0;
   for (size_t I = NextTile.fetch_add(1, std::memory_order_relaxed);
-       I < Count; I = NextTile.fetch_add(1, std::memory_order_relaxed))
+       I < Count; I = NextTile.fetch_add(1, std::memory_order_relaxed)) {
     (*JobFn)(Tiles[I], WorkerIdx);
+    ++Drained;
+  }
+  if (Drained != 0)
+    TileCounts[WorkerIdx].fetch_add(Drained, std::memory_order_relaxed);
 }
 
 void ThreadPool::workerLoop(unsigned WorkerIdx) {
@@ -50,6 +101,8 @@ void ThreadPool::workerLoop(unsigned WorkerIdx) {
   while (true) {
     {
       std::unique_lock<std::mutex> Lock(Mutex);
+      if (!Shutdown && JobGeneration == SeenGeneration)
+        ++IdleWaitCount; // The worker is about to block for work.
       StartCv.wait(Lock, [&] {
         return Shutdown || JobGeneration != SeenGeneration;
       });
@@ -86,6 +139,11 @@ void ThreadPool::parallelFor2D(
   if (NumThreads == 1 || Enumerated.size() == 1) {
     for (const TileRange &Tile : Enumerated)
       Fn(Tile, 0);
+    TileCounts[0].fetch_add(Enumerated.size(), std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      ++LaunchCount;
+    }
     return;
   }
 
@@ -96,6 +154,7 @@ void ThreadPool::parallelFor2D(
     NextTile.store(0, std::memory_order_relaxed);
     ActiveWorkers = NumThreads - 1;
     ++JobGeneration;
+    ++LaunchCount;
   }
   StartCv.notify_all();
 

@@ -42,8 +42,21 @@ struct TileRange {
 
 /// Resolves a requested worker count: \p Requested > 0 is taken verbatim;
 /// 0 consults the KF_THREADS environment variable and falls back to
-/// std::thread::hardware_concurrency(). The result is always >= 1.
+/// std::thread::hardware_concurrency(). A malformed or non-positive
+/// KF_THREADS value is ignored with a one-time stderr warning (it would
+/// otherwise silently change the parallelism of every run). The result is
+/// always >= 1.
 unsigned resolveThreadCount(int Requested);
+
+/// Cumulative scheduling counters of one ThreadPool, for the tracing /
+/// metrics layer: how evenly tiles spread over workers and how often
+/// workers went idle waiting for a launch.
+struct ThreadPoolStats {
+  uint64_t Launches = 0;  ///< parallelFor2D calls that fanned out.
+  uint64_t Tiles = 0;     ///< Tiles executed across all launches.
+  uint64_t IdleWaits = 0; ///< Times a worker blocked awaiting work.
+  std::vector<uint64_t> TilesPerWorker; ///< Indexed by worker id.
+};
 
 /// A fixed-size pool of persistent worker threads. The pool is created
 /// once and reused across many parallelFor2D launches (kernel launches of
@@ -60,6 +73,11 @@ public:
 
   unsigned numThreads() const { return NumThreads; }
 
+  /// Snapshot of the cumulative scheduling counters. Always maintained
+  /// (the per-tile cost is one non-atomic per-worker increment); consumed
+  /// by the tracing layer and `kfc --metrics`.
+  ThreadPoolStats stats() const;
+
   /// Decomposes the Width x Height space into TileW x TileH tiles (edge
   /// tiles are clipped) and invokes \p Fn once per tile with the tile and
   /// the index of the executing worker (in [0, numThreads())). Blocks
@@ -75,7 +93,7 @@ private:
   unsigned NumThreads = 1;
   std::vector<std::thread> Workers;
 
-  std::mutex Mutex;
+  mutable std::mutex Mutex; ///< mutable: stats() snapshots under lock.
   std::condition_variable StartCv;
   std::condition_variable DoneCv;
   bool Shutdown = false;
@@ -86,6 +104,14 @@ private:
   const std::function<void(const TileRange &, unsigned)> *JobFn = nullptr;
   std::vector<TileRange> Tiles;
   std::atomic<size_t> NextTile{0};
+
+  // Scheduling counters. Per-worker tile counts are atomics so stats()
+  // can read them while workers drain (relaxed; they are statistics, not
+  // synchronization). IdleWaits is guarded by Mutex (incremented only
+  // while it is held).
+  std::vector<std::atomic<uint64_t>> TileCounts;
+  uint64_t LaunchCount = 0; ///< Caller-side only.
+  uint64_t IdleWaitCount = 0;
 };
 
 } // namespace kf

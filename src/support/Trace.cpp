@@ -1,0 +1,200 @@
+//===- support/Trace.cpp ----------------------------------------------------===//
+
+#include "support/Trace.h"
+
+#include "support/StringUtils.h"
+#include "support/TablePrinter.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+using namespace kf;
+
+std::atomic<bool> TraceRecorder::EnabledFlag{false};
+
+TraceRecorder::TraceRecorder() : Epoch(std::chrono::steady_clock::now()) {}
+
+TraceRecorder &TraceRecorder::global() {
+  static TraceRecorder Recorder;
+  return Recorder;
+}
+
+void TraceRecorder::setEnabled(bool Enabled) {
+  EnabledFlag.store(Enabled, std::memory_order_relaxed);
+}
+
+double TraceRecorder::nowUs() const {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - Epoch)
+      .count();
+}
+
+uint32_t TraceRecorder::threadId() {
+  // Cached per OS thread; the slow path assigns the next sequential id.
+  thread_local uint32_t Cached = UINT32_MAX;
+  if (Cached == UINT32_MAX) {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Cached = NextThreadId++;
+  }
+  return Cached;
+}
+
+void TraceRecorder::recordSpan(
+    std::string Name, std::string Category, double StartUs,
+    double DurationUs, std::vector<std::pair<std::string, double>> Args) {
+  if (!enabled())
+    return;
+  TraceSpanRecord Record;
+  Record.Name = std::move(Name);
+  Record.Category = std::move(Category);
+  Record.ThreadId = threadId();
+  Record.StartUs = StartUs;
+  Record.DurationUs = DurationUs;
+  Record.Args = std::move(Args);
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Spans.push_back(std::move(Record));
+}
+
+void TraceRecorder::addCounter(const std::string &Name, double Delta) {
+  if (!enabled())
+    return;
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Counters[Name] += Delta;
+}
+
+std::vector<TraceSpanRecord> TraceRecorder::spans() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Spans;
+}
+
+std::map<std::string, double> TraceRecorder::counters() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Counters;
+}
+
+std::vector<SpanAggregate> TraceRecorder::aggregateSpans() const {
+  std::map<std::string, SpanAggregate> ByName;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    for (const TraceSpanRecord &Span : Spans) {
+      SpanAggregate &Agg = ByName[Span.Name];
+      Agg.Name = Span.Name;
+      ++Agg.Count;
+      Agg.TotalUs += Span.DurationUs;
+    }
+  }
+  std::vector<SpanAggregate> Result;
+  Result.reserve(ByName.size());
+  for (auto &[Name, Agg] : ByName)
+    Result.push_back(std::move(Agg));
+  std::sort(Result.begin(), Result.end(),
+            [](const SpanAggregate &A, const SpanAggregate &B) {
+              return A.TotalUs > B.TotalUs;
+            });
+  return Result;
+}
+
+void TraceRecorder::clear() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Spans.clear();
+  Counters.clear();
+}
+
+/// Escapes the characters JSON string literals cannot carry verbatim.
+static std::string jsonEscape(const std::string &Text) {
+  std::string Out;
+  Out.reserve(Text.size());
+  for (char C : Text) {
+    if (C == '"' || C == '\\')
+      Out += '\\';
+    if (static_cast<unsigned char>(C) < 0x20) {
+      char Buf[8];
+      std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+      Out += Buf;
+      continue;
+    }
+    Out += C;
+  }
+  return Out;
+}
+
+bool TraceRecorder::writeChromeTrace(const std::string &Path) const {
+  std::vector<TraceSpanRecord> Snapshot = spans();
+  std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+  if (!Out.good())
+    return false;
+  Out << "{\"traceEvents\": [\n";
+  bool First = true;
+  for (const TraceSpanRecord &Span : Snapshot) {
+    if (!First)
+      Out << ",\n";
+    First = false;
+    Out << "  {\"name\": \"" << jsonEscape(Span.Name) << "\", \"cat\": \""
+        << jsonEscape(Span.Category) << "\", \"ph\": \"X\", \"pid\": 0, "
+        << "\"tid\": " << Span.ThreadId << ", \"ts\": "
+        << formatDouble(Span.StartUs, 3) << ", \"dur\": "
+        << formatDouble(Span.DurationUs, 3);
+    if (!Span.Args.empty()) {
+      Out << ", \"args\": {";
+      bool FirstArg = true;
+      for (const auto &[Key, Value] : Span.Args) {
+        if (!FirstArg)
+          Out << ", ";
+        FirstArg = false;
+        Out << "\"" << jsonEscape(Key) << "\": " << formatDouble(Value, 4);
+      }
+      Out << "}";
+    }
+    Out << "}";
+  }
+  Out << "\n]}\n";
+  return Out.good();
+}
+
+std::string TraceRecorder::metricsSummary() const {
+  std::string Result;
+  std::vector<SpanAggregate> Aggregates = aggregateSpans();
+  if (!Aggregates.empty()) {
+    TablePrinter Table({"span", "count", "total ms", "mean ms"});
+    for (const SpanAggregate &Agg : Aggregates)
+      Table.addRow({Agg.Name, std::to_string(Agg.Count),
+                    formatDouble(Agg.TotalUs / 1e3, 3),
+                    formatDouble(Agg.TotalUs / 1e3 / Agg.Count, 4)});
+    Result += Table.render();
+  }
+  std::map<std::string, double> Counts = counters();
+  if (!Counts.empty()) {
+    TablePrinter Table({"counter", "value"});
+    for (const auto &[Name, Value] : Counts)
+      Table.addRow({Name, formatDouble(Value, 0)});
+    if (!Result.empty())
+      Result += "\n";
+    Result += Table.render();
+  }
+  return Result;
+}
+
+//===--------------------------------------------------------------------===//
+// TraceSpan
+//===--------------------------------------------------------------------===//
+
+TraceSpan::TraceSpan(const char *NameIn, const char *CategoryIn)
+    : Active(TraceRecorder::enabled()), Name(NameIn), Category(CategoryIn) {
+  if (Active)
+    StartUs = TraceRecorder::global().nowUs();
+}
+
+TraceSpan::~TraceSpan() {
+  if (!Active)
+    return;
+  TraceRecorder &Recorder = TraceRecorder::global();
+  double EndUs = Recorder.nowUs();
+  Recorder.recordSpan(Name, Category, StartUs, EndUs - StartUs,
+                      std::move(Args));
+}
+
+void TraceSpan::arg(const char *Key, double Value) {
+  if (Active)
+    Args.emplace_back(Key, Value);
+}

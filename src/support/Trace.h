@@ -1,0 +1,154 @@
+//===- support/Trace.h - Low-overhead span/counter tracing -----*- C++ -*-===//
+///
+/// \file
+/// The observability substrate of the execution engines: a process-wide,
+/// thread-safe recorder of timed *spans* (named intervals on a thread) and
+/// monotonic *counters*. Runtime fusion systems ship exactly this kind of
+/// launch-level telemetry to drive their caches and validate their models
+/// (Kristensen et al., "Fusion of Array Operations at Runtime"); here it
+/// is what lets every perf PR see where time actually goes per launch,
+/// per stage, and per tile batch.
+///
+/// Design constraints:
+///   - Disabled by default, and near-free when disabled: the only cost on
+///     an instrumented path is one relaxed atomic load (no clock reads,
+///     no allocation, no locking). The engines additionally keep their
+///     finest-grained accounting (interior/halo splits) behind the same
+///     flag.
+///   - Thread-safe when enabled: spans may be recorded concurrently from
+///     worker and filler threads; each record carries a small sequential
+///     thread id assigned on first use.
+///
+/// Two exporters:
+///   - writeChromeTrace: the chrome://tracing / Perfetto JSON array of
+///     complete ("ph":"X") events -- load the file in a trace viewer to
+///     see launches, stages, and fill/exec overlap on a timeline;
+///   - metricsSummary: a flat per-span-name aggregation (count, total,
+///     mean) plus the counter values, for terminal consumption.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KF_SUPPORT_TRACE_H
+#define KF_SUPPORT_TRACE_H
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace kf {
+
+/// One completed span: a named interval recorded on one thread.
+struct TraceSpanRecord {
+  std::string Name;
+  std::string Category;
+  uint32_t ThreadId = 0; ///< Sequential id, 0 = first thread seen.
+  double StartUs = 0.0;  ///< Microseconds since the recorder epoch.
+  double DurationUs = 0.0;
+  /// Optional numeric arguments ("interior_ms", "halo_ms", ...), emitted
+  /// into the chrome-trace "args" object.
+  std::vector<std::pair<std::string, double>> Args;
+};
+
+/// Aggregated view of all spans sharing one name.
+struct SpanAggregate {
+  std::string Name;
+  uint64_t Count = 0;
+  double TotalUs = 0.0;
+};
+
+/// The process-wide span/counter recorder. All member functions are
+/// thread-safe; recording functions are no-ops while disabled.
+class TraceRecorder {
+public:
+  /// The recorder instrumented code reports into.
+  static TraceRecorder &global();
+
+  /// Cheap enabled test for instrumentation sites: one relaxed atomic
+  /// load, no function-local statics on the hot path.
+  static bool enabled() {
+    return EnabledFlag.load(std::memory_order_relaxed);
+  }
+
+  /// Enables or disables recording (globally, all threads).
+  void setEnabled(bool Enabled);
+
+  /// Microseconds since the recorder epoch (process start, steady clock).
+  double nowUs() const;
+
+  /// Small sequential id of the calling thread, assigned on first use and
+  /// cached thread-locally.
+  uint32_t threadId();
+
+  /// Records one completed span. No-op while disabled.
+  void recordSpan(std::string Name, std::string Category, double StartUs,
+                  double DurationUs,
+                  std::vector<std::pair<std::string, double>> Args = {});
+
+  /// Adds \p Delta to counter \p Name (created at zero). No-op while
+  /// disabled.
+  void addCounter(const std::string &Name, double Delta);
+
+  /// Snapshot of all recorded spans, in recording order.
+  std::vector<TraceSpanRecord> spans() const;
+
+  /// Snapshot of all counters.
+  std::map<std::string, double> counters() const;
+
+  /// Spans aggregated by name, ordered by descending total time.
+  std::vector<SpanAggregate> aggregateSpans() const;
+
+  /// Drops all recorded spans and counters (the enabled flag is kept).
+  void clear();
+
+  /// Writes the chrome://tracing JSON ("traceEvents" array of "ph":"X"
+  /// complete events). Returns false on I/O failure.
+  bool writeChromeTrace(const std::string &Path) const;
+
+  /// Flat text summary: per-name span aggregates and counter values.
+  std::string metricsSummary() const;
+
+private:
+  TraceRecorder();
+
+  static std::atomic<bool> EnabledFlag;
+
+  std::chrono::steady_clock::time_point Epoch;
+  mutable std::mutex Mutex;
+  std::vector<TraceSpanRecord> Spans;
+  std::map<std::string, double> Counters;
+  uint32_t NextThreadId = 0;
+};
+
+/// RAII span recorder: captures the start time at construction and
+/// records the span at destruction. When tracing is disabled at
+/// construction the object is inert (no clock reads).
+class TraceSpan {
+public:
+  explicit TraceSpan(const char *Name, const char *Category = "kf");
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan &) = delete;
+  TraceSpan &operator=(const TraceSpan &) = delete;
+
+  /// Attaches a numeric argument to the span (ignored when inert).
+  void arg(const char *Key, double Value);
+
+  /// True when the span is actually recording.
+  bool active() const { return Active; }
+
+private:
+  bool Active;
+  const char *Name;
+  const char *Category;
+  double StartUs = 0.0;
+  std::vector<std::pair<std::string, double>> Args;
+};
+
+} // namespace kf
+
+#endif // KF_SUPPORT_TRACE_H

@@ -119,4 +119,47 @@ TEST(ParserRobustness, LongIdentifiersAndNumbers) {
   EXPECT_EQ(Result.Prog->name(), Long);
 }
 
+/// True when some diagnostic mentions \p Needle.
+bool anyErrorContains(const ParseResult &Result, const std::string &Needle) {
+  for (const std::string &Error : Result.Errors)
+    if (Error.find(Needle) != std::string::npos)
+      return true;
+  return false;
+}
+
+TEST(ParserRobustness, OutOfRangeIntegerLiteral) {
+  // An image extent that overflows long must be a diagnostic, not silent
+  // truncation (atoi/strtol without errno checking would return garbage).
+  ParseResult Result = parsePipelineText(
+      "program p\nimage a 99999999999999999999 8\nimage b 8 8\n"
+      "point kernel k(a) -> b { out = a }");
+  EXPECT_FALSE(Result.success());
+  EXPECT_TRUE(anyErrorContains(Result, "out of range"));
+}
+
+TEST(ParserRobustness, OutOfRangeFloatLiteral) {
+  // 1e999 overflows float; both the plain literal and the negated
+  // constant-fold path must diagnose instead of producing inf.
+  for (const char *Literal : {"1e999", "-1e999"}) {
+    std::string Source = std::string("program p\nimage a 8 8\nimage b 8 8\n"
+                                     "point kernel k(a) -> b { out = a * ") +
+                         Literal + " }";
+    ParseResult Result = parsePipelineText(Source);
+    EXPECT_FALSE(Result.success()) << Literal;
+    EXPECT_TRUE(anyErrorContains(Result, "out of range")) << Literal;
+  }
+}
+
+TEST(ParserRobustness, ExtremeButRepresentableLiteralsParse) {
+  // Large-but-finite and underflowing literals are fine: 1e30 is a valid
+  // float, and 1e-999 underflows to zero without being an error.
+  for (const char *Literal : {"1e30", "1e-999", "3.4e38"}) {
+    std::string Source = std::string("program p\nimage a 8 8\nimage b 8 8\n"
+                                     "point kernel k(a) -> b { out = a * ") +
+                         Literal + " }";
+    ParseResult Result = parsePipelineText(Source);
+    EXPECT_TRUE(Result.success()) << Literal;
+  }
+}
+
 } // namespace

@@ -173,4 +173,61 @@ TEST(ImageIO, RejectsUnsupportedChannelCount) {
   EXPECT_FALSE(writePnm(TwoChannel, ::testing::TempDir() + "kf_bad.pnm"));
 }
 
+/// Writes raw bytes to a temp file and returns its path.
+static std::string writeRawPnm(const std::string &Name,
+                               const std::string &Bytes) {
+  std::string Path = ::testing::TempDir() + Name;
+  std::FILE *File = std::fopen(Path.c_str(), "wb");
+  EXPECT_NE(File, nullptr);
+  std::fwrite(Bytes.data(), 1, Bytes.size(), File);
+  std::fclose(File);
+  return Path;
+}
+
+TEST(ImageIO, ScalesByDeclaredMaxval) {
+  // A maxval-15 PGM: sample 15 must read back as 1.0, sample 3 as 3/15.
+  std::string Path = writeRawPnm(
+      "kf_maxval15.pgm", std::string("P5\n2 1\n15\n") + '\x0f' + '\x03');
+  std::optional<Image> Img = readPnm(Path);
+  std::remove(Path.c_str());
+  ASSERT_TRUE(Img.has_value());
+  EXPECT_EQ(Img->width(), 2);
+  EXPECT_EQ(Img->height(), 1);
+  EXPECT_FLOAT_EQ(Img->at(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(Img->at(1, 0), 3.0f / 15.0f);
+}
+
+TEST(ImageIO, MaxvalOneIsBinary) {
+  std::string Path = writeRawPnm(
+      "kf_maxval1.pgm", std::string("P5\n2 1\n1\n") + '\x01' + '\x00');
+  std::optional<Image> Img = readPnm(Path);
+  std::remove(Path.c_str());
+  ASSERT_TRUE(Img.has_value());
+  EXPECT_FLOAT_EQ(Img->at(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(Img->at(1, 0), 0.0f);
+}
+
+TEST(ImageIO, RejectsMalformedHeaders) {
+  const char Pixel = '\x00';
+  struct Case {
+    const char *Name;
+    std::string Header;
+  } Cases[] = {
+      {"kf_badw.pgm", "P5\n4x 1\n255\n"},       // trailing garbage in width
+      {"kf_negw.pgm", "P5\n-2 1\n255\n"},       // negative width
+      {"kf_zerow.pgm", "P5\n0 1\n255\n"},       // zero width
+      {"kf_hugew.pgm",                          // width overflows long
+       "P5\n99999999999999999999 1\n255\n"},
+      {"kf_max0.pgm", "P5\n1 1\n0\n"},          // maxval 0
+      {"kf_max256.pgm", "P5\n1 1\n256\n"},      // 16-bit maxval unsupported
+      {"kf_maxg.pgm", "P5\n1 1\n255x\n"},       // trailing garbage in maxval
+      {"kf_negmax.pgm", "P5\n1 1\n-255\n"},     // negative maxval
+  };
+  for (const Case &C : Cases) {
+    std::string Path = writeRawPnm(C.Name, C.Header + Pixel);
+    EXPECT_FALSE(readPnm(Path).has_value()) << C.Name;
+    std::remove(Path.c_str());
+  }
+}
+
 } // namespace

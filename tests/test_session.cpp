@@ -247,6 +247,57 @@ TEST(PlanCache, ReinsertReplacesWithoutGrowth) {
   EXPECT_EQ(Cache.stats().Evictions, 0u);
 }
 
+TEST(PlanCache, CapacityOneEvictsOnEveryNewKey) {
+  PlanCache Cache(1);
+  Cache.insert(dummyPlan(1));
+  Cache.insert(dummyPlan(2)); // Evicts 1.
+  EXPECT_EQ(Cache.lookup(1), nullptr);
+  EXPECT_NE(Cache.lookup(2), nullptr);
+  Cache.insert(dummyPlan(2)); // Same key: replace, no eviction.
+  PlanCacheStats Stats = Cache.stats();
+  EXPECT_EQ(Stats.Entries, 1u);
+  EXPECT_EQ(Stats.Evictions, 1u);
+  EXPECT_NE(Cache.lookup(2), nullptr);
+}
+
+TEST(PlanCache, ReinsertKeepsEntryMostRecentlyUsed) {
+  PlanCache Cache(2);
+  Cache.insert(dummyPlan(1));
+  Cache.insert(dummyPlan(2));
+  Cache.insert(dummyPlan(1)); // Replace: 1 becomes most recent.
+  Cache.insert(dummyPlan(3)); // Evicts 2, not 1.
+  EXPECT_NE(Cache.lookup(1), nullptr);
+  EXPECT_EQ(Cache.lookup(2), nullptr);
+  EXPECT_NE(Cache.lookup(3), nullptr);
+}
+
+TEST(PlanCache, ConcurrentLookupInsertKeepsStatsConsistent) {
+  // Threads hammer a shared cache with overlapping key ranges; afterwards
+  // every lookup must be accounted as exactly one hit or miss, and the
+  // entry count must respect capacity. Runs under -DKF_SANITIZE=thread
+  // via the sanitize-smoke label.
+  PlanCache Cache(4);
+  constexpr int NumThreads = 4;
+  constexpr int IterationsPerThread = 500;
+  std::vector<std::thread> Threads;
+  for (int T = 0; T != NumThreads; ++T)
+    Threads.emplace_back([&Cache, T] {
+      for (int I = 0; I != IterationsPerThread; ++I) {
+        uint64_t Key = static_cast<uint64_t>((T + I) % 8);
+        if (!Cache.lookup(Key))
+          Cache.insert(dummyPlan(Key));
+      }
+    });
+  for (std::thread &Thread : Threads)
+    Thread.join();
+  PlanCacheStats Stats = Cache.stats();
+  EXPECT_EQ(Stats.Hits + Stats.Misses,
+            static_cast<uint64_t>(NumThreads) * IterationsPerThread);
+  EXPECT_LE(Stats.Entries, 4u);
+  EXPECT_GT(Stats.Hits, 0u);
+  EXPECT_GT(Stats.Misses, 0u);
+}
+
 TEST(PlanCache, ClearResets) {
   PlanCache Cache(2);
   Cache.insert(dummyPlan(1));

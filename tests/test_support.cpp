@@ -183,4 +183,32 @@ TEST(CommandLine, MalformedIntegerDies) {
   EXPECT_DEATH(Cl.getIntOption("runs", 0), "expects an integer");
 }
 
+TEST(CommandLine, OutOfRangeIntegerDies) {
+  const char *Argv[] = {"prog", "--runs", "99999999999999999999"};
+  CommandLine Cl(3, Argv);
+  EXPECT_DEATH(Cl.getIntOption("runs", 0), "out of range");
+}
+
+TEST(CommandLine, OutOfRangeDoubleDies) {
+  const char *Argv[] = {"prog", "--scale", "1e999"};
+  CommandLine Cl(3, Argv);
+  EXPECT_DEATH(Cl.getDoubleOption("scale", 0.0), "out of range");
+}
+
+TEST(CommandLine, TrailingGarbageDoubleDies) {
+  const char *Argv[] = {"prog", "--scale", "1.5x"};
+  CommandLine Cl(3, Argv);
+  EXPECT_DEATH(Cl.getDoubleOption("scale", 0.0), "expects a number");
+}
+
+TEST(CommandLine, UnderflowDoubleIsAccepted) {
+  // Denormal/underflow results are not an error: strtod sets ERANGE but
+  // returns a usable (near-zero) value.
+  const char *Argv[] = {"prog", "--scale", "1e-999"};
+  CommandLine Cl(3, Argv);
+  double Value = Cl.getDoubleOption("scale", 1.0);
+  EXPECT_GE(Value, 0.0);
+  EXPECT_LT(Value, 1e-300);
+}
+
 } // namespace

@@ -144,4 +144,38 @@ TEST(ThreadPool, ResolveThreadCountReadsEnvironment) {
   EXPECT_GE(resolveThreadCount(0), 1u);
 }
 
+TEST(ThreadPool, ResolveThreadCountRejectsMalformedEnvironment) {
+  // Malformed or non-positive KF_THREADS values must all fall back to
+  // hardware concurrency (>= 1), never crash or return 0. The fallback
+  // must match what an unset variable yields.
+  unsetenv("KF_THREADS");
+  unsigned Fallback = resolveThreadCount(0);
+  EXPECT_GE(Fallback, 1u);
+  const char *Bad[] = {"abc", "0",   "-2",
+                       "3x",  "",    "2.5",
+                       "99999999999999999999"};
+  for (const char *Value : Bad) {
+    setenv("KF_THREADS", Value, 1);
+    EXPECT_EQ(resolveThreadCount(0), Fallback)
+        << "KF_THREADS='" << Value << "'";
+  }
+  // An explicit request still wins over a (valid or invalid) environment.
+  setenv("KF_THREADS", "7", 1);
+  EXPECT_EQ(resolveThreadCount(2), 2u);
+  unsetenv("KF_THREADS");
+}
+
+TEST(ThreadPool, StatsCountLaunchesAndTiles) {
+  ThreadPool Pool(2);
+  Pool.parallelFor2D(8, 8, 4, 4, [](const TileRange &, unsigned) {});
+  Pool.parallelFor2D(4, 4, 4, 4, [](const TileRange &, unsigned) {});
+  ThreadPoolStats Stats = Pool.stats();
+  EXPECT_EQ(Stats.Launches, 2u);
+  EXPECT_EQ(Stats.Tiles, 5u);
+  uint64_t PerWorker = 0;
+  for (uint64_t Count : Stats.TilesPerWorker)
+    PerWorker += Count;
+  EXPECT_EQ(PerWorker, Stats.Tiles);
+}
+
 } // namespace

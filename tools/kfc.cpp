@@ -32,12 +32,14 @@
 #include "ir/Simplify.h"
 #include "sim/CostModel.h"
 #include "sim/Executor.h"
+#include "sim/Metrics.h"
 #include "sim/Session.h"
 #include "support/CommandLine.h"
 #include "support/DotWriter.h"
 #include "support/StringUtils.h"
 #include "support/TablePrinter.h"
 #include "support/ThreadPool.h"
+#include "support/Trace.h"
 #include "transform/Fuser.h"
 
 #include <algorithm>
@@ -53,6 +55,10 @@ static void printUsage() {
       "report\n"
       "  --style optimized|basic|none fusion strategy (default optimized)\n"
       "  --trace                      print the Algorithm 1 iterations\n"
+      "  --trace=<out.json>           with --run: record spans and write a\n"
+      "                               chrome://tracing JSON timeline\n"
+      "  --metrics                    with --run: per-launch predicted vs\n"
+      "                               measured table + span/counter summary\n"
       "  --time                       print simulated GPU times\n"
       "  --run                        execute on random input: fused VM vs\n"
       "                               unfused AST wall time + max |diff|\n"
@@ -77,10 +83,23 @@ static std::string blockNames(const Program &P,
 
 int main(int Argc, char **Argv) {
   CommandLine Cl(Argc, Argv,
-                 {"trace", "time", "fold", "multi-out", "run", "help"});
+                 {"trace", "time", "fold", "multi-out", "run", "metrics",
+                  "help"});
   if (Cl.hasOption("help") || Cl.positional().size() != 1) {
     printUsage();
     return Cl.hasOption("help") ? 0 : 1;
+  }
+
+  // A bare --trace prints the Algorithm 1 iterations (report mode);
+  // --trace=<file> records execution spans and writes a chrome://tracing
+  // timeline. --metrics implies recording too.
+  std::string TracePath = Cl.getOption("trace", "");
+  if (TracePath == "1")
+    TracePath.clear();
+  const bool Metrics = Cl.hasOption("metrics");
+  if (!TracePath.empty() || Metrics) {
+    TraceRecorder::global().setEnabled(true);
+    MetricsRegistry::global().setEnabled(true);
   }
 
   ParseResult Parsed = parsePipelineFile(Cl.positional().front());
@@ -133,6 +152,34 @@ int main(int Argc, char **Argv) {
     ExecutionOptions Exec;
     Exec.Threads = static_cast<int>(Cl.getIntOption("threads", 0));
 
+    // Runs after the engines (and their thread pools, which export their
+    // scheduling counters at destruction) are done.
+    auto reportObservability = [&] {
+      if (Metrics) {
+        std::string Table = MetricsRegistry::global().renderTable();
+        if (!Table.empty()) {
+          std::printf("\npredicted vs measured launches (reference device "
+                      "%s):\n",
+                      MetricsRegistry::referenceDevice().Name.c_str());
+          std::fputs(Table.c_str(), stdout);
+        }
+        std::string Summary = TraceRecorder::global().metricsSummary();
+        if (!Summary.empty()) {
+          std::printf("\nspan / counter summary:\n");
+          std::fputs(Summary.c_str(), stdout);
+        }
+      }
+      if (!TracePath.empty()) {
+        if (TraceRecorder::global().writeChromeTrace(TracePath))
+          std::printf("wrote chrome trace to '%s' (load in "
+                      "chrome://tracing)\n",
+                      TracePath.c_str());
+        else
+          std::fprintf(stderr, "error: cannot write trace file '%s'\n",
+                       TracePath.c_str());
+      }
+    };
+
     int Frames = static_cast<int>(Cl.getIntOption("frames", 0));
     int Repeat = std::max(1, static_cast<int>(Cl.getIntOption("repeat", 1)));
     if (Frames > 0) {
@@ -152,6 +199,7 @@ int main(int Argc, char **Argv) {
       FillFrame(Frames - 1, Reference);
       runUnfused(P, Reference, Exec);
 
+      {
       PipelineSession Session(FP, Exec);
       std::vector<Image> LastFrame;
       TablePrinter Stream({"repeat", "wall ms", "frames/s"});
@@ -195,6 +243,8 @@ int main(int Argc, char **Argv) {
       std::printf("max |session frame - unfused ast| over destinations: "
                   "%g\n",
                   MaxDiff);
+      } // Session scope: its thread pool exports counters on destruction.
+      reportObservability();
       return 0;
     }
 
@@ -241,6 +291,7 @@ int main(int Argc, char **Argv) {
     std::fputs(Run.render().c_str(), stdout);
     std::printf("max |fused vm - unfused ast| over destinations: %g\n",
                 MaxDiff);
+    reportObservability();
     return 0;
   }
 
@@ -307,7 +358,7 @@ int main(int Argc, char **Argv) {
   }
   std::fputs(Edges.render().c_str(), stdout);
 
-  if (Cl.hasOption("trace")) {
+  if (Cl.hasOption("trace") && TracePath.empty()) {
     std::printf("\nAlgorithm 1 trace:\n");
     unsigned Iteration = 0;
     for (const FusionTraceStep &Step : MinCut.Trace) {
