@@ -1,0 +1,59 @@
+//===- analysis/Analyzer.cpp ------------------------------------------------===//
+
+#include "analysis/Analyzer.h"
+
+#include "support/Trace.h"
+
+using namespace kf;
+
+void kf::analyzeLaunch(const Program &P, const FusedKernel &FK,
+                       const std::string &Name, const StagedVmProgram &SP,
+                       uint16_t Root, int Halo,
+                       const std::vector<ImageInfo> &PoolShapes,
+                       DiagnosticEngine &DE) {
+  TraceSpan Span("analysis.launch", "analysis");
+  size_t Before = DE.diagnostics().size();
+
+  DiagLocation Loc;
+  Loc.Kernel = Name;
+  validateStagedProgram(SP, Root, PoolShapes, DE, Loc);
+  checkLaunchFootprint(P, FK, SP, Root, Halo, PoolShapes, DE, Loc);
+
+  if (TraceRecorder::enabled()) {
+    TraceRecorder &TR = TraceRecorder::global();
+    TR.addCounter("analysis.launches_checked", 1);
+    TR.addCounter("analysis.diagnostics",
+                  static_cast<double>(DE.diagnostics().size() - Before));
+    Span.arg("stages", static_cast<double>(SP.Stages.size()));
+  }
+}
+
+void kf::checkFusedLegality(const FusedProgram &FP, const HardwareModel &HW,
+                            const LegalityOptions &Options,
+                            DiagnosticEngine &DE) {
+  if (!FP.Source)
+    return;
+  TraceSpan Span("analysis.legality", "analysis");
+
+  LegalityChecker Checker(*FP.Source, HW, Options);
+  for (const FusedKernel &FK : FP.Kernels) {
+    if (FK.isSingleton())
+      continue;
+    std::vector<KernelId> Block;
+    Block.reserve(FK.Stages.size());
+    for (const FusedStage &Stage : FK.Stages)
+      Block.push_back(Stage.Kernel);
+    LegalityResult Result = Checker.checkBlock(Block);
+    if (!Result.Legal) {
+      DiagLocation Loc;
+      Loc.Kernel = FK.Name;
+      DE.error("KF-F05",
+               "fused kernel violates the legality rules: " + Result.Reason,
+               Loc,
+               "the partitioner must route every candidate block through "
+               "LegalityChecker::checkBlock");
+    }
+    if (TraceRecorder::enabled())
+      TraceRecorder::global().addCounter("analysis.blocks_rechecked", 1);
+  }
+}

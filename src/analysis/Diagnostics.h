@@ -1,0 +1,106 @@
+//===- analysis/Diagnostics.h - Static-analysis diagnostics -----*- C++ -*-===//
+///
+/// \file
+/// The diagnostics engine shared by the static-analysis passes
+/// (ProgramLint, FootprintCheck, BytecodeValidator): structured
+/// diagnostics with a stable code, a severity, a location inside the
+/// program or compiled artifact, and an optional fix hint. Unlike
+/// support/Error.h (which aborts on programmer errors), diagnostics are
+/// *collected* so a driver can render all of them -- as human-readable
+/// text or as machine-readable JSON -- and decide the exit status itself
+/// (`kfc --analyze [--Werror]`).
+///
+/// Diagnostic codes are stable identifiers of the form KF-<pass><number>:
+///   KF-P##  program/IR lint        (analysis/ProgramLint.h)
+///   KF-F##  footprint/halo checks  (analysis/FootprintCheck.h)
+///   KF-B##  bytecode validation    (analysis/BytecodeValidator.h)
+/// docs/ANALYSIS.md is the code registry; tests assert exact codes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KF_ANALYSIS_DIAGNOSTICS_H
+#define KF_ANALYSIS_DIAGNOSTICS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace kf {
+
+/// Severity of one diagnostic. Errors make analysis fail; warnings fail
+/// only under -Werror; notes never affect the outcome.
+enum class DiagSeverity : uint8_t { Note, Warning, Error };
+
+/// Printable severity name ("note", "warning", "error").
+const char *diagSeverityName(DiagSeverity Severity);
+
+/// Where a diagnostic points: the analyzed unit (program or fused-kernel
+/// name), and optionally a kernel/stage and an instruction index inside a
+/// compiled stage. Unset fields stay empty / negative.
+struct DiagLocation {
+  std::string Unit;   ///< Program or fused-launch name.
+  std::string Kernel; ///< Kernel (or stage kernel) name, if any.
+  int Stage = -1;     ///< Stage index inside a staged program.
+  int Inst = -1;      ///< Instruction index inside a stage.
+
+  /// Renders "unit[:kernel][:stage N][:inst M]" (empty when unset).
+  std::string str() const;
+};
+
+/// One collected diagnostic.
+struct Diagnostic {
+  DiagSeverity Severity = DiagSeverity::Error;
+  std::string Code;    ///< Stable identifier, e.g. "KF-P01".
+  std::string Message; ///< Human-readable description.
+  DiagLocation Loc;
+  std::string FixHint; ///< Optional actionable suggestion.
+};
+
+/// Collects diagnostics across passes and renders them. Not thread-safe;
+/// one engine per analysis run.
+class DiagnosticEngine {
+public:
+  /// Appends a fully-formed diagnostic.
+  void report(Diagnostic Diag);
+
+  /// Convenience constructors for the three severities.
+  void error(std::string Code, std::string Message, DiagLocation Loc = {},
+             std::string FixHint = {});
+  void warning(std::string Code, std::string Message, DiagLocation Loc = {},
+               std::string FixHint = {});
+  void note(std::string Code, std::string Message, DiagLocation Loc = {},
+            std::string FixHint = {});
+
+  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+  unsigned errorCount() const { return Errors; }
+  unsigned warningCount() const { return Warnings; }
+  bool empty() const { return Diags.empty(); }
+
+  /// True when analysis must fail: any error, or any warning under
+  /// \p Werror.
+  bool failed(bool Werror = false) const {
+    return Errors != 0 || (Werror && Warnings != 0);
+  }
+
+  /// True when some diagnostic carries \p Code (exact match).
+  bool hasCode(const std::string &Code) const;
+
+  /// One line per diagnostic: "severity: CODE: location: message" plus an
+  /// indented fix hint when present.
+  std::string renderText() const;
+
+  /// Machine-readable JSON object: {"diagnostics": [...], "errors": N,
+  /// "warnings": N}. Each entry carries severity, code, message, the
+  /// location fields, and the fix hint. See docs/ANALYSIS.md for the
+  /// schema.
+  std::string renderJson() const;
+
+private:
+  std::vector<Diagnostic> Diags;
+  unsigned Errors = 0;
+  unsigned Warnings = 0;
+};
+
+} // namespace kf
+
+#endif // KF_ANALYSIS_DIAGNOSTICS_H

@@ -1,0 +1,149 @@
+//===- analysis/FootprintCheck.cpp -----------------------------------------===//
+
+#include "analysis/FootprintCheck.h"
+
+#include "ir/CostInfo.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+
+using namespace kf;
+
+std::vector<int> kf::computeBytecodeReach(const StagedVmProgram &SP) {
+  std::vector<int> Reach(SP.Stages.size(), 0);
+  for (size_t S = 0; S != SP.Stages.size(); ++S) {
+    int R = 0;
+    for (const VmInst &Inst : SP.Stages[S].Code.Insts) {
+      int Off = std::max(std::abs(static_cast<int>(Inst.Ox)),
+                         std::abs(static_cast<int>(Inst.Oy)));
+      if (Inst.Op == VmOp::Load)
+        R = std::max(R, Off);
+      else if (Inst.Op == VmOp::StageCall && Inst.Sel < S)
+        R = std::max(R, Off + Reach[Inst.Sel]);
+    }
+    Reach[S] = R;
+  }
+  return Reach;
+}
+
+std::vector<int> kf::computeIrReach(const Program &P, const FusedKernel &FK) {
+  // Stage index of each eliminated in-block producer, by output image.
+  std::map<ImageId, size_t> Eliminated;
+  for (size_t S = 0; S != FK.Stages.size(); ++S) {
+    KernelId Id = FK.Stages[S].Kernel;
+    if (!FK.isDestination(Id))
+      Eliminated[P.kernel(Id).Output] = S;
+  }
+
+  std::vector<int> Reach(FK.Stages.size(), 0);
+  for (size_t S = 0; S != FK.Stages.size(); ++S) {
+    const Kernel &K = P.kernel(FK.Stages[S].Kernel);
+    KernelCost Cost = analyzeKernelCost(P, FK.Stages[S].Kernel);
+    int R = 0;
+    for (size_t In = 0; In != K.Inputs.size(); ++In) {
+      const InputFootprint &F = Cost.Footprints[In];
+      int Halo = std::max(F.HaloX, F.HaloY);
+      auto It = Eliminated.find(K.Inputs[In]);
+      // Eq. 9: a window over an eliminated intermediate grows by the
+      // producer's own (already grown) reach. Producers precede their
+      // consumers in stage order, so Reach[It->second] is final.
+      if (It != Eliminated.end() && It->second < S)
+        Halo += Reach[It->second];
+      R = std::max(R, Halo);
+    }
+    Reach[S] = R;
+  }
+  return Reach;
+}
+
+void kf::checkLaunchFootprint(const Program &P, const FusedKernel &FK,
+                              const StagedVmProgram &SP, uint16_t Root,
+                              int Halo,
+                              const std::vector<ImageInfo> &PoolShapes,
+                              DiagnosticEngine &DE, DiagLocation Loc) {
+  if (Root >= SP.Stages.size() || SP.Stages.size() != FK.Stages.size())
+    return; // The bytecode validator reports malformed stage structure.
+
+  std::vector<int> BcReach = computeBytecodeReach(SP);
+  std::vector<int> IrReach = computeIrReach(P, FK);
+
+  for (size_t S = 0; S != SP.Stages.size(); ++S) {
+    DiagLocation StageLoc = Loc;
+    StageLoc.Stage = static_cast<int>(S);
+    StageLoc.Kernel = P.kernel(FK.Stages[S].Kernel).Name;
+    // The emitted code must stay inside the source footprint: a stage
+    // reading farther than its IR (window halos grown per Eq. 9) allows
+    // is a miscompile, not a legal specialization.
+    if (BcReach[S] > IrReach[S])
+      DE.error("KF-F02",
+               "compiled stage reaches " + std::to_string(BcReach[S]) +
+                   " pixels but the source footprint allows only " +
+                   std::to_string(IrReach[S]),
+               StageLoc);
+    // The recorded metadata must cover the emitted code: Reach is what
+    // the interior/halo split is derived from.
+    if (S < SP.Reach.size() && SP.Reach[S] < BcReach[S])
+      DE.error("KF-F03",
+               "recorded reach " + std::to_string(SP.Reach[S]) +
+                   " does not cover the bytecode reach " +
+                   std::to_string(BcReach[S]),
+               StageLoc);
+  }
+
+  // Recompute extent uniformity from the stages and the pool images their
+  // loads target; the flag legitimizes the interior region.
+  bool Uniform = true;
+  int RefW = SP.Stages.front().OutW, RefH = SP.Stages.front().OutH;
+  auto note = [&](int W, int H) {
+    if (W != RefW || H != RefH)
+      Uniform = false;
+  };
+  for (const VmStage &Stage : SP.Stages) {
+    note(Stage.OutW, Stage.OutH);
+    for (const VmInst &Inst : Stage.Code.Insts)
+      if (Inst.Op == VmOp::Load && Inst.InputIdx >= 0 &&
+          static_cast<size_t>(Inst.InputIdx) < Stage.Inputs.size() &&
+          Stage.Inputs[Inst.InputIdx] < PoolShapes.size()) {
+        const ImageInfo &In = PoolShapes[Stage.Inputs[Inst.InputIdx]];
+        note(In.Width, In.Height);
+      }
+  }
+  if (SP.UniformExtents && !Uniform)
+    DE.error("KF-F04",
+             "staged program claims uniform extents but stages or loaded "
+             "inputs differ in shape; the interior fast path would skip "
+             "required border handling",
+             Loc);
+
+  const ImageInfo *Out =
+      Root < FK.Stages.size() &&
+              P.kernel(FK.Stages[Root].Kernel).Output < PoolShapes.size()
+          ? &PoolShapes[P.kernel(FK.Stages[Root].Kernel).Output]
+          : nullptr;
+  if (Uniform && SP.UniformExtents) {
+    // Interior pixels lie at least Halo away from every border; each can
+    // reach BcReach[Root] pixels out, so the split is conservative iff
+    // Halo covers the root's transitive reach.
+    if (Halo < BcReach[Root])
+      DE.error("KF-F01",
+               "launch halo " + std::to_string(Halo) +
+                   " does not cover the fused access reach " +
+                   std::to_string(BcReach[Root]) +
+                   "; interior pixels would read out of bounds",
+               Loc,
+               "the halo must be at least the destination stage's "
+               "transitive reach");
+  } else if (Out) {
+    // Mixed extents void the interior: the split is only safe when the
+    // halo empties it on at least one axis.
+    if (2 * Halo < Out->Width && 2 * Halo < Out->Height)
+      DE.error("KF-F01",
+               "mixed stage/input extents require an empty interior, but "
+               "halo " +
+                   std::to_string(Halo) + " leaves interior pixels in a " +
+                   std::to_string(Out->Width) + "x" +
+                   std::to_string(Out->Height) + " launch",
+               Loc);
+  }
+}

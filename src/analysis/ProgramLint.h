@@ -1,0 +1,37 @@
+//===- analysis/ProgramLint.h - Program/IR verifier pass --------*- C++ -*-===//
+///
+/// \file
+/// The IR/program verifier of the static analyzer: structural validity
+/// (the ir/Verifier checks, re-reported with stable diagnostic codes) plus
+/// lint checks the abort-on-first-error verifier cannot express --
+/// dead-kernel and unused-image detection, and border-mode compatibility
+/// across fusible edges (the Section IV-B index-exchange method applies
+/// the *consumer's* border handling to eliminated intermediates, so a
+/// window edge between kernels with different modes cannot be fused; the
+/// fusion legality check rejects it and this pass warns ahead of time).
+///
+/// Unlike kf::verifyProgram (which pipelines use to abort on malformed
+/// construction), this pass reports *every* finding into a
+/// DiagnosticEngine and never aborts, so `kfc --analyze` can show a DSL
+/// user the complete picture of a malformed .kfp file.
+///
+/// Codes: KF-P01..KF-P12 (docs/ANALYSIS.md).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KF_ANALYSIS_PROGRAMLINT_H
+#define KF_ANALYSIS_PROGRAMLINT_H
+
+#include "analysis/Diagnostics.h"
+#include "ir/Program.h"
+
+namespace kf {
+
+/// Runs the program verifier/lint pass over \p P, reporting into \p DE.
+/// Structural violations are errors; lint findings (dead kernels, unused
+/// images, unfusable border-mode edges) are warnings.
+void lintProgram(const Program &P, DiagnosticEngine &DE);
+
+} // namespace kf
+
+#endif // KF_ANALYSIS_PROGRAMLINT_H

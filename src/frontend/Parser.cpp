@@ -19,8 +19,9 @@ namespace {
 /// the parse; Failed latches so downstream code can bail out cheaply.
 class PipelineParser {
 public:
-  PipelineParser(std::vector<Token> Tokens, std::vector<std::string> &Errors)
-      : Tokens(std::move(Tokens)), Errors(Errors) {}
+  PipelineParser(std::vector<Token> Tokens, std::vector<std::string> &Errors,
+                 bool Strict = true)
+      : Tokens(std::move(Tokens)), Errors(Errors), Strict(Strict) {}
 
   std::unique_ptr<Program> run() {
     if (!expectKeyword("program"))
@@ -183,23 +184,32 @@ private:
     expect(TokenKind::RBrack, "']'");
     if (Failed)
       return;
-    if (Width <= 0 || Height <= 0 || Width % 2 == 0 || Height % 2 == 0) {
-      error("mask extents must be positive and odd");
-      return;
-    }
-    if (Weights.size() != static_cast<size_t>(Width * Height)) {
-      error("mask '" + Name.Text + "' expects " +
-            std::to_string(Width * Height) + " weights, got " +
-            std::to_string(Weights.size()));
-      return;
+    // In lenient mode malformed masks are admitted as-is so the static
+    // analyzer can report them with codes (KF-P04) instead of the parse
+    // aborting on the first problem.
+    if (Strict) {
+      if (Width <= 0 || Height <= 0 || Width % 2 == 0 || Height % 2 == 0) {
+        error("mask extents must be positive and odd");
+        return;
+      }
+      if (Weights.size() != static_cast<size_t>(Width * Height)) {
+        error("mask '" + Name.Text + "' expects " +
+              std::to_string(Width * Height) + " weights, got " +
+              std::to_string(Weights.size()));
+        return;
+      }
     }
     if (Masks.count(Name.Text)) {
       error("mask '" + Name.Text + "' redeclared");
       return;
     }
-    Masks[Name.Text] =
-        Prog->addMask(Mask(static_cast<int>(Width),
-                           static_cast<int>(Height), std::move(Weights)));
+    // Field assignment sidesteps the asserting Mask constructor, which
+    // lenient mode must be able to violate.
+    Mask M;
+    M.Width = static_cast<int>(Width);
+    M.Height = static_cast<int>(Height);
+    M.Weights = std::move(Weights);
+    Masks[Name.Text] = Prog->addMask(std::move(M));
   }
 
   void parseKernel() {
@@ -502,6 +512,7 @@ private:
 
   std::vector<Token> Tokens;
   std::vector<std::string> &Errors;
+  bool Strict = true;
   size_t Pos = 0;
   bool Failed = false;
 
@@ -513,15 +524,15 @@ private:
 
 } // namespace
 
-ParseResult kf::parsePipelineText(const std::string &Source) {
+ParseResult kf::parsePipelineText(const std::string &Source, bool Verify) {
   ParseResult Result;
   std::vector<Token> Tokens = lexPipelineText(Source, Result.Errors);
   if (!Result.Errors.empty())
     return Result;
 
-  PipelineParser Parser(std::move(Tokens), Result.Errors);
+  PipelineParser Parser(std::move(Tokens), Result.Errors, /*Strict=*/Verify);
   Result.Prog = Parser.run();
-  if (!Result.Prog)
+  if (!Result.Prog || !Verify)
     return Result;
 
   for (std::string &Diag : verifyProgram(*Result.Prog))
@@ -531,7 +542,7 @@ ParseResult kf::parsePipelineText(const std::string &Source) {
   return Result;
 }
 
-ParseResult kf::parsePipelineFile(const std::string &Path) {
+ParseResult kf::parsePipelineFile(const std::string &Path, bool Verify) {
   ParseResult Result;
   std::FILE *File = std::fopen(Path.c_str(), "rb");
   if (!File) {
@@ -544,5 +555,5 @@ ParseResult kf::parsePipelineFile(const std::string &Path) {
   while ((Count = std::fread(Buffer, 1, sizeof(Buffer), File)) > 0)
     Source.append(Buffer, Count);
   std::fclose(File);
-  return parsePipelineText(Source);
+  return parsePipelineText(Source, Verify);
 }

@@ -57,11 +57,14 @@ struct ParseResult {
 };
 
 /// Parses pipeline text into a verified Program. Verification diagnostics
-/// are folded into Errors.
-ParseResult parsePipelineText(const std::string &Source);
+/// are folded into Errors. With \p Verify false the abort-style verifier
+/// is skipped and any structurally parseable program is returned -- the
+/// static analyzer (analysis/ProgramLint.h) uses this to produce coded
+/// diagnostics for programs the strict path would reject wholesale.
+ParseResult parsePipelineText(const std::string &Source, bool Verify = true);
 
 /// Reads and parses a .kfp file; I/O failures surface as Errors.
-ParseResult parsePipelineFile(const std::string &Path);
+ParseResult parsePipelineFile(const std::string &Path, bool Verify = true);
 
 } // namespace kf
 

@@ -125,6 +125,39 @@ LegalityChecker::checkBlock(const std::vector<KernelId> &Block) const {
     }
   }
 
+  // Border-mode compatibility (Section IV-B). Fusing a halo-consumed
+  // intermediate eliminates the producer's image -- and with it the
+  // producer's border handling: out-of-range accesses are index-exchanged
+  // under the *consumer's* mode, and the producer's own window reads are
+  // re-evaluated at the exchanged coordinates. If the two local kernels
+  // disagree on the mode (or the constant value), the fused kernel would
+  // compute different border pixels than the unfused pipeline; reject
+  // instead of silently changing results.
+  for (KernelId Id : Block) {
+    const Kernel &K = P.kernel(Id);
+    for (size_t InIdx = 0; InIdx != K.Inputs.size(); ++InIdx) {
+      const InputFootprint &F = Costs[Id].Footprints[InIdx];
+      if (!F.WindowAccess && F.HaloX == 0 && F.HaloY == 0)
+        continue; // Point access: no border handling involved.
+      std::optional<KernelId> Producer = P.producerOf(K.Inputs[InIdx]);
+      if (!Producer || !contains(Block, *Producer))
+        continue;
+      const Kernel &Prod = P.kernel(*Producer);
+      if (Prod.Kind != OperatorKind::Local)
+        continue; // Point producers carry no border semantics.
+      if (Prod.Border != K.Border ||
+          (Prod.Border == BorderMode::Constant &&
+           Prod.BorderConstant != K.BorderConstant)) {
+        Result.Reason = std::string("conflicting border modes: '") + K.Name +
+                        "' (" + borderModeName(K.Border) +
+                        ") consumes the window intermediate of '" +
+                        Prod.Name + "' (" + borderModeName(Prod.Border) +
+                        ")";
+        return Result;
+      }
+    }
+  }
+
   // Dependence scenarios (Figure 2). Only the destination kernel's output
   // may be consumed outside the block; a block therefore has exactly one
   // sink, and no other member's output escapes.
@@ -196,6 +229,38 @@ LegalityChecker::checkBlock(const std::vector<KernelId> &Block) const {
                     std::to_string(Result.SharedRatio) + " exceeds " +
                     std::to_string(HW.SharedMemThreshold);
     return Result;
+  }
+
+  // Eq. 2, per tile. The aggregate ratio divides by the widest original
+  // mask in the block, so an unrelated wide-mask kernel can dilute it and
+  // silently admit a consumer whose own window grows (Eq. 9) far past
+  // what its tile sustains. Bound each grown window by the threshold
+  // times the consumer's own original width.
+  for (KernelId Id : Block) {
+    const Kernel &K = P.kernel(Id);
+    if (K.Kind != OperatorKind::Local)
+      continue;
+    bool ConsumesInternal = false;
+    for (size_t InIdx = 0; InIdx != K.Inputs.size(); ++InIdx) {
+      const InputFootprint &F = Costs[Id].Footprints[InIdx];
+      if (!F.WindowAccess && F.HaloX == 0 && F.HaloY == 0)
+        continue;
+      std::optional<KernelId> Producer = P.producerOf(K.Inputs[InIdx]);
+      if (Producer && contains(Block, *Producer))
+        ConsumesInternal = true;
+    }
+    if (!ConsumesInternal)
+      continue;
+    int Grown = effectiveWindowWidth(Block, Id);
+    if (static_cast<double>(Grown) >
+        HW.SharedMemThreshold * Costs[Id].WindowWidth) {
+      Result.Reason = "shared memory constraint violated: window of '" +
+                      K.Name + "' grows from " +
+                      std::to_string(Costs[Id].WindowWidth) + " to " +
+                      std::to_string(Grown) +
+                      " under fusion (Eq. 9), past the threshold";
+      return Result;
+    }
   }
 
   Result.Legal = true;

@@ -2,6 +2,7 @@
 
 #include "sim/Session.h"
 
+#include "analysis/Analyzer.h"
 #include "sim/Metrics.h"
 #include "support/Error.h"
 #include "support/Trace.h"
@@ -81,6 +82,11 @@ kf::compilePlan(const FusedProgram &FP, const ExecutionOptions &Options) {
     Plan->Shapes.push_back(P.image(Id));
   Plan->ExternalInputs = P.externalInputs();
 
+  // Every freshly compiled plan is statically validated before it can
+  // reach the executor or the plan cache: bytecode structure, then the
+  // footprint/halo proof for each launch. Compilation bugs surface here
+  // as diagnostics instead of undefined behavior mid-run.
+  DiagnosticEngine DE;
   for (const FusedKernel &FK : FP.Kernels) {
     StagedVmProgram SP = compileFusedKernel(FP, FK);
     for (KernelId DestId : FK.Destinations) {
@@ -93,9 +99,14 @@ kf::compilePlan(const FusedProgram &FP, const ExecutionOptions &Options) {
       Launch.Halo =
           fusedLaunchHalo(SP, Launch.Root, P.image(Launch.Output));
       Launch.Code = SP;
+      analyzeLaunch(P, FK, FK.Name, Launch.Code, Launch.Root, Launch.Halo,
+                    Plan->Shapes, DE);
       Plan->Launches.push_back(std::move(Launch));
     }
   }
+  if (DE.errorCount() > 0)
+    reportFatalError("compiled plan for '" + P.name() +
+                     "' failed static validation:\n" + DE.renderText());
   return Plan;
 }
 

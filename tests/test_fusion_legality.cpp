@@ -219,4 +219,95 @@ TEST(Legality, NightBlockPassesEq2ButFailsBenefit) {
   EXPECT_NE(fusibleBlockRejection(Model, All), "");
 }
 
+TEST(Legality, ConflictingBorderModesAreIllegal) {
+  // Fusing replaces the producer's border handling with index exchange
+  // under the consumer's mode; disagreeing modes would change border
+  // pixels, so the edge must not fuse.
+  Program P = makeBlurChain(16, 16, BorderMode::Clamp);
+  P.kernel(1).Border = BorderMode::Mirror;
+  LegalityChecker Checker(P, paperModel());
+  LegalityResult R = Checker.checkBlock({0, 1});
+  EXPECT_FALSE(R.Legal);
+  EXPECT_NE(R.Reason.find("conflicting border modes"), std::string::npos)
+      << R.Reason;
+}
+
+TEST(Legality, MatchingBorderModesStayLegal) {
+  for (BorderMode Mode : {BorderMode::Clamp, BorderMode::Mirror,
+                          BorderMode::Repeat, BorderMode::Constant}) {
+    Program P = makeBlurChain(16, 16, Mode);
+    LegalityChecker Checker(P, paperModel());
+    LegalityResult R = Checker.checkBlock({0, 1});
+    EXPECT_TRUE(R.Legal) << R.Reason;
+  }
+}
+
+TEST(Legality, ConstantBorderValueMismatchIsIllegal) {
+  // Same mode but different constant values still disagree at the border.
+  Program P = makeBlurChain(16, 16, BorderMode::Constant);
+  P.kernel(0).BorderConstant = 0.0f;
+  P.kernel(1).BorderConstant = 1.0f;
+  LegalityChecker Checker(P, paperModel());
+  LegalityResult R = Checker.checkBlock({0, 1});
+  EXPECT_FALSE(R.Legal);
+  EXPECT_NE(R.Reason.find("conflicting border modes"), std::string::npos)
+      << R.Reason;
+}
+
+TEST(Legality, PerTileWindowGrowthIsCaughtDespiteDilution) {
+  // The aggregate Eq. 2 ratio divides by the widest original mask in the
+  // block: a 9x9 bystander kernel dilutes the ratio of a 5x5 -> 3x3 chain
+  // whose grown window (11) far exceeds what its own tile sustains
+  // (threshold x 3 = 6). The per-tile bound must reject the block even
+  // though the aggregate ratio (11/9) passes.
+  Program P("dilution");
+  ExprContext &C = P.context();
+  ImageId In = P.addImage("in", 32, 32);
+  ImageId WideOut = P.addImage("wide_out", 32, 32);
+  ImageId BOut = P.addImage("b_out", 32, 32);
+  ImageId COut = P.addImage("c_out", 32, 32);
+  int Wide9 = P.addMask(Mask::uniform(9, 9, 1.0f / 81.0f));
+  int Box5 = P.addMask(Mask::uniform(5, 5, 0.04f));
+  int Bin3 = P.addMask(binomial3Normalized());
+
+  Kernel Wide;
+  Wide.Name = "wide";
+  Wide.Kind = OperatorKind::Local;
+  Wide.Inputs = {In};
+  Wide.Output = WideOut;
+  Wide.Body = C.stencil(Wide9, ReduceOp::Sum,
+                        C.mul(C.stencilInput(0), C.maskValue()));
+  P.addKernel(std::move(Wide));
+
+  Kernel B;
+  B.Name = "b";
+  B.Kind = OperatorKind::Local;
+  B.Inputs = {In};
+  B.Output = BOut;
+  B.Body = C.stencil(Box5, ReduceOp::Sum,
+                     C.mul(C.stencilInput(0), C.maskValue()));
+  P.addKernel(std::move(B));
+
+  Kernel Cons;
+  Cons.Name = "c";
+  Cons.Kind = OperatorKind::Local;
+  Cons.Inputs = {BOut, WideOut};
+  Cons.Output = COut;
+  Cons.Body = C.add(C.stencil(Bin3, ReduceOp::Sum,
+                              C.mul(C.stencilInput(0), C.maskValue())),
+                    C.inputAt(1));
+  P.addKernel(std::move(Cons));
+
+  LegalityChecker Checker(P, paperModel());
+  std::vector<KernelId> Block = {0, 1, 2};
+  // The aggregate ratio alone would admit the block...
+  EXPECT_LE(Checker.sharedMemoryRatio(Block),
+            paperModel().SharedMemThreshold);
+  // ...but the per-tile growth bound rejects it.
+  LegalityResult R = Checker.checkBlock(Block);
+  EXPECT_FALSE(R.Legal);
+  EXPECT_NE(R.Reason.find("grows"), std::string::npos) << R.Reason;
+}
+
 } // namespace
+

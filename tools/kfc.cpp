@@ -19,6 +19,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "analysis/Analyzer.h"
 #include "backend/cpu/CppEmitter.h"
 #include "backend/cuda/CudaEmitter.h"
 #include "backend/opencl/ClEmitter.h"
@@ -54,6 +55,13 @@ static void printUsage() {
       "  --emit cuda|cpp|opencl|ir|kfp|dot  emit code instead of the "
       "report\n"
       "  --style optimized|basic|none fusion strategy (default optimized)\n"
+      "  --analyze                    run the static analyzer: program\n"
+      "                               lint, fused-bytecode validation, and\n"
+      "                               footprint/halo checks; exit 1 on\n"
+      "                               errors\n"
+      "  --analysis-json=<out.json>   with --analyze: also write the\n"
+      "                               diagnostics as JSON\n"
+      "  --Werror                     with --analyze: warnings fail too\n"
       "  --trace                      print the Algorithm 1 iterations\n"
       "  --trace=<out.json>           with --run: record spans and write a\n"
       "                               chrome://tracing JSON timeline\n"
@@ -84,7 +92,7 @@ static std::string blockNames(const Program &P,
 int main(int Argc, char **Argv) {
   CommandLine Cl(Argc, Argv,
                  {"trace", "time", "fold", "multi-out", "run", "metrics",
-                  "help"});
+                  "analyze", "Werror", "help"});
   if (Cl.hasOption("help") || Cl.positional().size() != 1) {
     printUsage();
     return Cl.hasOption("help") ? 0 : 1;
@@ -102,13 +110,56 @@ int main(int Argc, char **Argv) {
     MetricsRegistry::global().setEnabled(true);
   }
 
-  ParseResult Parsed = parsePipelineFile(Cl.positional().front());
-  if (!Parsed.success()) {
+  // --analyze parses leniently: the strict verifier is replaced by the
+  // coded lint pass so every problem is reported, not just the first.
+  const bool Analyze = Cl.hasOption("analyze");
+  const bool Werror = Cl.hasOption("Werror");
+  DiagnosticEngine DE;
+
+  // Renders the collected diagnostics (text to stdout, optional JSON
+  // file) and returns the process exit status.
+  auto finishAnalysis = [&]() -> int {
+    std::string JsonPath = Cl.getOption("analysis-json", "");
+    if (!JsonPath.empty()) {
+      std::FILE *Out = std::fopen(JsonPath.c_str(), "wb");
+      if (!Out) {
+        std::fprintf(stderr, "error: cannot write '%s'\n", JsonPath.c_str());
+        return 1;
+      }
+      std::string Json = DE.renderJson();
+      std::fwrite(Json.data(), 1, Json.size(), Out);
+      std::fclose(Out);
+    }
+    if (!DE.empty())
+      std::fputs(DE.renderText().c_str(), stdout);
+    std::printf("analysis: %u error(s), %u warning(s)\n", DE.errorCount(),
+                DE.warningCount());
+    return DE.failed(Werror) ? 1 : 0;
+  };
+
+  ParseResult Parsed =
+      parsePipelineFile(Cl.positional().front(), /*Verify=*/!Analyze);
+  if (!Parsed.success() && !(Analyze && Parsed.Prog)) {
+    if (Analyze) {
+      // Lex/parse failures still get coded, machine-readable output.
+      DiagLocation Loc;
+      Loc.Unit = Cl.positional().front();
+      for (const std::string &Error : Parsed.Errors)
+        DE.error("KF-P00", Error, Loc);
+      return finishAnalysis();
+    }
     for (const std::string &Error : Parsed.Errors)
       std::fprintf(stderr, "error: %s\n", Error.c_str());
     return 1;
   }
   Program &P = *Parsed.Prog;
+  if (Analyze) {
+    lintProgram(P, DE);
+    // Fusion and bytecode compilation assume well-formed IR (their cost
+    // analysis asserts on malformed bodies), so stop at lint errors.
+    if (DE.errorCount() > 0)
+      return finishAnalysis();
+  }
   if (Cl.hasOption("fold")) {
     unsigned Changed = simplifyProgram(P);
     if (Changed != 0)
@@ -147,6 +198,29 @@ int main(int Argc, char **Argv) {
     return 1;
   }
   FusedProgram FP = fuseProgram(P, Blocks, TransformStyle);
+
+  if (Analyze) {
+    // Re-check the chosen partition against the legality rules, then
+    // compile each fused launch exactly as the session would and prove
+    // its bytecode and interior/halo split sound.
+    checkFusedLegality(FP, HW, Options, DE);
+    std::vector<ImageInfo> Shapes;
+    Shapes.reserve(P.numImages());
+    for (ImageId Id = 0; Id != P.numImages(); ++Id)
+      Shapes.push_back(P.image(Id));
+    for (const FusedKernel &FK : FP.Kernels) {
+      StagedVmProgram SP = compileFusedKernel(FP, FK);
+      for (KernelId DestId : FK.Destinations) {
+        uint16_t Root = 0;
+        for (size_t I = 0; I != FK.Stages.size(); ++I)
+          if (FK.Stages[I].Kernel == DestId)
+            Root = static_cast<uint16_t>(I);
+        int Halo = fusedLaunchHalo(SP, Root, P.image(P.kernel(DestId).Output));
+        analyzeLaunch(P, FK, FK.Name, SP, Root, Halo, Shapes, DE);
+      }
+    }
+    return finishAnalysis();
+  }
 
   if (Cl.hasOption("run")) {
     ExecutionOptions Exec;
