@@ -93,6 +93,15 @@ struct PaperTable1 {
 };
 const PaperTable1 &paperTable1();
 
+/// Splices \p Section (a JSON value) into the top-level JSON object of
+/// \p Path as member \p Key, replacing only a previous run's \p Key
+/// section (brace-matched, string-aware) and leaving every other
+/// member intact -- so the benches that share BENCH_throughput.json
+/// can run in any order without destroying each other's sections.
+/// Writes a fresh object when the file is missing or unrecognizable.
+bool spliceJsonSection(const std::string &Path, const std::string &Key,
+                       const std::string &Section);
+
 /// Published geometric means from Table II, indexed by app name.
 struct PaperTable2 {
   std::map<std::string, double> OptOverBase;

@@ -36,44 +36,6 @@
 
 using namespace kf;
 
-namespace {
-
-/// Splices \p Section into \p Path's top-level JSON object as the
-/// "model_validation" member, replacing a previous run's section; writes
-/// a fresh object when the file is missing or unrecognizable.
-bool appendModelSection(const std::string &Path, const std::string &Section) {
-  std::string Content;
-  {
-    std::ifstream In(Path, std::ios::binary);
-    std::ostringstream Buf;
-    Buf << In.rdbuf();
-    Content = Buf.str();
-  }
-
-  size_t Prev = Content.find("\"model_validation\"");
-  if (Prev != std::string::npos) {
-    size_t Comma = Content.rfind(',', Prev);
-    if (Comma != std::string::npos)
-      Content.erase(Comma); // The section is always last; drop to EOF.
-  }
-  while (!Content.empty() &&
-         (std::isspace(static_cast<unsigned char>(Content.back())) ||
-          Content.back() == '}'))
-    Content.pop_back();
-
-  std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
-  if (!Out.good())
-    return false;
-  if (Content.empty())
-    Out << "{";
-  else
-    Out << Content << ",";
-  Out << "\n  \"model_validation\": " << Section << "\n}\n";
-  return Out.good();
-}
-
-} // namespace
-
 int main(int Argc, char **Argv) {
   CommandLine Cl(Argc, Argv, {});
   double Scale = Cl.getDoubleOption("scale", 0.25);
@@ -112,12 +74,14 @@ int main(int Argc, char **Argv) {
                         ", \"repeats\": " + std::to_string(Repeats) +
                         ", \"threads\": " +
                         std::to_string(resolveThreadCount(Options.Threads)) +
+                        ", \"vm_mode\": \"" +
+                        vmModeName(resolveVmMode(Options.Mode)) + "\"" +
                         ", \"reference_device\": \"" +
                         MetricsRegistry::referenceDevice().Name +
                         "\", \"geomean_ratio\": " +
                         formatDouble(Registry.geomeanRatio(), 6) +
                         ", \"launches\": " + Registry.toJson("    ") + "}";
-  if (appendModelSection(OutFile, Section))
+  if (spliceJsonSection(OutFile, "model_validation", Section))
     std::printf("\nappended model_validation section to %s\n",
                 OutFile.c_str());
   else {

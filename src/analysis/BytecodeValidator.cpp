@@ -239,6 +239,34 @@ void kf::validateStagedProgram(const StagedVmProgram &SP, uint16_t Root,
                StageLoc);
   }
 
+  // Span-mode lane-frame layout (KF-B11): the span interpreter gives each
+  // stage the lane-buffer frame [RegBase*Lane, (RegBase+NumRegs)*Lane). A
+  // caller's frame stays live while its stage calls evaluate callees, so
+  // the frames of distinct stages must be pairwise disjoint -- overlap
+  // would let a callee silently clobber its caller's registers. (KF-B07
+  // only proves each frame fits the shared scratch.)
+  std::vector<std::pair<unsigned, size_t>> Frames; // (RegBase, stage).
+  for (size_t S = 0; S != SP.Stages.size(); ++S)
+    Frames.emplace_back(SP.Stages[S].RegBase, S);
+  std::sort(Frames.begin(), Frames.end());
+  for (size_t I = 1; I < Frames.size(); ++I) {
+    const VmStage &Prev = SP.Stages[Frames[I - 1].second];
+    if (Frames[I].first < Prev.RegBase + Prev.Code.NumRegs) {
+      DiagLocation StageLoc = Loc;
+      StageLoc.Stage = static_cast<int>(Frames[I].second);
+      DE.error("KF-B11",
+               "register frame [" + std::to_string(Frames[I].first) + ", " +
+                   std::to_string(Frames[I].first +
+                                  SP.Stages[Frames[I].second].Code.NumRegs) +
+                   ") overlaps stage " +
+                   std::to_string(Frames[I - 1].second) + "'s frame [" +
+                   std::to_string(Prev.RegBase) + ", " +
+                   std::to_string(Prev.RegBase + Prev.Code.NumRegs) +
+                   "); span-mode lane frames must be pairwise disjoint",
+               StageLoc);
+    }
+  }
+
   if (SP.Reach.size() != SP.Stages.size())
     DE.error("KF-B08",
              "reach table has " + std::to_string(SP.Reach.size()) +

@@ -17,7 +17,14 @@
 ///   - stage calls target a *preceding* stage, which bounds the call depth
 ///     by the (validated) stage count and makes recursion impossible
 ///     (KF-B05, KF-B10);
-///   - plain kernel programs contain no StageCall at all (KF-B06).
+///   - plain kernel programs contain no StageCall at all (KF-B06);
+///   - stage register frames are pairwise disjoint (KF-B11), the layout
+///     the span-mode interpreter (runStagedVmSpan) relies on: a caller's
+///     lane frame stays live across its stage calls, so overlapping
+///     frames would let a callee clobber its caller.
+///
+/// The full bytecode format, register model, and invariant list live in
+/// docs/VM.md.
 ///
 /// sim/Session runs this over every freshly compiled plan (cache-miss
 /// path); tests/test_bytecode_validator.cpp proves each check fires by

@@ -6,11 +6,48 @@
 #include "support/Error.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <map>
 
 using namespace kf;
+
+VmMode kf::resolveVmMode(VmMode Requested) {
+  if (Requested != VmMode::Auto)
+    return Requested;
+  if (const char *Env = std::getenv("KF_VM")) {
+    if (std::strcmp(Env, "scalar") == 0)
+      return VmMode::Scalar;
+    if (std::strcmp(Env, "span") == 0)
+      return VmMode::Span;
+    // A malformed KF_VM silently changing which interior engine every run
+    // uses is a debugging trap: say so, but only once per process (the
+    // mode is resolved per launch).
+    static std::atomic<bool> Warned{false};
+    if (!Warned.exchange(true))
+      std::fprintf(stderr,
+                   "warning: ignoring invalid KF_VM='%s' (expected 'scalar' "
+                   "or 'span'); using span\n",
+                   Env);
+  }
+  return VmMode::Span;
+}
+
+const char *kf::vmModeName(VmMode Mode) {
+  switch (Mode) {
+  case VmMode::Auto:
+    return "auto";
+  case VmMode::Scalar:
+    return "scalar";
+  case VmMode::Span:
+    return "span";
+  }
+  KF_UNREACHABLE("unknown VM mode");
+}
 
 namespace {
 
@@ -517,6 +554,24 @@ void kf::runVmRow(const VmProgram &VM, const Program &P, KernelId Id,
               });
 }
 
+void kf::runVmSpan(const VmProgram &VM, const Program &P, KernelId Id,
+                   const std::vector<Image> &Pool, int Y, int X0, int X1,
+                   int Channel, float *LaneRegs, float *Out, int OutStride) {
+  const Kernel &K = P.kernel(Id);
+  // Chunk the span into lanes: every chunk's per-register stride is its
+  // own width (at most VmLaneWidth), so the register file of a chunk
+  // stays within the fixed lane buffer. The tail chunk simply runs the
+  // same contiguous loops with a smaller bound.
+  for (int C0 = X0; C0 < X1; C0 += VmLaneWidth) {
+    const int C1 = std::min(X1, C0 + VmLaneWidth);
+    evalRowImpl(VM, Pool, K.Inputs, Y, C0, C1, Channel, LaneRegs,
+                Out + static_cast<size_t>(C0 - X0) * OutStride, OutStride,
+                [](const VmInst &, float *) {
+                  KF_UNREACHABLE("StageCall in a plain kernel body");
+                });
+  }
+}
+
 //===----------------------------------------------------------------------===//
 // Staged (fused-kernel) programs
 //===----------------------------------------------------------------------===//
@@ -699,6 +754,25 @@ void kf::runStagedVmRow(const StagedVmProgram &SP, uint16_t RootStage,
                 static_cast<size_t>(X1 - X0), Out, OutStride);
 }
 
+void kf::runStagedVmSpan(const StagedVmProgram &SP, uint16_t RootStage,
+                         const std::vector<Image> &Pool, int Y, int X0,
+                         int X1, int Channel, float *LaneRegs,
+                         float *Out, int OutStride) {
+  // Chunked lane-buffer evaluation: stage frames partition the buffer at
+  // RegBase * VmLaneWidth while each chunk's per-register stride is the
+  // chunk width (<= VmLaneWidth), so no frame ever overruns into its
+  // neighbour (the validator's KF-B11 invariant) and the whole register
+  // working set is SP.NumRegs * VmLaneWidth floats. StageCall recursion
+  // inside evalStagedRow shifts the chunk's column range per call, so the
+  // callee streams over exactly the caller's lanes.
+  for (int C0 = X0; C0 < X1; C0 += VmLaneWidth) {
+    const int C1 = std::min(X1, C0 + VmLaneWidth);
+    evalStagedRow(SP, RootStage, Pool, Y, C0, C1, Channel, LaneRegs,
+                  static_cast<size_t>(VmLaneWidth),
+                  Out + static_cast<size_t>(C0 - X0) * OutStride, OutStride);
+  }
+}
+
 //===----------------------------------------------------------------------===//
 // Serial unfused driver (the parallel one lives in sim/Executor)
 //===----------------------------------------------------------------------===//
@@ -734,18 +808,20 @@ void kf::runUnfusedVm(const Program &P, std::vector<Image> &Pool) {
     int X1 = std::max(X0, Info.Width - Halo);
     int Y1 = std::max(Y0, Info.Height - Halo);
 
+    // Span-mode interior: the lane buffer is VM.NumRegs * VmLaneWidth
+    // floats regardless of the image width.
     RowRegs.resize(std::max<size_t>(
-        RowRegs.size(), static_cast<size_t>(VM.NumRegs) *
-                            std::max(0, X1 - X0)));
+        RowRegs.size(),
+        static_cast<size_t>(VM.NumRegs) * VmLaneWidth));
     if (X0 < X1)
       for (int Y = Y0; Y < Y1; ++Y)
         for (int Ch = 0; Ch != Info.Channels; ++Ch)
-          runVmRow(VM, P, Id, Pool, Y, X0, X1, Ch, RowRegs.data(),
-                   Out.data().data() +
-                       (static_cast<size_t>(Y) * Info.Width + X0) *
-                           Info.Channels +
-                       Ch,
-                   Info.Channels);
+          runVmSpan(VM, P, Id, Pool, Y, X0, X1, Ch, RowRegs.data(),
+                    Out.data().data() +
+                        (static_cast<size_t>(Y) * Info.Width + X0) *
+                            Info.Channels +
+                        Ch,
+                    Info.Channels);
     for (int Y = 0; Y != Info.Height; ++Y)
       for (int X = 0; X != Info.Width; ++X) {
         bool Interior = X >= X0 && X < X1 && Y >= Y0 && Y < Y1;

@@ -16,6 +16,15 @@
 /// the row-wise variants) skips every border check, implementing the
 /// interior/halo specialization the generated GPU code performs.
 ///
+/// Interior evaluation comes in two selectable modes (VmMode):
+///   - span (the default): each instruction streams across a whole row
+///     span through fixed-width lane buffers (VmLaneWidth floats per
+///     register, structure-of-arrays), written as plain contiguous loops
+///     the compiler autovectorizes; tail chunks narrower than a lane run
+///     the same loops with a smaller bound.
+///   - scalar: per-pixel bytecode dispatch -- the escape hatch and the
+///     honest baseline the span-vs-scalar benchmarks compare against.
+///
 /// This is the evaluation path the benchmarks use for large images; the
 /// tree walker stays the semantic reference (the test suite asserts
 /// bit-identical results).
@@ -32,6 +41,34 @@
 #include <vector>
 
 namespace kf {
+
+/// How the VM engines evaluate interior pixels.
+enum class VmMode : uint8_t {
+  /// Resolve via the KF_VM environment variable ("scalar" or "span"),
+  /// defaulting to Span when unset or malformed.
+  Auto,
+  /// Per-pixel bytecode dispatch over the interior (the pre-span
+  /// behaviour): one pass over the instruction stream per pixel.
+  Scalar,
+  /// Batched row-span execution: each instruction runs across a whole
+  /// span of interior pixels through fixed-width lane buffers.
+  Span,
+};
+
+/// Resolves \p Requested against the KF_VM environment variable: an
+/// explicit Scalar/Span request wins; Auto consults KF_VM and falls back
+/// to Span (warning once per process about malformed values).
+VmMode resolveVmMode(VmMode Requested);
+
+/// Stable lower-case name of \p Mode ("auto" / "scalar" / "span").
+const char *vmModeName(VmMode Mode);
+
+/// Lane width of the span execution mode: every register of a span chunk
+/// is a contiguous block of this many floats (structure of arrays), so
+/// the whole register file of a chunk stays L1-resident independent of
+/// the image width. Tail chunks simply run with a smaller bound -- the
+/// interpreter's equivalent of masked tail handling.
+constexpr int VmLaneWidth = 64;
 
 /// VM opcodes. Loads read images with the owning kernel's border
 /// handling; everything else operates on the register file.
@@ -115,6 +152,17 @@ void runVmRow(const VmProgram &VM, const Program &P, KernelId Id,
               const std::vector<Image> &Pool, int Y, int X0, int X1,
               int Channel, float *RowRegs, float *Out, int OutStride = 1);
 
+/// Span-mode interior evaluation: like runVmRow, but the span [X0, X1) is
+/// chunked into lanes of at most VmLaneWidth pixels and each chunk runs
+/// instruction-major through a fixed-size lane buffer, so the register
+/// working set is VM.NumRegs * VmLaneWidth floats regardless of the span
+/// width (L1-resident where full-row frames spill). \p LaneRegs must hold
+/// VM.NumRegs * VmLaneWidth floats. Bit-identical to runVmRow and to
+/// per-pixel runVmInterior.
+void runVmSpan(const VmProgram &VM, const Program &P, KernelId Id,
+               const std::vector<Image> &Pool, int Y, int X0, int X1,
+               int Channel, float *LaneRegs, float *Out, int OutStride = 1);
+
 /// The largest absolute load offset of \p VM on either axis: the kernel's
 /// access halo, bounding the region where border handling can trigger.
 int vmHalo(const VmProgram &VM);
@@ -187,6 +235,22 @@ void runStagedVmRow(const StagedVmProgram &SP, uint16_t RootStage,
                     const std::vector<Image> &Pool, int Y, int X0, int X1,
                     int Channel, float *RowRegs, float *Out,
                     int OutStride = 1);
+
+/// Span-mode interior evaluation of a staged program: the span [X0, X1)
+/// is chunked into lanes of at most VmLaneWidth pixels; within a chunk
+/// every stage's instruction stream runs instruction-major, and StageCall
+/// ops recurse span-aware (the callee streams over the offset-shifted
+/// chunk straight into the caller's destination lanes). Stage frames
+/// partition the lane buffer at VmStage::RegBase * VmLaneWidth, so a
+/// chunk never overruns a frame and the whole working set is
+/// SP.NumRegs * VmLaneWidth floats -- the locality the full-row frames of
+/// runStagedVmRow lose on wide images. \p LaneRegs must hold
+/// SP.NumRegs * VmLaneWidth floats. Bit-identical to runStagedVmRow and
+/// to per-pixel runStagedVmInterior.
+void runStagedVmSpan(const StagedVmProgram &SP, uint16_t RootStage,
+                     const std::vector<Image> &Pool, int Y, int X0, int X1,
+                     int Channel, float *LaneRegs, float *Out,
+                     int OutStride = 1);
 
 /// Executes every kernel of \p P unfused through the VM, filling the
 /// pool's non-input images -- the fast-path equivalent of runUnfused.

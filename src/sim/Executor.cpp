@@ -278,17 +278,21 @@ void runTiledImage(ThreadPool &TP, const ExecutionOptions &Options,
                   : defaultTileHeight(H, TP.numThreads());
 
   // The halo span [XA, XB) of one row: per-pixel bordered evaluation.
+  // The output pointer is loop-invariant state: hoisted to the span start
+  // and walked pixel by pixel instead of re-deriving (Y*W + X)*C + Ch
+  // per sample.
   auto haloSpan = [&](int Y, int XA, int XB, unsigned Worker) {
-    for (int X = XA; X < XB; ++X)
+    float *Px = OutBase + (static_cast<size_t>(Y) * W + XA) * C;
+    for (int X = XA; X < XB; ++X, Px += C)
       for (int Ch = 0; Ch != C; ++Ch)
-        OutBase[(static_cast<size_t>(Y) * W + X) * C + Ch] =
-            Pixel(X, Y, Ch, Worker);
+        Px[Ch] = Pixel(X, Y, Ch, Worker);
   };
-  // The interior span [IA, IB) of one row: row-wise fast path.
+  // The interior span [IA, IB) of one row: row-wise fast path, one call
+  // per channel from a hoisted row base.
   auto interiorSpan = [&](int Y, int IA, int IB, unsigned Worker) {
+    float *RowPx = OutBase + (static_cast<size_t>(Y) * W + IA) * C;
     for (int Ch = 0; Ch != C; ++Ch)
-      Row(Y, IA, IB, Ch,
-          OutBase + (static_cast<size_t>(Y) * W + IA) * C + Ch, C, Worker);
+      Row(Y, IA, IB, Ch, RowPx + Ch, C, Worker);
   };
   auto rowBounds = [&](int Y, const TileRange &T, int &IA, int &IB) {
     const bool RowHasInterior = Y >= Y0 && Y < Y1;
@@ -347,9 +351,13 @@ void runTiledImage(ThreadPool &TP, const ExecutionOptions &Options,
   }
 }
 
-/// Resolved tile width an interior row span can reach (row scratch cap).
-int rowCapacity(const ExecutionOptions &Options, int Width) {
-  return Options.TileWidth > 0 ? std::min(Options.TileWidth, Width) : Width;
+/// Lane-scratch floats one worker needs for span-mode interior execution
+/// of a program with \p NumRegs registers (zero in scalar mode, which
+/// dispatches per pixel out of the pixel scratch).
+size_t laneScratchFloats(VmMode Mode, unsigned NumRegs) {
+  return Mode == VmMode::Span
+             ? static_cast<size_t>(NumRegs) * VmLaneWidth
+             : 0;
 }
 
 void checkExternalInputs(const Program &P, const std::vector<Image> &Pool) {
@@ -407,9 +415,10 @@ void kf::runUnfusedVm(const Program &P, std::vector<Image> &Pool,
       P.buildKernelDag().topologicalOrder();
   assert(Order && "kernel DAG has a cycle");
   ThreadPool TP(resolveThreadCount(Options.Threads));
+  const VmMode Mode = resolveVmMode(Options.Mode);
 
   std::vector<std::vector<float>> Regs(TP.numThreads());
-  std::vector<std::vector<float>> RowRegs(TP.numThreads());
+  std::vector<std::vector<float>> LaneRegs(TP.numThreads());
   for (KernelId Id : *Order) {
     const Kernel &K = P.kernel(Id);
     const ImageInfo &Info = P.image(K.Output);
@@ -427,19 +436,27 @@ void kf::runUnfusedVm(const Program &P, std::vector<Image> &Pool,
         Halo = std::max(Info.Width, Info.Height);
     }
 
-    size_t RowScratch =
-        static_cast<size_t>(VM.NumRegs) * rowCapacity(Options, Info.Width);
+    size_t LaneScratch = laneScratchFloats(Mode, VM.NumRegs);
     for (unsigned I = 0; I != TP.numThreads(); ++I) {
       Regs[I].resize(std::max<size_t>(Regs[I].size(), VM.NumRegs));
-      RowRegs[I].resize(std::max(RowRegs[I].size(), RowScratch));
+      LaneRegs[I].resize(std::max(LaneRegs[I].size(), LaneScratch));
     }
 
     runTiledImage(
         TP, Options, Out, Halo,
         [&](int Y, int XA, int XB, int Ch, float *OutPtr, int Stride,
             unsigned Worker) {
-          runVmRow(VM, P, Id, Pool, Y, XA, XB, Ch, RowRegs[Worker].data(),
-                   OutPtr, Stride);
+          if (Mode == VmMode::Span) {
+            runVmSpan(VM, P, Id, Pool, Y, XA, XB, Ch,
+                      LaneRegs[Worker].data(), OutPtr, Stride);
+            return;
+          }
+          // Scalar interior: per-pixel dispatch, output pointer walked
+          // across the span instead of re-derived per pixel.
+          float *Px = OutPtr;
+          for (int X = XA; X < XB; ++X, Px += Stride)
+            *Px = runVmInterior(VM, P, Id, Pool, X, Y, Ch,
+                                Regs[Worker].data());
         },
         [&](int X, int Y, int Ch, unsigned Worker) {
           return runVm(VM, P, Id, Pool, X, Y, Ch, Regs[Worker].data());
@@ -488,14 +505,14 @@ StagedVmProgram kf::compileFusedKernel(const FusedProgram &FP,
 }
 
 void VmScratch::ensure(unsigned Threads, size_t PixelFloats,
-                       size_t RowFloats) {
+                       size_t LaneFloats) {
   if (PixelRegs.size() < Threads)
     PixelRegs.resize(Threads);
-  if (RowRegs.size() < Threads)
-    RowRegs.resize(Threads);
+  if (LaneRegs.size() < Threads)
+    LaneRegs.resize(Threads);
   for (unsigned I = 0; I != Threads; ++I) {
     PixelRegs[I].resize(std::max(PixelRegs[I].size(), PixelFloats));
-    RowRegs[I].resize(std::max(RowRegs[I].size(), RowFloats));
+    LaneRegs[I].resize(std::max(LaneRegs[I].size(), LaneFloats));
   }
 }
 
@@ -512,16 +529,27 @@ void kf::runCompiledLaunch(const StagedVmProgram &SP, uint16_t Root,
                            Image &Out, const ExecutionOptions &Options,
                            ThreadPool &TP, VmScratch &Scratch,
                            LaunchTiming *Timing) {
-  size_t RowScratch =
-      static_cast<size_t>(SP.NumRegs) * rowCapacity(Options, Out.width());
-  Scratch.ensure(TP.numThreads(), SP.NumRegs, RowScratch);
+  const VmMode Mode = resolveVmMode(Options.Mode);
+  Scratch.ensure(TP.numThreads(), SP.NumRegs,
+                 laneScratchFloats(Mode, SP.NumRegs));
+  const double InteriorBefore = Timing ? Timing->InteriorMs : 0.0;
+  const double HaloBefore = Timing ? Timing->HaloMs : 0.0;
 
   runTiledImage(
       TP, Options, Out, Halo,
       [&](int Y, int XA, int XB, int Ch, float *OutPtr, int Stride,
           unsigned Worker) {
-        runStagedVmRow(SP, Root, Pool, Y, XA, XB, Ch,
-                       Scratch.RowRegs[Worker].data(), OutPtr, Stride);
+        if (Mode == VmMode::Span) {
+          runStagedVmSpan(SP, Root, Pool, Y, XA, XB, Ch,
+                          Scratch.LaneRegs[Worker].data(), OutPtr, Stride);
+          return;
+        }
+        // Scalar interior: per-pixel dispatch, output pointer walked
+        // across the span instead of re-derived per pixel.
+        float *Regs = Scratch.PixelRegs[Worker].data();
+        float *Px = OutPtr;
+        for (int X = XA; X < XB; ++X, Px += Stride)
+          *Px = runStagedVmInterior(SP, Root, Pool, X, Y, Ch, Regs);
       },
       [&](int X, int Y, int Ch, unsigned Worker) {
         return runStagedVm(SP, Root, Pool, X, Y, Ch,
@@ -529,6 +557,17 @@ void kf::runCompiledLaunch(const StagedVmProgram &SP, uint16_t Root,
                            Options.UseIndexExchange);
       },
       Timing);
+
+  if (Timing) {
+    // The scalar-vs-span interior split as process counters: deltas of
+    // this launch only, so an accumulated Timing never double-counts.
+    Timing->Mode = Mode;
+    TraceRecorder &TR = TraceRecorder::global();
+    TR.addCounter(Mode == VmMode::Span ? "vm.interior_span_ms"
+                                       : "vm.interior_scalar_ms",
+                  Timing->InteriorMs - InteriorBefore);
+    TR.addCounter("vm.halo_ms", Timing->HaloMs - HaloBefore);
+  }
 }
 
 void kf::runFusedVm(const FusedProgram &FP, std::vector<Image> &Pool,
@@ -566,11 +605,12 @@ void kf::runFusedVm(const FusedProgram &FP, std::vector<Image> &Pool,
                           Out, Options, TP, Scratch, &Timing);
         Span.arg("interior_ms", Timing.InteriorMs);
         Span.arg("halo_ms", Timing.HaloMs);
+        Span.arg("vm_span", Timing.Mode == VmMode::Span ? 1.0 : 0.0);
         Span.arg("stages", static_cast<double>(FK.Stages.size()));
         MetricsRegistry::global().recordLaunch(P.name(), FK.Name,
                                                Timing.TotalMs,
                                                Timing.InteriorMs,
-                                               Timing.HaloMs);
+                                               Timing.HaloMs, Timing.Mode);
       }
       Pool[Dest.Output] = std::move(Out);
     }

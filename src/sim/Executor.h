@@ -53,6 +53,13 @@ struct ExecutionOptions {
   /// thread count.
   int TileWidth = 0;
   int TileHeight = 0;
+
+  /// Interior execution mode of the VM engines. Auto resolves via the
+  /// KF_VM environment variable ("scalar" or "span"), defaulting to the
+  /// lane-batched span mode (see resolveVmMode in ir/ExprVM.h); Scalar is
+  /// the per-pixel escape hatch and the A/B baseline. Both modes are
+  /// bit-identical on every pipeline and border mode.
+  VmMode Mode = VmMode::Auto;
 };
 
 /// Allocates an image pool for \p P: one (empty) image slot per program
@@ -99,10 +106,12 @@ void runFusedVm(const FusedProgram &FP, std::vector<Image> &Pool,
 /// scratch allocation.
 struct VmScratch {
   std::vector<std::vector<float>> PixelRegs; ///< NumRegs floats per worker.
-  std::vector<std::vector<float>> RowRegs;   ///< Row-wise frames per worker.
+  /// Span-mode lane buffers: NumRegs * VmLaneWidth floats per worker
+  /// (structure-of-arrays register frames, see runStagedVmSpan).
+  std::vector<std::vector<float>> LaneRegs;
 
   /// Grows the per-worker vectors to at least the given float counts.
-  void ensure(unsigned Threads, size_t PixelFloats, size_t RowFloats);
+  void ensure(unsigned Threads, size_t PixelFloats, size_t LaneFloats);
 };
 
 /// The interior/halo split parameter of one fused launch: how far from the
@@ -121,6 +130,9 @@ struct LaunchTiming {
   double TotalMs = 0.0;
   double InteriorMs = 0.0;
   double HaloMs = 0.0;
+  /// The resolved interior mode the launch actually ran (never Auto), so
+  /// the trace/metrics layers can split interior time scalar vs span.
+  VmMode Mode = VmMode::Span;
 };
 
 /// Executes one compiled fused launch -- the staged program \p SP rooted

@@ -58,7 +58,7 @@ void MetricsRegistry::recordPrediction(const std::string &Program,
 void MetricsRegistry::recordLaunch(const std::string &Program,
                                    const std::string &Launch,
                                    double MeasuredMs, double InteriorMs,
-                                   double HaloMs) {
+                                   double HaloMs, VmMode Mode) {
   if (!enabled())
     return;
   std::lock_guard<std::mutex> Lock(Mutex);
@@ -67,6 +67,13 @@ void MetricsRegistry::recordLaunch(const std::string &Program,
   Record.MeasuredMs += MeasuredMs;
   Record.InteriorMs += InteriorMs;
   Record.HaloMs += HaloMs;
+  if (resolveVmMode(Mode) == VmMode::Span) {
+    ++Record.SpanRuns;
+    Record.SpanInteriorMs += InteriorMs;
+  } else {
+    ++Record.ScalarRuns;
+    Record.ScalarInteriorMs += InteriorMs;
+  }
 }
 
 std::vector<LaunchModelRecord> MetricsRegistry::records() const {
@@ -94,9 +101,18 @@ std::string MetricsRegistry::renderTable() const {
     return "";
   TablePrinter Table({"program", "launch", "stages", "pixels", "pred Mcyc",
                       "pred ms", "runs", "meas ms", "interior ms", "halo ms",
-                      "pred/meas"});
+                      "vm", "pred/meas"});
   for (const LaunchModelRecord &Record : Snapshot) {
     double Runs = Record.Runs ? static_cast<double>(Record.Runs) : 1.0;
+    // The vm column names the interior engine; a launch measured in both
+    // modes shows the span-over-scalar interior speedup instead.
+    std::string Vm = "-";
+    if (Record.spanOverScalar() > 0.0)
+      Vm = formatDouble(Record.spanOverScalar(), 2) + "x";
+    else if (Record.SpanRuns)
+      Vm = "span";
+    else if (Record.ScalarRuns)
+      Vm = "scalar";
     Table.addRow({Record.Program, Record.Launch,
                   std::to_string(Record.Stages),
                   std::to_string(Record.Pixels),
@@ -105,7 +121,7 @@ std::string MetricsRegistry::renderTable() const {
                   std::to_string(Record.Runs),
                   formatDouble(Record.measuredMeanMs(), 4),
                   formatDouble(Record.InteriorMs / Runs, 4),
-                  formatDouble(Record.HaloMs / Runs, 4),
+                  formatDouble(Record.HaloMs / Runs, 4), Vm,
                   Record.ratio() > 0.0 ? formatDouble(Record.ratio(), 3)
                                        : std::string("-")});
   }
@@ -152,6 +168,14 @@ std::string MetricsRegistry::toJson(const std::string &Indent) const {
            formatDouble(Record.measuredMeanMs(), 6) + ", ";
     Out += "\"interior_ms\": " + formatDouble(Record.InteriorMs, 6) + ", ";
     Out += "\"halo_ms\": " + formatDouble(Record.HaloMs, 6) + ", ";
+    Out += "\"span_runs\": " + std::to_string(Record.SpanRuns) + ", ";
+    Out += "\"scalar_runs\": " + std::to_string(Record.ScalarRuns) + ", ";
+    Out += "\"interior_span_ms\": " +
+           formatDouble(Record.SpanInteriorMs, 6) + ", ";
+    Out += "\"interior_scalar_ms\": " +
+           formatDouble(Record.ScalarInteriorMs, 6) + ", ";
+    Out += "\"span_over_scalar\": " +
+           formatDouble(Record.spanOverScalar(), 6) + ", ";
     Out += "\"ratio\": " + formatDouble(Record.ratio(), 6);
     Out += "}";
   }

@@ -27,6 +27,7 @@
 #ifndef KF_SIM_METRICS_H
 #define KF_SIM_METRICS_H
 
+#include "ir/ExprVM.h"
 #include "sim/DeviceSpec.h"
 
 #include <atomic>
@@ -54,11 +55,27 @@ struct LaunchModelRecord {
   double InteriorMs = 0.0;   ///< Interior-pixel share of MeasuredMs.
   double HaloMs = 0.0;       ///< Halo-pixel share of MeasuredMs.
 
+  /// Per-VM-mode interior accounting: runs executed (and interior time
+  /// spent) under the span vs the scalar interior engine, so one record
+  /// can report the scalar/span interior ratio when a launch was measured
+  /// in both modes (the A/B benches do exactly that).
+  uint64_t SpanRuns = 0;
+  uint64_t ScalarRuns = 0;
+  double SpanInteriorMs = 0.0;
+  double ScalarInteriorMs = 0.0;
+
   double measuredMeanMs() const { return Runs ? MeasuredMs / Runs : 0.0; }
   /// Predicted / measured-mean ratio; 0 when either side is missing.
   double ratio() const {
     double Mean = measuredMeanMs();
     return Mean > 0.0 && PredictedMs > 0.0 ? PredictedMs / Mean : 0.0;
+  }
+  /// Mean scalar-interior time over mean span-interior time -- the span
+  /// engine's interior speedup; 0 unless both modes were measured.
+  double spanOverScalar() const {
+    if (!SpanRuns || !ScalarRuns || SpanInteriorMs <= 0.0)
+      return 0.0;
+    return (ScalarInteriorMs / ScalarRuns) / (SpanInteriorMs / SpanRuns);
   }
 };
 
@@ -85,10 +102,12 @@ public:
 
   /// Merges one measured execution of launch \p Launch of \p Program.
   /// \p InteriorMs / \p HaloMs may be zero when the executor did not
-  /// collect the split. No-op while disabled.
+  /// collect the split. \p Mode is the resolved interior engine the run
+  /// used (LaunchTiming::Mode), feeding the per-mode interior split.
+  /// No-op while disabled.
   void recordLaunch(const std::string &Program, const std::string &Launch,
                     double MeasuredMs, double InteriorMs = 0.0,
-                    double HaloMs = 0.0);
+                    double HaloMs = 0.0, VmMode Mode = VmMode::Span);
 
   /// Snapshot of all records, in first-seen order.
   std::vector<LaunchModelRecord> records() const;

@@ -48,7 +48,8 @@ uint64_t kf::hashExecutionOptions(const ExecutionOptions &Options) {
          hashNamedField("TileWidth",
                         static_cast<uint32_t>(Options.TileWidth)) ^
          hashNamedField("TileHeight",
-                        static_cast<uint32_t>(Options.TileHeight));
+                        static_cast<uint32_t>(Options.TileHeight)) ^
+         hashNamedField("VmMode", static_cast<uint32_t>(Options.Mode));
 }
 
 uint64_t kf::planKey(const FusedProgram &FP, const ExecutionOptions &Options) {
@@ -294,10 +295,11 @@ void PipelineSession::runFrame(std::vector<Image> &Frame) {
                         Options, *Pool, Scratch, &Timing);
       Span.arg("interior_ms", Timing.InteriorMs);
       Span.arg("halo_ms", Timing.HaloMs);
+      Span.arg("vm_span", Timing.Mode == VmMode::Span ? 1.0 : 0.0);
       MetricsRegistry::global().recordLaunch(Current->ProgramName,
                                              Launch.Name, Timing.TotalMs,
                                              Timing.InteriorMs,
-                                             Timing.HaloMs);
+                                             Timing.HaloMs, Timing.Mode);
     }
   }
   Stats.ExecMs += sinceMs(Start);

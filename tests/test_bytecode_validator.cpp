@@ -146,6 +146,16 @@ const std::vector<Corruption> &corruptions() {
          SP.Stages.back().RegBase = SP.NumRegs + 1;
          return true;
        }},
+      {"stage frames overlap", "KF-B11",
+       [](StagedVmProgram &SP) {
+         // Slide stage 1's frame onto stage 0's: both still fit the
+         // shared scratch (KF-B07 stays quiet) but are no longer
+         // pairwise disjoint, the layout span mode depends on.
+         if (SP.Stages.size() < 2)
+           return false;
+         SP.Stages[1].RegBase = SP.Stages[0].RegBase;
+         return true;
+       }},
       {"reach table truncated", "KF-B08",
        [](StagedVmProgram &SP) {
          if (SP.Reach.empty())

@@ -319,16 +319,19 @@ TEST(OptionsHash, StableAcrossFieldReordering) {
   uint64_t Forward = hashNamedField("UseIndexExchange", 1) ^
                      hashNamedField("Threads", 4) ^
                      hashNamedField("TileWidth", 0) ^
-                     hashNamedField("TileHeight", 16);
-  uint64_t Reordered = hashNamedField("TileHeight", 16) ^
-                       hashNamedField("TileWidth", 0) ^
-                       hashNamedField("Threads", 4) ^
-                       hashNamedField("UseIndexExchange", 1);
+                     hashNamedField("TileHeight", 16) ^
+                     hashNamedField("VmMode",
+                                    static_cast<uint32_t>(VmMode::Span));
+  uint64_t Reordered =
+      hashNamedField("VmMode", static_cast<uint32_t>(VmMode::Span)) ^
+      hashNamedField("TileHeight", 16) ^ hashNamedField("TileWidth", 0) ^
+      hashNamedField("Threads", 4) ^ hashNamedField("UseIndexExchange", 1);
   EXPECT_EQ(Forward, Reordered);
 
   ExecutionOptions Options;
   Options.Threads = 4;
   Options.TileHeight = 16;
+  Options.Mode = VmMode::Span;
   EXPECT_EQ(hashExecutionOptions(Options), Forward);
 }
 
@@ -343,10 +346,13 @@ TEST(OptionsHash, SensitiveToEveryField) {
   C.TileWidth = 32;
   ExecutionOptions D = Base;
   D.TileHeight = 8;
+  ExecutionOptions E = Base;
+  E.Mode = VmMode::Scalar;
   EXPECT_NE(hashExecutionOptions(A), H);
   EXPECT_NE(hashExecutionOptions(B), H);
   EXPECT_NE(hashExecutionOptions(C), H);
   EXPECT_NE(hashExecutionOptions(D), H);
+  EXPECT_NE(hashExecutionOptions(E), H);
 }
 
 TEST(StructuralHash, IndependentParsesHashEqually) {

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Dead-link checker for the repo's markdown documentation.
+
+Scans every *.md at the repository root and under docs/ for inline
+markdown links, resolves each relative target against the linking file,
+and fails (exit 1) listing every target that does not exist. External
+links (http/https/mailto) and pure in-page anchors are skipped; anchor
+suffixes on relative links are stripped before the existence check.
+
+Run from anywhere: paths are resolved against the repo root (this
+script's parent directory). CI runs it as the docs link-check step.
+
+Standard library only.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+# [text](target) with an optional "title"; target ends at whitespace or ')'.
+LINK_RE = re.compile(r"\[[^\]]*\]\(\s*([^)\s]+)[^)]*\)")
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def doc_files(root: Path):
+    yield from sorted(root.glob("*.md"))
+    docs = root / "docs"
+    if docs.is_dir():
+        yield from sorted(docs.rglob("*.md"))
+
+
+def check_file(path: Path, root: Path):
+    dead = []
+    text = path.read_text(encoding="utf-8", errors="replace")
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        for match in LINK_RE.finditer(line):
+            target = match.group(1)
+            if target.startswith(SKIP_PREFIXES):
+                continue
+            # Relative file link; drop any #anchor suffix.
+            rel = target.split("#", 1)[0]
+            if not rel:
+                continue
+            resolved = (path.parent / rel).resolve()
+            if not resolved.exists():
+                dead.append((lineno, target))
+    return dead
+
+
+def main():
+    root = Path(__file__).resolve().parent.parent
+    failures = 0
+    checked = 0
+    for doc in doc_files(root):
+        checked += 1
+        for lineno, target in check_file(doc, root):
+            failures += 1
+            print(f"{doc.relative_to(root)}:{lineno}: dead link: {target}")
+    if failures:
+        print(f"\n{failures} dead link(s) across {checked} file(s)",
+              file=sys.stderr)
+        return 1
+    print(f"checked {checked} markdown file(s): all relative links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

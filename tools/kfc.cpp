@@ -71,6 +71,10 @@ static void printUsage() {
       "  --run                        execute on random input: fused VM vs\n"
       "                               unfused AST wall time + max |diff|\n"
       "  --threads <n>                worker threads for --run (0 = auto)\n"
+      "  --vm scalar|span             interior VM engine for --run: span\n"
+      "                               (lane-batched, default) or scalar\n"
+      "                               (per-pixel); KF_VM overrides the\n"
+      "                               default\n"
       "  --frames <n>                 with --run: stream n frames through a\n"
       "                               pipeline session (compiled-plan cache\n"
       "                               + frame buffer reuse)\n"
@@ -225,6 +229,18 @@ int main(int Argc, char **Argv) {
   if (Cl.hasOption("run")) {
     ExecutionOptions Exec;
     Exec.Threads = static_cast<int>(Cl.getIntOption("threads", 0));
+    std::string VmName = Cl.getOption("vm", "auto");
+    if (VmName == "scalar")
+      Exec.Mode = VmMode::Scalar;
+    else if (VmName == "span")
+      Exec.Mode = VmMode::Span;
+    else if (VmName != "auto") {
+      std::fprintf(stderr,
+                   "error: invalid --vm '%s' (expected 'scalar' or "
+                   "'span')\n",
+                   VmName.c_str());
+      return 1;
+    }
 
     // Runs after the engines (and their thread pools, which export their
     // scheduling counters at destruction) are done.
