@@ -18,6 +18,7 @@ void kf::analyzeLaunch(const Program &P, const FusedKernel &FK,
   Loc.Kernel = Name;
   validateStagedProgram(SP, Root, PoolShapes, DE, Loc);
   checkLaunchFootprint(P, FK, SP, Root, Halo, PoolShapes, DE, Loc);
+  checkOverlapCoverage(SP, Root, Halo, DE, Loc);
 
   if (TraceRecorder::enabled()) {
     TraceRecorder &TR = TraceRecorder::global();

@@ -147,3 +147,54 @@ void kf::checkLaunchFootprint(const Program &P, const FusedKernel &FK,
                Loc);
   }
 }
+
+void kf::checkOverlapCoverage(const StagedVmProgram &SP, uint16_t Root,
+                              int Halo, DiagnosticEngine &DE,
+                              DiagLocation Loc) {
+  if (!SP.UniformExtents || Root >= SP.Stages.size())
+    return; // Overlapped execution falls back to interior/halo here.
+
+  // Plane margins from the bytecode alone, walking stage calls from the
+  // root outward: a callee's plane must extend as far as any caller's
+  // plane plus the call offset. -1 marks stages the root never demands
+  // (no plane, nothing to prove).
+  std::vector<int> Margin(Root + 1, -1);
+  Margin[Root] = 0;
+  for (int S = Root; S >= 0; --S) {
+    if (Margin[S] < 0)
+      continue;
+    for (const VmInst &Inst : SP.Stages[S].Code.Insts) {
+      if (Inst.Op != VmOp::StageCall || Inst.Sel >= S)
+        continue;
+      int Off = std::max(std::abs(static_cast<int>(Inst.Ox)),
+                         std::abs(static_cast<int>(Inst.Oy)));
+      Margin[Inst.Sel] = std::max(Margin[Inst.Sel], Margin[S] + Off);
+    }
+  }
+
+  for (int S = 0; S <= static_cast<int>(Root); ++S) {
+    if (Margin[S] < 0)
+      continue;
+    int LoadHalo = 0;
+    for (const VmInst &Inst : SP.Stages[S].Code.Insts)
+      if (Inst.Op == VmOp::Load)
+        LoadHalo = std::max(LoadHalo,
+                            std::max(std::abs(static_cast<int>(Inst.Ox)),
+                                     std::abs(static_cast<int>(Inst.Oy))));
+    // A plane cell Margin[S] outside the tile loads LoadHalo farther;
+    // interior tiles are inset by Halo, so that is the safety budget.
+    if (Margin[S] + LoadHalo > Halo) {
+      DiagLocation StageLoc = Loc;
+      StageLoc.Stage = S;
+      DE.error("KF-F06",
+               "overlapped-tiling plane margin " +
+                   std::to_string(Margin[S]) + " plus direct load halo " +
+                   std::to_string(LoadHalo) + " exceeds the launch halo " +
+                   std::to_string(Halo) +
+                   "; grown tiles would read out of bounds",
+               StageLoc,
+               "the launch halo must cover every demanded plane's margin "
+               "plus that stage's own load halo");
+    }
+  }
+}

@@ -56,6 +56,18 @@ void checkLaunchFootprint(const Program &P, const FusedKernel &FK,
                           int Halo, const std::vector<ImageInfo> &PoolShapes,
                           DiagnosticEngine &DE, DiagLocation Loc = {});
 
+/// Proves the overlapped tiling strategy safe for this launch: every
+/// scratch plane's margin (recomputed from the bytecode's stage-call
+/// offsets, the walk buildOverlapSchedule performs collapsed over
+/// channels) plus the plane stage's direct load halo must stay within
+/// the launch halo -- the interior rectangle overlapped tiles run on is
+/// inset by exactly \p Halo, so a violating stage would read out of
+/// bounds from inside a grown tile. Reports KF-F06. Skipped for mixed
+/// extents (overlapped execution falls back to interior/halo there).
+void checkOverlapCoverage(const StagedVmProgram &SP, uint16_t Root,
+                          int Halo, DiagnosticEngine &DE,
+                          DiagLocation Loc = {});
+
 } // namespace kf
 
 #endif // KF_ANALYSIS_FOOTPRINTCHECK_H

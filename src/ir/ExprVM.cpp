@@ -49,6 +49,42 @@ const char *kf::vmModeName(VmMode Mode) {
   KF_UNREACHABLE("unknown VM mode");
 }
 
+TilingStrategy kf::resolveTilingStrategy(TilingStrategy Requested) {
+  if (Requested != TilingStrategy::Auto)
+    return Requested;
+  if (const char *Env = std::getenv("KF_TILING")) {
+    if (std::strcmp(Env, "interior") == 0)
+      return TilingStrategy::InteriorHalo;
+    if (std::strcmp(Env, "overlapped") == 0)
+      return TilingStrategy::Overlapped;
+    if (std::strcmp(Env, "tuned") == 0)
+      return TilingStrategy::Tuned;
+    // Same warn-once policy as KF_VM: a malformed value silently changing
+    // the execution strategy of every run is a debugging trap.
+    static std::atomic<bool> Warned{false};
+    if (!Warned.exchange(true))
+      std::fprintf(stderr,
+                   "warning: ignoring invalid KF_TILING='%s' (expected "
+                   "'interior', 'overlapped' or 'tuned'); using interior\n",
+                   Env);
+  }
+  return TilingStrategy::InteriorHalo;
+}
+
+const char *kf::tilingStrategyName(TilingStrategy Strategy) {
+  switch (Strategy) {
+  case TilingStrategy::Auto:
+    return "auto";
+  case TilingStrategy::InteriorHalo:
+    return "interior";
+  case TilingStrategy::Overlapped:
+    return "overlapped";
+  case TilingStrategy::Tuned:
+    return "tuned";
+  }
+  KF_UNREACHABLE("unknown tiling strategy");
+}
+
 namespace {
 
 /// Bindings of stencil-scoped scalars while compiling an element.
@@ -770,6 +806,222 @@ void kf::runStagedVmSpan(const StagedVmProgram &SP, uint16_t RootStage,
     evalStagedRow(SP, RootStage, Pool, Y, C0, C1, Channel, LaneRegs,
                   static_cast<size_t>(VmLaneWidth),
                   Out + static_cast<size_t>(C0 - X0) * OutStride, OutStride);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Overlapped tiling
+//===----------------------------------------------------------------------===//
+
+OverlapSchedule kf::buildOverlapSchedule(const StagedVmProgram &SP,
+                                         uint16_t Root, int Channels) {
+  OverlapSchedule Schedule;
+  if (!SP.UniformExtents || Root >= SP.Stages.size() || Channels <= 0)
+    return Schedule; // Valid stays false: no interior, no planes.
+
+  Schedule.PerChannel.resize(Channels);
+  for (int C = 0; C != Channels; ++C) {
+    // Margin per demanded (stage, channel): the maximum stage-call
+    // distance from the root. Walking stages in decreasing index is a
+    // reverse topological order (calls always target preceding stages),
+    // so a stage's margin is final before its own calls are expanded.
+    std::vector<std::map<int, int>> Margin(Root + 1);
+    Margin[Root][C] = 0;
+    for (int S = Root; S >= 0; --S) {
+      for (const auto &[Ch, M] : Margin[S]) {
+        for (const VmInst &Inst : SP.Stages[S].Code.Insts) {
+          if (Inst.Op != VmOp::StageCall)
+            continue;
+          assert(Inst.Sel < S && "stage call to a non-preceding stage");
+          int Off = std::max(std::abs(static_cast<int>(Inst.Ox)),
+                             std::abs(static_cast<int>(Inst.Oy)));
+          int CalleeCh = Inst.Channel < 0 ? Ch : Inst.Channel;
+          auto [It, Inserted] = Margin[Inst.Sel].emplace(CalleeCh, M + Off);
+          if (!Inserted)
+            It->second = std::max(It->second, M + Off);
+        }
+      }
+    }
+    // Materialization order: ascending stage index puts every callee
+    // before its callers, so a plane only reads already-filled planes.
+    for (int S = 0; S <= static_cast<int>(Root); ++S)
+      for (const auto &[Ch, M] : Margin[S]) {
+        if (S == Root && Ch == C)
+          continue; // The root writes the destination, not a plane.
+        Schedule.PerChannel[C].push_back(
+            {static_cast<uint16_t>(S), static_cast<int16_t>(Ch), M});
+        Schedule.MaxMargin = std::max(Schedule.MaxMargin, M);
+      }
+  }
+  Schedule.Valid = true;
+  return Schedule;
+}
+
+size_t kf::overlapPlaneFloats(const OverlapSchedule &Schedule, int RootW,
+                              int RootH) {
+  size_t Max = 0;
+  for (const std::vector<OverlapPlane> &Planes : Schedule.PerChannel) {
+    size_t Floats = 0;
+    for (const OverlapPlane &Plane : Planes)
+      Floats += static_cast<size_t>(RootW + 2 * Plane.Margin) *
+                (RootH + 2 * Plane.Margin);
+    Max = std::max(Max, Floats);
+  }
+  return Max;
+}
+
+namespace {
+
+/// A materialized plane during one runOverlappedTile call: the grown
+/// region [X0, X0+W) x [Y0, Y0+H) backed by \p Data (pitch = W).
+struct PlaneView {
+  int X0 = 0;
+  int Y0 = 0;
+  int W = 0;
+  int H = 0;
+  float *Data = nullptr;
+};
+
+/// Evaluates stage \p StageIdx of \p SP over region
+/// [RX0, RX1) x [RY0, RY1) at channel \p Ch, resolving StageCall ops
+/// against the plane views of \p Resolve, writing result (x, y) to
+/// Dst[(y - RY0) * DstPitch + (x - RX0) * DstStride]. Span mode streams
+/// evalRowImpl chunks (plane reads are contiguous row copies); scalar
+/// mode dispatches per pixel. Both run exactly the instruction streams
+/// the interior/halo strategy runs, so values are bit-identical.
+template <class ResolveFn>
+void evalOverlapRegion(const StagedVmProgram &SP, uint16_t StageIdx,
+                       const std::vector<Image> &Pool, int RX0, int RX1,
+                       int RY0, int RY1, int Ch, VmMode Mode, float *Regs,
+                       float *Dst, size_t DstPitch, int DstStride,
+                       ResolveFn &&Resolve) {
+  const VmStage &Stage = SP.Stages[StageIdx];
+  if (Mode == VmMode::Span) {
+    float *Frame =
+        Regs + static_cast<size_t>(Stage.RegBase) * VmLaneWidth;
+    for (int Y = RY0; Y != RY1; ++Y) {
+      float *DstRow = Dst + static_cast<size_t>(Y - RY0) * DstPitch;
+      for (int C0 = RX0; C0 < RX1; C0 += VmLaneWidth) {
+        const int C1 = std::min(RX1, C0 + VmLaneWidth);
+        evalRowImpl(
+            Stage.Code, Pool, Stage.Inputs, Y, C0, C1, Ch, Frame,
+            DstRow + static_cast<size_t>(C0 - RX0) * DstStride, DstStride,
+            [&](const VmInst &Inst, float *D) {
+              const PlaneView &V =
+                  Resolve(Inst.Sel, Inst.Channel < 0 ? Ch : Inst.Channel);
+              assert(Y + Inst.Oy >= V.Y0 && Y + Inst.Oy < V.Y0 + V.H &&
+                     C0 + Inst.Ox >= V.X0 &&
+                     C1 - 1 + Inst.Ox < V.X0 + V.W &&
+                     "plane read outside the materialized margin");
+              const float *Src =
+                  V.Data +
+                  static_cast<size_t>(Y + Inst.Oy - V.Y0) * V.W +
+                  (C0 + Inst.Ox - V.X0);
+              for (int I = 0; I != C1 - C0; ++I)
+                D[I] = Src[I];
+            });
+      }
+    }
+    return;
+  }
+
+  // Scalar mode: per-pixel dispatch, stage calls are O(1) plane reads
+  // (no recursion -- the recompute already happened into the planes).
+  float *Frame = Regs + Stage.RegBase;
+  for (int Y = RY0; Y != RY1; ++Y) {
+    float *Px = Dst + static_cast<size_t>(Y - RY0) * DstPitch;
+    for (int X = RX0; X != RX1; ++X, Px += DstStride) {
+      for (const VmInst &Inst : Stage.Code.Insts) {
+        switch (Inst.Op) {
+        case VmOp::Load: {
+          const Image &Img = Pool[Stage.Inputs[Inst.InputIdx]];
+          int LCh = Inst.Channel < 0 ? Ch : Inst.Channel;
+          Frame[Inst.Dst] = Img.at(X + Inst.Ox, Y + Inst.Oy, LCh);
+          break;
+        }
+        case VmOp::StageCall: {
+          const PlaneView &V =
+              Resolve(Inst.Sel, Inst.Channel < 0 ? Ch : Inst.Channel);
+          assert(Y + Inst.Oy >= V.Y0 && Y + Inst.Oy < V.Y0 + V.H &&
+                 X + Inst.Ox >= V.X0 && X + Inst.Ox < V.X0 + V.W &&
+                 "plane read outside the materialized margin");
+          Frame[Inst.Dst] =
+              V.Data[static_cast<size_t>(Y + Inst.Oy - V.Y0) * V.W +
+                     (X + Inst.Ox - V.X0)];
+          break;
+        }
+        default:
+          evalAluInst(Inst, Frame, X, Y);
+          break;
+        }
+      }
+      *Px = Frame[Stage.Code.ResultReg];
+    }
+  }
+}
+
+} // namespace
+
+void kf::runOverlappedTile(const StagedVmProgram &SP, uint16_t Root,
+                           const OverlapSchedule &Schedule,
+                           const std::vector<Image> &Pool, int X0, int X1,
+                           int Y0, int Y1, int Channels, VmMode Mode,
+                           float *PlaneScratch, float *Regs, float *OutBase,
+                           int OutWidth, OverlapTileStats *Stats) {
+  assert(Schedule.Valid && "overlapped execution without a valid schedule");
+  assert(Mode != VmMode::Auto && "tile execution needs a resolved mode");
+  const int RootW = X1 - X0, RootH = Y1 - Y0;
+  if (RootW <= 0 || RootH <= 0)
+    return;
+  const long long RootArea = static_cast<long long>(RootW) * RootH;
+
+  for (int C = 0; C != Channels; ++C) {
+    const std::vector<OverlapPlane> &Planes = Schedule.PerChannel[C];
+    // Lay the channel's planes out back to back in the scratch; every
+    // channel reuses the same block (overlapPlaneFloats is the maximum).
+    std::vector<PlaneView> Views(Planes.size());
+    size_t Offset = 0;
+    for (size_t I = 0; I != Planes.size(); ++I) {
+      const OverlapPlane &Plane = Planes[I];
+      PlaneView &V = Views[I];
+      V.X0 = X0 - Plane.Margin;
+      V.Y0 = Y0 - Plane.Margin;
+      V.W = RootW + 2 * Plane.Margin;
+      V.H = RootH + 2 * Plane.Margin;
+      V.Data = PlaneScratch + Offset;
+      Offset += static_cast<size_t>(V.W) * V.H;
+    }
+    auto Resolve = [&](uint16_t Stage, int Ch) -> const PlaneView & {
+      // The plane lists are tiny (demanded stages x channels); a linear
+      // scan beats a hash per stage-call instruction.
+      for (size_t I = 0; I != Planes.size(); ++I)
+        if (Planes[I].Stage == Stage && Planes[I].Channel == Ch)
+          return Views[I];
+      KF_UNREACHABLE("stage call outside the overlap schedule");
+    };
+
+    // Materialize demanded planes (callees first), then the root region
+    // straight into the destination image.
+    for (size_t I = 0; I != Planes.size(); ++I) {
+      const PlaneView &V = Views[I];
+      evalOverlapRegion(SP, Planes[I].Stage, Pool, V.X0, V.X0 + V.W, V.Y0,
+                        V.Y0 + V.H, Planes[I].Channel, Mode, Regs, V.Data,
+                        V.W, 1, Resolve);
+      if (Stats) {
+        const long long Area = static_cast<long long>(V.W) * V.H;
+        Stats->OverlapPixels += Area - RootArea;
+        Stats->ComputedPixels += Area;
+      }
+    }
+    evalOverlapRegion(SP, Root, Pool, X0, X1, Y0, Y1, C, Mode, Regs,
+                      OutBase +
+                          (static_cast<size_t>(Y0) * OutWidth + X0) *
+                              Channels +
+                          C,
+                      static_cast<size_t>(OutWidth) * Channels, Channels,
+                      Resolve);
+    if (Stats)
+      Stats->ComputedPixels += RootArea;
   }
 }
 

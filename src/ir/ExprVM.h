@@ -63,6 +63,40 @@ VmMode resolveVmMode(VmMode Requested);
 /// Stable lower-case name of \p Mode ("auto" / "scalar" / "span").
 const char *vmModeName(VmMode Mode);
 
+/// How a fused launch decomposes the image across tiles.
+enum class TilingStrategy : uint8_t {
+  /// Resolve via the KF_TILING environment variable ("interior",
+  /// "overlapped" or "tuned"), defaulting to InteriorHalo.
+  Auto,
+  /// The global interior/halo split of Section IV-B: one interior region
+  /// per image runs the border-check-free fast path, the border ring the
+  /// bordered slow path, and eliminated producers are recomputed
+  /// recursively per read (stage-call recursion).
+  InteriorHalo,
+  /// Overlapped tiling: every interior tile independently materializes
+  /// the eliminated producer stages it demands over the tile *grown by
+  /// the producer's reach margin* into per-worker scratch planes, then
+  /// reads the planes instead of recomputing. Adjacent grown tiles
+  /// overlap, so the margin cells are computed redundantly -- the classic
+  /// redundant-compute-for-zero-synchronization trade (Jangda & Guha).
+  /// Bit-identical to InteriorHalo; the border ring keeps the bordered
+  /// slow path either way.
+  Overlapped,
+  /// Pick strategy and tile shape per compiled plan with the analytic
+  /// cost model (sim/Tuner's tuneExecution). Engines that have no plan
+  /// context fall back to InteriorHalo.
+  Tuned,
+};
+
+/// Resolves \p Requested against the KF_TILING environment variable: an
+/// explicit strategy wins; Auto consults KF_TILING and falls back to
+/// InteriorHalo (warning once per process about malformed values).
+TilingStrategy resolveTilingStrategy(TilingStrategy Requested);
+
+/// Stable lower-case name of \p Strategy ("auto" / "interior" /
+/// "overlapped" / "tuned").
+const char *tilingStrategyName(TilingStrategy Strategy);
+
 /// Lane width of the span execution mode: every register of a span chunk
 /// is a contiguous block of this many floats (structure of arrays), so
 /// the whole register file of a chunk stays L1-resident independent of
@@ -251,6 +285,77 @@ void runStagedVmSpan(const StagedVmProgram &SP, uint16_t RootStage,
                      const std::vector<Image> &Pool, int Y, int X0, int X1,
                      int Channel, float *LaneRegs, float *Out,
                      int OutStride = 1);
+
+//===----------------------------------------------------------------------===//
+// Overlapped tiling (TilingStrategy::Overlapped)
+//===----------------------------------------------------------------------===//
+
+/// One scratch plane of the overlapped execution strategy: stage
+/// \p Stage evaluated at concrete channel \p Channel over the
+/// destination tile grown by \p Margin pixels on every side. The margin
+/// is the transitive stage-call distance from the root, so every plane
+/// cell a consumer reads (at offsets up to the call offset) lies inside
+/// the callee's own, larger plane.
+struct OverlapPlane {
+  uint16_t Stage = 0;
+  int16_t Channel = 0;
+  int Margin = 0;
+};
+
+/// The compile-time materialization schedule of one launch under
+/// overlapped tiling: which (stage, channel) planes each destination
+/// channel demands, in materialization order (callees before callers).
+/// Derived purely from the staged bytecode -- the same Eq. 9 reach
+/// arithmetic compileStagedProgram records in Reach[], split per stage
+/// instead of collapsed to the root maximum.
+struct OverlapSchedule {
+  /// Planes demanded when the root runs at destination channel c.
+  std::vector<std::vector<OverlapPlane>> PerChannel;
+  int MaxMargin = 0; ///< Largest margin of any plane (<= Reach[Root]).
+  /// False when the strategy cannot run this launch (mixed stage or
+  /// input extents void the interior region the planes are built for);
+  /// the executor then falls back to the interior/halo strategy.
+  bool Valid = false;
+};
+
+/// Builds the overlap schedule of \p SP rooted at \p Root for a
+/// \p Channels -channel destination. Invalid (Valid == false) when
+/// SP.UniformExtents does not hold.
+OverlapSchedule buildOverlapSchedule(const StagedVmProgram &SP,
+                                     uint16_t Root, int Channels);
+
+/// Scratch floats one worker needs to hold every plane of \p Schedule
+/// for a RootW x RootH destination tile: the maximum over destination
+/// channels of the summed grown-plane areas.
+size_t overlapPlaneFloats(const OverlapSchedule &Schedule, int RootW,
+                          int RootH);
+
+/// Optional per-call accounting of runOverlappedTile, feeding the
+/// tile.overlap_pixels / tile.redundant_halo_ms trace counters.
+struct OverlapTileStats {
+  long long OverlapPixels = 0;  ///< Plane cells outside the root tile.
+  long long ComputedPixels = 0; ///< All evaluated cells (planes + root).
+};
+
+/// Executes destination stage \p Root over the interior tile
+/// [X0, X1) x [Y0, Y1) under the overlapped strategy: each demanded
+/// plane of \p Schedule is materialized over the margin-grown tile into
+/// \p PlaneScratch (at least overlapPlaneFloats(Schedule, X1-X0, Y1-Y0)
+/// floats), stage calls read the callee's plane, and the root writes
+/// straight into \p OutBase (the destination image base, width
+/// \p OutWidth, \p Channels channels). \p Regs is the per-worker
+/// register scratch: SP.NumRegs * VmLaneWidth floats in span mode,
+/// SP.NumRegs floats in scalar mode (\p Mode must be resolved, never
+/// Auto). The tile must lie at least SP.Reach[Root] away from every
+/// border (the interior region); every value is computed by the same
+/// instruction stream as the interior/halo strategy, so results are
+/// bit-identical.
+void runOverlappedTile(const StagedVmProgram &SP, uint16_t Root,
+                       const OverlapSchedule &Schedule,
+                       const std::vector<Image> &Pool, int X0, int X1,
+                       int Y0, int Y1, int Channels, VmMode Mode,
+                       float *PlaneScratch, float *Regs, float *OutBase,
+                       int OutWidth, OverlapTileStats *Stats = nullptr);
 
 /// Executes every kernel of \p P unfused through the VM, filling the
 /// pool's non-input images -- the fast-path equivalent of runUnfused.

@@ -8,10 +8,17 @@
 #include "support/ThreadPool.h"
 #include "support/Trace.h"
 
+#include "sim/Tuner.h"
+
 #include <algorithm>
+#include <atomic>
 #include <cassert>
+#include <cerrno>
 #include <chrono>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 using namespace kf;
 
@@ -258,6 +265,65 @@ int defaultTileHeight(int Height, unsigned Threads) {
   return std::clamp(Height / std::max(Bands, 1), 1, 64);
 }
 
+} // namespace
+
+bool kf::parseTileSpec(const char *Text, int &TileW, int &TileH) {
+  if (!Text || !*Text)
+    return false;
+  char *End = nullptr;
+  errno = 0;
+  long W = std::strtol(Text, &End, 10);
+  if (End == Text || *End != 'x' || errno == ERANGE)
+    return false;
+  const char *HText = End + 1;
+  errno = 0;
+  long H = std::strtol(HText, &End, 10);
+  if (End == HText || *End != '\0' || errno == ERANGE)
+    return false;
+  if (W < 1 || W > 65536 || H < 1 || H > 65536)
+    return false;
+  TileW = static_cast<int>(W);
+  TileH = static_cast<int>(H);
+  return true;
+}
+
+void kf::resolveTileSize(const ExecutionOptions &Options,
+                         TilingStrategy Strategy, int ImageW, int ImageH,
+                         unsigned Threads, int &TileW, int &TileH) {
+  int W = Options.TileWidth, H = Options.TileHeight;
+  // The environment override only applies when the caller left the tile
+  // unset, mirroring KF_THREADS: explicit configuration always wins.
+  if (W <= 0 && H <= 0) {
+    if (const char *Env = std::getenv("KF_TILE")) {
+      if (!parseTileSpec(Env, W, H)) {
+        static std::atomic<bool> Warned{false};
+        if (!Warned.exchange(true))
+          std::fprintf(stderr,
+                       "warning: ignoring invalid KF_TILE='%s' (expected "
+                       "'WxH' with extents in [1, 65536])\n",
+                       Env);
+      }
+    }
+  }
+  if (Strategy == TilingStrategy::Overlapped) {
+    // A block whose grown planes stay L2-resident for typical reaches;
+    // the tuner refines this per plan.
+    if (W <= 0)
+      W = 128;
+    if (H <= 0)
+      H = 32;
+  } else {
+    if (W <= 0)
+      W = ImageW;
+    if (H <= 0)
+      H = defaultTileHeight(ImageH, Threads);
+  }
+  TileW = std::max(1, std::min(W, std::max(ImageW, 1)));
+  TileH = std::max(1, std::min(H, std::max(ImageH, 1)));
+}
+
+namespace {
+
 /// Runs the interior/halo-decomposed tile loop over one output image.
 /// Rows inside [Y0int, Y1int) split into a halo-left span, an interior
 /// span evaluated by \p Row (row-wise fast path), and a halo-right span;
@@ -272,10 +338,9 @@ void runTiledImage(ThreadPool &TP, const ExecutionOptions &Options,
   const int X1 = std::max(X0, W - Halo), Y1 = std::max(Y0, H - Halo);
   float *OutBase = Out.data().data();
 
-  int TileW = Options.TileWidth > 0 ? std::min(Options.TileWidth, W) : W;
-  int TileH = Options.TileHeight > 0
-                  ? Options.TileHeight
-                  : defaultTileHeight(H, TP.numThreads());
+  int TileW, TileH;
+  resolveTileSize(Options, TilingStrategy::InteriorHalo, W, H,
+                  TP.numThreads(), TileW, TileH);
 
   // The halo span [XA, XB) of one row: per-pixel bordered evaluation.
   // The output pointer is loop-invariant state: hoisted to the span start
@@ -358,6 +423,111 @@ size_t laneScratchFloats(VmMode Mode, unsigned NumRegs) {
   return Mode == VmMode::Span
              ? static_cast<size_t>(NumRegs) * VmLaneWidth
              : 0;
+}
+
+/// Runs one fused launch under the overlapped tiling strategy. The tile
+/// loop covers the whole image; within each tile the border ring (rows
+/// and columns outside the interior rectangle) takes the per-pixel
+/// bordered \p Pixel path exactly as the interior/halo strategy would,
+/// while the tile's interior sub-rectangle goes through
+/// runOverlappedTile: demanded producer stages materialize into the
+/// worker's margin-grown scratch planes and the root reads the planes
+/// instead of recursing. Tiles never exchange data -- the margins are
+/// recomputed redundantly by every adjacent tile.
+template <class PixelFn>
+void runOverlappedImage(ThreadPool &TP, const ExecutionOptions &Options,
+                        Image &Out, int Halo, const StagedVmProgram &SP,
+                        uint16_t Root, const OverlapSchedule &Schedule,
+                        const std::vector<Image> &Pool, VmMode Mode,
+                        VmScratch &Scratch, PixelFn &&Pixel,
+                        LaunchTiming *Timing) {
+  const int W = Out.width(), H = Out.height(), C = Out.channels();
+  const int X0 = std::min(Halo, W), Y0 = std::min(Halo, H);
+  const int X1 = std::max(X0, W - Halo), Y1 = std::max(Y0, H - Halo);
+  float *OutBase = Out.data().data();
+
+  int TileW, TileH;
+  resolveTileSize(Options, TilingStrategy::Overlapped, W, H,
+                  TP.numThreads(), TileW, TileH);
+  Scratch.ensure(TP.numThreads(), SP.NumRegs,
+                 laneScratchFloats(Mode, SP.NumRegs),
+                 overlapPlaneFloats(Schedule, TileW, TileH));
+
+  auto haloSpan = [&](int Y, int XA, int XB, unsigned Worker) {
+    float *Px = OutBase + (static_cast<size_t>(Y) * W + XA) * C;
+    for (int X = XA; X < XB; ++X, Px += C)
+      for (int Ch = 0; Ch != C; ++Ch)
+        Px[Ch] = Pixel(X, Y, Ch, Worker);
+  };
+  // The tile's border-ring part: rows above/below the interior band plus
+  // the left/right column strips inside it.
+  auto haloPart = [&](const TileRange &T, int IA, int IB, int JA, int JB,
+                      unsigned Worker) {
+    for (int Y = T.Y0; Y < JA; ++Y)
+      haloSpan(Y, T.X0, T.X1, Worker);
+    for (int Y = JA; Y < JB; ++Y) {
+      haloSpan(Y, T.X0, IA, Worker);
+      haloSpan(Y, IB, T.X1, Worker);
+    }
+    for (int Y = JB; Y < T.Y1; ++Y)
+      haloSpan(Y, T.X0, T.X1, Worker);
+  };
+  auto interiorPart = [&](int IA, int IB, int JA, int JB, unsigned Worker,
+                          OverlapTileStats *Stats) {
+    float *Regs = Mode == VmMode::Span
+                      ? Scratch.LaneRegs[Worker].data()
+                      : Scratch.PixelRegs[Worker].data();
+    runOverlappedTile(SP, Root, Schedule, Pool, IA, IB, JA, JB, C, Mode,
+                      Scratch.PlaneRegs[Worker].data(), Regs, OutBase, W,
+                      Stats);
+  };
+
+  if (!Timing) {
+    TP.parallelFor2D(W, H, TileW, TileH,
+                     [&](const TileRange &T, unsigned Worker) {
+                       const int IA = std::clamp(X0, T.X0, T.X1);
+                       const int IB = std::clamp(X1, T.X0, T.X1);
+                       const int JA = std::clamp(Y0, T.Y0, T.Y1);
+                       const int JB = std::clamp(Y1, T.Y0, T.Y1);
+                       haloPart(T, IA, IB, JA, JB, Worker);
+                       if (IA < IB && JA < JB)
+                         interiorPart(IA, IB, JA, JB, Worker, nullptr);
+                     });
+    return;
+  }
+
+  // Timing path: clock reads bracket the halo ring and the overlapped
+  // interior of each tile, accumulated per worker (disjoint slots).
+  using Clock = std::chrono::steady_clock;
+  auto Us = [](Clock::time_point A, Clock::time_point B) {
+    return std::chrono::duration<double, std::micro>(B - A).count();
+  };
+  std::vector<double> InteriorUs(TP.numThreads(), 0.0);
+  std::vector<double> HaloUs(TP.numThreads(), 0.0);
+  std::vector<OverlapTileStats> WorkerStats(TP.numThreads());
+  Clock::time_point Start = Clock::now();
+  TP.parallelFor2D(W, H, TileW, TileH, [&](const TileRange &T,
+                                           unsigned Worker) {
+    const int IA = std::clamp(X0, T.X0, T.X1);
+    const int IB = std::clamp(X1, T.X0, T.X1);
+    const int JA = std::clamp(Y0, T.Y0, T.Y1);
+    const int JB = std::clamp(Y1, T.Y0, T.Y1);
+    Clock::time_point T0 = Clock::now();
+    haloPart(T, IA, IB, JA, JB, Worker);
+    Clock::time_point T1 = Clock::now();
+    if (IA < IB && JA < JB)
+      interiorPart(IA, IB, JA, JB, Worker, &WorkerStats[Worker]);
+    Clock::time_point T2 = Clock::now();
+    HaloUs[Worker] += Us(T0, T1);
+    InteriorUs[Worker] += Us(T1, T2);
+  });
+  Timing->TotalMs += Us(Start, Clock::now()) / 1e3;
+  for (unsigned I = 0; I != TP.numThreads(); ++I) {
+    Timing->InteriorMs += InteriorUs[I] / 1e3;
+    Timing->HaloMs += HaloUs[I] / 1e3;
+    Timing->OverlapPixels += WorkerStats[I].OverlapPixels;
+    Timing->ComputedPixels += WorkerStats[I].ComputedPixels;
+  }
 }
 
 void checkExternalInputs(const Program &P, const std::vector<Image> &Pool) {
@@ -505,14 +675,17 @@ StagedVmProgram kf::compileFusedKernel(const FusedProgram &FP,
 }
 
 void VmScratch::ensure(unsigned Threads, size_t PixelFloats,
-                       size_t LaneFloats) {
+                       size_t LaneFloats, size_t PlaneFloats) {
   if (PixelRegs.size() < Threads)
     PixelRegs.resize(Threads);
   if (LaneRegs.size() < Threads)
     LaneRegs.resize(Threads);
+  if (PlaneRegs.size() < Threads)
+    PlaneRegs.resize(Threads);
   for (unsigned I = 0; I != Threads; ++I) {
     PixelRegs[I].resize(std::max(PixelRegs[I].size(), PixelFloats));
     LaneRegs[I].resize(std::max(LaneRegs[I].size(), LaneFloats));
+    PlaneRegs[I].resize(std::max(PlaneRegs[I].size(), PlaneFloats));
   }
 }
 
@@ -530,43 +703,82 @@ void kf::runCompiledLaunch(const StagedVmProgram &SP, uint16_t Root,
                            ThreadPool &TP, VmScratch &Scratch,
                            LaunchTiming *Timing) {
   const VmMode Mode = resolveVmMode(Options.Mode);
-  Scratch.ensure(TP.numThreads(), SP.NumRegs,
-                 laneScratchFloats(Mode, SP.NumRegs));
+  // Tuned is a plan-level request (sim/Session resolves it through the
+  // execution autotuner before launches run); a standalone launch falls
+  // back to the interior/halo default.
+  TilingStrategy Strategy = resolveTilingStrategy(Options.Tiling);
+  if (Strategy == TilingStrategy::Tuned)
+    Strategy = TilingStrategy::InteriorHalo;
+  OverlapSchedule Schedule;
+  if (Strategy == TilingStrategy::Overlapped) {
+    Schedule = buildOverlapSchedule(SP, Root, Out.channels());
+    // Mixed extents void the interior region, leaving overlapped tiling
+    // nothing to run on; fall back rather than schedule empty tiles.
+    if (!Schedule.Valid)
+      Strategy = TilingStrategy::InteriorHalo;
+  }
+
   const double InteriorBefore = Timing ? Timing->InteriorMs : 0.0;
   const double HaloBefore = Timing ? Timing->HaloMs : 0.0;
+  const long long OverlapBefore = Timing ? Timing->OverlapPixels : 0;
+  const long long ComputedBefore = Timing ? Timing->ComputedPixels : 0;
 
-  runTiledImage(
-      TP, Options, Out, Halo,
-      [&](int Y, int XA, int XB, int Ch, float *OutPtr, int Stride,
-          unsigned Worker) {
-        if (Mode == VmMode::Span) {
-          runStagedVmSpan(SP, Root, Pool, Y, XA, XB, Ch,
-                          Scratch.LaneRegs[Worker].data(), OutPtr, Stride);
-          return;
-        }
-        // Scalar interior: per-pixel dispatch, output pointer walked
-        // across the span instead of re-derived per pixel.
-        float *Regs = Scratch.PixelRegs[Worker].data();
-        float *Px = OutPtr;
-        for (int X = XA; X < XB; ++X, Px += Stride)
-          *Px = runStagedVmInterior(SP, Root, Pool, X, Y, Ch, Regs);
-      },
-      [&](int X, int Y, int Ch, unsigned Worker) {
-        return runStagedVm(SP, Root, Pool, X, Y, Ch,
-                           Scratch.PixelRegs[Worker].data(),
-                           Options.UseIndexExchange);
-      },
-      Timing);
+  auto HaloPixel = [&](int X, int Y, int Ch, unsigned Worker) {
+    return runStagedVm(SP, Root, Pool, X, Y, Ch,
+                       Scratch.PixelRegs[Worker].data(),
+                       Options.UseIndexExchange);
+  };
+
+  if (Strategy == TilingStrategy::Overlapped) {
+    runOverlappedImage(TP, Options, Out, Halo, SP, Root, Schedule, Pool,
+                       Mode, Scratch, HaloPixel, Timing);
+  } else {
+    Scratch.ensure(TP.numThreads(), SP.NumRegs,
+                   laneScratchFloats(Mode, SP.NumRegs));
+    runTiledImage(
+        TP, Options, Out, Halo,
+        [&](int Y, int XA, int XB, int Ch, float *OutPtr, int Stride,
+            unsigned Worker) {
+          if (Mode == VmMode::Span) {
+            runStagedVmSpan(SP, Root, Pool, Y, XA, XB, Ch,
+                            Scratch.LaneRegs[Worker].data(), OutPtr,
+                            Stride);
+            return;
+          }
+          // Scalar interior: per-pixel dispatch, output pointer walked
+          // across the span instead of re-derived per pixel.
+          float *Regs = Scratch.PixelRegs[Worker].data();
+          float *Px = OutPtr;
+          for (int X = XA; X < XB; ++X, Px += Stride)
+            *Px = runStagedVmInterior(SP, Root, Pool, X, Y, Ch, Regs);
+        },
+        HaloPixel, Timing);
+  }
 
   if (Timing) {
     // The scalar-vs-span interior split as process counters: deltas of
     // this launch only, so an accumulated Timing never double-counts.
     Timing->Mode = Mode;
+    Timing->Tiling = Strategy;
     TraceRecorder &TR = TraceRecorder::global();
+    const double InteriorDelta = Timing->InteriorMs - InteriorBefore;
     TR.addCounter(Mode == VmMode::Span ? "vm.interior_span_ms"
                                        : "vm.interior_scalar_ms",
-                  Timing->InteriorMs - InteriorBefore);
+                  InteriorDelta);
     TR.addCounter("vm.halo_ms", Timing->HaloMs - HaloBefore);
+    if (Strategy == TilingStrategy::Overlapped) {
+      const long long OverlapDelta = Timing->OverlapPixels - OverlapBefore;
+      const long long ComputedDelta =
+          Timing->ComputedPixels - ComputedBefore;
+      TR.addCounter("tile.overlap_pixels",
+                    static_cast<double>(OverlapDelta));
+      // Interior time attributable to redundant margin recompute: the
+      // overlapped fraction of all cells this launch evaluated.
+      if (ComputedDelta > 0)
+        TR.addCounter("tile.redundant_halo_ms",
+                      InteriorDelta * static_cast<double>(OverlapDelta) /
+                          static_cast<double>(ComputedDelta));
+    }
   }
 }
 
@@ -583,6 +795,22 @@ void kf::runFusedVm(const FusedProgram &FP, std::vector<Image> &Pool,
   if (MetricsRegistry::enabled())
     MetricsRegistry::global().recordPrediction(P.name(), FP);
 
+  // A Tuned tiling request resolves here, before any launch runs: the
+  // execution autotuner scores strategy x tile-shape candidates on the
+  // cost model and the whole frame runs the winner. An explicit user
+  // tile shape is respected; only unset extents take the tuned shape.
+  ExecutionOptions Effective = Options;
+  Effective.Tiling = resolveTilingStrategy(Options.Tiling);
+  if (Effective.Tiling == TilingStrategy::Tuned) {
+    const ExecTuneResult Tuned = tuneExecution(
+        FP, MetricsRegistry::referenceDevice(), CostModelParams());
+    Effective.Tiling = Tuned.Best.Candidate.Strategy;
+    if (Options.TileWidth <= 0 && Options.TileHeight <= 0) {
+      Effective.TileWidth = Tuned.Best.Candidate.Tile.Width;
+      Effective.TileHeight = Tuned.Best.Candidate.Tile.Height;
+    }
+  }
+
   VmScratch Scratch;
   for (const FusedKernel &FK : FP.Kernels) {
     StagedVmProgram SP = compileFusedKernel(FP, FK);
@@ -596,21 +824,24 @@ void kf::runFusedVm(const FusedProgram &FP, std::vector<Image> &Pool,
       Image Out(Info.Width, Info.Height, Info.Channels);
       if (!Observe) {
         runCompiledLaunch(SP, Root, fusedLaunchHalo(SP, Root, Info), Pool,
-                          Out, Options, TP, Scratch);
+                          Out, Effective, TP, Scratch);
       } else {
         std::string Label = "launch " + FK.Name;
         LaunchTiming Timing;
         TraceSpan Span(Label.c_str(), "sim");
         runCompiledLaunch(SP, Root, fusedLaunchHalo(SP, Root, Info), Pool,
-                          Out, Options, TP, Scratch, &Timing);
+                          Out, Effective, TP, Scratch, &Timing);
         Span.arg("interior_ms", Timing.InteriorMs);
         Span.arg("halo_ms", Timing.HaloMs);
         Span.arg("vm_span", Timing.Mode == VmMode::Span ? 1.0 : 0.0);
+        Span.arg("tiling_overlapped",
+                 Timing.Tiling == TilingStrategy::Overlapped ? 1.0 : 0.0);
+        Span.arg("overlap_pixels",
+                 static_cast<double>(Timing.OverlapPixels));
         Span.arg("stages", static_cast<double>(FK.Stages.size()));
-        MetricsRegistry::global().recordLaunch(P.name(), FK.Name,
-                                               Timing.TotalMs,
-                                               Timing.InteriorMs,
-                                               Timing.HaloMs, Timing.Mode);
+        MetricsRegistry::global().recordLaunch(
+            P.name(), FK.Name, Timing.TotalMs, Timing.InteriorMs,
+            Timing.HaloMs, Timing.Mode, Timing.Tiling);
       }
       Pool[Dest.Output] = std::move(Out);
     }

@@ -60,7 +60,32 @@ struct ExecutionOptions {
   /// the per-pixel escape hatch and the A/B baseline. Both modes are
   /// bit-identical on every pipeline and border mode.
   VmMode Mode = VmMode::Auto;
+
+  /// Tiling strategy of the fused VM engine. Auto resolves via the
+  /// KF_TILING environment variable ("interior", "overlapped" or
+  /// "tuned"), defaulting to the interior/halo split (see
+  /// resolveTilingStrategy in ir/ExprVM.h). Overlapped trades redundant
+  /// margin recompute for recursion-free, cache-resident tiles; Tuned
+  /// lets the cost model pick strategy and tile shape per compiled plan.
+  /// All strategies are bit-identical on every pipeline and border mode.
+  TilingStrategy Tiling = TilingStrategy::Auto;
 };
+
+/// Parses a tile specification "WxH" (e.g. "128x32"). Returns false --
+/// leaving the outputs untouched -- unless both extents parse fully and
+/// lie in [1, 65536].
+bool parseTileSpec(const char *Text, int &TileW, int &TileH);
+
+/// Resolves the effective tile extents of one launch over a
+/// \p ImageW x \p ImageH image: explicit positive Options extents win,
+/// then a well-formed KF_TILE environment value ("WxH", same range rules
+/// as parseTileSpec, malformed values warned about once per process),
+/// then the per-strategy default -- full rows with a height heuristic
+/// for InteriorHalo, an L2-sized 128x32 block for Overlapped. Results
+/// are clamped to the image.
+void resolveTileSize(const ExecutionOptions &Options,
+                     TilingStrategy Strategy, int ImageW, int ImageH,
+                     unsigned Threads, int &TileW, int &TileH);
 
 /// Allocates an image pool for \p P: one (empty) image slot per program
 /// image, shaped per the image table. External inputs must be filled by
@@ -109,9 +134,14 @@ struct VmScratch {
   /// Span-mode lane buffers: NumRegs * VmLaneWidth floats per worker
   /// (structure-of-arrays register frames, see runStagedVmSpan).
   std::vector<std::vector<float>> LaneRegs;
+  /// Overlapped-strategy plane buffers: one margin-grown scratch plane
+  /// per demanded (stage, channel) of a tile (see runOverlappedTile);
+  /// empty under the interior/halo strategy.
+  std::vector<std::vector<float>> PlaneRegs;
 
   /// Grows the per-worker vectors to at least the given float counts.
-  void ensure(unsigned Threads, size_t PixelFloats, size_t LaneFloats);
+  void ensure(unsigned Threads, size_t PixelFloats, size_t LaneFloats,
+              size_t PlaneFloats = 0);
 };
 
 /// The interior/halo split parameter of one fused launch: how far from the
@@ -133,6 +163,14 @@ struct LaunchTiming {
   /// The resolved interior mode the launch actually ran (never Auto), so
   /// the trace/metrics layers can split interior time scalar vs span.
   VmMode Mode = VmMode::Span;
+  /// The resolved tiling strategy the launch actually ran (never Auto or
+  /// Tuned: a schedule-less launch falls back to InteriorHalo).
+  TilingStrategy Tiling = TilingStrategy::InteriorHalo;
+  /// Overlapped strategy only: redundantly computed plane cells (the
+  /// margins adjacent grown tiles both evaluate) and all evaluated cells,
+  /// summed across tiles and channels.
+  long long OverlapPixels = 0;
+  long long ComputedPixels = 0;
 };
 
 /// Executes one compiled fused launch -- the staged program \p SP rooted

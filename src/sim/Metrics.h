@@ -64,6 +64,15 @@ struct LaunchModelRecord {
   double SpanInteriorMs = 0.0;
   double ScalarInteriorMs = 0.0;
 
+  /// Per-tiling-strategy accounting, same shape as the per-mode split:
+  /// runs (and total measured time) under the overlapped vs the
+  /// interior/halo strategy, so a launch A/B-measured under both can
+  /// report which one its pixels actually favour.
+  uint64_t OverlappedRuns = 0;
+  uint64_t InteriorTilingRuns = 0;
+  double OverlappedMs = 0.0;
+  double InteriorTilingMs = 0.0;
+
   double measuredMeanMs() const { return Runs ? MeasuredMs / Runs : 0.0; }
   /// Predicted / measured-mean ratio; 0 when either side is missing.
   double ratio() const {
@@ -77,6 +86,26 @@ struct LaunchModelRecord {
       return 0.0;
     return (ScalarInteriorMs / ScalarRuns) / (SpanInteriorMs / SpanRuns);
   }
+  /// Mean interior/halo-strategy time over mean overlapped-strategy time
+  /// -- the overlapped strategy's speedup (> 1 means overlapped tiling
+  /// won this launch); 0 unless both strategies were measured.
+  double overlappedSpeedup() const {
+    if (!OverlappedRuns || !InteriorTilingRuns || OverlappedMs <= 0.0)
+      return 0.0;
+    return (InteriorTilingMs / InteriorTilingRuns) /
+           (OverlappedMs / OverlappedRuns);
+  }
+};
+
+/// One execution-autotuner decision (sim/Tuner.h, tuneExecution): the
+/// strategy x tile-shape winner the cost model picked for a program.
+struct TunerDecisionRecord {
+  std::string Program;       ///< Pipeline / program name ("" if unnamed).
+  TilingStrategy Strategy = TilingStrategy::InteriorHalo;
+  int TileWidth = 0;
+  int TileHeight = 0;
+  double PredictedMs = 0.0;  ///< Winning candidate's model estimate.
+  unsigned Candidates = 0;   ///< Grid points scored.
 };
 
 /// The process-wide predicted-vs-measured registry.
@@ -103,11 +132,20 @@ public:
   /// Merges one measured execution of launch \p Launch of \p Program.
   /// \p InteriorMs / \p HaloMs may be zero when the executor did not
   /// collect the split. \p Mode is the resolved interior engine the run
-  /// used (LaunchTiming::Mode), feeding the per-mode interior split.
-  /// No-op while disabled.
+  /// used (LaunchTiming::Mode), feeding the per-mode interior split;
+  /// \p Tiling the resolved strategy (LaunchTiming::Tiling), feeding the
+  /// per-strategy split. No-op while disabled.
   void recordLaunch(const std::string &Program, const std::string &Launch,
                     double MeasuredMs, double InteriorMs = 0.0,
-                    double HaloMs = 0.0, VmMode Mode = VmMode::Span);
+                    double HaloMs = 0.0, VmMode Mode = VmMode::Span,
+                    TilingStrategy Tiling = TilingStrategy::InteriorHalo);
+
+  /// Records one execution-autotuner decision. Re-recording the same
+  /// program replaces its previous decision. No-op while disabled.
+  void recordTunerDecision(const TunerDecisionRecord &Decision);
+
+  /// Snapshot of recorded tuner decisions, in first-seen program order.
+  std::vector<TunerDecisionRecord> tunerDecisions() const;
 
   /// Snapshot of all records, in first-seen order.
   std::vector<LaunchModelRecord> records() const;
@@ -137,6 +175,7 @@ private:
 
   mutable std::mutex Mutex;
   std::vector<LaunchModelRecord> Records;
+  std::vector<TunerDecisionRecord> Decisions;
 };
 
 } // namespace kf

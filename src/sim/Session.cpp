@@ -4,6 +4,7 @@
 
 #include "analysis/Analyzer.h"
 #include "sim/Metrics.h"
+#include "sim/Tuner.h"
 #include "support/Error.h"
 #include "support/Trace.h"
 
@@ -49,7 +50,8 @@ uint64_t kf::hashExecutionOptions(const ExecutionOptions &Options) {
                         static_cast<uint32_t>(Options.TileWidth)) ^
          hashNamedField("TileHeight",
                         static_cast<uint32_t>(Options.TileHeight)) ^
-         hashNamedField("VmMode", static_cast<uint32_t>(Options.Mode));
+         hashNamedField("VmMode", static_cast<uint32_t>(Options.Mode)) ^
+         hashNamedField("Tiling", static_cast<uint32_t>(Options.Tiling));
 }
 
 uint64_t kf::planKey(const FusedProgram &FP, const ExecutionOptions &Options) {
@@ -82,6 +84,22 @@ kf::compilePlan(const FusedProgram &FP, const ExecutionOptions &Options) {
   for (ImageId Id = 0; Id != P.numImages(); ++Id)
     Plan->Shapes.push_back(P.image(Id));
   Plan->ExternalInputs = P.externalInputs();
+
+  // A Tuned tiling request resolves at compile time: the execution
+  // autotuner scores strategy x tile-shape candidates once and the
+  // decision rides along in the cached plan -- frames pay nothing.
+  if (resolveTilingStrategy(Options.Tiling) == TilingStrategy::Tuned) {
+    const ExecTuneResult Tuned = tuneExecution(
+        FP, MetricsRegistry::referenceDevice(), CostModelParams());
+    Plan->Tuning.Active = true;
+    Plan->Tuning.Strategy = Tuned.Best.Candidate.Strategy;
+    Plan->Tuning.TileWidth = Tuned.Best.Candidate.Tile.Width;
+    Plan->Tuning.TileHeight = Tuned.Best.Candidate.Tile.Height;
+    Plan->Tuning.PredictedMs = Tuned.Best.TimeMs;
+    Span.arg("tuned_overlapped",
+             Plan->Tuning.Strategy == TilingStrategy::Overlapped ? 1.0
+                                                                 : 0.0);
+  }
 
   // Every freshly compiled plan is statically validated before it can
   // reach the executor or the plan cache: bytecode structure, then the
@@ -273,6 +291,17 @@ void PipelineSession::runFrame(std::vector<Image> &Frame) {
                        "' missing or mis-shaped in the session frame");
   }
 
+  // A plan compiled under Tuned carries its decision: frames run the
+  // tuned strategy, and the tuned tile shape unless the user pinned one.
+  ExecutionOptions Effective = Options;
+  if (Current->Tuning.Active) {
+    Effective.Tiling = Current->Tuning.Strategy;
+    if (Options.TileWidth <= 0 && Options.TileHeight <= 0) {
+      Effective.TileWidth = Current->Tuning.TileWidth;
+      Effective.TileHeight = Current->Tuning.TileHeight;
+    }
+  }
+
   const bool Observe = TraceRecorder::enabled() || MetricsRegistry::enabled();
   TraceSpan FrameSpan("session.frame", "session");
   auto Start = std::chrono::steady_clock::now();
@@ -286,20 +315,23 @@ void PipelineSession::runFrame(std::vector<Image> &Frame) {
     // is acyclic), so reusing the previous frame's buffer is safe.
     if (!Observe) {
       runCompiledLaunch(Launch.Code, Launch.Root, Launch.Halo, Frame, Out,
-                        Options, *Pool, Scratch);
+                        Effective, *Pool, Scratch);
     } else {
       std::string Label = "launch " + Launch.Name;
       LaunchTiming Timing;
       TraceSpan Span(Label.c_str(), "sim");
       runCompiledLaunch(Launch.Code, Launch.Root, Launch.Halo, Frame, Out,
-                        Options, *Pool, Scratch, &Timing);
+                        Effective, *Pool, Scratch, &Timing);
       Span.arg("interior_ms", Timing.InteriorMs);
       Span.arg("halo_ms", Timing.HaloMs);
       Span.arg("vm_span", Timing.Mode == VmMode::Span ? 1.0 : 0.0);
-      MetricsRegistry::global().recordLaunch(Current->ProgramName,
-                                             Launch.Name, Timing.TotalMs,
-                                             Timing.InteriorMs,
-                                             Timing.HaloMs, Timing.Mode);
+      Span.arg("tiling_overlapped",
+               Timing.Tiling == TilingStrategy::Overlapped ? 1.0 : 0.0);
+      Span.arg("overlap_pixels",
+               static_cast<double>(Timing.OverlapPixels));
+      MetricsRegistry::global().recordLaunch(
+          Current->ProgramName, Launch.Name, Timing.TotalMs,
+          Timing.InteriorMs, Timing.HaloMs, Timing.Mode, Timing.Tiling);
     }
   }
   Stats.ExecMs += sinceMs(Start);

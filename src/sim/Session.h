@@ -64,6 +64,20 @@ struct CompiledLaunch {
   int Halo = 0;
 };
 
+/// The execution-tuning decision baked into a plan compiled under
+/// TilingStrategy::Tuned: compilePlan runs the execution autotuner
+/// (sim/Tuner.h, tuneExecution) once and every frame of the plan then
+/// runs the winning strategy -- and, when the user left the tile shape
+/// unset, the winning tile extents. Inactive (all defaults) for plans
+/// compiled under an explicit strategy.
+struct PlanTuning {
+  bool Active = false;
+  TilingStrategy Strategy = TilingStrategy::InteriorHalo;
+  int TileWidth = 0;        ///< 0 = executor default for the strategy.
+  int TileHeight = 0;
+  double PredictedMs = 0.0; ///< Winning candidate's model estimate.
+};
+
 /// The immutable compile-once artifact of one (program, fused structure,
 /// options) configuration. Shared between sessions via shared_ptr; never
 /// mutated after compilation.
@@ -73,6 +87,7 @@ struct CompiledPlan {
   std::vector<ImageInfo> Shapes;        ///< Pool allocation plan.
   std::vector<ImageId> ExternalInputs;  ///< Images frames must fill.
   std::vector<CompiledLaunch> Launches; ///< In launch order.
+  PlanTuning Tuning;          ///< Autotuner decision (Tuned plans only).
 };
 
 /// Cache key of a fused program under given options: content hash of the

@@ -316,13 +316,15 @@ TEST(PlanCache, ClearResets) {
 TEST(OptionsHash, StableAcrossFieldReordering) {
   // The options hash is an XOR of named-field hashes, so any fold order
   // -- i.e. any field order in ExecutionOptions -- produces the same key.
-  uint64_t Forward = hashNamedField("UseIndexExchange", 1) ^
-                     hashNamedField("Threads", 4) ^
-                     hashNamedField("TileWidth", 0) ^
-                     hashNamedField("TileHeight", 16) ^
-                     hashNamedField("VmMode",
-                                    static_cast<uint32_t>(VmMode::Span));
+  uint64_t Forward =
+      hashNamedField("UseIndexExchange", 1) ^ hashNamedField("Threads", 4) ^
+      hashNamedField("TileWidth", 0) ^ hashNamedField("TileHeight", 16) ^
+      hashNamedField("VmMode", static_cast<uint32_t>(VmMode::Span)) ^
+      hashNamedField("Tiling",
+                     static_cast<uint32_t>(TilingStrategy::Overlapped));
   uint64_t Reordered =
+      hashNamedField("Tiling",
+                     static_cast<uint32_t>(TilingStrategy::Overlapped)) ^
       hashNamedField("VmMode", static_cast<uint32_t>(VmMode::Span)) ^
       hashNamedField("TileHeight", 16) ^ hashNamedField("TileWidth", 0) ^
       hashNamedField("Threads", 4) ^ hashNamedField("UseIndexExchange", 1);
@@ -332,6 +334,7 @@ TEST(OptionsHash, StableAcrossFieldReordering) {
   Options.Threads = 4;
   Options.TileHeight = 16;
   Options.Mode = VmMode::Span;
+  Options.Tiling = TilingStrategy::Overlapped;
   EXPECT_EQ(hashExecutionOptions(Options), Forward);
 }
 
@@ -348,11 +351,14 @@ TEST(OptionsHash, SensitiveToEveryField) {
   D.TileHeight = 8;
   ExecutionOptions E = Base;
   E.Mode = VmMode::Scalar;
+  ExecutionOptions F = Base;
+  F.Tiling = TilingStrategy::Overlapped;
   EXPECT_NE(hashExecutionOptions(A), H);
   EXPECT_NE(hashExecutionOptions(B), H);
   EXPECT_NE(hashExecutionOptions(C), H);
   EXPECT_NE(hashExecutionOptions(D), H);
   EXPECT_NE(hashExecutionOptions(E), H);
+  EXPECT_NE(hashExecutionOptions(F), H);
 }
 
 TEST(StructuralHash, IndependentParsesHashEqually) {

@@ -75,6 +75,14 @@ static void printUsage() {
       "                               (lane-batched, default) or scalar\n"
       "                               (per-pixel); KF_VM overrides the\n"
       "                               default\n"
+      "  --tiling interior|overlapped|tuned  tiling strategy for --run:\n"
+      "                               interior/halo split (default),\n"
+      "                               overlapped tiles recomputing their\n"
+      "                               own halos, or cost-model autotuned;\n"
+      "                               KF_TILING overrides the default\n"
+      "  --tile <WxH>                 tile extents for --run, e.g. 128x32\n"
+      "                               (default per strategy; KF_TILE\n"
+      "                               overrides the default)\n"
       "  --frames <n>                 with --run: stream n frames through a\n"
       "                               pipeline session (compiled-plan cache\n"
       "                               + frame buffer reuse)\n"
@@ -241,6 +249,30 @@ int main(int Argc, char **Argv) {
                    VmName.c_str());
       return 1;
     }
+    std::string TilingName = Cl.getOption("tiling", "auto");
+    if (TilingName == "interior")
+      Exec.Tiling = TilingStrategy::InteriorHalo;
+    else if (TilingName == "overlapped")
+      Exec.Tiling = TilingStrategy::Overlapped;
+    else if (TilingName == "tuned")
+      Exec.Tiling = TilingStrategy::Tuned;
+    else if (TilingName != "auto") {
+      std::fprintf(stderr,
+                   "error: invalid --tiling '%s' (expected 'interior', "
+                   "'overlapped' or 'tuned')\n",
+                   TilingName.c_str());
+      return 1;
+    }
+    std::string TileSpec = Cl.getOption("tile", "");
+    if (!TileSpec.empty() &&
+        !parseTileSpec(TileSpec.c_str(), Exec.TileWidth,
+                       Exec.TileHeight)) {
+      std::fprintf(stderr,
+                   "error: invalid --tile '%s' (expected 'WxH' with "
+                   "extents in [1, 65536])\n",
+                   TileSpec.c_str());
+      return 1;
+    }
 
     // Runs after the engines (and their thread pools, which export their
     // scheduling counters at destruction) are done.
@@ -318,10 +350,12 @@ int main(int Argc, char **Argv) {
         }
 
       const SessionStats &S = Session.stats();
-      std::printf("streamed '%s' with %u threads (%s fusion), %d frames x "
-                  "%d repeats\n",
+      std::printf("streamed '%s' with %u threads (%s fusion, %s tiling), "
+                  "%d frames x %d repeats\n",
                   P.name().c_str(), resolveThreadCount(Exec.Threads),
-                  Style.c_str(), Frames, Repeat);
+                  Style.c_str(),
+                  tilingStrategyName(resolveTilingStrategy(Exec.Tiling)),
+                  Frames, Repeat);
       std::fputs(Stream.render().c_str(), stdout);
       std::printf("plan cache: %llu hits, %llu misses (compile %.3f ms); "
                   "frame buffers: %llu reused, %llu allocated\n",
@@ -371,9 +405,10 @@ int main(int Argc, char **Argv) {
                            maxAbsDifference(VmPool[Out], Reference[Out]));
       }
 
-    std::printf("executed '%s' with %u threads (%s fusion)\n",
+    std::printf("executed '%s' with %u threads (%s fusion, %s tiling)\n",
                 P.name().c_str(), resolveThreadCount(Exec.Threads),
-                Style.c_str());
+                Style.c_str(),
+                tilingStrategyName(resolveTilingStrategy(Exec.Tiling)));
     TablePrinter Run({"engine", "wall ms", "speedup"});
     Run.addRow({"unfused ast", formatDouble(AstMs, 3), "1.000"});
     Run.addRow(
