@@ -376,7 +376,8 @@ void runTiledImage(ThreadPool &TP, const ExecutionOptions &Options,
                            interiorSpan(Y, IA, IB, Worker);
                          haloSpan(Y, IB, T.X1, Worker);
                        }
-                     });
+                     },
+                     Options.Source);
     return;
   }
 
@@ -408,7 +409,7 @@ void runTiledImage(ThreadPool &TP, const ExecutionOptions &Options,
     }
     InteriorUs[Worker] += TileInterior;
     HaloUs[Worker] += TileHalo;
-  });
+  }, Options.Source);
   Timing->TotalMs += Us(Start, Clock::now()) / 1e3;
   for (unsigned I = 0; I != TP.numThreads(); ++I) {
     Timing->InteriorMs += InteriorUs[I] / 1e3;
@@ -492,7 +493,8 @@ void runOverlappedImage(ThreadPool &TP, const ExecutionOptions &Options,
                        haloPart(T, IA, IB, JA, JB, Worker);
                        if (IA < IB && JA < JB)
                          interiorPart(IA, IB, JA, JB, Worker, nullptr);
-                     });
+                     },
+                     Options.Source);
     return;
   }
 
@@ -520,7 +522,7 @@ void runOverlappedImage(ThreadPool &TP, const ExecutionOptions &Options,
     Clock::time_point T2 = Clock::now();
     HaloUs[Worker] += Us(T0, T1);
     InteriorUs[Worker] += Us(T1, T2);
-  });
+  }, Options.Source);
   Timing->TotalMs += Us(Start, Clock::now()) / 1e3;
   for (unsigned I = 0; I != TP.numThreads(); ++I) {
     Timing->InteriorMs += InteriorUs[I] / 1e3;

@@ -69,6 +69,15 @@ struct ExecutionOptions {
   /// lets the cost model pick strategy and tile shape per compiled plan.
   /// All strategies are bit-identical on every pipeline and border mode.
   TilingStrategy Tiling = TilingStrategy::Auto;
+
+  /// Work-source tag charged for every tile this execution claims from a
+  /// shared ThreadPool (see ThreadPool::registerSource); the pipeline
+  /// server registers one source per tenant so concurrent frames
+  /// interleave stride-fairly. 0 is the pool's default source. A pure
+  /// scheduling hint: it never changes which pixels are computed, so it
+  /// is deliberately excluded from hashExecutionOptions — sessions that
+  /// differ only in Source share compiled plans.
+  unsigned Source = 0;
 };
 
 /// Parses a tile specification "WxH" (e.g. "128x32"). Returns false --

@@ -6,6 +6,7 @@
 #include "support/StringUtils.h"
 #include "support/TablePrinter.h"
 
+#include <algorithm>
 #include <cmath>
 
 using namespace kf;
@@ -102,6 +103,40 @@ std::vector<TunerDecisionRecord> MetricsRegistry::tunerDecisions() const {
   return Decisions;
 }
 
+ServerSessionRecord &
+MetricsRegistry::findOrCreateSession(const std::string &Session) {
+  for (ServerSessionRecord &Existing : Sessions)
+    if (Existing.Session == Session)
+      return Existing;
+  Sessions.emplace_back();
+  Sessions.back().Session = Session;
+  return Sessions.back();
+}
+
+void MetricsRegistry::recordServerFrame(const std::string &Session,
+                                        double QueueMs, double ExecMs) {
+  if (!enabled())
+    return;
+  std::lock_guard<std::mutex> Lock(Mutex);
+  ServerSessionRecord &Record = findOrCreateSession(Session);
+  ++Record.Frames;
+  Record.QueueMs += QueueMs;
+  Record.ExecMs += ExecMs;
+  Record.MaxLatencyMs = std::max(Record.MaxLatencyMs, QueueMs + ExecMs);
+}
+
+void MetricsRegistry::recordServerRejection(const std::string &Session) {
+  if (!enabled())
+    return;
+  std::lock_guard<std::mutex> Lock(Mutex);
+  ++findOrCreateSession(Session).Rejected;
+}
+
+std::vector<ServerSessionRecord> MetricsRegistry::serverSessions() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Sessions;
+}
+
 std::vector<LaunchModelRecord> MetricsRegistry::records() const {
   std::lock_guard<std::mutex> Lock(Mutex);
   return Records;
@@ -182,6 +217,21 @@ std::string MetricsRegistry::renderTable() const {
                     std::to_string(D.Candidates)});
     Result += Tuner.render();
   }
+  std::vector<ServerSessionRecord> Serving = serverSessions();
+  if (!Serving.empty()) {
+    TablePrinter Server({"session", "frames", "rejected", "queue ms",
+                         "exec ms", "mean lat ms", "max lat ms"});
+    for (const ServerSessionRecord &S : Serving) {
+      double Frames = S.Frames ? static_cast<double>(S.Frames) : 1.0;
+      Server.addRow({S.Session, std::to_string(S.Frames),
+                     std::to_string(S.Rejected),
+                     formatDouble(S.QueueMs / Frames, 3),
+                     formatDouble(S.ExecMs / Frames, 3),
+                     formatDouble(S.meanLatencyMs(), 3),
+                     formatDouble(S.MaxLatencyMs, 3)});
+    }
+    Result += Server.render();
+  }
   return Result;
 }
 
@@ -247,4 +297,5 @@ void MetricsRegistry::clear() {
   std::lock_guard<std::mutex> Lock(Mutex);
   Records.clear();
   Decisions.clear();
+  Sessions.clear();
 }

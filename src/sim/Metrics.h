@@ -108,6 +108,23 @@ struct TunerDecisionRecord {
   unsigned Candidates = 0;   ///< Grid points scored.
 };
 
+/// Per-session serving statistics of one PipelineServer tenant: frame
+/// counts and end-to-end latency (enqueue to consume), split into the
+/// time a frame sat queued behind its session's earlier frames and the
+/// time it executed. Merged by session name.
+struct ServerSessionRecord {
+  std::string Session;      ///< Tenant name (e.g. "s0:harris").
+  uint64_t Frames = 0;      ///< Frames completed.
+  uint64_t Rejected = 0;    ///< Submissions refused by backpressure.
+  double QueueMs = 0.0;     ///< Total time frames waited queued.
+  double ExecMs = 0.0;      ///< Total time frames spent executing.
+  double MaxLatencyMs = 0.0; ///< Worst single frame, queue + exec.
+
+  double meanLatencyMs() const {
+    return Frames ? (QueueMs + ExecMs) / Frames : 0.0;
+  }
+};
+
 /// The process-wide predicted-vs-measured registry.
 class MetricsRegistry {
 public:
@@ -144,6 +161,18 @@ public:
   /// program replaces its previous decision. No-op while disabled.
   void recordTunerDecision(const TunerDecisionRecord &Decision);
 
+  /// Merges one served frame of tenant \p Session: \p QueueMs spent
+  /// queued, \p ExecMs executing. No-op while disabled.
+  void recordServerFrame(const std::string &Session, double QueueMs,
+                         double ExecMs);
+
+  /// Merges one backpressure rejection of tenant \p Session. No-op while
+  /// disabled.
+  void recordServerRejection(const std::string &Session);
+
+  /// Snapshot of per-tenant serving records, in first-seen order.
+  std::vector<ServerSessionRecord> serverSessions() const;
+
   /// Snapshot of recorded tuner decisions, in first-seen program order.
   std::vector<TunerDecisionRecord> tunerDecisions() const;
 
@@ -170,12 +199,14 @@ private:
 
   LaunchModelRecord &findOrCreate(const std::string &Program,
                                   const std::string &Launch);
+  ServerSessionRecord &findOrCreateSession(const std::string &Session);
 
   static std::atomic<bool> EnabledFlag;
 
   mutable std::mutex Mutex;
   std::vector<LaunchModelRecord> Records;
   std::vector<TunerDecisionRecord> Decisions;
+  std::vector<ServerSessionRecord> Sessions;
 };
 
 } // namespace kf

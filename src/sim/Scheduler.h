@@ -1,0 +1,143 @@
+//===- sim/Scheduler.h - Frame-level fair scheduling ------------*- C++ -*-===//
+///
+/// \file
+/// The admission-control half of the pipeline server: one bounded frame
+/// queue per session with a backpressure policy (submit blocks until a
+/// slot frees, or is rejected outright), and a stride-fair dispatcher pick
+/// deciding which session's oldest frame executes next. At most one frame
+/// of a session is in flight at a time -- frames of one tenant are FIFO
+/// and a PipelineSession is not internally thread-safe -- so fairness is
+/// arbitrated *between* sessions: the dispatch sequence is a deterministic
+/// function of the enqueue history and the session weights
+/// (support/Stride.h), which is what lets the no-starvation tests assert
+/// exact interleavings instead of timing.
+///
+/// The FrameScheduler is policy only: it never touches images or plans.
+/// The PipelineServer (sim/Server.h) owns the execution side.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KF_SIM_SCHEDULER_H
+#define KF_SIM_SCHEDULER_H
+
+#include "sim/Session.h"
+#include "support/Stride.h"
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <unordered_map>
+
+namespace kf {
+
+/// What a full per-session queue does to the next submit.
+enum class BackpressurePolicy {
+  Block, ///< submit blocks until a slot frees (or the session closes).
+  Reject ///< submit returns failure immediately; the client retries.
+};
+
+/// One queued frame request: how to fill the inputs, what to do with the
+/// outputs, and when it entered the queue (the latency clock starts at
+/// admission, so queue wait is part of the reported frame latency).
+struct QueuedFrame {
+  PipelineSession::FrameFiller Fill;
+  PipelineSession::FrameConsumer Consume;
+  int Index = 0; ///< Per-session frame number, 0-based.
+  std::chrono::steady_clock::time_point Enqueued;
+};
+
+/// Counters of one session's queue.
+struct FrameQueueStats {
+  uint64_t Enqueued = 0;  ///< Admitted frames.
+  uint64_t Dispatched = 0;///< Frames handed to a dispatcher.
+  uint64_t Completed = 0; ///< Frames whose complete() arrived.
+  uint64_t Rejected = 0;  ///< Submissions refused (Reject policy).
+  size_t Depth = 0;       ///< Current queue depth.
+  size_t MaxDepth = 0;    ///< High-water queue depth.
+};
+
+/// Bounded per-session frame queues with stride-fair dispatch. All
+/// member functions are thread-safe; enqueue() may block (Block policy)
+/// and dequeue() blocks until work or stop().
+class FrameScheduler {
+public:
+  /// Registers a session: a queue of at most \p Capacity frames (clamped
+  /// to >= 1), scheduling weight \p Weight, and \p Policy on overflow.
+  /// Returns the session's scheduler id.
+  unsigned addSession(size_t Capacity, uint64_t Weight,
+                      BackpressurePolicy Policy);
+
+  /// Marks \p Session closed: every subsequent (and currently blocked)
+  /// enqueue fails. Queued frames still dispatch; pair with
+  /// waitSessionIdle() to drain before destroying the executor side.
+  void closeSession(unsigned Session);
+
+  /// Forgets \p Session entirely. The caller must have closed and drained
+  /// it first (no queued frames, none in flight).
+  void removeSession(unsigned Session);
+
+  /// Admits one frame into \p Session's queue, stamping its Enqueued
+  /// time. Returns false if the session is closed/unknown or the queue is
+  /// full under the Reject policy; blocks while full under Block.
+  bool enqueue(unsigned Session, QueuedFrame Work);
+
+  /// Blocks until some session has a dispatchable frame (oldest queued
+  /// frame of a session with no frame in flight), pops it stride-fairly
+  /// and marks the session busy. Returns false when stop() was called.
+  /// The caller must pair every successful dequeue with complete().
+  bool dequeue(unsigned &Session, QueuedFrame &Work);
+
+  /// Non-blocking dequeue (same pick), for inline dispatch loops.
+  bool tryDequeue(unsigned &Session, QueuedFrame &Work);
+
+  /// Marks \p Session's in-flight frame finished: its next queued frame
+  /// becomes dispatchable and a blocked producer may take the freed slot.
+  void complete(unsigned Session);
+
+  /// Wakes every blocked dequeue() with failure. Queued frames are left
+  /// in place (drain before stopping for a clean shutdown).
+  void stop();
+
+  /// Blocks until \p Session has no queued and no in-flight frame.
+  void waitSessionIdle(unsigned Session);
+
+  /// Blocks until no session has queued or in-flight frames.
+  void waitAllIdle();
+
+  FrameQueueStats queueStats(unsigned Session) const;
+
+private:
+  struct SessionState {
+    std::deque<QueuedFrame> Queue;
+    size_t Capacity = 1;
+    BackpressurePolicy Policy = BackpressurePolicy::Block;
+    unsigned StrideId = 0;
+    bool Busy = false;   ///< A dispatched frame has not completed yet.
+    bool Closed = false; ///< No further admissions.
+    FrameQueueStats Stats;
+  };
+
+  /// The stride-fair pick: the session id with minimum pass among
+  /// sessions that are dispatchable, or -1. Mutex must be held.
+  long long pickLocked() const;
+  bool idleLocked(const SessionState &S) const {
+    return S.Queue.empty() && !S.Busy;
+  }
+  /// Pops the oldest frame of \p Session (which must be dispatchable).
+  void popLocked(unsigned Session, QueuedFrame &Work);
+
+  mutable std::mutex Mutex;
+  std::condition_variable WorkCv;  ///< Dispatchers: work became available.
+  std::condition_variable SpaceCv; ///< Producers: a queue slot freed.
+  std::condition_variable IdleCv;  ///< Drainers: a session went idle.
+  std::unordered_map<unsigned, SessionState> Sessions;
+  StrideScheduler Sched;
+  unsigned NextId = 0;
+  bool Stopped = false;
+};
+
+} // namespace kf
+
+#endif // KF_SIM_SCHEDULER_H

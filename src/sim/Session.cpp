@@ -44,6 +44,10 @@ uint64_t kf::hashNamedField(const char *Name, uint64_t Value) {
 uint64_t kf::hashExecutionOptions(const ExecutionOptions &Options) {
   // XOR-combined named fields: commutative, so the hash survives field
   // reordering in ExecutionOptions (and in this function).
+  // ExecutionOptions::Source is deliberately NOT hashed: it is a pure
+  // scheduling tag (which pool source a launch charges) with no effect on
+  // computed pixels, and hashing it would make every server tenant miss
+  // the shared plan cache on plans that are byte-identical.
   return hashNamedField("UseIndexExchange", Options.UseIndexExchange ? 1 : 0) ^
          hashNamedField("Threads", static_cast<uint32_t>(Options.Threads)) ^
          hashNamedField("TileWidth",
@@ -148,9 +152,7 @@ std::shared_ptr<const CompiledPlan> PlanCache::lookup(uint64_t Key) {
   return *It->second;
 }
 
-void PlanCache::insert(std::shared_ptr<const CompiledPlan> Plan) {
-  assert(Plan && "inserting a null plan");
-  std::lock_guard<std::mutex> Lock(Mutex);
+void PlanCache::insertLocked(std::shared_ptr<const CompiledPlan> Plan) {
   auto It = Index.find(Plan->Key);
   if (It != Index.end()) {
     *It->second = std::move(Plan);
@@ -160,10 +162,64 @@ void PlanCache::insert(std::shared_ptr<const CompiledPlan> Plan) {
   Lru.push_front(std::move(Plan));
   Index[Lru.front()->Key] = Lru.begin();
   while (Lru.size() > Capacity) {
+    // Eviction only drops the cache's shared_ptr reference: a session
+    // still executing the evicted plan holds its own reference and the
+    // plan stays alive until that borrower releases it.
     Index.erase(Lru.back()->Key);
     Lru.pop_back();
     ++Stats.Evictions;
   }
+}
+
+void PlanCache::insert(std::shared_ptr<const CompiledPlan> Plan) {
+  assert(Plan && "inserting a null plan");
+  std::lock_guard<std::mutex> Lock(Mutex);
+  insertLocked(std::move(Plan));
+}
+
+std::shared_ptr<const CompiledPlan> PlanCache::getOrCompile(
+    uint64_t Key,
+    const std::function<std::shared_ptr<const CompiledPlan>()> &Compile,
+    bool *WasHit) {
+  std::unique_lock<std::mutex> Lock(Mutex);
+  while (true) {
+    auto It = Index.find(Key);
+    if (It != Index.end()) {
+      ++Stats.Hits;
+      Lru.splice(Lru.begin(), Lru, It->second);
+      if (WasHit)
+        *WasHit = true;
+      return *It->second;
+    }
+    auto PendingIt = Pending.find(Key);
+    if (PendingIt == Pending.end())
+      break; // This caller leads the compile.
+    // Another caller is compiling this key right now: wait and share its
+    // result instead of compiling the same plan twice (single-flight).
+    std::shared_ptr<InFlight> Slot = PendingIt->second;
+    InFlightCv.wait(Lock, [&] { return Slot->Done; });
+    ++Stats.Hits; // Served a shared plan without compiling: a hit.
+    if (WasHit)
+      *WasHit = true;
+    return Slot->Plan;
+  }
+
+  ++Stats.Misses;
+  auto Slot = std::make_shared<InFlight>();
+  Pending.emplace(Key, Slot);
+  Lock.unlock();
+  std::shared_ptr<const CompiledPlan> Plan = Compile();
+  Lock.lock();
+  Slot->Plan = Plan;
+  Slot->Done = true;
+  Pending.erase(Key);
+  if (Plan)
+    insertLocked(Plan);
+  Lock.unlock();
+  InFlightCv.notify_all();
+  if (WasHit)
+    *WasHit = false;
+  return Plan;
 }
 
 PlanCacheStats PlanCache::stats() const {
@@ -175,6 +231,8 @@ PlanCacheStats PlanCache::stats() const {
 
 void PlanCache::clear() {
   std::lock_guard<std::mutex> Lock(Mutex);
+  // In-flight compiles (Pending) are left alone: their leaders insert on
+  // completion as if freshly compiled.
   Lru.clear();
   Index.clear();
   Stats = PlanCacheStats();
@@ -193,14 +251,19 @@ std::vector<Image>
 FramePool::acquire(const std::vector<ImageInfo> &Shapes,
                    const std::vector<ImageId> &Outputs) {
   std::vector<Image> Frame;
-  if (!Free.empty() && Free.back().size() == Shapes.size()) {
-    Frame = std::move(Free.back());
-    Free.pop_back();
-    ++Reused;
-  } else {
-    Frame.resize(Shapes.size());
-    ++Allocated;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    if (!Free.empty() && Free.back().size() == Shapes.size()) {
+      Frame = std::move(Free.back());
+      Free.pop_back();
+      ++Reused;
+    } else {
+      Frame.resize(Shapes.size());
+      ++Allocated;
+    }
   }
+  // Reshaping happens outside the lock: the frame is exclusively owned
+  // here, and image allocation is the expensive part.
   // (Re)shape the launch outputs; recycled frames of the same session
   // already match and keep their buffers.
   for (ImageId Id : Outputs) {
@@ -214,7 +277,18 @@ FramePool::acquire(const std::vector<ImageInfo> &Shapes,
 }
 
 void FramePool::release(std::vector<Image> &&Frame) {
+  std::lock_guard<std::mutex> Lock(Mutex);
   Free.push_back(std::move(Frame));
+}
+
+uint64_t FramePool::framesReused() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Reused;
+}
+
+uint64_t FramePool::framesAllocated() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Allocated;
 }
 
 //===--------------------------------------------------------------------===//
@@ -223,9 +297,11 @@ void FramePool::release(std::vector<Image> &&Frame) {
 
 PipelineSession::PipelineSession(const FusedProgram &FPIn,
                                  ExecutionOptions OptionsIn,
-                                 PlanCache *CacheIn)
+                                 PlanCache *CacheIn,
+                                 ThreadPool *SharedPoolIn)
     : FP(&FPIn), Options(OptionsIn),
-      Cache(CacheIn ? CacheIn : &globalPlanCache()) {
+      Cache(CacheIn ? CacheIn : &globalPlanCache()),
+      SharedPool(SharedPoolIn) {
   const Program &P = *FP->Source;
   Shapes.reserve(P.numImages());
   for (ImageId Id = 0; Id != P.numImages(); ++Id)
@@ -241,6 +317,8 @@ void PipelineSession::setOptions(const ExecutionOptions &NewOptions) {
 }
 
 void PipelineSession::ensureThreadPool() {
+  if (SharedPool)
+    return; // Borrowed pool: the server owns sizing and lifetime.
   unsigned Want = resolveThreadCount(Options.Threads);
   if (!Pool || PoolThreads != Want) {
     Pool = std::make_unique<ThreadPool>(Want);
@@ -250,16 +328,23 @@ void PipelineSession::ensureThreadPool() {
 
 std::shared_ptr<const CompiledPlan> PipelineSession::plan() {
   uint64_t Key = planKey(*FP, Options);
-  std::shared_ptr<const CompiledPlan> Cached = Cache->lookup(Key);
-  if (Cached) {
+  // Single-flight through the (possibly shared) cache: when N tenants
+  // first touch the same plan concurrently, one compiles and the rest
+  // share the result.
+  bool WasHit = false;
+  std::shared_ptr<const CompiledPlan> Cached = Cache->getOrCompile(
+      Key,
+      [&] {
+        auto Start = std::chrono::steady_clock::now();
+        auto Compiled = compilePlan(*FP, Options);
+        Stats.CompileMs += sinceMs(Start);
+        return Compiled;
+      },
+      &WasHit);
+  if (WasHit)
     ++Stats.PlanHits;
-  } else {
+  else
     ++Stats.PlanMisses;
-    auto Start = std::chrono::steady_clock::now();
-    Cached = compilePlan(*FP, Options);
-    Stats.CompileMs += sinceMs(Start);
-    Cache->insert(Cached);
-  }
   Plan = Cached;
   return Cached;
 }
@@ -278,6 +363,7 @@ void PipelineSession::releaseFrame(std::vector<Image> &&Frame) {
 void PipelineSession::runFrame(std::vector<Image> &Frame) {
   std::shared_ptr<const CompiledPlan> Current = plan();
   ensureThreadPool();
+  ThreadPool &TP = SharedPool ? *SharedPool : *Pool;
 
   if (Frame.size() != Current->Shapes.size())
     reportFatalError("session frame pool size mismatch for '" +
@@ -315,13 +401,13 @@ void PipelineSession::runFrame(std::vector<Image> &Frame) {
     // is acyclic), so reusing the previous frame's buffer is safe.
     if (!Observe) {
       runCompiledLaunch(Launch.Code, Launch.Root, Launch.Halo, Frame, Out,
-                        Effective, *Pool, Scratch);
+                        Effective, TP, Scratch);
     } else {
       std::string Label = "launch " + Launch.Name;
       LaunchTiming Timing;
       TraceSpan Span(Label.c_str(), "sim");
       runCompiledLaunch(Launch.Code, Launch.Root, Launch.Halo, Frame, Out,
-                        Effective, *Pool, Scratch, &Timing);
+                        Effective, TP, Scratch, &Timing);
       Span.arg("interior_ms", Timing.InteriorMs);
       Span.arg("halo_ms", Timing.HaloMs);
       Span.arg("vm_span", Timing.Mode == VmMode::Span ? 1.0 : 0.0);

@@ -33,6 +33,7 @@
 
 #include "sim/Executor.h"
 
+#include <condition_variable>
 #include <functional>
 #include <list>
 #include <memory>
@@ -109,7 +110,11 @@ struct PlanCacheStats {
 };
 
 /// An LRU cache of compiled plans. Thread-safe; sessions may share one
-/// cache (e.g. the process-wide globalPlanCache()).
+/// cache (e.g. the process-wide globalPlanCache(), or the cross-tenant
+/// cache a PipelineServer owns). Entries are shared_ptr<const CompiledPlan>,
+/// so a borrower executing a plan keeps it alive even while the LRU evicts
+/// it under concurrent misses -- eviction drops the cache's reference,
+/// never the borrower's (tests/test_session.cpp pins this down).
 class PlanCache {
 public:
   explicit PlanCache(size_t CapacityIn = 16);
@@ -123,6 +128,18 @@ public:
   /// key replaces the entry.
   void insert(std::shared_ptr<const CompiledPlan> Plan);
 
+  /// Single-flight lookup-or-compile: a hit returns the cached plan; on a
+  /// miss, exactly one caller runs \p Compile (outside the cache lock)
+  /// and inserts the result, while concurrent callers of the same key
+  /// block and then share it. Followers count as hits -- they were served
+  /// a shared plan without compiling -- so concurrent first touches by N
+  /// tenants cost one miss, one compile, N-1 hits. \p WasHit, when given,
+  /// receives whether this caller compiled (false) or shared (true).
+  std::shared_ptr<const CompiledPlan> getOrCompile(
+      uint64_t Key,
+      const std::function<std::shared_ptr<const CompiledPlan>()> &Compile,
+      bool *WasHit = nullptr);
+
   size_t capacity() const { return Capacity; }
   PlanCacheStats stats() const;
   void clear();
@@ -130,10 +147,22 @@ public:
 private:
   using LruList = std::list<std::shared_ptr<const CompiledPlan>>;
 
+  /// One in-flight compilation (single-flight slot). Latched under Mutex;
+  /// followers wait on InFlightCv until Done.
+  struct InFlight {
+    std::shared_ptr<const CompiledPlan> Plan;
+    bool Done = false;
+  };
+
+  /// Inserts under an already-held Mutex (shared by insert/getOrCompile).
+  void insertLocked(std::shared_ptr<const CompiledPlan> Plan);
+
   size_t Capacity;
   mutable std::mutex Mutex;
+  std::condition_variable InFlightCv;
   LruList Lru; ///< Front = most recently used.
   std::unordered_map<uint64_t, LruList::iterator> Index;
+  std::unordered_map<uint64_t, std::shared_ptr<InFlight>> Pending;
   PlanCacheStats Stats;
 };
 
@@ -142,7 +171,10 @@ PlanCache &globalPlanCache();
 
 /// Recycles frame buffers: released frame pools are kept and handed back
 /// by acquire() instead of reallocating, so a steady-state streaming loop
-/// performs no buffer allocation.
+/// performs no buffer allocation. Thread-safe: the server's dispatcher
+/// threads acquire and release frames of one session's pool concurrently
+/// with the submitting client (the pool was single-owner until the server
+/// layer arrived; the free list and counters are now guarded).
 class FramePool {
 public:
   /// A pool of images sized for \p Shapes: recycled when a free frame
@@ -155,10 +187,11 @@ public:
   /// Returns \p Frame to the free list for the next acquire().
   void release(std::vector<Image> &&Frame);
 
-  uint64_t framesReused() const { return Reused; }
-  uint64_t framesAllocated() const { return Allocated; }
+  uint64_t framesReused() const;
+  uint64_t framesAllocated() const;
 
 private:
+  mutable std::mutex Mutex;
   std::vector<std::vector<Image>> Free;
   uint64_t Reused = 0;
   uint64_t Allocated = 0;
@@ -176,16 +209,22 @@ struct SessionStats {
 };
 
 /// A streaming execution session for one fused program: compile once, run
-/// many frames. Not thread-safe itself (one session per stream); the
-/// execution inside runs on the session's persistent ThreadPool.
+/// many frames. Not thread-safe itself (one session per stream; the
+/// server layer guarantees at most one frame of a session is in flight);
+/// the execution inside runs on the session's persistent ThreadPool, or
+/// on a borrowed shared pool when the session belongs to a PipelineServer.
 class PipelineSession {
 public:
   /// \p FP must outlive the session (it is re-consulted when an options
   /// change forces recompilation). Plans go through \p Cache, defaulting
-  /// to the process-wide cache.
+  /// to the process-wide cache. When \p SharedPoolIn is given the session
+  /// never builds its own ThreadPool: every launch runs on the borrowed
+  /// pool (which must outlive the session), tagged with
+  /// ExecutionOptions::Source, and Options.Threads only keys the plan.
   explicit PipelineSession(const FusedProgram &FP,
                            ExecutionOptions OptionsIn = ExecutionOptions(),
-                           PlanCache *CacheIn = nullptr);
+                           PlanCache *CacheIn = nullptr,
+                           ThreadPool *SharedPoolIn = nullptr);
 
   const ExecutionOptions &options() const { return Options; }
 
@@ -227,6 +266,7 @@ private:
   const FusedProgram *FP;
   ExecutionOptions Options;
   PlanCache *Cache;
+  ThreadPool *SharedPool = nullptr;         ///< Borrowed; wins over Pool.
   std::shared_ptr<const CompiledPlan> Plan; ///< Current plan, if keyed.
   std::unique_ptr<ThreadPool> Pool;         ///< Persistent across frames.
   unsigned PoolThreads = 0;

@@ -1,0 +1,118 @@
+//===- support/Stride.h - Deterministic stride scheduling -------*- C++ -*-===//
+///
+/// \file
+/// Stride scheduling (proportional-share, Waldspurger & Weihl): each work
+/// source owns a virtual-time "pass"; every unit of service advances the
+/// pass by StrideOne / weight, and the next unit of service always goes to
+/// the runnable source with the minimum pass (ties break to the lowest
+/// source id). Over any window the service received by competing sources
+/// converges to the ratio of their weights, and the pick sequence is a
+/// pure function of the charge history — fully deterministic, which is
+/// what the fairness tests pin down.
+///
+/// The same scheduler arbitrates at two granularities: the ThreadPool uses
+/// it to interleave tile batches from concurrently in-flight launches, and
+/// the pipeline server's FrameScheduler uses it to pick which session's
+/// queued frame dispatches next.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KF_SUPPORT_STRIDE_H
+#define KF_SUPPORT_STRIDE_H
+
+#include <cstdint>
+#include <vector>
+
+namespace kf {
+
+/// A deterministic proportional-share arbiter over a dense id space of
+/// work sources. Not thread-safe: callers serialize access (the ThreadPool
+/// charges it under its job mutex).
+class StrideScheduler {
+public:
+  /// Pass advance for one unit of service at weight 1. Large enough that
+  /// integer division by any sane weight keeps precision.
+  static constexpr uint64_t StrideOne = 1ull << 20;
+
+  /// Adds a source with the given scheduling weight (clamped to >= 1) and
+  /// returns its dense id.
+  unsigned addSource(uint64_t Weight = 1) {
+    Entries.push_back({normalize(Weight), 0});
+    return static_cast<unsigned>(Entries.size() - 1);
+  }
+
+  unsigned numSources() const { return static_cast<unsigned>(Entries.size()); }
+
+  /// Re-weights an existing source. Takes effect on the next charge.
+  void setWeight(unsigned Source, uint64_t Weight) {
+    if (Source < Entries.size())
+      Entries[Source].Weight = normalize(Weight);
+  }
+
+  uint64_t weight(unsigned Source) const {
+    return Source < Entries.size() ? Entries[Source].Weight : 1;
+  }
+
+  uint64_t pass(unsigned Source) const {
+    return Source < Entries.size() ? Entries[Source].Pass : 0;
+  }
+
+  /// Picks the candidate with the minimum pass; ties break to the lowest
+  /// id. Returns -1 if \p Candidates is empty. Does not charge.
+  int pick(const std::vector<unsigned> &Candidates) const {
+    int Best = -1;
+    uint64_t BestPass = 0;
+    for (unsigned C : Candidates) {
+      uint64_t P = pass(C);
+      if (Best < 0 || P < BestPass ||
+          (P == BestPass && C < static_cast<unsigned>(Best))) {
+        Best = static_cast<int>(C);
+        BestPass = P;
+      }
+    }
+    return Best;
+  }
+
+  /// Charges one unit of service to \p Source: its pass advances by
+  /// StrideOne / weight, so heavier sources advance slower and win the
+  /// min-pass race proportionally more often.
+  void charge(unsigned Source) {
+    if (Source < Entries.size())
+      Entries[Source].Pass += StrideOne / Entries[Source].Weight;
+  }
+
+  /// Called when \p Source transitions idle -> runnable while the sources
+  /// in \p Runnable are already competing: clamps its pass up to the
+  /// current minimum so a long-idle source re-enters at parity instead of
+  /// monopolizing the arbiter with a catch-up burst.
+  void activate(unsigned Source, const std::vector<unsigned> &Runnable) {
+    if (Source >= Entries.size())
+      return;
+    bool Any = false;
+    uint64_t Min = 0;
+    for (unsigned R : Runnable) {
+      if (R == Source || R >= Entries.size())
+        continue;
+      if (!Any || Entries[R].Pass < Min) {
+        Min = Entries[R].Pass;
+        Any = true;
+      }
+    }
+    if (Any && Entries[Source].Pass < Min)
+      Entries[Source].Pass = Min;
+  }
+
+private:
+  struct Entry {
+    uint64_t Weight = 1;
+    uint64_t Pass = 0;
+  };
+
+  static uint64_t normalize(uint64_t Weight) { return Weight ? Weight : 1; }
+
+  std::vector<Entry> Entries;
+};
+
+} // namespace kf
+
+#endif // KF_SUPPORT_STRIDE_H

@@ -39,6 +39,10 @@ unsigned kf::resolveThreadCount(int Requested) {
 
 ThreadPool::ThreadPool(unsigned ThreadsIn)
     : NumThreads(ThreadsIn > 0 ? ThreadsIn : 1), TileCounts(NumThreads) {
+  // Source 0: the unnamed default every untagged launch charges.
+  Sched.addSource(1);
+  SourceNames.emplace_back("default");
+  SourceTiles.push_back(0);
   Workers.reserve(NumThreads - 1);
   for (unsigned I = 1; I != NumThreads; ++I)
     Workers.emplace_back([this, I] { workerLoop(I); });
@@ -68,7 +72,25 @@ ThreadPool::~ThreadPool() {
     for (unsigned I = 0; I != Stats.TilesPerWorker.size(); ++I)
       Recorder.addCounter("threadpool.tiles.worker" + std::to_string(I),
                           static_cast<double>(Stats.TilesPerWorker[I]));
+    // Source 0 carries every untagged launch; named sources only exist
+    // when a server registered tenants, so only emit the split then.
+    for (unsigned I = 1; I < Stats.TilesPerSource.size(); ++I)
+      Recorder.addCounter("threadpool.tiles.source." + Stats.SourceNames[I],
+                          static_cast<double>(Stats.TilesPerSource[I]));
   }
+}
+
+unsigned ThreadPool::registerSource(const std::string &Name, uint64_t Weight) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  unsigned Id = Sched.addSource(Weight);
+  SourceNames.push_back(Name.empty() ? "source" + std::to_string(Id) : Name);
+  SourceTiles.push_back(0);
+  return Id;
+}
+
+void ThreadPool::setSourceWeight(unsigned Source, uint64_t Weight) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Sched.setWeight(Source, Weight);
 }
 
 ThreadPoolStats ThreadPool::stats() const {
@@ -81,47 +103,70 @@ ThreadPoolStats ThreadPool::stats() const {
   std::lock_guard<std::mutex> Lock(Mutex);
   Stats.Launches = LaunchCount;
   Stats.IdleWaits = IdleWaitCount;
+  Stats.TilesPerSource = SourceTiles;
+  Stats.SourceNames = SourceNames;
   return Stats;
 }
 
-void ThreadPool::drainTiles(unsigned WorkerIdx) {
-  size_t Count = Tiles.size();
-  uint64_t Drained = 0;
-  for (size_t I = NextTile.fetch_add(1, std::memory_order_relaxed);
-       I < Count; I = NextTile.fetch_add(1, std::memory_order_relaxed)) {
-    (*JobFn)(Tiles[I], WorkerIdx);
-    ++Drained;
+bool ThreadPool::anyRunnableLocked() const {
+  for (const Job *J : ActiveJobs)
+    if (J->NextTile < J->Tiles.size())
+      return true;
+  return false;
+}
+
+ThreadPool::Job *ThreadPool::pickJobLocked() {
+  // Stride pick over the active jobs: minimum source pass wins; ties keep
+  // the earliest-submitted job (ActiveJobs is FIFO), so within one source
+  // frames complete in submission order.
+  Job *Best = nullptr;
+  uint64_t BestPass = 0;
+  for (Job *J : ActiveJobs) {
+    if (J->NextTile >= J->Tiles.size())
+      continue;
+    uint64_t Pass = Sched.pass(J->Source);
+    if (!Best || Pass < BestPass) {
+      Best = J;
+      BestPass = Pass;
+    }
   }
-  if (Drained != 0)
-    TileCounts[WorkerIdx].fetch_add(Drained, std::memory_order_relaxed);
+  return Best;
+}
+
+size_t ThreadPool::claimTileLocked(Job &J) {
+  size_t TileIdx = J.NextTile++;
+  Sched.charge(J.Source);
+  ++SourceTiles[J.Source];
+  return TileIdx;
 }
 
 void ThreadPool::workerLoop(unsigned WorkerIdx) {
-  uint64_t SeenGeneration = 0;
+  std::unique_lock<std::mutex> Lock(Mutex);
   while (true) {
-    {
-      std::unique_lock<std::mutex> Lock(Mutex);
-      if (!Shutdown && JobGeneration == SeenGeneration)
-        ++IdleWaitCount; // The worker is about to block for work.
-      StartCv.wait(Lock, [&] {
-        return Shutdown || JobGeneration != SeenGeneration;
-      });
+    Job *J = pickJobLocked();
+    if (!J) {
       if (Shutdown)
         return;
-      SeenGeneration = JobGeneration;
+      ++IdleWaitCount; // The worker is about to block for work.
+      StartCv.wait(Lock, [&] { return Shutdown || anyRunnableLocked(); });
+      continue;
     }
-    drainTiles(WorkerIdx);
-    {
-      std::lock_guard<std::mutex> Lock(Mutex);
-      --ActiveWorkers;
-    }
-    DoneCv.notify_one();
+    size_t TileIdx = claimTileLocked(*J);
+    const auto &Fn = *J->Fn;
+    const TileRange &Tile = J->Tiles[TileIdx];
+    Lock.unlock();
+    Fn(Tile, WorkerIdx);
+    TileCounts[WorkerIdx].fetch_add(1, std::memory_order_relaxed);
+    Lock.lock();
+    if (--J->Remaining == 0)
+      DoneCv.notify_all(); // J's caller may be waiting; wake every waiter.
   }
 }
 
 void ThreadPool::parallelFor2D(
     int Width, int Height, int TileW, int TileH,
-    const std::function<void(const TileRange &, unsigned)> &Fn) {
+    const std::function<void(const TileRange &, unsigned)> &Fn,
+    unsigned Source) {
   if (Width <= 0 || Height <= 0)
     return;
   if (TileW <= 0)
@@ -135,7 +180,10 @@ void ThreadPool::parallelFor2D(
       Enumerated.push_back(TileRange{X0, Y0, std::min(X0 + TileW, Width),
                                      std::min(Y0 + TileH, Height)});
 
-  // Serial reference path: no workers, or nothing worth fanning out.
+  // Serial reference path: no workers, or nothing worth fanning out. The
+  // caller runs every tile inline in enumeration order; concurrent
+  // callers of a 1-thread shared pool each drain their own launch on
+  // their own thread.
   if (NumThreads == 1 || Enumerated.size() == 1) {
     for (const TileRange &Tile : Enumerated)
       Fn(Tile, 0);
@@ -143,25 +191,59 @@ void ThreadPool::parallelFor2D(
     {
       std::lock_guard<std::mutex> Lock(Mutex);
       ++LaunchCount;
+      if (Source >= SourceTiles.size())
+        Source = 0;
+      SourceTiles[Source] += Enumerated.size();
     }
     return;
   }
 
-  {
-    std::lock_guard<std::mutex> Lock(Mutex);
-    JobFn = &Fn;
-    Tiles = std::move(Enumerated);
-    NextTile.store(0, std::memory_order_relaxed);
-    ActiveWorkers = NumThreads - 1;
-    ++JobGeneration;
-    ++LaunchCount;
-  }
-  StartCv.notify_all();
-
-  drainTiles(0); // The caller is worker 0.
+  Job J;
+  J.Fn = &Fn;
+  J.Tiles = std::move(Enumerated);
+  J.Remaining = J.Tiles.size();
 
   std::unique_lock<std::mutex> Lock(Mutex);
-  DoneCv.wait(Lock, [&] { return ActiveWorkers == 0; });
-  JobFn = nullptr;
-  Tiles.clear();
+  if (Source >= Sched.numSources())
+    Source = 0; // Unregistered tag: charge the default source.
+  J.Source = Source;
+  // If this source had no job in flight, clamp its pass up to the busiest
+  // competitors' minimum so a returning tenant doesn't replay its idle
+  // time as a monopoly burst.
+  std::vector<unsigned> Runnable;
+  bool SourceWasIdle = true;
+  for (const Job *Active : ActiveJobs) {
+    if (Active->Source == Source)
+      SourceWasIdle = false;
+    if (Active->NextTile < Active->Tiles.size())
+      Runnable.push_back(Active->Source);
+  }
+  if (SourceWasIdle)
+    Sched.activate(Source, Runnable);
+  ActiveJobs.push_back(&J);
+  ++LaunchCount;
+  Lock.unlock();
+  StartCv.notify_all();
+
+  // The caller drains only its own job, as that job's worker 0. It must
+  // not steal tiles from concurrent launches: worker index 0 would then
+  // be shared by two threads inside one launch, and per-worker scratch
+  // indexed by the callback's worker id would race.
+  uint64_t Drained = 0;
+  Lock.lock();
+  while (J.NextTile < J.Tiles.size()) {
+    size_t TileIdx = claimTileLocked(J);
+    const TileRange &Tile = J.Tiles[TileIdx];
+    Lock.unlock();
+    Fn(Tile, 0);
+    ++Drained;
+    Lock.lock();
+    if (--J.Remaining == 0)
+      DoneCv.notify_all();
+  }
+  DoneCv.wait(Lock, [&] { return J.Remaining == 0; });
+  ActiveJobs.erase(std::find(ActiveJobs.begin(), ActiveJobs.end(), &J));
+  Lock.unlock();
+  if (Drained != 0)
+    TileCounts[0].fetch_add(Drained, std::memory_order_relaxed);
 }

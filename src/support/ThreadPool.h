@@ -4,7 +4,7 @@
 /// A reusable pool of worker threads with a 2-D tiled parallel-for
 /// primitive, the host-side analogue of the tiled GPU launches the paper's
 /// generated kernels use. The iteration space is decomposed into tiles in
-/// a fixed row-major order; workers claim tiles from an atomic cursor
+/// a fixed row-major order; workers claim tiles from the job's cursor
 /// (static enumeration, dynamic work-queue assignment), so load imbalance
 /// between cheap interior tiles and expensive halo tiles self-schedules.
 /// Every executor callback writes a disjoint tile of the output and reads
@@ -12,15 +12,31 @@
 /// count; with one thread the tiles run inline on the caller in
 /// enumeration order (the serial reference path).
 ///
+/// Multiple launches may be in flight concurrently (the multi-tenant
+/// pipeline server dispatches frames from independent sessions onto one
+/// shared pool). Each launch is tagged with a *work source* id; pool
+/// workers arbitrate between runnable launches with deterministic stride
+/// scheduling (support/Stride.h), so tile batches from concurrent frames
+/// interleave in proportion to their sources' weights instead of running
+/// serially. The caller of parallelFor2D drains only its own launch — it
+/// participates as worker index 0 of that launch, and worker indices
+/// 1..numThreads()-1 are globally unique across launches, so per-worker
+/// scratch indexed by the callback's worker id is never shared between
+/// threads within a launch.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef KF_SUPPORT_THREADPOOL_H
 #define KF_SUPPORT_THREADPOOL_H
 
+#include "support/Stride.h"
+
 #include <atomic>
 #include <condition_variable>
 #include <functional>
+#include <list>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -49,18 +65,22 @@ struct TileRange {
 unsigned resolveThreadCount(int Requested);
 
 /// Cumulative scheduling counters of one ThreadPool, for the tracing /
-/// metrics layer: how evenly tiles spread over workers and how often
-/// workers went idle waiting for a launch.
+/// metrics layer: how evenly tiles spread over workers and sources, and
+/// how often workers went idle waiting for a launch.
 struct ThreadPoolStats {
   uint64_t Launches = 0;  ///< parallelFor2D calls that fanned out.
   uint64_t Tiles = 0;     ///< Tiles executed across all launches.
   uint64_t IdleWaits = 0; ///< Times a worker blocked awaiting work.
   std::vector<uint64_t> TilesPerWorker; ///< Indexed by worker id.
+  std::vector<uint64_t> TilesPerSource; ///< Indexed by work-source id.
+  std::vector<std::string> SourceNames; ///< Parallel to TilesPerSource.
 };
 
 /// A fixed-size pool of persistent worker threads. The pool is created
 /// once and reused across many parallelFor2D launches (kernel launches of
 /// a program run), so thread start-up cost is not paid per kernel.
+/// parallelFor2D is safe to call from multiple threads concurrently; the
+/// launches share the workers under stride-fair arbitration.
 class ThreadPool {
 public:
   /// Spawns \p ThreadsIn - 1 workers (the caller participates as worker
@@ -73,6 +93,15 @@ public:
 
   unsigned numThreads() const { return NumThreads; }
 
+  /// Registers a named work source with scheduling weight \p Weight
+  /// (clamped to >= 1) and returns its id for ExecutionOptions::Source /
+  /// parallelFor2D. Source 0 always exists: the unnamed default at weight
+  /// 1 that every untagged launch charges.
+  unsigned registerSource(const std::string &Name, uint64_t Weight = 1);
+
+  /// Re-weights an existing source; out-of-range ids are ignored.
+  void setSourceWeight(unsigned Source, uint64_t Weight);
+
   /// Snapshot of the cumulative scheduling counters. Always maintained
   /// (the per-tile cost is one non-atomic per-worker increment); consumed
   /// by the tracing layer and `kfc --metrics`.
@@ -82,35 +111,54 @@ public:
   /// tiles are clipped) and invokes \p Fn once per tile with the tile and
   /// the index of the executing worker (in [0, numThreads())). Blocks
   /// until every tile has run. Empty spaces invoke nothing. Non-positive
-  /// tile extents select the full corresponding extent.
+  /// tile extents select the full corresponding extent. \p Source tags
+  /// the launch for stride arbitration against concurrent launches;
+  /// unregistered ids fall back to source 0. The calling thread drains
+  /// only this launch (as its worker 0) — concurrent callers never share
+  /// a worker index within a launch.
   void parallelFor2D(int Width, int Height, int TileW, int TileH,
-                     const std::function<void(const TileRange &, unsigned)> &Fn);
+                     const std::function<void(const TileRange &, unsigned)> &Fn,
+                     unsigned Source = 0);
 
 private:
+  /// One in-flight launch. Lives on the calling thread's stack for the
+  /// duration of its parallelFor2D call; linked into ActiveJobs while any
+  /// tile is unclaimed or running. All fields are guarded by Mutex.
+  struct Job {
+    const std::function<void(const TileRange &, unsigned)> *Fn = nullptr;
+    std::vector<TileRange> Tiles;
+    size_t NextTile = 0;  ///< First unclaimed tile index.
+    size_t Remaining = 0; ///< Tiles claimed-or-unclaimed but not finished.
+    unsigned Source = 0;
+  };
+
   void workerLoop(unsigned WorkerIdx);
-  void drainTiles(unsigned WorkerIdx);
+  /// Min-pass runnable job, or nullptr. Mutex must be held.
+  Job *pickJobLocked();
+  /// True if any active job still has unclaimed tiles. Mutex must be held.
+  bool anyRunnableLocked() const;
+  /// Claims the next tile of \p J and charges its source. Mutex must be
+  /// held; returns the claimed tile index.
+  size_t claimTileLocked(Job &J);
 
   unsigned NumThreads = 1;
   std::vector<std::thread> Workers;
 
   mutable std::mutex Mutex; ///< mutable: stats() snapshots under lock.
-  std::condition_variable StartCv;
-  std::condition_variable DoneCv;
+  std::condition_variable StartCv; ///< Workers: work arrived.
+  std::condition_variable DoneCv;  ///< Callers: some job finished a tile.
   bool Shutdown = false;
-  uint64_t JobGeneration = 0;  ///< Bumped per launch to wake the workers.
-  unsigned ActiveWorkers = 0;  ///< Workers still draining the current job.
+  std::list<Job *> ActiveJobs; ///< FIFO within a source.
 
-  // Current job (valid while ActiveWorkers > 0 or the caller drains).
-  const std::function<void(const TileRange &, unsigned)> *JobFn = nullptr;
-  std::vector<TileRange> Tiles;
-  std::atomic<size_t> NextTile{0};
+  StrideScheduler Sched;                ///< Guarded by Mutex.
+  std::vector<std::string> SourceNames; ///< Guarded by Mutex.
+  std::vector<uint64_t> SourceTiles;    ///< Guarded by Mutex.
 
   // Scheduling counters. Per-worker tile counts are atomics so stats()
   // can read them while workers drain (relaxed; they are statistics, not
-  // synchronization). IdleWaits is guarded by Mutex (incremented only
-  // while it is held).
+  // synchronization). The rest is guarded by Mutex.
   std::vector<std::atomic<uint64_t>> TileCounts;
-  uint64_t LaunchCount = 0; ///< Caller-side only.
+  uint64_t LaunchCount = 0;
   uint64_t IdleWaitCount = 0;
 };
 

@@ -63,6 +63,16 @@ void TraceRecorder::addCounter(const std::string &Name, double Delta) {
   Counters[Name] += Delta;
 }
 
+void TraceRecorder::setGauge(const std::string &Name, double Value) {
+  if (!enabled())
+    return;
+  std::lock_guard<std::mutex> Lock(Mutex);
+  GaugeValue &Gauge = Gauges[Name];
+  Gauge.Last = Value;
+  Gauge.Max = Gauge.Samples == 0 ? Value : std::max(Gauge.Max, Value);
+  ++Gauge.Samples;
+}
+
 std::vector<TraceSpanRecord> TraceRecorder::spans() const {
   std::lock_guard<std::mutex> Lock(Mutex);
   return Spans;
@@ -71,6 +81,11 @@ std::vector<TraceSpanRecord> TraceRecorder::spans() const {
 std::map<std::string, double> TraceRecorder::counters() const {
   std::lock_guard<std::mutex> Lock(Mutex);
   return Counters;
+}
+
+std::map<std::string, GaugeValue> TraceRecorder::gauges() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Gauges;
 }
 
 std::vector<SpanAggregate> TraceRecorder::aggregateSpans() const {
@@ -99,6 +114,7 @@ void TraceRecorder::clear() {
   std::lock_guard<std::mutex> Lock(Mutex);
   Spans.clear();
   Counters.clear();
+  Gauges.clear();
 }
 
 /// Escapes the characters JSON string literals cannot carry verbatim.
@@ -168,6 +184,16 @@ std::string TraceRecorder::metricsSummary() const {
     TablePrinter Table({"counter", "value"});
     for (const auto &[Name, Value] : Counts)
       Table.addRow({Name, formatDouble(Value, 0)});
+    if (!Result.empty())
+      Result += "\n";
+    Result += Table.render();
+  }
+  std::map<std::string, GaugeValue> Levels = gauges();
+  if (!Levels.empty()) {
+    TablePrinter Table({"gauge", "last", "max"});
+    for (const auto &[Name, Gauge] : Levels)
+      Table.addRow({Name, formatDouble(Gauge.Last, 0),
+                    formatDouble(Gauge.Max, 0)});
     if (!Result.empty())
       Result += "\n";
     Result += Table.render();

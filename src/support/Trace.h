@@ -61,6 +61,16 @@ struct SpanAggregate {
   double TotalUs = 0.0;
 };
 
+/// A gauge: a sampled level (queue depth, in-flight frames) rather than a
+/// monotonic total. The recorder keeps the last sample and the high-water
+/// mark, which is what capacity questions ("did backpressure engage?")
+/// need from a trace.
+struct GaugeValue {
+  double Last = 0.0;
+  double Max = 0.0;
+  uint64_t Samples = 0;
+};
+
 /// The process-wide span/counter recorder. All member functions are
 /// thread-safe; recording functions are no-ops while disabled.
 class TraceRecorder {
@@ -93,11 +103,18 @@ public:
   /// disabled.
   void addCounter(const std::string &Name, double Delta);
 
+  /// Samples gauge \p Name at \p Value (tracking last and max). No-op
+  /// while disabled.
+  void setGauge(const std::string &Name, double Value);
+
   /// Snapshot of all recorded spans, in recording order.
   std::vector<TraceSpanRecord> spans() const;
 
   /// Snapshot of all counters.
   std::map<std::string, double> counters() const;
+
+  /// Snapshot of all gauges.
+  std::map<std::string, GaugeValue> gauges() const;
 
   /// Spans aggregated by name, ordered by descending total time.
   std::vector<SpanAggregate> aggregateSpans() const;
@@ -121,6 +138,7 @@ private:
   mutable std::mutex Mutex;
   std::vector<TraceSpanRecord> Spans;
   std::map<std::string, double> Counters;
+  std::map<std::string, GaugeValue> Gauges;
   uint32_t NextThreadId = 0;
 };
 

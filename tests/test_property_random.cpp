@@ -160,6 +160,57 @@ TEST_P(RandomPipelineProperty, SerializeParseSessionRoundTripIsExact) {
         << "seed " << Seed << ", output " << Q.image(Out).Name;
 }
 
+TEST_P(RandomPipelineProperty, OptionsHashGovernsCrossSessionPlanSharing) {
+  // The contract the multi-tenant server's shared plan cache rests on:
+  // two sessions whose (structural hash, options hash) pair is equal MUST
+  // share one compiled plan (the second lookup is a cache hit on the
+  // literal same object), and sessions whose options hash differs MUST be
+  // isolated in distinct entries. The Source scheduling tag is excluded
+  // from the hash, so it is always randomized to differ.
+  uint64_t Seed = static_cast<uint64_t>(GetParam());
+  Rng Gen(Seed * 777767 + 3);
+  unsigned NumKernels = 3 + static_cast<unsigned>(Gen.nextBelow(6));
+  Program P = makeRandomPipeline(NumKernels, Gen.uniform(0.0, 0.6), 16, 12,
+                                 Gen);
+  MinCutFusionResult Result = runMinCutFusion(P, paperModel());
+  FusedProgram FP = fuseProgram(P, Result.Blocks, FusionStyle::Optimized);
+
+  auto randomOptions = [&Gen] {
+    ExecutionOptions O;
+    O.UseIndexExchange = Gen.nextBelow(2) == 0;
+    O.Threads = 1 + static_cast<int>(Gen.nextBelow(4));
+    O.TileWidth = static_cast<int>(Gen.nextBelow(3)) * 8;
+    O.TileHeight = static_cast<int>(Gen.nextBelow(3)) * 8;
+    O.Mode = Gen.nextBelow(2) ? VmMode::Scalar : VmMode::Span;
+    O.Tiling = Gen.nextBelow(2) ? TilingStrategy::InteriorHalo
+                                : TilingStrategy::Overlapped;
+    O.Source = static_cast<unsigned>(Gen.nextBelow(4));
+    return O;
+  };
+  ExecutionOptions A = randomOptions();
+  // Half the seeds take a guaranteed-equal permutation so both branches
+  // of the property are exercised; the rest draw independently.
+  ExecutionOptions B = Gen.nextBelow(2) ? randomOptions() : A;
+  B.Source = A.Source + 1; // Never equal; never part of the key.
+
+  PlanCache Cache(8);
+  PipelineSession S1(FP, A, &Cache);
+  PipelineSession S2(FP, B, &Cache);
+  ASSERT_NE(S1.plan(), nullptr) << "seed " << Seed;
+  ASSERT_NE(S2.plan(), nullptr) << "seed " << Seed;
+  PlanCacheStats Stats = Cache.stats();
+  if (hashExecutionOptions(A) == hashExecutionOptions(B)) {
+    EXPECT_EQ(Stats.Entries, 1u) << "seed " << Seed;
+    EXPECT_EQ(Stats.Misses, 1u) << "seed " << Seed;
+    EXPECT_GE(Stats.Hits, 1u) << "seed " << Seed;
+    EXPECT_EQ(S1.plan(), S2.plan()) << "seed " << Seed;
+  } else {
+    EXPECT_EQ(Stats.Entries, 2u) << "seed " << Seed;
+    EXPECT_EQ(Stats.Misses, 2u) << "seed " << Seed;
+    EXPECT_NE(S1.plan(), S2.plan()) << "seed " << Seed;
+  }
+}
+
 TEST_P(RandomPipelineProperty, FusionIsDeterministicPerSeed) {
   uint64_t Seed = static_cast<uint64_t>(GetParam());
   Rng GenA(Seed), GenB(Seed);

@@ -21,6 +21,8 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <thread>
 
 using namespace kf;
@@ -405,6 +407,149 @@ TEST(StructuralHash, PlanKeySeparatesPartitionsAndOptions) {
   ExecutionOptions Other;
   Other.Threads = 5;
   EXPECT_NE(planKey(Fused, Options), planKey(Fused, Other));
+}
+
+TEST(OptionsHash, SourceTagDoesNotSplitPlans) {
+  // ExecutionOptions::Source is a scheduling hint: the pipeline server
+  // gives every tenant a distinct tag, and tenants running the same
+  // pipeline under the same options MUST still share one compiled plan.
+  ExecutionOptions A, B;
+  A.Source = 0;
+  B.Source = 17;
+  EXPECT_EQ(hashExecutionOptions(A), hashExecutionOptions(B));
+}
+
+//===--------------------------------------------------------------------===//
+// PlanCache sharing under concurrency
+//===--------------------------------------------------------------------===//
+
+TEST(PlanCache, EvictionDoesNotInvalidateBorrowedPlan) {
+  // Regression for a latent single-owner assumption: a borrower's plan
+  // used to be reachable only through the cache, so an eviction while a
+  // session still executed from it was a use-after-free waiting to
+  // happen. Plans are shared_ptr-owned: eviction drops only the cache's
+  // reference.
+  PlanCache Cache(1);
+  Cache.insert(dummyPlan(1));
+  std::shared_ptr<const CompiledPlan> Borrowed = Cache.lookup(1);
+  ASSERT_NE(Borrowed, nullptr);
+  Cache.insert(dummyPlan(2)); // Evicts key 1 while it is borrowed.
+  EXPECT_EQ(Cache.lookup(1), nullptr);
+  EXPECT_EQ(Borrowed->Key, 1u); // The borrower's copy is still alive.
+  EXPECT_EQ(Borrowed.use_count(), 1);
+}
+
+TEST(PlanCache, EvictionRacingBorrowerIsSafe) {
+  // The concurrent version: borrower threads hold and read plans while
+  // the main thread churns a capacity-1 cache through evictions. Runs
+  // under -DKF_SANITIZE=thread via the sanitize-smoke label.
+  PlanCache Cache(1);
+  std::atomic<bool> Stop{false};
+  std::atomic<uint64_t> Reads{0};
+  std::vector<std::thread> Borrowers;
+  for (int T = 0; T != 2; ++T)
+    Borrowers.emplace_back([&] {
+      while (!Stop.load()) {
+        std::shared_ptr<const CompiledPlan> Plan = Cache.lookup(1);
+        if (Plan) {
+          // Dereference AFTER the entry may have been evicted.
+          EXPECT_EQ(Plan->Key, 1u);
+          ++Reads;
+        }
+      }
+    });
+  // Make sure the borrowers actually observe the entry at least once
+  // (one core may not schedule them during a fast churn loop).
+  Cache.insert(dummyPlan(1));
+  while (Reads.load() == 0)
+    std::this_thread::yield();
+  for (int I = 0; I != 2000; ++I) {
+    Cache.insert(dummyPlan(1));
+    Cache.insert(dummyPlan(2)); // Evicts 1 under the borrowers' feet.
+  }
+  Stop = true;
+  for (std::thread &T : Borrowers)
+    T.join();
+  EXPECT_GT(Reads.load(), 0u);
+}
+
+TEST(PlanCache, GetOrCompileIsSingleFlight) {
+  // N threads race the same cold key: exactly ONE runs the compile
+  // functor; the rest block on the in-flight slot and count as hits.
+  PlanCache Cache(4);
+  constexpr int NumThreads = 4;
+  std::atomic<int> Compiles{0};
+  std::vector<std::shared_ptr<const CompiledPlan>> Got(NumThreads);
+  std::vector<std::thread> Threads;
+  for (int T = 0; T != NumThreads; ++T)
+    Threads.emplace_back([&, T] {
+      Got[T] = Cache.getOrCompile(42, [&] {
+        ++Compiles;
+        // Widen the race window so followers really wait on the latch.
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        return dummyPlan(42);
+      });
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  EXPECT_EQ(Compiles.load(), 1);
+  for (int T = 1; T != NumThreads; ++T)
+    EXPECT_EQ(Got[T], Got[0]); // One shared plan object.
+  PlanCacheStats Stats = Cache.stats();
+  EXPECT_EQ(Stats.Misses, 1u);
+  EXPECT_EQ(Stats.Hits, static_cast<uint64_t>(NumThreads - 1));
+  EXPECT_EQ(Stats.Entries, 1u);
+}
+
+TEST(PlanCache, GetOrCompileFailureIsNotCached) {
+  PlanCache Cache(4);
+  bool WasHit = true;
+  std::shared_ptr<const CompiledPlan> Plan = Cache.getOrCompile(
+      7, [] { return std::shared_ptr<const CompiledPlan>(); }, &WasHit);
+  EXPECT_EQ(Plan, nullptr);
+  EXPECT_FALSE(WasHit);
+  EXPECT_EQ(Cache.stats().Entries, 0u);
+  // The failed attempt does not poison the key: a later compile lands.
+  Plan = Cache.getOrCompile(7, [] { return dummyPlan(7); }, &WasHit);
+  EXPECT_NE(Plan, nullptr);
+  EXPECT_FALSE(WasHit);
+  EXPECT_EQ(Cache.stats().Entries, 1u);
+}
+
+//===--------------------------------------------------------------------===//
+// FramePool under concurrency
+//===--------------------------------------------------------------------===//
+
+TEST(FramePool, ConcurrentAcquireReleaseKeepsCountersConsistent) {
+  // Regression for a latent single-owner assumption: the pool's free list
+  // and counters were unguarded, which the server's frame churn (a
+  // borrower racing the double-buffered filler) could corrupt. Threads
+  // hammer one pool; every acquire must be accounted as exactly one reuse
+  // or one allocation. Runs under -DKF_SANITIZE=thread via the
+  // sanitize-smoke label.
+  std::vector<ImageInfo> Shapes(2);
+  Shapes[0] = ImageInfo{"in", 16, 12, 1};
+  Shapes[1] = ImageInfo{"out", 16, 12, 1};
+  std::vector<ImageId> Outputs = {1};
+  FramePool Pool;
+  constexpr int NumThreads = 3;
+  constexpr int IterationsPerThread = 200;
+  std::vector<std::thread> Threads;
+  for (int T = 0; T != NumThreads; ++T)
+    Threads.emplace_back([&] {
+      for (int I = 0; I != IterationsPerThread; ++I) {
+        std::vector<Image> Frame = Pool.acquire(Shapes, Outputs);
+        ASSERT_EQ(Frame.size(), Shapes.size());
+        Pool.release(std::move(Frame));
+      }
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  EXPECT_EQ(Pool.framesAllocated() + Pool.framesReused(),
+            static_cast<uint64_t>(NumThreads) * IterationsPerThread);
+  // At most NumThreads frames were ever simultaneously outstanding.
+  EXPECT_LE(Pool.framesAllocated(), static_cast<uint64_t>(NumThreads));
+  EXPECT_GT(Pool.framesReused(), 0u);
 }
 
 } // namespace

@@ -5,7 +5,14 @@ Scans every *.md at the repository root and under docs/ for inline
 markdown links, resolves each relative target against the linking file,
 and fails (exit 1) listing every target that does not exist. External
 links (http/https/mailto) and pure in-page anchors are skipped; anchor
-suffixes on relative links are stripped before the existence check.
+suffixes on relative links are stripped before the existence check, and
+fenced code blocks are ignored (C++ lambdas parse as links otherwise).
+
+Also cross-checks the benchmark JSON sections: every section name a
+bench/*.cpp source passes to spliceJsonSection must exist as a top-level
+key of the committed BENCH_throughput.json -- a renamed (or silently
+dropped) section key fails here instead of vanishing unnoticed from the
+results file.
 
 Run from anywhere: paths are resolved against the repo root (this
 script's parent directory). CI runs it as the docs link-check step.
@@ -13,6 +20,7 @@ script's parent directory). CI runs it as the docs link-check step.
 Standard library only.
 """
 
+import json
 import re
 import sys
 from pathlib import Path
@@ -32,7 +40,15 @@ def doc_files(root: Path):
 def check_file(path: Path, root: Path):
     dead = []
     text = path.read_text(encoding="utf-8", errors="replace")
+    in_fence = False
     for lineno, line in enumerate(text.splitlines(), start=1):
+        # C++ lambdas like [](int F, ...) inside fenced code blocks look
+        # exactly like markdown links; fences carry no links by design.
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
         for match in LINK_RE.finditer(line):
             target = match.group(1)
             if target.startswith(SKIP_PREFIXES):
@@ -47,6 +63,39 @@ def check_file(path: Path, root: Path):
     return dead
 
 
+# spliceJsonSection(<file-or-var>, "section_name", ...) in bench sources.
+SPLICE_RE = re.compile(r'spliceJsonSection\([^,]+,\s*"([^"]+)"')
+
+
+def check_bench_sections(root: Path):
+    """Every spliceJsonSection key in bench/*.cpp must be a top-level key
+    of the committed BENCH_throughput.json."""
+    problems = []
+    wanted = {}  # section name -> first declaring source file
+    for src in sorted((root / "bench").glob("*.cpp")):
+        for match in SPLICE_RE.finditer(src.read_text(encoding="utf-8",
+                                                      errors="replace")):
+            wanted.setdefault(match.group(1), src.relative_to(root))
+    if not wanted:
+        return problems
+    results = root / "BENCH_throughput.json"
+    if not results.exists():
+        problems.append(f"{results.name}: missing, but bench sources "
+                        f"declare sections {sorted(wanted)}")
+        return problems
+    try:
+        present = set(json.loads(results.read_text(encoding="utf-8")))
+    except json.JSONDecodeError as err:
+        problems.append(f"{results.name}: unparsable JSON: {err}")
+        return problems
+    for section, src in sorted(wanted.items()):
+        if section not in present:
+            problems.append(
+                f"{results.name}: missing section '{section}' "
+                f"(declared by {src}; re-run the bench to splice it in)")
+    return problems
+
+
 def main():
     root = Path(__file__).resolve().parent.parent
     failures = 0
@@ -56,11 +105,16 @@ def main():
         for lineno, target in check_file(doc, root):
             failures += 1
             print(f"{doc.relative_to(root)}:{lineno}: dead link: {target}")
+    sections = check_bench_sections(root)
+    for problem in sections:
+        failures += 1
+        print(problem)
     if failures:
-        print(f"\n{failures} dead link(s) across {checked} file(s)",
+        print(f"\n{failures} problem(s) across {checked} file(s)",
               file=sys.stderr)
         return 1
-    print(f"checked {checked} markdown file(s): all relative links resolve")
+    print(f"checked {checked} markdown file(s): all relative links resolve; "
+          f"all bench JSON sections present")
     return 0
 
 

@@ -34,7 +34,9 @@
 #include "sim/CostModel.h"
 #include "sim/Executor.h"
 #include "sim/Metrics.h"
+#include "sim/Server.h"
 #include "sim/Session.h"
+#include "support/Statistics.h"
 #include "support/CommandLine.h"
 #include "support/DotWriter.h"
 #include "support/StringUtils.h"
@@ -88,6 +90,18 @@ static void printUsage() {
       "                               + frame buffer reuse)\n"
       "  --repeat <k>                 with --frames: repeat the stream k\n"
       "                               times on one session (warm repeats)\n"
+      "  --serve                      multiplex the pipeline across N\n"
+      "                               concurrent sessions of one server\n"
+      "                               (shared thread pool + plan cache):\n"
+      "                               per-session p50/p99 frame latency,\n"
+      "                               aggregate pixels/s, and a\n"
+      "                               bit-identical probe vs a serial\n"
+      "                               session\n"
+      "  --sessions <n>               with --serve: concurrent sessions\n"
+      "                               (default 4)\n"
+      "  --arrival uniform|zipf       with --serve: frame arrival pattern\n"
+      "                               (uniform round-robin, or Zipf-skewed\n"
+      "                               popularity; default uniform)\n"
       "  --fold                       run constant folding/simplification\n"
       "  --multi-out                  allow multi-destination fusion\n"
       "  --tg/--ts/--calu/--csfu/--cmshared/--gamma <num>  model knobs\n");
@@ -104,7 +118,7 @@ static std::string blockNames(const Program &P,
 int main(int Argc, char **Argv) {
   CommandLine Cl(Argc, Argv,
                  {"trace", "time", "fold", "multi-out", "run", "metrics",
-                  "analyze", "Werror", "help"});
+                  "analyze", "Werror", "serve", "help"});
   if (Cl.hasOption("help") || Cl.positional().size() != 1) {
     printUsage();
     return Cl.hasOption("help") ? 0 : 1;
@@ -234,7 +248,7 @@ int main(int Argc, char **Argv) {
     return finishAnalysis();
   }
 
-  if (Cl.hasOption("run")) {
+  if (Cl.hasOption("run") || Cl.hasOption("serve")) {
     ExecutionOptions Exec;
     Exec.Threads = static_cast<int>(Cl.getIntOption("threads", 0));
     std::string VmName = Cl.getOption("vm", "auto");
@@ -304,6 +318,163 @@ int main(int Argc, char **Argv) {
 
     int Frames = static_cast<int>(Cl.getIntOption("frames", 0));
     int Repeat = std::max(1, static_cast<int>(Cl.getIntOption("repeat", 1)));
+
+    if (Cl.hasOption("serve")) {
+      // Server mode: N concurrent client sessions of this pipeline,
+      // multiplexed over one shared thread pool and plan cache, driven by
+      // dispatcher threads. Reports per-session frame latency quantiles,
+      // aggregate throughput, and a bit-identical probe against a serial
+      // private session.
+      int Sessions = std::max(1, static_cast<int>(Cl.getIntOption(
+                                     "sessions", 4)));
+      std::string Arrival = Cl.getOption("arrival", "uniform");
+      if (Arrival != "uniform" && Arrival != "zipf") {
+        std::fprintf(stderr,
+                     "error: invalid --arrival '%s' (expected 'uniform' "
+                     "or 'zipf')\n",
+                     Arrival.c_str());
+        return 1;
+      }
+      int FramesEach = Frames > 0 ? Frames : 8;
+      int Total = FramesEach * Sessions;
+
+      // Arrival schedule: the tenant of each successive submission.
+      // Uniform round-robins; zipf draws tenants with probability
+      // proportional to 1/(rank+1) -- the classic skewed-popularity
+      // model -- so low-numbered sessions are hot and the tail is cold.
+      std::vector<int> Schedule;
+      Schedule.reserve(Total);
+      if (Arrival == "uniform") {
+        for (int F = 0; F != Total; ++F)
+          Schedule.push_back(F % Sessions);
+      } else {
+        std::vector<double> Cdf(Sessions);
+        double Sum = 0.0;
+        for (int S = 0; S != Sessions; ++S) {
+          Sum += 1.0 / (S + 1);
+          Cdf[S] = Sum;
+        }
+        Rng Gen(2026);
+        for (int F = 0; F != Total; ++F) {
+          double U = Gen.uniform(0.0, Sum);
+          int S = 0;
+          while (S + 1 < Sessions && Cdf[S] < U)
+            ++S;
+          Schedule.push_back(S);
+        }
+      }
+      std::vector<int> PerSession(Sessions, 0);
+      for (int S : Schedule)
+        ++PerSession[S];
+
+      // The same (session, frame) seed drives the server run and the
+      // serial probe, so the outputs must be bit-identical.
+      auto FillFor = [&P](int SessionIdx) {
+        return [&P, SessionIdx](int FrameIdx, std::vector<Image> &Pool) {
+          Rng Gen(2026 + static_cast<uint64_t>(SessionIdx) * 131071 +
+                  static_cast<uint64_t>(FrameIdx) * 977);
+          for (ImageId Id : P.externalInputs()) {
+            const ImageInfo &Info = P.image(Id);
+            Pool[Id] = makeRandomImage(Info.Width, Info.Height,
+                                       Info.Channels, Gen);
+          }
+        };
+      };
+
+      std::vector<ImageId> Outputs;
+      for (const FusedKernel &FK : FP.Kernels)
+        for (KernelId Dest : FK.Destinations)
+          Outputs.push_back(P.kernel(Dest).Output);
+
+      // Probe: capture session 0's last frame from inside the server...
+      int ProbeIndex = PerSession[0] - 1;
+      std::vector<Image> Probe;
+      double WallMs = 0.0;
+      std::vector<TenantStats> Stats;
+      {
+        ServerOptions SO;
+        SO.Threads = Exec.Threads;
+        SO.Dispatchers = 2;
+        PipelineServer Server(SO);
+        std::vector<PipelineServer::SessionId> Ids;
+        for (int S = 0; S != Sessions; ++S) {
+          TenantOptions TO;
+          TO.Name = "s" + std::to_string(S);
+          TO.QueueCapacity = 4;
+          Ids.push_back(Server.open(FP, Exec, TO));
+        }
+        auto Start = std::chrono::steady_clock::now();
+        for (int S : Schedule) {
+          PipelineSession::FrameConsumer Consume;
+          if (S == 0)
+            Consume = [&Probe, &Outputs,
+                       ProbeIndex](int Idx, const std::vector<Image> &Pool) {
+              if (Idx == ProbeIndex)
+                for (ImageId Out : Outputs)
+                  Probe.push_back(Pool[Out]);
+            };
+          Server.submit(Ids[S], FillFor(S), Consume);
+        }
+        Server.drainAll();
+        WallMs = std::chrono::duration<double, std::milli>(
+                     std::chrono::steady_clock::now() - Start)
+                     .count();
+        for (int S = 0; S != Sessions; ++S)
+          Stats.push_back(Server.tenantStats(Ids[S]));
+      } // Server scope: pool exports its counters on destruction.
+
+      // ...and replay session 0 serially on a private session.
+      double MaxDiff = 0.0;
+      if (ProbeIndex >= 0) {
+        PipelineSession Serial(FP, Exec);
+        std::vector<Image> Ref = Serial.acquireFrame();
+        FillFor(0)(ProbeIndex, Ref);
+        Serial.runFrame(Ref);
+        size_t Slot = 0;
+        for (ImageId Out : Outputs)
+          MaxDiff = std::max(MaxDiff,
+                             maxAbsDifference(Ref[Out], Probe[Slot++]));
+        Serial.releaseFrame(std::move(Ref));
+      }
+
+      uint64_t Completed = 0;
+      long long PixelsPerFrame = 0;
+      for (ImageId Out : Outputs)
+        PixelsPerFrame += P.image(Out).iterationSpace();
+      TablePrinter Table({"session", "frames", "p50 ms", "p99 ms",
+                          "mean ms", "queue ms", "exec ms"});
+      for (const TenantStats &T : Stats) {
+        Completed += T.Completed;
+        std::vector<double> Sorted = T.LatenciesMs;
+        std::sort(Sorted.begin(), Sorted.end());
+        double Mean = 0.0;
+        for (double L : Sorted)
+          Mean += L;
+        Table.addRow(
+            {T.Name, std::to_string(T.Completed),
+             Sorted.empty() ? "-" : formatDouble(quantileSorted(Sorted, 0.5), 3),
+             Sorted.empty() ? "-" : formatDouble(quantileSorted(Sorted, 0.99), 3),
+             Sorted.empty() ? "-"
+                            : formatDouble(Mean / Sorted.size(), 3),
+             formatDouble(T.QueueMs, 3), formatDouble(T.ExecMs, 3)});
+      }
+      double PixelsPerSec =
+          Completed * PixelsPerFrame * 1000.0 / std::max(WallMs, 1e-9);
+      std::printf("served '%s' to %d sessions (%s arrival, %u threads, "
+                  "%s fusion): %llu frames in %.3f ms\n",
+                  P.name().c_str(), Sessions, Arrival.c_str(),
+                  resolveThreadCount(Exec.Threads), Style.c_str(),
+                  static_cast<unsigned long long>(Completed), WallMs);
+      std::fputs(Table.render().c_str(), stdout);
+      std::printf("aggregate throughput: %.3f Mpixel/s\n",
+                  PixelsPerSec / 1e6);
+      std::printf("max |server frame - serial session| over destinations: "
+                  "%g\n",
+                  MaxDiff);
+      reportObservability();
+      return MaxDiff == 0.0 ? 0 : 1;
+    }
+
     if (Frames > 0) {
       // Session streaming mode: compile the fused plan once, stream
       // frames through recycled buffers with double-buffered input fill.
