@@ -13,12 +13,13 @@
 //
 // A second experiment swaps the interior VM engine on the same compiled
 // launches: scalar (per-pixel bytecode dispatch) versus span (lane-
-// batched, the default), reporting the span-over-scalar interior speedup
-// and asserting the two engines bit-identical.
+// batched interpretation) versus jit (per-plan compiled cell chains,
+// src/jit), reporting the pairwise interior speedups and asserting all
+// three engines bit-identical.
 //
 // Results are appended to the throughput JSON (BENCH_throughput.json) as
-// a "frame_throughput" section. The final cold and warm frames use the
-// same input and are checked bit-identical.
+// "frame_throughput" and "jit_speedup" sections. The final cold and warm
+// frames use the same input and are checked bit-identical.
 //
 // Options:
 //   --app <name>      pipeline registry name (default harris)
@@ -171,14 +172,21 @@ int main(int Argc, char **Argv) {
   };
   InteriorMeasure Scalar = measureInterior(VmMode::Scalar);
   InteriorMeasure Span = measureInterior(VmMode::Span);
+  InteriorMeasure Jit = measureInterior(VmMode::Jit);
   double SpanSpeedup =
       Span.InteriorMs > 0.0 ? Scalar.InteriorMs / Span.InteriorMs : 0.0;
+  double JitOverSpan =
+      Jit.InteriorMs > 0.0 ? Span.InteriorMs / Jit.InteriorMs : 0.0;
+  double JitOverScalar =
+      Jit.InteriorMs > 0.0 ? Scalar.InteriorMs / Jit.InteriorMs : 0.0;
   double AbDiff = 0.0;
   for (const FusedKernel &FK : FP.Kernels)
     for (KernelId Dest : FK.Destinations) {
       ImageId Out = P.kernel(Dest).Output;
       AbDiff = std::max(AbDiff,
                         maxAbsDifference(Scalar.Pool[Out], Span.Pool[Out]));
+      AbDiff = std::max(AbDiff,
+                        maxAbsDifference(Span.Pool[Out], Jit.Pool[Out]));
     }
 
   double ColdFps = Frames * 1000.0 / ColdMs;
@@ -200,10 +208,11 @@ int main(int Argc, char **Argv) {
               static_cast<unsigned long long>(S.FramesAllocated));
   std::printf("max |warm - cold| over destinations: %g\n", MaxDiff);
   std::printf("interior A/B (best of %d): scalar %.3f ms, span %.3f ms, "
-              "span-over-scalar %.2fx; max |scalar - span| over "
+              "jit %.3f ms; span-over-scalar %.2fx, jit-over-span %.2fx, "
+              "jit-over-scalar %.2fx; max pairwise |diff| over "
               "destinations: %g\n",
-              AbReps, Scalar.InteriorMs, Span.InteriorMs, SpanSpeedup,
-              AbDiff);
+              AbReps, Scalar.InteriorMs, Span.InteriorMs, Jit.InteriorMs,
+              SpanSpeedup, JitOverSpan, JitOverScalar, AbDiff);
 
   char Section[1024];
   std::snprintf(
@@ -231,6 +240,25 @@ int main(int Argc, char **Argv) {
     return 1;
   }
 
+  // The JIT interior A/B as its own section: the same compiled launches
+  // with the interpreter dispatch removed (per-plan cell chains).
+  std::snprintf(
+      Section, sizeof(Section),
+      "{\"app\": \"%s\", \"width\": %d, \"height\": %d, "
+      "\"threads\": %u, \"ab_reps\": %d, "
+      "\"interior_scalar_ms\": %.4f, \"interior_span_ms\": %.4f, "
+      "\"interior_jit_ms\": %.4f, \"jit_over_span_interior\": %.4f, "
+      "\"jit_over_scalar_interior\": %.4f, \"max_abs_diff\": %g}",
+      AppName.c_str(), Width, Height, resolveThreadCount(Options.Threads),
+      AbReps, Scalar.InteriorMs, Span.InteriorMs, Jit.InteriorMs,
+      JitOverSpan, JitOverScalar, AbDiff);
+  if (spliceJsonSection(OutFile, "jit_speedup", Section))
+    std::printf("appended jit_speedup section to %s\n", OutFile.c_str());
+  else {
+    std::fprintf(stderr, "error: cannot write %s\n", OutFile.c_str());
+    return 1;
+  }
+
   std::printf("\nExpected shape: warm >= cold -- the warm stream serves "
               "the compiled plan from the\nplan cache, recycles frame "
               "buffers instead of reallocating, and overlaps input\nfill "
@@ -240,10 +268,13 @@ int main(int Argc, char **Argv) {
               "allocation, and zero-fill passes remain. Outputs are "
               "bit-identical\n(max |warm - cold| must print 0).\n\n"
               "The interior A/B swaps per-pixel bytecode dispatch "
-              "(scalar) for lane-batched\nspan execution over the same "
-              "launches: span should win clearly (the register\nworking "
-              "set stays L1-resident and the per-op loops vectorize) "
-              "while staying\nbit-identical (max |scalar - span| must "
+              "(scalar) for lane-batched\nspan interpretation and for "
+              "the JIT's per-plan cell chains over the same\nlaunches: "
+              "span should beat scalar clearly (the register working set "
+              "stays\nL1-resident and the per-op loops vectorize), and "
+              "jit should shave a further\nmargin off span by removing "
+              "the switch-per-instruction-per-chunk dispatch.\nAll "
+              "three must stay bit-identical (max pairwise |diff| must "
               "print 0).\n");
   return 0;
 }

@@ -16,7 +16,7 @@
 
 using namespace kf;
 
-VmMode kf::resolveVmMode(VmMode Requested) {
+VmMode kf::resolveVmMode(VmMode Requested, bool JitAvailable) {
   if (Requested != VmMode::Auto)
     return Requested;
   if (const char *Env = std::getenv("KF_VM")) {
@@ -24,17 +24,21 @@ VmMode kf::resolveVmMode(VmMode Requested) {
       return VmMode::Scalar;
     if (std::strcmp(Env, "span") == 0)
       return VmMode::Span;
+    if (std::strcmp(Env, "jit") == 0)
+      return VmMode::Jit;
     // A malformed KF_VM silently changing which interior engine every run
     // uses is a debugging trap: say so, but only once per process (the
     // mode is resolved per launch).
     static std::atomic<bool> Warned{false};
     if (!Warned.exchange(true))
       std::fprintf(stderr,
-                   "warning: ignoring invalid KF_VM='%s' (expected 'scalar' "
-                   "or 'span'); using span\n",
+                   "warning: ignoring invalid KF_VM='%s' (expected 'scalar', "
+                   "'span' or 'jit'); using the default\n",
                    Env);
   }
-  return VmMode::Span;
+  // Auto prefers the JIT artifact when the caller already holds one (the
+  // artifact is bit-identical to span, only faster); span otherwise.
+  return JitAvailable ? VmMode::Jit : VmMode::Span;
 }
 
 const char *kf::vmModeName(VmMode Mode) {
@@ -45,6 +49,8 @@ const char *kf::vmModeName(VmMode Mode) {
     return "scalar";
   case VmMode::Span:
     return "span";
+  case VmMode::Jit:
+    return "jit";
   }
   KF_UNREACHABLE("unknown VM mode");
 }

@@ -44,8 +44,9 @@ namespace kf {
 
 /// How the VM engines evaluate interior pixels.
 enum class VmMode : uint8_t {
-  /// Resolve via the KF_VM environment variable ("scalar" or "span"),
-  /// defaulting to Span when unset or malformed.
+  /// Resolve via the KF_VM environment variable ("scalar", "span" or
+  /// "jit"). When unset or malformed, Auto prefers a JIT-compiled
+  /// artifact if the launch carries one and falls back to Span.
   Auto,
   /// Per-pixel bytecode dispatch over the interior (the pre-span
   /// behaviour): one pass over the instruction stream per pixel.
@@ -53,14 +54,23 @@ enum class VmMode : uint8_t {
   /// Batched row-span execution: each instruction runs across a whole
   /// span of interior pixels through fixed-width lane buffers.
   Span,
+  /// JIT-compiled row-span execution: the validated staged bytecode is
+  /// flattened (stage calls inlined with their offsets baked in) into a
+  /// direct-threaded chain of specialized op functions compiled per plan
+  /// (src/jit), removing per-instruction interpreter dispatch from the
+  /// interior loop. Bit-identical to Span.
+  Jit,
 };
 
 /// Resolves \p Requested against the KF_VM environment variable: an
-/// explicit Scalar/Span request wins; Auto consults KF_VM and falls back
-/// to Span (warning once per process about malformed values).
-VmMode resolveVmMode(VmMode Requested);
+/// explicit Scalar/Span/Jit request wins; Auto consults KF_VM and, when
+/// it is unset or malformed (warning once per process), resolves to Jit
+/// if \p JitAvailable -- the caller holds a compiled JIT artifact for the
+/// launch -- and to Span otherwise.
+VmMode resolveVmMode(VmMode Requested, bool JitAvailable = false);
 
-/// Stable lower-case name of \p Mode ("auto" / "scalar" / "span").
+/// Stable lower-case name of \p Mode ("auto" / "scalar" / "span" /
+/// "jit").
 const char *vmModeName(VmMode Mode);
 
 /// How a fused launch decomposes the image across tiles.

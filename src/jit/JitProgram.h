@@ -1,0 +1,118 @@
+//===- jit/JitProgram.h - Copy-and-patch JIT of fused bytecode --*- C++ -*-===//
+///
+/// \file
+/// The JIT execution backend (VmMode::Jit): a validated staged VM program
+/// is compiled once per plan into a flat chain of *cells*, each pairing a
+/// precompiled, width-specialized op function with its patched operands
+/// (absolute lane-buffer offsets, baked stage-call displacements, image
+/// ids). Executing a row span then walks the chain and tail-calls through
+/// plain function pointers -- a portable copy-and-patch / direct-threaded
+/// realization that removes the interpreter's switch-per-instruction-per-
+/// chunk from the interior loop. Two chains are materialized per program:
+/// a *full* chain whose op templates carry the compile-time loop bound
+/// VmLaneWidth (the autovectorized steady state) and a *tail* chain with a
+/// runtime bound for the final sub-lane chunk.
+///
+/// Stage calls are flattened at compile time: each StageCall site inlines
+/// the callee's instruction stream with the accumulated (Ox, Oy)
+/// displacement and pinned channel baked into its coordinate and load
+/// cells, followed by a register-copy cell into the caller's destination.
+/// That reproduces, cell for cell, the operation sequence the span
+/// interpreter executes recursively -- same float operations on the same
+/// values in the same order -- so JIT results are bit-identical to span
+/// mode (the differential suites in tests/test_jit.cpp pin this down).
+///
+/// The bytecode validator's invariants (KF-B01..B11, see
+/// analysis/BytecodeValidator.h) are the contract this codegen trusts:
+/// in-frame register indices, frames inside the shared scratch and
+/// pairwise disjoint, strictly-backward stage calls, bounded call depth,
+/// in-range load inputs. compileJitProgram therefore refuses -- returns
+/// nullptr -- any program the validator rejects; corrupted bytecode never
+/// reaches cell selection, let alone threaded execution.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KF_JIT_JITPROGRAM_H
+#define KF_JIT_JITPROGRAM_H
+
+#include "image/Image.h"
+#include "ir/ExprVM.h"
+#include "ir/Program.h"
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace kf {
+
+struct JitCell;
+
+/// Per-chunk execution state threaded through the cell chain. Lanes is
+/// the shared lane buffer (NumRegs * VmLaneWidth floats, the same scratch
+/// span mode uses); N is the chunk width (== VmLaneWidth on the full
+/// chain, < VmLaneWidth on the tail chain).
+struct JitExec {
+  float *Lanes = nullptr;
+  const std::vector<Image> *Pool = nullptr;
+  int X0 = 0;
+  int Y = 0;
+  int Channel = 0;
+  int N = 0;
+};
+
+/// A patched op function: performs one flattened instruction over the
+/// chunk described by \p E, reading its operands from \p Cell.
+using JitOpFn = void (*)(const JitCell &Cell, JitExec &E);
+
+/// One patched cell: a precompiled op template plus its operands. Dst/A/
+/// B/Sel are absolute float offsets into the lane buffer (frame base and
+/// register index collapsed at compile time); Ox/Oy carry the accumulated
+/// stage-call displacement for coordinate and load cells; Channel is the
+/// pinned channel (-1 = the launch channel at run time).
+struct JitCell {
+  JitOpFn Fn = nullptr;
+  uint32_t Dst = 0;
+  uint32_t A = 0;
+  uint32_t B = 0;
+  uint32_t Sel = 0;
+  float Imm = 0.0f;
+  ImageId Image = 0;
+  int Ox = 0;
+  int Oy = 0;
+  int16_t Channel = -1;
+};
+
+/// A compiled launch artifact: the two cell chains (null-Fn terminated)
+/// plus the layout facts the executor needs. Compiled once per plan
+/// (sim/Session caches it in the PlanCache next to the bytecode) and
+/// shared read-only across worker threads.
+struct JitProgram {
+  std::vector<JitCell> Full; ///< Chain specialized for N == VmLaneWidth.
+  std::vector<JitCell> Tail; ///< Chain with the runtime chunk bound.
+  uint32_t ResultOffset = 0; ///< Lane offset of the root result register.
+  unsigned NumRegs = 0;      ///< Lane buffer = NumRegs * VmLaneWidth floats.
+  size_t FlatInsts = 0;      ///< Flattened instruction (cell) count.
+};
+
+/// Compiles \p SP rooted at \p Root into a JIT program. Runs the bytecode
+/// validator first and returns nullptr when it reports any error (the
+/// validator's invariants are the contract the flattening trusts), or
+/// when flattening would exceed the cell-count safety cap. \p PoolShapes
+/// are the plan's image shapes, used both by the validator and to
+/// specialize load cells on the input's channel stride.
+std::shared_ptr<const JitProgram>
+compileJitProgram(const StagedVmProgram &SP, uint16_t Root,
+                  const std::vector<ImageInfo> &PoolShapes);
+
+/// Executes \p JP over interior pixels [X0, X1) of row \p Y for
+/// \p Channel, writing result i to Out[i * OutStride]. The span is
+/// chunked into lanes of at most VmLaneWidth pixels exactly like
+/// runStagedVmSpan; \p LaneRegs must hold JP.NumRegs * VmLaneWidth
+/// floats. Interior-only (direct loads), bit-identical to span mode.
+void runJitSpan(const JitProgram &JP, const std::vector<Image> &Pool,
+                int Y, int X0, int X1, int Channel, float *LaneRegs,
+                float *Out, int OutStride = 1);
+
+} // namespace kf
+
+#endif // KF_JIT_JITPROGRAM_H

@@ -2,6 +2,8 @@
 
 #include "sim/Executor.h"
 
+#include "jit/JitProgram.h"
+
 #include "image/Border.h"
 #include "sim/Metrics.h"
 #include "support/Error.h"
@@ -13,6 +15,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cassert>
+#include <cctype>
 #include <cerrno>
 #include <chrono>
 #include <cmath>
@@ -270,12 +273,19 @@ int defaultTileHeight(int Height, unsigned Threads) {
 bool kf::parseTileSpec(const char *Text, int &TileW, int &TileH) {
   if (!Text || !*Text)
     return false;
+  // strtol skips leading whitespace and accepts a sign; the documented
+  // grammar is strictly digits 'x' digits, so both components must start
+  // with a digit.
+  if (!std::isdigit(static_cast<unsigned char>(Text[0])))
+    return false;
   char *End = nullptr;
   errno = 0;
   long W = std::strtol(Text, &End, 10);
   if (End == Text || *End != 'x' || errno == ERANGE)
     return false;
   const char *HText = End + 1;
+  if (!std::isdigit(static_cast<unsigned char>(HText[0])))
+    return false;
   errno = 0;
   long H = std::strtol(HText, &End, 10);
   if (End == HText || *End != '\0' || errno == ERANGE)
@@ -417,11 +427,13 @@ void runTiledImage(ThreadPool &TP, const ExecutionOptions &Options,
   }
 }
 
-/// Lane-scratch floats one worker needs for span-mode interior execution
-/// of a program with \p NumRegs registers (zero in scalar mode, which
-/// dispatches per pixel out of the pixel scratch).
+/// Lane-scratch floats one worker needs for interior execution of a
+/// program with \p NumRegs registers. Span and Jit both run out of the
+/// SoA lane buffer (the JIT chains address it by absolute float offset);
+/// scalar mode dispatches per pixel out of the pixel scratch and needs
+/// none.
 size_t laneScratchFloats(VmMode Mode, unsigned NumRegs) {
-  return Mode == VmMode::Span
+  return Mode != VmMode::Scalar
              ? static_cast<size_t>(NumRegs) * VmLaneWidth
              : 0;
 }
@@ -587,7 +599,11 @@ void kf::runUnfusedVm(const Program &P, std::vector<Image> &Pool,
       P.buildKernelDag().topologicalOrder();
   assert(Order && "kernel DAG has a cycle");
   ThreadPool TP(resolveThreadCount(Options.Threads));
-  const VmMode Mode = resolveVmMode(Options.Mode);
+  VmMode Mode = resolveVmMode(Options.Mode);
+  // The JIT backend covers fused launches (staged programs) only; plain
+  // per-kernel launches take the bit-identical span interpreter.
+  if (Mode == VmMode::Jit)
+    Mode = VmMode::Span;
 
   std::vector<std::vector<float>> Regs(TP.numThreads());
   std::vector<std::vector<float>> LaneRegs(TP.numThreads());
@@ -703,8 +719,8 @@ void kf::runCompiledLaunch(const StagedVmProgram &SP, uint16_t Root,
                            int Halo, const std::vector<Image> &Pool,
                            Image &Out, const ExecutionOptions &Options,
                            ThreadPool &TP, VmScratch &Scratch,
-                           LaunchTiming *Timing) {
-  const VmMode Mode = resolveVmMode(Options.Mode);
+                           LaunchTiming *Timing, const JitProgram *Jit) {
+  VmMode Mode = resolveVmMode(Options.Mode, /*JitAvailable=*/Jit != nullptr);
   // Tuned is a plan-level request (sim/Session resolves it through the
   // execution autotuner before launches run); a standalone launch falls
   // back to the interior/halo default.
@@ -719,6 +735,30 @@ void kf::runCompiledLaunch(const StagedVmProgram &SP, uint16_t Root,
     if (!Schedule.Valid)
       Strategy = TilingStrategy::InteriorHalo;
   }
+
+  // A Jit request without a plan-time artifact (e.g. KF_VM=jit through
+  // runFusedVm, which compiles bytecode per call): compile one on the
+  // fly from the pool's materialized shapes. The compile is gated on the
+  // bytecode validator; refusal falls back to the bit-identical span
+  // interpreter rather than failing the launch.
+  std::shared_ptr<const JitProgram> OwnedJit;
+  if (Mode == VmMode::Jit && !Jit) {
+    std::vector<ImageInfo> Shapes(Pool.size());
+    for (size_t I = 0; I != Pool.size(); ++I) {
+      Shapes[I].Width = Pool[I].width();
+      Shapes[I].Height = Pool[I].height();
+      Shapes[I].Channels = Pool[I].empty() ? 1 : Pool[I].channels();
+    }
+    OwnedJit = compileJitProgram(SP, Root, Shapes);
+    Jit = OwnedJit.get();
+  }
+  if (Mode == VmMode::Jit && !Jit)
+    Mode = VmMode::Span;
+  // The JIT chains load directly from pool images; the overlapped
+  // strategy's interior tiles read margin-grown scratch planes instead,
+  // so its tiles keep the span engine (bit-identical by construction).
+  if (Mode == VmMode::Jit && Strategy == TilingStrategy::Overlapped)
+    Mode = VmMode::Span;
 
   const double InteriorBefore = Timing ? Timing->InteriorMs : 0.0;
   const double HaloBefore = Timing ? Timing->HaloMs : 0.0;
@@ -741,6 +781,11 @@ void kf::runCompiledLaunch(const StagedVmProgram &SP, uint16_t Root,
         TP, Options, Out, Halo,
         [&](int Y, int XA, int XB, int Ch, float *OutPtr, int Stride,
             unsigned Worker) {
+          if (Mode == VmMode::Jit) {
+            runJitSpan(*Jit, Pool, Y, XA, XB, Ch,
+                       Scratch.LaneRegs[Worker].data(), OutPtr, Stride);
+            return;
+          }
           if (Mode == VmMode::Span) {
             runStagedVmSpan(SP, Root, Pool, Y, XA, XB, Ch,
                             Scratch.LaneRegs[Worker].data(), OutPtr,
@@ -758,14 +803,15 @@ void kf::runCompiledLaunch(const StagedVmProgram &SP, uint16_t Root,
   }
 
   if (Timing) {
-    // The scalar-vs-span interior split as process counters: deltas of
-    // this launch only, so an accumulated Timing never double-counts.
+    // The per-mode interior split as process counters: deltas of this
+    // launch only, so an accumulated Timing never double-counts.
     Timing->Mode = Mode;
     Timing->Tiling = Strategy;
     TraceRecorder &TR = TraceRecorder::global();
     const double InteriorDelta = Timing->InteriorMs - InteriorBefore;
-    TR.addCounter(Mode == VmMode::Span ? "vm.interior_span_ms"
-                                       : "vm.interior_scalar_ms",
+    TR.addCounter(Mode == VmMode::Jit    ? "vm.interior_jit_ms"
+                  : Mode == VmMode::Span ? "vm.interior_span_ms"
+                                         : "vm.interior_scalar_ms",
                   InteriorDelta);
     TR.addCounter("vm.halo_ms", Timing->HaloMs - HaloBefore);
     if (Strategy == TilingStrategy::Overlapped) {

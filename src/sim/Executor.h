@@ -35,6 +35,8 @@
 
 namespace kf {
 
+struct JitProgram;
+
 /// Options controlling execution.
 struct ExecutionOptions {
   /// Apply the index-exchange method of Section IV-B to window accesses
@@ -55,10 +57,12 @@ struct ExecutionOptions {
   int TileHeight = 0;
 
   /// Interior execution mode of the VM engines. Auto resolves via the
-  /// KF_VM environment variable ("scalar" or "span"), defaulting to the
-  /// lane-batched span mode (see resolveVmMode in ir/ExprVM.h); Scalar is
-  /// the per-pixel escape hatch and the A/B baseline. Both modes are
-  /// bit-identical on every pipeline and border mode.
+  /// KF_VM environment variable ("scalar", "span" or "jit"); when it is
+  /// unset, Auto prefers a per-plan JIT artifact if the launch carries
+  /// one and falls back to the lane-batched span mode (see resolveVmMode
+  /// in ir/ExprVM.h). Scalar is the per-pixel escape hatch and the A/B
+  /// baseline. All modes are bit-identical on every pipeline and border
+  /// mode.
   VmMode Mode = VmMode::Auto;
 
   /// Tiling strategy of the fused VM engine. Auto resolves via the
@@ -190,10 +194,20 @@ struct LaunchTiming {
 /// streaming session layer (recycled buffers, persistent pool + scratch).
 /// A non-null \p Timing collects the wall time and the interior/halo CPU
 /// split of this launch.
+///
+/// \p Jit is the launch's JIT artifact (compiled at plan time and cached
+/// next to the plan, see sim/Session.h), or null. When the resolved mode
+/// is Jit and no artifact was supplied, one is compiled on the fly from
+/// shapes derived from \p Pool -- and if the validator-gated compilation
+/// refuses, the launch falls back to the bit-identical span interpreter.
+/// Under the overlapped tiling strategy interior tiles likewise run the
+/// span engine (the JIT chains read pool images, not scratch planes); a
+/// Jit request there degrades to Span, never to different results.
 void runCompiledLaunch(const StagedVmProgram &SP, uint16_t Root, int Halo,
                        const std::vector<Image> &Pool, Image &Out,
                        const ExecutionOptions &Options, ThreadPool &TP,
-                       VmScratch &Scratch, LaunchTiming *Timing = nullptr);
+                       VmScratch &Scratch, LaunchTiming *Timing = nullptr,
+                       const JitProgram *Jit = nullptr);
 
 /// Evaluates a single kernel of \p P at one pixel, reading inputs from
 /// \p Pool (border handling per the kernel). Exposed for unit tests.

@@ -3,6 +3,7 @@
 #include "sim/Session.h"
 
 #include "analysis/Analyzer.h"
+#include "jit/JitProgram.h"
 #include "sim/Metrics.h"
 #include "sim/Tuner.h"
 #include "support/Error.h"
@@ -130,6 +131,15 @@ kf::compilePlan(const FusedProgram &FP, const ExecutionOptions &Options) {
   if (DE.errorCount() > 0)
     reportFatalError("compiled plan for '" + P.name() +
                      "' failed static validation:\n" + DE.renderText());
+
+  // With validation green, compile the per-launch JIT artifacts (the
+  // validator's invariants are the contract the JIT codegen trusts --
+  // compileJitProgram re-runs it and refuses independently). The artifact
+  // is mode-independent derived data riding in the cached plan: Auto
+  // prefers JIT when a launch carries one, so sessions get the native
+  // interior path by default, with nullptr falling back to span.
+  for (CompiledLaunch &Launch : Plan->Launches)
+    Launch.Jit = compileJitProgram(Launch.Code, Launch.Root, Plan->Shapes);
   return Plan;
 }
 
@@ -401,13 +411,13 @@ void PipelineSession::runFrame(std::vector<Image> &Frame) {
     // is acyclic), so reusing the previous frame's buffer is safe.
     if (!Observe) {
       runCompiledLaunch(Launch.Code, Launch.Root, Launch.Halo, Frame, Out,
-                        Effective, TP, Scratch);
+                        Effective, TP, Scratch, nullptr, Launch.Jit.get());
     } else {
       std::string Label = "launch " + Launch.Name;
       LaunchTiming Timing;
       TraceSpan Span(Label.c_str(), "sim");
       runCompiledLaunch(Launch.Code, Launch.Root, Launch.Halo, Frame, Out,
-                        Effective, TP, Scratch, &Timing);
+                        Effective, TP, Scratch, &Timing, Launch.Jit.get());
       Span.arg("interior_ms", Timing.InteriorMs);
       Span.arg("halo_ms", Timing.HaloMs);
       Span.arg("vm_span", Timing.Mode == VmMode::Span ? 1.0 : 0.0);

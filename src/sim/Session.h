@@ -44,6 +44,8 @@
 
 namespace kf {
 
+struct JitProgram;
+
 /// Order-independent hash of the execution options: every field is folded
 /// in as hash(field name) * hash(field value) and the per-field hashes
 /// XOR-combine, so the result is stable across field reordering in
@@ -56,13 +58,19 @@ uint64_t hashExecutionOptions(const ExecutionOptions &Options);
 uint64_t hashNamedField(const char *Name, uint64_t Value);
 
 /// One launch of a compiled plan: a staged bytecode program, the root
-/// stage computing the destination, and the interior/halo split.
+/// stage computing the destination, the interior/halo split, and the JIT
+/// artifact (src/jit) compiled from the validated bytecode. Jit is null
+/// when JIT compilation refused the program (validator gate); such a
+/// launch runs the span interpreter under every mode.
 struct CompiledLaunch {
   std::string Name;   ///< Fused kernel name (trace/metrics label).
   StagedVmProgram Code;
   uint16_t Root = 0;
   ImageId Output = 0; ///< Pool image the launch writes.
   int Halo = 0;
+  /// Compiled-per-plan JIT chain, cached in the PlanCache next to the
+  /// bytecode and shared read-only across frames and sessions.
+  std::shared_ptr<const JitProgram> Jit;
 };
 
 /// The execution-tuning decision baked into a plan compiled under

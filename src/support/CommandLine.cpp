@@ -79,5 +79,10 @@ double CommandLine::getDoubleOption(const std::string &Name,
   if (errno == ERANGE && std::abs(Value) == HUGE_VAL)
     reportFatalError("option --" + Name + " value '" + It->second +
                      "' is out of range");
+  // strtod happily parses "nan" and "inf"; neither is a usable rate,
+  // weight, or threshold anywhere these options flow.
+  if (!std::isfinite(Value))
+    reportFatalError("option --" + Name + " value '" + It->second +
+                     "' is out of range");
   return Value;
 }

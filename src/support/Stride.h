@@ -20,6 +20,7 @@
 #ifndef KF_SUPPORT_STRIDE_H
 #define KF_SUPPORT_STRIDE_H
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -34,8 +35,8 @@ public:
   /// integer division by any sane weight keeps precision.
   static constexpr uint64_t StrideOne = 1ull << 20;
 
-  /// Adds a source with the given scheduling weight (clamped to >= 1) and
-  /// returns its dense id.
+  /// Adds a source with the given scheduling weight (clamped to
+  /// [1, StrideOne]) and returns its dense id.
   unsigned addSource(uint64_t Weight = 1) {
     Entries.push_back({normalize(Weight), 0});
     return static_cast<unsigned>(Entries.size() - 1);
@@ -43,10 +44,26 @@ public:
 
   unsigned numSources() const { return static_cast<unsigned>(Entries.size()); }
 
-  /// Re-weights an existing source. Takes effect on the next charge.
+  /// Re-weights an existing source. Takes effect on the next charge. A
+  /// source that grew its weight while competing kept accumulating pass at
+  /// the old (faster) rate, so its absolute pass may sit far behind or
+  /// ahead of its peers; callers that know the runnable set should use the
+  /// three-argument overload so the re-weighted source re-enters at parity
+  /// instead of bursting or stalling.
   void setWeight(unsigned Source, uint64_t Weight) {
     if (Source < Entries.size())
       Entries[Source].Weight = normalize(Weight);
+  }
+
+  /// Re-weights \p Source and clamps its pass up to the minimum among the
+  /// other sources in \p Runnable (same rule as \c activate). Without the
+  /// clamp, a source downgraded from a heavy weight keeps the tiny pass it
+  /// accumulated while heavy and monopolizes the arbiter until it catches
+  /// up at the new, slow rate.
+  void setWeight(unsigned Source, uint64_t Weight,
+                 const std::vector<unsigned> &Runnable) {
+    setWeight(Source, Weight);
+    activate(Source, Runnable);
   }
 
   uint64_t weight(unsigned Source) const {
@@ -108,7 +125,13 @@ private:
     uint64_t Pass = 0;
   };
 
-  static uint64_t normalize(uint64_t Weight) { return Weight ? Weight : 1; }
+  /// Clamps a requested weight to [1, StrideOne]. Zero would divide by
+  /// zero in charge(); anything above StrideOne would make
+  /// StrideOne / Weight truncate to 0, freezing the pass so the source
+  /// wins every pick forever.
+  static uint64_t normalize(uint64_t Weight) {
+    return std::min(std::max<uint64_t>(Weight, 1), StrideOne);
+  }
 
   std::vector<Entry> Entries;
 };

@@ -90,7 +90,15 @@ unsigned ThreadPool::registerSource(const std::string &Name, uint64_t Weight) {
 
 void ThreadPool::setSourceWeight(unsigned Source, uint64_t Weight) {
   std::lock_guard<std::mutex> Lock(Mutex);
-  Sched.setWeight(Source, Weight);
+  // Clamp the re-weighted source's pass to the runnable minimum: a tenant
+  // downgraded from a heavy weight keeps the tiny pass it earned while
+  // heavy, and without the clamp it would win every tile claim until the
+  // pass caught up at the new slow rate.
+  std::vector<unsigned> Runnable;
+  for (const Job *Active : ActiveJobs)
+    if (Active->NextTile < Active->Tiles.size())
+      Runnable.push_back(Active->Source);
+  Sched.setWeight(Source, Weight, Runnable);
 }
 
 ThreadPoolStats ThreadPool::stats() const {

@@ -10,6 +10,7 @@
 
 #include "analysis/BytecodeValidator.h"
 #include "fusion/MinCutPartitioner.h"
+#include "jit/JitProgram.h"
 #include "pipelines/Pipelines.h"
 #include "sim/Executor.h"
 #include "transform/Fuser.h"
@@ -195,6 +196,12 @@ TEST(BytecodeValidator, EveryCorruptionIsRejected) {
             << Spec.Name << " " << C.FP.Kernels[K].Name << ": " << Bad.Name
             << " produced\n"
             << DE.renderText();
+        // The validator is the JIT codegen's contract: every corrupted
+        // program the validator rejects must be refused before cell
+        // selection, never compiled (let alone crash).
+        EXPECT_EQ(compileJitProgram(Mutant, C.Roots[K], C.Shapes), nullptr)
+            << Spec.Name << " " << C.FP.Kernels[K].Name << ": " << Bad.Name
+            << " was JIT-compiled despite failing validation";
         ++Fired[Bad.Name];
       }
     }

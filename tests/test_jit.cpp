@@ -1,0 +1,535 @@
+//===- tests/test_jit.cpp - JIT backend vs span-mode VM execution ---------------===//
+//
+// The JIT execution backend (VmMode::Jit, src/jit) compiles validated
+// fused bytecode into chains of width-specialized op cells and must be
+// bit-identical to the span interpreter on every bundled pipeline, at
+// every thread count, for every border mode, under both tiling
+// strategies, and across every tail width around the lane boundary. The
+// span mode is itself verified against the scalar mode and the AST
+// walker (test_vmspan.cpp, test_fusedvm.cpp), so jit == span closes the
+// chain back to the semantic reference.
+//
+// Also covers: the plan-time artifact (compilePlan populates
+// CompiledLaunch::Jit and Auto prefers it), KF_VM=jit resolution, and
+// the validator gate (corrupted bytecode is refused, never compiled --
+// the systematic sweep lives in test_bytecode_validator.cpp).
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Parser.h"
+#include "fusion/MinCutPartitioner.h"
+#include "image/Compare.h"
+#include "image/Generators.h"
+#include "jit/JitProgram.h"
+#include "pipelines/Pipelines.h"
+#include "sim/Executor.h"
+#include "sim/Session.h"
+#include "transform/Fuser.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace kf;
+
+namespace {
+
+/// Fuses the whole program into one block (forces fusion regardless of
+/// the benefit model).
+Partition wholeProgramPartition(const Program &P) {
+  Partition S;
+  PartitionBlock Block;
+  for (KernelId Id = 0; Id != P.numKernels(); ++Id)
+    Block.Kernels.push_back(Id);
+  S.Blocks.push_back(std::move(Block));
+  return S;
+}
+
+/// Builds a pipeline at test size with a deterministic random input.
+struct TestApp {
+  Program P;
+  Image Input;
+};
+
+TestApp makeTestApp(const std::string &Name) {
+  const PipelineSpec *Spec = findPipeline(Name);
+  EXPECT_NE(Spec, nullptr);
+  // Wide enough that interior rows span several lane chunks plus a tail.
+  int W = VmLaneWidth * 2 + 21;
+  TestApp App{Spec->Builder(W, 24), Image()};
+  const ImageInfo &InInfo = App.P.image(0);
+  Rng Gen(977);
+  App.Input =
+      makeRandomImage(InInfo.Width, InInfo.Height, InInfo.Channels, Gen);
+  return App;
+}
+
+void expectPoolsIdentical(const Program &P, const std::vector<Image> &Got,
+                          const std::vector<Image> &Want,
+                          const std::string &Tag) {
+  for (ImageId Id = 0; Id != P.numImages(); ++Id) {
+    EXPECT_EQ(Got[Id].empty(), Want[Id].empty())
+        << Tag << " image " << P.image(Id).Name;
+    if (Got[Id].empty() || Want[Id].empty())
+      continue;
+    EXPECT_DOUBLE_EQ(maxAbsDifference(Got[Id], Want[Id]), 0.0)
+        << Tag << " image " << P.image(Id).Name;
+  }
+}
+
+std::vector<int> threadSweep() {
+  unsigned Hardware = std::max(std::thread::hardware_concurrency(), 1u);
+  return {1, 3, static_cast<int>(Hardware)};
+}
+
+std::vector<ImageInfo> poolShapes(const Program &P) {
+  std::vector<ImageInfo> Shapes;
+  for (ImageId Id = 0; Id != P.numImages(); ++Id)
+    Shapes.push_back(P.image(Id));
+  return Shapes;
+}
+
+/// Saves and clears KF_VM for a test body, restoring it on destruction:
+/// Auto-mode assertions must not depend on the ambient environment.
+struct ScopedClearKfVm {
+  ScopedClearKfVm() {
+    const char *Saved = std::getenv("KF_VM");
+    Had = Saved != nullptr;
+    Value = Saved ? Saved : "";
+    ::unsetenv("KF_VM");
+  }
+  ~ScopedClearKfVm() {
+    if (Had)
+      ::setenv("KF_VM", Value.c_str(), 1);
+    else
+      ::unsetenv("KF_VM");
+  }
+  bool Had = false;
+  std::string Value;
+};
+
+/// JIT vs span differential across the bundled applications, fused with
+/// the paper's min-cut partition, at 1 / 3 / hardware threads, under
+/// both tiling strategies.
+class JitEquivalence : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(JitEquivalence, FusedJitMatchesSpanAcrossThreadsAndTiling) {
+  TestApp App = makeTestApp(GetParam());
+  Partition Blocks = runMinCutFusion(App.P, HardwareModel()).Blocks;
+  FusedProgram FP = fuseProgram(App.P, Blocks, FusionStyle::Optimized);
+
+  for (TilingStrategy Tiling :
+       {TilingStrategy::InteriorHalo, TilingStrategy::Overlapped}) {
+    for (int Threads : threadSweep()) {
+      ExecutionOptions Span;
+      Span.Threads = Threads;
+      Span.TileHeight = 3; // Force multiple tiles even on small images.
+      Span.Mode = VmMode::Span;
+      Span.Tiling = Tiling;
+      ExecutionOptions Jit = Span;
+      Jit.Mode = VmMode::Jit;
+
+      std::vector<Image> SpanPool = makeImagePool(App.P);
+      SpanPool[0] = App.Input;
+      runFusedVm(FP, SpanPool, Span);
+
+      std::vector<Image> JitPool = makeImagePool(App.P);
+      JitPool[0] = App.Input;
+      runFusedVm(FP, JitPool, Jit);
+
+      expectPoolsIdentical(
+          App.P, JitPool, SpanPool,
+          GetParam() + " tiling=" + tilingStrategyName(Tiling) +
+              " threads=" + std::to_string(Threads));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPipelines, JitEquivalence,
+                         ::testing::Values("harris", "sobel", "unsharp",
+                                           "shitomasi", "enhance",
+                                           "night"),
+                         [](const auto &Info) { return Info.param; });
+
+/// Border-mode sweep: jit and span must agree for every border mode,
+/// with and without the index exchange (the halo path is shared, but the
+/// interior/halo split depends on the reach, so sweep both).
+class JitBorder : public ::testing::TestWithParam<BorderMode> {};
+
+TEST_P(JitBorder, BlurChainJitMatchesSpan) {
+  BorderMode Mode = GetParam();
+  int W = VmLaneWidth + 19, H = 14;
+  Program P = makeBlurChain(W, H, Mode);
+  Rng Gen(4242);
+  Image Input = makeRandomImage(W, H, 1, Gen);
+  FusedProgram FP =
+      fuseProgram(P, wholeProgramPartition(P), FusionStyle::Optimized);
+
+  for (bool Exchange : {true, false}) {
+    ExecutionOptions Span;
+    Span.UseIndexExchange = Exchange;
+    Span.Mode = VmMode::Span;
+    ExecutionOptions Jit = Span;
+    Jit.Mode = VmMode::Jit;
+
+    std::vector<Image> SpanPool = makeImagePool(P);
+    SpanPool[0] = Input;
+    runFusedVm(FP, SpanPool, Span);
+
+    std::vector<Image> JitPool = makeImagePool(P);
+    JitPool[0] = Input;
+    runFusedVm(FP, JitPool, Jit);
+
+    EXPECT_DOUBLE_EQ(maxAbsDifference(JitPool[2], SpanPool[2]), 0.0)
+        << borderModeName(Mode)
+        << (Exchange ? " (index exchange)" : " (naive)");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModes, JitBorder,
+                         ::testing::Values(BorderMode::Clamp,
+                                           BorderMode::Mirror,
+                                           BorderMode::Repeat,
+                                           BorderMode::Constant),
+                         [](const auto &Info) {
+                           return std::string(borderModeName(Info.param));
+                         });
+
+/// Tail handling: spans of width 1, VmLaneWidth - 1, VmLaneWidth and
+/// VmLaneWidth + 1 must each match per-pixel interior evaluation exactly
+/// -- the widths that exercise both the full and the tail cell chain.
+TEST(JitVm, TailWidthsMatchPerPixel) {
+  int W = VmLaneWidth + 16, H = 12;
+  Program P = makeBlurChain(W, H, BorderMode::Mirror);
+  FusedProgram FP =
+      fuseProgram(P, wholeProgramPartition(P), FusionStyle::Optimized);
+  StagedVmProgram SP = compileFusedKernel(FP, FP.Kernels[0]);
+  uint16_t Root = static_cast<uint16_t>(SP.Stages.size() - 1);
+
+  std::shared_ptr<const JitProgram> JP =
+      compileJitProgram(SP, Root, poolShapes(P));
+  ASSERT_NE(JP, nullptr);
+  EXPECT_EQ(JP->NumRegs, SP.NumRegs);
+
+  std::vector<Image> Pool = makeImagePool(P);
+  Rng Gen(19);
+  Pool[0] = makeRandomImage(W, H, 1, Gen);
+
+  int Halo = SP.Reach[Root];
+  int Y = H / 2;
+  std::vector<float> LaneRegs(static_cast<size_t>(JP->NumRegs) *
+                              VmLaneWidth);
+  std::vector<float> PixelRegs(SP.NumRegs);
+
+  for (int Width :
+       {1, VmLaneWidth - 1, VmLaneWidth, VmLaneWidth + 1}) {
+    int X0 = Halo, X1 = X0 + Width;
+    ASSERT_LE(X1, W - Halo) << "test image too narrow";
+    std::vector<float> Out(Width);
+    runJitSpan(*JP, Pool, Y, X0, X1, 0, LaneRegs.data(), Out.data());
+    for (int X = X0; X != X1; ++X)
+      EXPECT_FLOAT_EQ(Out[X - X0], runStagedVmInterior(SP, Root, Pool, X,
+                                                       Y, 0,
+                                                       PixelRegs.data()))
+          << "width=" << Width << " x=" << X;
+  }
+}
+
+/// Strided output: the jit driver must honor OutStride (the
+/// multi-channel destination layout the tiled executor uses).
+TEST(JitVm, StridedOutputMatchesDense) {
+  int W = VmLaneWidth + 16, H = 10;
+  Program P = makeBlurChain(W, H, BorderMode::Clamp);
+  FusedProgram FP =
+      fuseProgram(P, wholeProgramPartition(P), FusionStyle::Optimized);
+  StagedVmProgram SP = compileFusedKernel(FP, FP.Kernels[0]);
+  uint16_t Root = static_cast<uint16_t>(SP.Stages.size() - 1);
+
+  std::shared_ptr<const JitProgram> JP =
+      compileJitProgram(SP, Root, poolShapes(P));
+  ASSERT_NE(JP, nullptr);
+
+  std::vector<Image> Pool = makeImagePool(P);
+  Rng Gen(31);
+  Pool[0] = makeRandomImage(W, H, 1, Gen);
+
+  int Halo = SP.Reach[Root];
+  int X0 = Halo, X1 = W - Halo, Y = 4, Width = X1 - X0;
+  std::vector<float> LaneRegs(static_cast<size_t>(JP->NumRegs) *
+                              VmLaneWidth);
+
+  std::vector<float> Dense(Width);
+  runJitSpan(*JP, Pool, Y, X0, X1, 0, LaneRegs.data(), Dense.data());
+
+  const int Stride = 3;
+  std::vector<float> Strided(static_cast<size_t>(Width) * Stride, -1.0f);
+  runJitSpan(*JP, Pool, Y, X0, X1, 0, LaneRegs.data(), Strided.data(),
+             Stride);
+
+  for (int I = 0; I != Width; ++I) {
+    EXPECT_FLOAT_EQ(Strided[static_cast<size_t>(I) * Stride], Dense[I])
+        << "i=" << I;
+    // The gaps stay untouched.
+    EXPECT_FLOAT_EQ(Strided[static_cast<size_t>(I) * Stride + 1], -1.0f);
+    EXPECT_FLOAT_EQ(Strided[static_cast<size_t>(I) * Stride + 2], -1.0f);
+  }
+}
+
+/// Every registry pipeline's pristine fused bytecode must JIT-compile
+/// (the validator passes it, so the gate must too), with a flattened
+/// cell count of at least the staged instruction count.
+TEST(JitVm, PristineRegistryProgramsCompile) {
+  for (const PipelineSpec &Spec : paperPipelines()) {
+    Program P = Spec.Builder(64, 48);
+    FusedProgram FP = fuseProgram(
+        P, runMinCutFusion(P, HardwareModel()).Blocks,
+        FusionStyle::Optimized);
+    for (const FusedKernel &FK : FP.Kernels) {
+      StagedVmProgram SP = compileFusedKernel(FP, FK);
+      uint16_t Root = static_cast<uint16_t>(SP.Stages.size() - 1);
+      std::shared_ptr<const JitProgram> JP =
+          compileJitProgram(SP, Root, poolShapes(P));
+      ASSERT_NE(JP, nullptr) << Spec.Name << " " << FK.Name;
+      EXPECT_GT(JP->FlatInsts, 0u) << Spec.Name << " " << FK.Name;
+      // Both chains carry one cell per flattened instruction plus the
+      // null-Fn terminator.
+      EXPECT_EQ(JP->Full.size(), JP->FlatInsts + 1);
+      EXPECT_EQ(JP->Tail.size(), JP->FlatInsts + 1);
+      EXPECT_EQ(JP->Full.back().Fn, nullptr);
+      EXPECT_EQ(JP->Tail.back().Fn, nullptr);
+    }
+  }
+}
+
+/// Mode resolution: Auto prefers the JIT only when the caller actually
+/// holds an artifact; KF_VM=jit forces it regardless.
+TEST(JitVm, ResolveVmModePrefersJitWhenAvailable) {
+  ScopedClearKfVm Clear;
+
+  EXPECT_EQ(resolveVmMode(VmMode::Auto, /*JitAvailable=*/true),
+            VmMode::Jit);
+  EXPECT_EQ(resolveVmMode(VmMode::Auto, /*JitAvailable=*/false),
+            VmMode::Span);
+
+  ::setenv("KF_VM", "jit", 1);
+  EXPECT_EQ(resolveVmMode(VmMode::Auto, false), VmMode::Jit);
+  EXPECT_EQ(resolveVmMode(VmMode::Auto, true), VmMode::Jit);
+
+  // An explicit environment choice overrides artifact availability...
+  ::setenv("KF_VM", "span", 1);
+  EXPECT_EQ(resolveVmMode(VmMode::Auto, true), VmMode::Span);
+  ::setenv("KF_VM", "scalar", 1);
+  EXPECT_EQ(resolveVmMode(VmMode::Auto, true), VmMode::Scalar);
+
+  // ...and an explicit request wins over everything.
+  ::setenv("KF_VM", "jit", 1);
+  EXPECT_EQ(resolveVmMode(VmMode::Span, true), VmMode::Span);
+  EXPECT_EQ(resolveVmMode(VmMode::Scalar, true), VmMode::Scalar);
+}
+
+TEST(JitVm, ModeName) { EXPECT_STREQ(vmModeName(VmMode::Jit), "jit"); }
+
+/// The launch-level contract: an Auto launch carrying an artifact runs
+/// the JIT interior (LaunchTiming reports the resolved mode), while the
+/// overlapped strategy degrades to the span engine, and results match
+/// span mode bit for bit either way.
+TEST(JitVm, AutoLaunchRunsJitAndOverlappedDegradesToSpan) {
+  ScopedClearKfVm Clear;
+
+  int W = VmLaneWidth * 2 + 9, H = 32;
+  Program P = makeBlurChain(W, H, BorderMode::Clamp);
+  FusedProgram FP =
+      fuseProgram(P, wholeProgramPartition(P), FusionStyle::Optimized);
+  StagedVmProgram SP = compileFusedKernel(FP, FP.Kernels[0]);
+  uint16_t Root = static_cast<uint16_t>(SP.Stages.size() - 1);
+  const ImageInfo &Info = P.image(2);
+  int Halo = fusedLaunchHalo(SP, Root, Info);
+
+  std::shared_ptr<const JitProgram> JP =
+      compileJitProgram(SP, Root, poolShapes(P));
+  ASSERT_NE(JP, nullptr);
+
+  std::vector<Image> Pool = makeImagePool(P);
+  Rng Gen(55);
+  Pool[0] = makeRandomImage(W, H, 1, Gen);
+
+  ThreadPool TP(2);
+  VmScratch Scratch;
+  ExecutionOptions Options;
+  Options.Mode = VmMode::Auto;
+
+  Image SpanOut(W, H, 1);
+  {
+    ExecutionOptions Span = Options;
+    Span.Mode = VmMode::Span;
+    runCompiledLaunch(SP, Root, Halo, Pool, SpanOut, Span, TP, Scratch);
+  }
+
+  // Auto + artifact: the launch resolves to (and reports) Jit.
+  Image JitOut(W, H, 1);
+  LaunchTiming Timing;
+  runCompiledLaunch(SP, Root, Halo, Pool, JitOut, Options, TP, Scratch,
+                    &Timing, JP.get());
+  EXPECT_EQ(Timing.Mode, VmMode::Jit);
+  EXPECT_DOUBLE_EQ(maxAbsDifference(JitOut, SpanOut), 0.0);
+
+  // Auto without an artifact: span, unchanged default.
+  LaunchTiming NoArtifact;
+  runCompiledLaunch(SP, Root, Halo, Pool, JitOut, Options, TP, Scratch,
+                    &NoArtifact);
+  EXPECT_EQ(NoArtifact.Mode, VmMode::Span);
+
+  // Overlapped tiles read scratch planes, not pool images: a Jit request
+  // degrades to the span engine, bit-identically.
+  ExecutionOptions Overlapped = Options;
+  Overlapped.Mode = VmMode::Jit;
+  Overlapped.Tiling = TilingStrategy::Overlapped;
+  LaunchTiming OverlapTiming;
+  runCompiledLaunch(SP, Root, Halo, Pool, JitOut, Overlapped, TP, Scratch,
+                    &OverlapTiming, JP.get());
+  if (OverlapTiming.Tiling == TilingStrategy::Overlapped) {
+    EXPECT_EQ(OverlapTiming.Mode, VmMode::Span);
+  }
+  EXPECT_DOUBLE_EQ(maxAbsDifference(JitOut, SpanOut), 0.0);
+}
+
+/// The plan-time artifact: compilePlan populates CompiledLaunch::Jit for
+/// every launch of every registry pipeline, the cached plan shares it,
+/// and a session's frames (which prefer it under Auto) stay bit-identical
+/// to the span interpreter.
+TEST(JitSession, PlansCarryJitArtifactsAndFramesMatchSpan) {
+  ScopedClearKfVm Clear;
+
+  for (const PipelineSpec &Spec : paperPipelines()) {
+    TestApp App = makeTestApp(Spec.Name);
+    FusedProgram FP = fuseProgram(
+        App.P, runMinCutFusion(App.P, HardwareModel()).Blocks,
+        FusionStyle::Optimized);
+
+    PlanCache Cache(4);
+    PipelineSession Session(FP, ExecutionOptions(), &Cache);
+    std::shared_ptr<const CompiledPlan> Plan = Session.plan();
+    ASSERT_NE(Plan, nullptr) << Spec.Name;
+    for (const CompiledLaunch &Launch : Plan->Launches)
+      EXPECT_NE(Launch.Jit, nullptr)
+          << Spec.Name << " " << Launch.Name
+          << ": validated launch has no JIT artifact";
+
+    // The cache returns the same plan object -- artifact included.
+    std::shared_ptr<const CompiledPlan> Cached = Cache.lookup(Plan->Key);
+    ASSERT_NE(Cached, nullptr) << Spec.Name;
+    for (size_t I = 0; I != Plan->Launches.size(); ++I)
+      EXPECT_EQ(Cached->Launches[I].Jit, Plan->Launches[I].Jit);
+
+    std::vector<Image> Frame = Session.acquireFrame();
+    Frame[0] = App.Input;
+    Session.runFrame(Frame);
+
+    ExecutionOptions Span;
+    Span.Mode = VmMode::Span;
+    std::vector<Image> SpanPool = makeImagePool(App.P);
+    SpanPool[0] = App.Input;
+    runFusedVm(FP, SpanPool, Span);
+
+    expectPoolsIdentical(App.P, Frame, SpanPool,
+                         Spec.Name + std::string(" session-jit"));
+    Session.releaseFrame(std::move(Frame));
+  }
+}
+
+/// Locates the repository's examples/pipelines directory relative to the
+/// test binary's working directory (ctest runs in build/tests).
+std::string pipelinesDir() {
+  for (const char *Candidate :
+       {"examples/pipelines/", "../examples/pipelines/",
+        "../../examples/pipelines/", "../../../examples/pipelines/"}) {
+    std::ifstream Probe(std::string(Candidate) + "harris.kfp");
+    if (Probe.good())
+      return Candidate;
+  }
+  return "";
+}
+
+/// Rewrites every `image <name> W H [C]` declaration of a .kfp source to
+/// the given extents, preserving the channel count. The shipped files
+/// declare native 2048^2-class frames; the differential only needs the
+/// shipped *structure*, and test-sized frames keep the suite fast.
+std::string rescaleKfpImages(const std::string &Source, int W, int H) {
+  std::string Out;
+  size_t Pos = 0;
+  while (Pos < Source.size()) {
+    size_t End = Source.find('\n', Pos);
+    if (End == std::string::npos)
+      End = Source.size();
+    std::string Line = Source.substr(Pos, End - Pos);
+    std::istringstream Stream(Line);
+    std::string Kw, Name, OldW, OldH, Channels;
+    if (Stream >> Kw && Kw == "image" && Stream >> Name >> OldW >> OldH) {
+      Line = "image " + Name + " " + std::to_string(W) + " " +
+             std::to_string(H);
+      if (Stream >> Channels)
+        Line += " " + Channels;
+    }
+    Out += Line;
+    Out += '\n';
+    Pos = End + 1;
+  }
+  return Out;
+}
+
+/// Golden-fixture differential: every shipped .kfp pipeline, parsed from
+/// disk (not rebuilt from the C++ builders), must run bit-identically
+/// under the JIT and the span interpreter.
+class JitGoldenKfp : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(JitGoldenKfp, ShippedPipelineJitMatchesSpan) {
+  std::string Dir = pipelinesDir();
+  if (Dir.empty())
+    GTEST_SKIP() << "examples/pipelines not found from the test cwd";
+
+  std::ifstream File(Dir + GetParam() + ".kfp");
+  ASSERT_TRUE(File.good()) << GetParam();
+  std::stringstream Buffer;
+  Buffer << File.rdbuf();
+  ParseResult Parsed = parsePipelineText(
+      rescaleKfpImages(Buffer.str(), VmLaneWidth * 2 + 21, 96));
+  ASSERT_TRUE(Parsed.success())
+      << GetParam() << ": "
+      << (Parsed.Errors.empty() ? "?" : Parsed.Errors.front());
+  const Program &P = *Parsed.Prog;
+  FusedProgram FP = fuseProgram(
+      P, runMinCutFusion(P, HardwareModel()).Blocks,
+      FusionStyle::Optimized);
+
+  const ImageInfo &InInfo = P.image(0);
+  Rng Gen(20260807);
+  Image Input =
+      makeRandomImage(InInfo.Width, InInfo.Height, InInfo.Channels, Gen);
+
+  ExecutionOptions Span;
+  Span.Mode = VmMode::Span;
+  std::vector<Image> SpanPool = makeImagePool(P);
+  SpanPool[0] = Input;
+  runFusedVm(FP, SpanPool, Span);
+
+  ExecutionOptions Jit = Span;
+  Jit.Mode = VmMode::Jit;
+  std::vector<Image> JitPool = makeImagePool(P);
+  JitPool[0] = Input;
+  runFusedVm(FP, JitPool, Jit);
+
+  expectPoolsIdentical(P, JitPool, SpanPool, GetParam() + ".kfp");
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperApps, JitGoldenKfp,
+                         ::testing::Values("harris", "sobel", "unsharp",
+                                           "shitomasi", "enhance",
+                                           "night", "dog", "emboss"),
+                         [](const auto &Info) { return Info.param; });
+
+} // namespace

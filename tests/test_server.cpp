@@ -148,6 +148,59 @@ TEST(StrideScheduler, SetWeightTakesEffectOnNextCharge) {
   EXPECT_EQ(S.weight(A), 1u);
 }
 
+TEST(StrideScheduler, OversizedWeightIsClampedNotMonopolizing) {
+  // A weight above StrideOne used to truncate the stride (StrideOne /
+  // weight) to zero: the source's pass never advanced, so it won every
+  // min-pass pick forever and starved the other tenants. normalize()
+  // now clamps weights to [1, StrideOne]; the heaviest legal weight
+  // still pays one pass unit per charge, so service interleaves.
+  StrideScheduler S;
+  unsigned A = S.addSource(StrideScheduler::StrideOne * 4);
+  unsigned B = S.addSource(1);
+  EXPECT_EQ(S.weight(A), StrideScheduler::StrideOne);
+  std::vector<unsigned> Candidates = {A, B};
+  std::string Order;
+  for (int I = 0; I != 8; ++I) {
+    int Picked = S.pick(Candidates);
+    Order += Picked == static_cast<int>(A) ? 'A' : 'B';
+    S.charge(static_cast<unsigned>(Picked));
+  }
+  // A's stride is 1 pass unit, B's is StrideOne: A runs ahead within the
+  // first of B's pass units but must yield to B exactly once per
+  // StrideOne units -- the exact sequence pins down that A's pass
+  // advances at all (the bug froze it at 0 and produced "AAAAAAAA").
+  EXPECT_EQ(Order, "ABAAAAAA");
+  EXPECT_GT(S.pass(A), 0u);
+}
+
+TEST(StrideScheduler, ReWeightClampsPassAgainstRunnableCompetitors) {
+  // Downgrading a tenant's weight mid-run used to leave its pass far
+  // behind the competitors it had been beating at high weight: the
+  // next picks would hand it a monopoly until the pass caught up. The
+  // Runnable-aware setWeight overload re-clamps like activate().
+  StrideScheduler S;
+  unsigned A = S.addSource(1000);
+  unsigned B = S.addSource(1);
+  std::vector<unsigned> Candidates = {A, B};
+  // A's high weight lets it accumulate service while B advances slowly.
+  for (int I = 0; I != 50; ++I) {
+    int Picked = S.pick(Candidates);
+    S.charge(static_cast<unsigned>(Picked));
+  }
+  ASSERT_LT(S.pass(A), S.pass(B));
+  // Demote A to parity, clamping against the runnable set: A resumes at
+  // B's pass instead of replaying its backlog.
+  S.setWeight(A, 1, {B});
+  EXPECT_EQ(S.pass(A), S.pass(B));
+  std::string Order;
+  for (int I = 0; I != 8; ++I) {
+    int Picked = S.pick(Candidates);
+    Order += Picked == static_cast<int>(A) ? 'A' : 'B';
+    S.charge(static_cast<unsigned>(Picked));
+  }
+  EXPECT_EQ(Order, "ABABABAB");
+}
+
 TEST(StrideScheduler, EmptyCandidatesPickNone) {
   StrideScheduler S;
   S.addSource(1);

@@ -201,6 +201,18 @@ TEST(CommandLine, TrailingGarbageDoubleDies) {
   EXPECT_DEATH(Cl.getDoubleOption("scale", 0.0), "expects a number");
 }
 
+TEST(CommandLine, NonFiniteDoubleDies) {
+  // strtod parses "nan" and "inf" successfully, but no option consumer
+  // (rates, weights, thresholds) can use them; they must be rejected
+  // like any other out-of-range value rather than poisoning arithmetic.
+  for (const char *Bad : {"nan", "inf", "-inf", "INF", "NaN"}) {
+    const char *Argv[] = {"prog", "--scale", Bad};
+    CommandLine Cl(3, Argv);
+    EXPECT_DEATH(Cl.getDoubleOption("scale", 0.0), "out of range")
+        << Bad;
+  }
+}
+
 TEST(CommandLine, UnderflowDoubleIsAccepted) {
   // Denormal/underflow results are not an error: strtod sets ERANGE but
   // returns a usable (near-zero) value.

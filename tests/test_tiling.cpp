@@ -305,6 +305,12 @@ TEST(TilingResolve, ParseTileSpecAcceptsOnlyWellFormedRanges) {
   EXPECT_FALSE(parseTileSpec("128x32x8", W, H));
   EXPECT_FALSE(parseTileSpec("128x32 ", W, H));
   EXPECT_FALSE(parseTileSpec("axb", W, H));
+  // Both components must start with a digit: strtol's own leading-space
+  // and sign tolerance ("  12", "+8") is not part of the WxH grammar.
+  EXPECT_FALSE(parseTileSpec(" 12x34", W, H));
+  EXPECT_FALSE(parseTileSpec("+8x+8", W, H));
+  EXPECT_FALSE(parseTileSpec("8x+8", W, H));
+  EXPECT_FALSE(parseTileSpec("8x 8", W, H));
   EXPECT_FALSE(parseTileSpec("0x32", W, H));
   EXPECT_FALSE(parseTileSpec("-4x8", W, H));
   EXPECT_FALSE(parseTileSpec("65537x1", W, H));

@@ -73,10 +73,11 @@ static void printUsage() {
       "  --run                        execute on random input: fused VM vs\n"
       "                               unfused AST wall time + max |diff|\n"
       "  --threads <n>                worker threads for --run (0 = auto)\n"
-      "  --vm scalar|span             interior VM engine for --run: span\n"
-      "                               (lane-batched, default) or scalar\n"
-      "                               (per-pixel); KF_VM overrides the\n"
-      "                               default\n"
+      "  --vm scalar|span|jit         interior VM engine for --run:\n"
+      "                               span (lane-batched, default), jit\n"
+      "                               (compiled per-plan cell chains), or\n"
+      "                               scalar (per-pixel); KF_VM overrides\n"
+      "                               the default\n"
       "  --tiling interior|overlapped|tuned  tiling strategy for --run:\n"
       "                               interior/halo split (default),\n"
       "                               overlapped tiles recomputing their\n"
@@ -256,10 +257,12 @@ int main(int Argc, char **Argv) {
       Exec.Mode = VmMode::Scalar;
     else if (VmName == "span")
       Exec.Mode = VmMode::Span;
+    else if (VmName == "jit")
+      Exec.Mode = VmMode::Jit;
     else if (VmName != "auto") {
       std::fprintf(stderr,
-                   "error: invalid --vm '%s' (expected 'scalar' or "
-                   "'span')\n",
+                   "error: invalid --vm '%s' (expected 'scalar', 'span' "
+                   "or 'jit')\n",
                    VmName.c_str());
       return 1;
     }
