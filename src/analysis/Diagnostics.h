@@ -14,6 +14,7 @@
 ///   KF-P##  program/IR lint        (analysis/ProgramLint.h)
 ///   KF-F##  footprint/halo checks  (analysis/FootprintCheck.h)
 ///   KF-B##  bytecode validation    (analysis/BytecodeValidator.h)
+///   KF-V##  interval interpretation (analysis/IntervalAnalysis.h)
 /// docs/ANALYSIS.md is the code registry; tests assert exact codes.
 ///
 //===----------------------------------------------------------------------===//

@@ -91,6 +91,38 @@ const char *kf::tilingStrategyName(TilingStrategy Strategy) {
   KF_UNREACHABLE("unknown tiling strategy");
 }
 
+OptMode kf::resolveOptMode(OptMode Requested) {
+  if (Requested != OptMode::Auto)
+    return Requested;
+  if (const char *Env = std::getenv("KF_OPT")) {
+    if (std::strcmp(Env, "on") == 0)
+      return OptMode::On;
+    if (std::strcmp(Env, "off") == 0)
+      return OptMode::Off;
+    // Same warn-once policy as KF_VM: a malformed value silently changing
+    // which bytecode every session executes is a debugging trap.
+    static std::atomic<bool> Warned{false};
+    if (!Warned.exchange(true))
+      std::fprintf(stderr,
+                   "warning: ignoring invalid KF_OPT='%s' (expected 'on' or "
+                   "'off'); using on\n",
+                   Env);
+  }
+  return OptMode::On;
+}
+
+const char *kf::optModeName(OptMode Mode) {
+  switch (Mode) {
+  case OptMode::Auto:
+    return "auto";
+  case OptMode::On:
+    return "on";
+  case OptMode::Off:
+    return "off";
+  }
+  KF_UNREACHABLE("unknown opt mode");
+}
+
 namespace {
 
 /// Bindings of stencil-scoped scalars while compiling an element.

@@ -107,6 +107,28 @@ TilingStrategy resolveTilingStrategy(TilingStrategy Requested);
 /// "overlapped" / "tuned").
 const char *tilingStrategyName(TilingStrategy Strategy);
 
+/// Whether session plan compilation runs the fact-gated bytecode
+/// optimizer (ir/VmOptimizer.h) over the validated staged programs
+/// before JIT lowering.
+enum class OptMode : uint8_t {
+  /// Resolve via the KF_OPT environment variable ("on" or "off"),
+  /// defaulting to On.
+  Auto,
+  /// Run the interval-fact-gated rewrites (the default).
+  On,
+  /// Escape hatch: compile and execute the un-optimized bytecode
+  /// exactly as the compiler emitted it.
+  Off,
+};
+
+/// Resolves \p Requested against the KF_OPT environment variable: an
+/// explicit On/Off request wins; Auto consults KF_OPT ("on"/"off",
+/// warning once per process about malformed values) and defaults to On.
+OptMode resolveOptMode(OptMode Requested);
+
+/// Stable lower-case name of \p Mode ("auto" / "on" / "off").
+const char *optModeName(OptMode Mode);
+
 /// Lane width of the span execution mode: every register of a span chunk
 /// is a contiguous block of this many floats (structure of arrays), so
 /// the whole register file of a chunk stays L1-resident independent of

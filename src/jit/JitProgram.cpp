@@ -305,6 +305,13 @@ kf::compileJitProgram(const StagedVmProgram &SP, uint16_t Root,
   validateStagedProgram(SP, Root, PoolShapes, DE);
   if (DE.errorCount() > 0)
     return nullptr;
+  // KF-B09 (non-finite constant immediate) is only a warning to the
+  // interpreter, which evaluates whatever the constant is. The patched
+  // Const cells assume finite immediates like every other baked operand,
+  // so the JIT treats it as a refusal too: the launch falls back to the
+  // span interpreter, which has well-defined NaN/inf semantics.
+  if (DE.hasCode("KF-B09"))
+    return nullptr;
 
   Flattener Flat(SP, PoolShapes);
   if (!Flat.run(Root))

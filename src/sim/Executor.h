@@ -74,6 +74,15 @@ struct ExecutionOptions {
   /// All strategies are bit-identical on every pipeline and border mode.
   TilingStrategy Tiling = TilingStrategy::Auto;
 
+  /// Whether session plan compilation runs the interval-fact-gated
+  /// bytecode optimizer (ir/VmOptimizer.h) over validated launches
+  /// before JIT lowering. Auto resolves via the KF_OPT environment
+  /// variable ("on" or "off"), defaulting to On; Off is the escape
+  /// hatch executing the bytecode exactly as compiled. Optimized plans
+  /// are bit-identical to unoptimized plans on every pipeline, mode,
+  /// and tiling strategy.
+  OptMode Opt = OptMode::Auto;
+
   /// Work-source tag charged for every tile this execution claims from a
   /// shared ThreadPool (see ThreadPool::registerSource); the pipeline
   /// server registers one source per tenant so concurrent frames

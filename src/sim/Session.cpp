@@ -3,6 +3,8 @@
 #include "sim/Session.h"
 
 #include "analysis/Analyzer.h"
+#include "analysis/BytecodeValidator.h"
+#include "analysis/IntervalAnalysis.h"
 #include "jit/JitProgram.h"
 #include "sim/Metrics.h"
 #include "sim/Tuner.h"
@@ -56,7 +58,8 @@ uint64_t kf::hashExecutionOptions(const ExecutionOptions &Options) {
          hashNamedField("TileHeight",
                         static_cast<uint32_t>(Options.TileHeight)) ^
          hashNamedField("VmMode", static_cast<uint32_t>(Options.Mode)) ^
-         hashNamedField("Tiling", static_cast<uint32_t>(Options.Tiling));
+         hashNamedField("Tiling", static_cast<uint32_t>(Options.Tiling)) ^
+         hashNamedField("Opt", static_cast<uint32_t>(Options.Opt));
 }
 
 uint64_t kf::planKey(const FusedProgram &FP, const ExecutionOptions &Options) {
@@ -131,6 +134,54 @@ kf::compilePlan(const FusedProgram &FP, const ExecutionOptions &Options) {
   if (DE.errorCount() > 0)
     reportFatalError("compiled plan for '" + P.name() +
                      "' failed static validation:\n" + DE.renderText());
+
+  // With validation green, run the interval abstract interpreter over
+  // every launch and -- unless KF_OPT / ExecutionOptions::Opt turns the
+  // escape hatch -- the fact-gated bytecode optimizer. Launches are in
+  // dependence order, so each launch's result interval seeds the load
+  // ranges of every later launch that reads its output; external inputs
+  // carry the declared [0, 1] contract. A rewritten stream must pass the
+  // bytecode validator again before it may replace the original (the
+  // optimizer preserves KF-B01..B11 by construction; this is the
+  // defensive recheck), and its halo is re-derived -- rewrites only ever
+  // shrink reach, which widens the interior.
+  const bool RunOpt = resolveOptMode(Options.Opt) == OptMode::On;
+  {
+    std::vector<InputRange> PoolRanges(P.numImages());
+    double RemovedInsts = 0;
+    for (CompiledLaunch &Launch : Plan->Launches) {
+      IntervalAnalysisResult Intervals =
+          analyzeStagedIntervals(Launch.Code, Launch.Root, PoolRanges);
+      Launch.Facts = Intervals.Stages;
+      if (RunOpt) {
+        StagedVmProgram Optimized = Launch.Code;
+        uint16_t Root = Launch.Root;
+        VmOptStats Stats;
+        if (optimizeStagedProgram(Optimized, Root, Intervals.Stages,
+                                  &Stats)) {
+          DiagnosticEngine OptDE;
+          validateStagedProgram(Optimized, Root, Plan->Shapes, OptDE);
+          if (OptDE.errorCount() == 0) {
+            Launch.Code = std::move(Optimized);
+            Launch.Root = Root;
+            Launch.Halo = fusedLaunchHalo(Launch.Code, Launch.Root,
+                                          P.image(Launch.Output));
+            Launch.OptStats = Stats;
+            RemovedInsts += Stats.removedInsts();
+          }
+        }
+      }
+      InputRange Written;
+      Written.Lo = Intervals.Result.Lo;
+      Written.Hi = Intervals.Result.Hi;
+      Written.MayNaN = Intervals.Result.MayNaN;
+      PoolRanges[Launch.Output] = Written;
+    }
+    if (TraceRecorder::enabled())
+      TraceRecorder::global().addCounter("opt.removed_insts",
+                                         RemovedInsts);
+    Span.arg("opt_removed_insts", RemovedInsts);
+  }
 
   // With validation green, compile the per-launch JIT artifacts (the
   // validator's invariants are the contract the JIT codegen trusts --

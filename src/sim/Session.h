@@ -31,6 +31,7 @@
 #ifndef KF_SIM_SESSION_H
 #define KF_SIM_SESSION_H
 
+#include "ir/VmOptimizer.h"
 #include "sim/Executor.h"
 
 #include <condition_variable>
@@ -71,6 +72,14 @@ struct CompiledLaunch {
   /// Compiled-per-plan JIT chain, cached in the PlanCache next to the
   /// bytecode and shared read-only across frames and sessions.
   std::shared_ptr<const JitProgram> Jit;
+  /// Per-stage interval facts the abstract interpreter proved for the
+  /// bytecode as *compiled* (analysis/IntervalAnalysis.h) -- the
+  /// optimizer's evidence, cached so tests and tools can audit what the
+  /// rewrite was gated on. Indexed like the pre-optimization stages.
+  std::vector<StageValueFacts> Facts;
+  /// What the fact-gated optimizer did to this launch (all zero under
+  /// KF_OPT=off / OptMode::Off, or when nothing was provable).
+  VmOptStats OptStats;
 };
 
 /// The execution-tuning decision baked into a plan compiled under

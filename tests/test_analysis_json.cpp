@@ -1,0 +1,236 @@
+//===- tests/test_analysis_json.cpp - Diagnostics JSON schema -------------------===//
+//
+// Schema-style tests for the --analysis-json output surface
+// (DiagnosticEngine::renderJson): the machine-readable contract is the
+// required top-level keys, a closed severity enum, and the stable
+// diagnostic code registry of docs/ANALYSIS.md -- every code the passes
+// can emit (KF-P, KF-F, KF-B, KF-V) stays in the registry, and every
+// diagnostic a battery of bad fixtures produces carries a registered
+// code. Downstream consumers key on these strings; renaming one is a
+// breaking change this test is meant to catch.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/BytecodeValidator.h"
+#include "analysis/FootprintCheck.h"
+#include "analysis/IntervalAnalysis.h"
+#include "analysis/ProgramLint.h"
+#include "frontend/Parser.h"
+#include "fusion/MinCutPartitioner.h"
+#include "pipelines/Pipelines.h"
+#include "sim/Executor.h"
+#include "transform/Fuser.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <set>
+#include <string>
+
+using namespace kf;
+
+namespace {
+
+/// The stable code registry (docs/ANALYSIS.md). Append-only: removing or
+/// renaming an entry breaks JSON consumers.
+const std::set<std::string> &knownCodes() {
+  static const std::set<std::string> Codes = {
+      // Driver-level parse failure.
+      "KF-P00",
+      // Program/IR lint.
+      "KF-P01", "KF-P02", "KF-P03", "KF-P04", "KF-P05", "KF-P06", "KF-P07",
+      "KF-P08", "KF-P09", "KF-P10", "KF-P11", "KF-P12",
+      // Footprint / halo checks.
+      "KF-F01", "KF-F02", "KF-F03", "KF-F04", "KF-F05", "KF-F06",
+      // Bytecode validation.
+      "KF-B01", "KF-B02", "KF-B03", "KF-B04", "KF-B05", "KF-B06", "KF-B07",
+      "KF-B08", "KF-B09", "KF-B10", "KF-B11",
+      // Interval abstract interpretation.
+      "KF-V01", "KF-V02", "KF-V03", "KF-V04", "KF-V05", "KF-V06",
+  };
+  return Codes;
+}
+
+const std::set<std::string> &severityEnum() {
+  static const std::set<std::string> Severities = {"note", "warning",
+                                                   "error"};
+  return Severities;
+}
+
+std::string fixtureDir() {
+  for (const char *Candidate :
+       {"fixtures/analysis/", "tests/fixtures/analysis/",
+        "../tests/fixtures/analysis/", "../../tests/fixtures/analysis/",
+        "../../../tests/fixtures/analysis/"}) {
+    std::ifstream Probe(std::string(Candidate) + "cyclic.kfp");
+    if (Probe.good())
+      return Candidate;
+  }
+  return "";
+}
+
+/// Extracts every value of a `"key": "value"` string field from
+/// rendered JSON.
+std::vector<std::string> stringField(const std::string &Json,
+                                     const std::string &Key) {
+  std::vector<std::string> Values;
+  const std::string Needle = "\"" + Key + "\": \"";
+  size_t Pos = 0;
+  while ((Pos = Json.find(Needle, Pos)) != std::string::npos) {
+    Pos += Needle.size();
+    size_t End = Json.find('"', Pos);
+    if (End == std::string::npos)
+      break;
+    Values.push_back(Json.substr(Pos, End - Pos));
+    Pos = End;
+  }
+  return Values;
+}
+
+/// Runs the full analysis stack of `kfc --analyze` over one leniently
+/// parsed fixture: lint, and -- when the program is structurally sound
+/// enough to fuse -- per-launch bytecode validation, footprint checks,
+/// and interval interpretation.
+DiagnosticEngine analyzeFixture(const std::string &File) {
+  DiagnosticEngine DE;
+  std::string Dir = fixtureDir();
+  EXPECT_FALSE(Dir.empty()) << "tests/fixtures/analysis not found";
+  ParseResult Parsed = parsePipelineFile(Dir + File, /*Verify=*/false);
+  if (!Parsed.Prog) {
+    for (const std::string &Error : Parsed.Errors)
+      DE.error("KF-P00", Error);
+    return DE;
+  }
+  lintProgram(*Parsed.Prog, DE);
+  if (DE.errorCount() != 0)
+    return DE;
+  HardwareModel HW;
+  HW.SharedMemThreshold = 2.0;
+  MinCutFusionResult Result = runMinCutFusion(*Parsed.Prog, HW);
+  FusedProgram FP =
+      fuseProgram(*Parsed.Prog, Result.Blocks, FusionStyle::Optimized);
+  std::vector<ImageInfo> Shapes;
+  for (ImageId Id = 0; Id != Parsed.Prog->numImages(); ++Id)
+    Shapes.push_back(Parsed.Prog->image(Id));
+  for (const FusedKernel &FK : FP.Kernels) {
+    StagedVmProgram SP = compileFusedKernel(FP, FK);
+    uint16_t Root = static_cast<uint16_t>(SP.Stages.size() - 1);
+    validateStagedProgram(SP, Root, Shapes, DE);
+    DiagLocation Loc;
+    Loc.Kernel = FK.Name;
+    analyzeStagedIntervals(SP, Root, {}, &DE, Loc);
+  }
+  return DE;
+}
+
+const std::vector<std::string> &batteryFixtures() {
+  static const std::vector<std::string> Fixtures = {
+      "cyclic.kfp",          "undefined_image.kfp", "even_mask.kfp",
+      "unused_output.kfp",   "border_conflict.kfp", "shape_mismatch.kfp",
+      "div_by_zero.kfp",     "sqrt_domain.kfp",     "pow_domain.kfp",
+      "guaranteed_nan.kfp",  "decided_select.kfp",  "noop_clamp.kfp",
+  };
+  return Fixtures;
+}
+
+TEST(AnalysisJson, RequiredTopLevelKeys) {
+  DiagnosticEngine DE = analyzeFixture("div_by_zero.kfp");
+  std::string Json = DE.renderJson();
+  for (const char *Key : {"\"diagnostics\"", "\"errors\":", "\"warnings\":"})
+    EXPECT_NE(Json.find(Key), std::string::npos) << Json;
+}
+
+TEST(AnalysisJson, EveryDiagnosticCarriesTheRequiredFields) {
+  for (const std::string &File : batteryFixtures()) {
+    SCOPED_TRACE(File);
+    DiagnosticEngine DE = analyzeFixture(File);
+    EXPECT_FALSE(DE.empty()) << "fixture produced no diagnostics";
+    std::string Json = DE.renderJson();
+    std::vector<std::string> Codes = stringField(Json, "code");
+    std::vector<std::string> Severities = stringField(Json, "severity");
+    std::vector<std::string> Messages = stringField(Json, "message");
+    EXPECT_EQ(Codes.size(), DE.diagnostics().size()) << Json;
+    EXPECT_EQ(Severities.size(), DE.diagnostics().size()) << Json;
+    EXPECT_EQ(Messages.size(), DE.diagnostics().size()) << Json;
+    for (const std::string &Message : Messages)
+      EXPECT_FALSE(Message.empty());
+  }
+}
+
+TEST(AnalysisJson, SeverityIsAClosedEnum) {
+  for (const std::string &File : batteryFixtures()) {
+    DiagnosticEngine DE = analyzeFixture(File);
+    for (const std::string &Severity :
+         stringField(DE.renderJson(), "severity"))
+      EXPECT_TRUE(severityEnum().count(Severity))
+          << File << ": unknown severity '" << Severity << "'";
+  }
+}
+
+TEST(AnalysisJson, EveryEmittedCodeIsRegistered) {
+  for (const std::string &File : batteryFixtures()) {
+    DiagnosticEngine DE = analyzeFixture(File);
+    for (const Diagnostic &D : DE.diagnostics())
+      EXPECT_TRUE(knownCodes().count(D.Code))
+          << File << ": unregistered diagnostic code '" << D.Code << "'";
+  }
+}
+
+TEST(AnalysisJson, EveryIntervalCodeHasAFixtureWitness) {
+  // Each KF-V code must be demonstrable on at least one shipped fixture
+  // (the text/JSON surface of kfc --analyze is pinned by ctest entries on
+  // the same files).
+  const std::pair<const char *, const char *> Witnesses[] = {
+      {"KF-V01", "div_by_zero.kfp"},   {"KF-V02", "sqrt_domain.kfp"},
+      {"KF-V03", "pow_domain.kfp"},    {"KF-V04", "guaranteed_nan.kfp"},
+      {"KF-V05", "decided_select.kfp"}, {"KF-V06", "noop_clamp.kfp"},
+  };
+  for (const auto &[Code, File] : Witnesses) {
+    DiagnosticEngine DE = analyzeFixture(File);
+    EXPECT_TRUE(DE.hasCode(Code))
+        << File << " must witness " << Code << ":\n"
+        << DE.renderText();
+    std::string Json = DE.renderJson();
+    EXPECT_NE(Json.find(std::string("\"code\": \"") + Code + "\""),
+              std::string::npos)
+        << Json;
+  }
+}
+
+TEST(AnalysisJson, ShippedExamplesAreIntervalClean) {
+  // The registry builders mirror examples/pipelines/*.kfp; none may
+  // trigger interval warnings at paper shapes.
+  for (const PipelineSpec &Spec : paperPipelines()) {
+    Program P = Spec.build();
+    HardwareModel HW;
+    HW.SharedMemThreshold = 2.0;
+    MinCutFusionResult Result = runMinCutFusion(P, HW);
+    FusedProgram FP = fuseProgram(P, Result.Blocks, FusionStyle::Optimized);
+    DiagnosticEngine DE;
+    std::vector<InputRange> PoolRanges(P.numImages());
+    for (const FusedKernel &FK : FP.Kernels) {
+      StagedVmProgram SP = compileFusedKernel(FP, FK);
+      uint16_t Root = static_cast<uint16_t>(SP.Stages.size() - 1);
+      DiagLocation Loc;
+      Loc.Kernel = FK.Name;
+      IntervalAnalysisResult Intervals =
+          analyzeStagedIntervals(SP, Root, PoolRanges, &DE, Loc);
+      for (KernelId DestId : FK.Destinations) {
+        uint16_t DestRoot = 0;
+        for (size_t I = 0; I != FK.Stages.size(); ++I)
+          if (FK.Stages[I].Kernel == DestId)
+            DestRoot = static_cast<uint16_t>(I);
+        const RegInterval &R = Intervals.Stages[DestRoot].Result;
+        InputRange Written;
+        Written.Lo = R.Lo;
+        Written.Hi = R.Hi;
+        Written.MayNaN = R.MayNaN;
+        PoolRanges[P.kernel(DestId).Output] = Written;
+      }
+    }
+    EXPECT_EQ(DE.errorCount(), 0u) << Spec.Name << ":\n" << DE.renderText();
+    EXPECT_EQ(DE.warningCount(), 0u) << Spec.Name << ":\n" << DE.renderText();
+  }
+}
+
+} // namespace

@@ -323,8 +323,10 @@ TEST(OptionsHash, StableAcrossFieldReordering) {
       hashNamedField("TileWidth", 0) ^ hashNamedField("TileHeight", 16) ^
       hashNamedField("VmMode", static_cast<uint32_t>(VmMode::Span)) ^
       hashNamedField("Tiling",
-                     static_cast<uint32_t>(TilingStrategy::Overlapped));
+                     static_cast<uint32_t>(TilingStrategy::Overlapped)) ^
+      hashNamedField("Opt", static_cast<uint32_t>(OptMode::Auto));
   uint64_t Reordered =
+      hashNamedField("Opt", static_cast<uint32_t>(OptMode::Auto)) ^
       hashNamedField("Tiling",
                      static_cast<uint32_t>(TilingStrategy::Overlapped)) ^
       hashNamedField("VmMode", static_cast<uint32_t>(VmMode::Span)) ^
@@ -355,12 +357,15 @@ TEST(OptionsHash, SensitiveToEveryField) {
   E.Mode = VmMode::Scalar;
   ExecutionOptions F = Base;
   F.Tiling = TilingStrategy::Overlapped;
+  ExecutionOptions G = Base;
+  G.Opt = OptMode::Off;
   EXPECT_NE(hashExecutionOptions(A), H);
   EXPECT_NE(hashExecutionOptions(B), H);
   EXPECT_NE(hashExecutionOptions(C), H);
   EXPECT_NE(hashExecutionOptions(D), H);
   EXPECT_NE(hashExecutionOptions(E), H);
   EXPECT_NE(hashExecutionOptions(F), H);
+  EXPECT_NE(hashExecutionOptions(G), H);
 }
 
 TEST(StructuralHash, IndependentParsesHashEqually) {

@@ -20,6 +20,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "analysis/Analyzer.h"
+#include "analysis/IntervalAnalysis.h"
 #include "backend/cpu/CppEmitter.h"
 #include "backend/cuda/CudaEmitter.h"
 #include "backend/opencl/ClEmitter.h"
@@ -83,6 +84,11 @@ static void printUsage() {
       "                               overlapped tiles recomputing their\n"
       "                               own halos, or cost-model autotuned;\n"
       "                               KF_TILING overrides the default\n"
+      "  --opt on|off                 interval-fact-gated bytecode\n"
+      "                               optimizer at session compile time\n"
+      "                               (default on; KF_OPT overrides the\n"
+      "                               default; off executes bytecode as\n"
+      "                               compiled -- results are identical)\n"
       "  --tile <WxH>                 tile extents for --run, e.g. 128x32\n"
       "                               (default per strategy; KF_TILE\n"
       "                               overrides the default)\n"
@@ -235,15 +241,42 @@ int main(int Argc, char **Argv) {
     Shapes.reserve(P.numImages());
     for (ImageId Id = 0; Id != P.numImages(); ++Id)
       Shapes.push_back(P.image(Id));
+    // Interval interpretation runs per fused kernel (the facts are
+    // root-independent); each destination's result interval seeds the
+    // load ranges of every later kernel that reads it, mirroring the
+    // session compile. External inputs carry the [0, 1] contract.
+    std::vector<InputRange> PoolRanges(P.numImages());
     for (const FusedKernel &FK : FP.Kernels) {
       StagedVmProgram SP = compileFusedKernel(FP, FK);
+      uint16_t FirstRoot = 0;
+      std::vector<std::pair<KernelId, uint16_t>> Dests;
       for (KernelId DestId : FK.Destinations) {
         uint16_t Root = 0;
         for (size_t I = 0; I != FK.Stages.size(); ++I)
           if (FK.Stages[I].Kernel == DestId)
             Root = static_cast<uint16_t>(I);
+        if (Dests.empty())
+          FirstRoot = Root;
+        Dests.emplace_back(DestId, Root);
         int Halo = fusedLaunchHalo(SP, Root, P.image(P.kernel(DestId).Output));
         analyzeLaunch(P, FK, FK.Name, SP, Root, Halo, Shapes, DE);
+      }
+      DiagLocation Loc;
+      Loc.Kernel = FK.Name;
+      IntervalAnalysisResult Intervals =
+          analyzeStagedIntervals(SP, FirstRoot, PoolRanges, &DE, Loc);
+      std::printf("intervals for %s:\n", FK.Name.c_str());
+      for (size_t I = 0; I != SP.Stages.size(); ++I)
+        std::printf("  stage %zu (%s): %s\n", I,
+                    P.kernel(FK.Stages[I].Kernel).Name.c_str(),
+                    formatInterval(Intervals.Stages[I].Result).c_str());
+      for (const auto &Dest : Dests) {
+        const RegInterval &R = Intervals.Stages[Dest.second].Result;
+        InputRange Written;
+        Written.Lo = R.Lo;
+        Written.Hi = R.Hi;
+        Written.MayNaN = R.MayNaN;
+        PoolRanges[P.kernel(Dest.first).Output] = Written;
       }
     }
     return finishAnalysis();
@@ -278,6 +311,17 @@ int main(int Argc, char **Argv) {
                    "error: invalid --tiling '%s' (expected 'interior', "
                    "'overlapped' or 'tuned')\n",
                    TilingName.c_str());
+      return 1;
+    }
+    std::string OptName = Cl.getOption("opt", "auto");
+    if (OptName == "on")
+      Exec.Opt = OptMode::On;
+    else if (OptName == "off")
+      Exec.Opt = OptMode::Off;
+    else if (OptName != "auto") {
+      std::fprintf(stderr,
+                   "error: invalid --opt '%s' (expected 'on' or 'off')\n",
+                   OptName.c_str());
       return 1;
     }
     std::string TileSpec = Cl.getOption("tile", "");
