@@ -1,0 +1,231 @@
+//===- bench/lazy_fusion.cpp - Record-and-fuse materialization costs ------------===//
+//
+// Measures what the lazy frontend (frontend/Lazy.h, sim/LazyRuntime.h)
+// costs and what fusion buys it, on a lazily recorded Harris DAG:
+//
+//   cold   record the DAG, run the full gate (lower + lint + fuse +
+//          footprint/bytecode/interval checks), compile the session
+//          plan, execute one frame -- the first tenant's end-to-end
+//          materialization latency;
+//   warm   re-record the same *shape* (fresh pipeline, different value
+//          names) and materialize against the now-populated plan cache
+//          -- the canonical-naming structural hash must hit, so only
+//          the gate and the frame execution remain.
+//
+// A second experiment compares steady-state throughput of the fused
+// pipeline against the op-at-a-time gate (LazyGateOptions::Fuse = false,
+// one launch per recorded op -- what a record-and-replay runtime without
+// kernel fusion would execute), asserting both bit-identical.
+//
+// Results are appended to BENCH_throughput.json as a "lazy_fusion"
+// section (docs/EXPERIMENTS.md).
+//
+// Options:
+//   --width/--height  frame size (default 1024x1024)
+//   --frames N        frames per measured stream (default 8)
+//   --reps N          cold/warm materialization reps (default 5)
+//   --threads N       worker threads (0 = auto)
+//   --out FILE        JSON results file (default BENCH_throughput.json)
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/common/BenchCommon.h"
+#include "frontend/Lazy.h"
+#include "image/Compare.h"
+#include "image/Generators.h"
+#include "sim/LazyRuntime.h"
+#include "support/CommandLine.h"
+#include "support/StringUtils.h"
+#include "support/TablePrinter.h"
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+using namespace kf;
+
+namespace {
+
+double sinceMs(std::chrono::steady_clock::time_point Start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - Start)
+      .count();
+}
+
+/// Records the Harris corner response through the lazy handle API
+/// (the registry pipeline of pipelines/Harris.cpp, op for op).
+LazyImage recordHarris(LazyPipeline &LP, int Width, int Height,
+                       const std::string &InputName) {
+  const float S8 = 1.0f / 8.0f;
+  const float S16 = 1.0f / 16.0f;
+  int SobelX = LP.addMask(3, 3,
+                          {-1 * S8, 0, 1 * S8, -2 * S8, 0, 2 * S8, -1 * S8, 0,
+                           1 * S8});
+  int SobelY = LP.addMask(3, 3,
+                          {-1 * S8, -2 * S8, -1 * S8, 0, 0, 0, 1 * S8, 2 * S8,
+                           1 * S8});
+  int Binom = LP.addMask(3, 3,
+                         {1 * S16, 2 * S16, 1 * S16, 2 * S16, 4 * S16, 2 * S16,
+                          1 * S16, 2 * S16, 1 * S16});
+  LazyImage In = LP.input(InputName, Width, Height);
+  LazyImage Dx = LP.convolve(In, SobelX);
+  LazyImage Dy = LP.convolve(In, SobelY);
+  LazyImage Gx = LP.convolve(LP.mul(Dx, Dx), Binom);
+  LazyImage Gy = LP.convolve(LP.mul(Dy, Dy), Binom);
+  LazyImage Gxy = LP.convolve(LP.mul(Dx, Dy), Binom);
+  LazyImage M = LP.sub(LP.mul(Gx, Gy), LP.mul(Gxy, Gxy));
+  LazyImage Tr = LP.add(Gx, Gy);
+  LazyImage Ktr = LP.binary(BinOp::Mul, 0.04f, LP.mul(Tr, Tr));
+  return LP.sub(M, Ktr);
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  CommandLine Cl(Argc, Argv, {});
+  int Width = static_cast<int>(Cl.getIntOption("width", 1024));
+  int Height = static_cast<int>(Cl.getIntOption("height", 1024));
+  int Frames = std::max(2, static_cast<int>(Cl.getIntOption("frames", 8)));
+  int Reps = std::max(1, static_cast<int>(Cl.getIntOption("reps", 5)));
+  std::string OutFile = Cl.getOption("out", "BENCH_throughput.json");
+
+  ExecutionOptions Exec;
+  Exec.Threads = static_cast<int>(Cl.getIntOption("threads", 0));
+
+  std::printf("=== Lazy fusion: recorded harris at %dx%d, %d frames, "
+              "%d reps, %u threads ===\n\n",
+              Width, Height, Frames, Reps,
+              resolveThreadCount(Exec.Threads));
+
+  Rng Gen(0x1a2f);
+  Image In = makeRandomImage(Width, Height, 1, Gen, 0.05f, 1.0f);
+
+  // Cold vs warm materialization latency. Every rep re-records a fresh
+  // pipeline (recording is part of the lazy frontend's per-build cost);
+  // rep 0 compiles the session plan, later reps hit the shared cache by
+  // structural shape despite their distinct value names.
+  PlanCache Cache;
+  double ColdRecordGateMs = 0, ColdPlanMs = 0, ColdExecMs = 0;
+  double WarmRecordGateMs = 0, WarmExecMs = 0;
+  int WarmHits = 0;
+  size_t RecordedOps = 0, LiveKernels = 0, FusedLaunches = 0;
+  for (int R = 0; R != Reps; ++R) {
+    auto Start = std::chrono::steady_clock::now();
+    LazyPipeline LP("bench_" + std::to_string(R));
+    LazyImage Hc = recordHarris(LP, Width, Height, "in_" + std::to_string(R));
+    MaterializedPipeline MP = compileLazy(LP, {Hc});
+    double GateMs = sinceMs(Start);
+    if (!MP.Ok) {
+      std::fprintf(stderr, "error: gate rejected the recorded DAG:\n%s",
+                   MP.Diags.renderText().c_str());
+      return 1;
+    }
+    LazyRunResult Run =
+        runLazy(MP, {{"in_" + std::to_string(R), &In}}, Exec, &Cache);
+    if (!Run.Ok) {
+      std::fprintf(stderr, "error: %s", Run.Diags.renderText().c_str());
+      return 1;
+    }
+    if (R == 0) {
+      ColdRecordGateMs = GateMs;
+      ColdPlanMs = Run.Stats.CompileMs;
+      ColdExecMs = Run.Stats.ExecMs;
+      RecordedOps = LP.numOps();
+      LiveKernels = MP.Prog->kernels().size();
+      FusedLaunches = MP.Fused.Kernels.size();
+      if (Run.Stats.PlanWasHit) {
+        std::fprintf(stderr, "error: first materialization hit the cache\n");
+        return 1;
+      }
+    } else {
+      WarmRecordGateMs += GateMs;
+      WarmExecMs += Run.Stats.ExecMs;
+      WarmHits += Run.Stats.PlanWasHit ? 1 : 0;
+    }
+  }
+  if (Reps > 1) {
+    WarmRecordGateMs /= Reps - 1;
+    WarmExecMs /= Reps - 1;
+    if (WarmHits != Reps - 1) {
+      std::fprintf(stderr,
+                   "error: only %d of %d warm materializations hit the "
+                   "plan cache\n",
+                   WarmHits, Reps - 1);
+      return 1;
+    }
+  }
+
+  TablePrinter Lat({"build", "record+gate ms", "plan ms", "exec ms"});
+  Lat.addRow({"cold (first shape)", formatDouble(ColdRecordGateMs, 3),
+              formatDouble(ColdPlanMs, 3), formatDouble(ColdExecMs, 3)});
+  Lat.addRow({"warm (same shape)", formatDouble(WarmRecordGateMs, 3),
+              "0.000", formatDouble(WarmExecMs, 3)});
+  std::fputs(Lat.render().c_str(), stdout);
+  std::printf("%zu recorded ops -> %zu live kernels in %zu fused launches\n\n",
+              RecordedOps, LiveKernels, FusedLaunches);
+
+  // Fused vs op-at-a-time steady-state throughput on warm plans.
+  auto measure = [&](bool Fuse, Image &LastOut) -> double {
+    LazyPipeline LP(Fuse ? "fused" : "op_at_a_time");
+    LazyImage Hc = recordHarris(LP, Width, Height, "in");
+    LazyGateOptions Gate;
+    Gate.Fuse = Fuse;
+    MaterializedPipeline MP = compileLazy(LP, {Hc}, Gate);
+    PlanCache StreamCache;
+    runLazy(MP, {{"in", &In}}, Exec, &StreamCache); // primer: compile plan
+    auto Start = std::chrono::steady_clock::now();
+    for (int F = 0; F != Frames; ++F) {
+      LazyRunResult Run = runLazy(MP, {{"in", &In}}, Exec, &StreamCache);
+      if (!Run.Ok) {
+        std::fprintf(stderr, "error: %s", Run.Diags.renderText().c_str());
+        std::exit(1);
+      }
+      if (F + 1 == Frames)
+        LastOut = std::move(Run.Outputs.front());
+    }
+    return sinceMs(Start);
+  };
+
+  Image FusedOut, UnfusedOut;
+  double FusedMs = measure(true, FusedOut);
+  double UnfusedMs = measure(false, UnfusedOut);
+  double MaxDiff = maxAbsDifference(FusedOut, UnfusedOut);
+  double FusedFps = Frames * 1000.0 / FusedMs;
+  double UnfusedFps = Frames * 1000.0 / UnfusedMs;
+
+  TablePrinter Tp({"gate", "wall ms", "frames/s", "speedup"});
+  Tp.addRow({"op-at-a-time (Fuse=off)", formatDouble(UnfusedMs, 3),
+             formatDouble(UnfusedFps, 3), "1.000"});
+  Tp.addRow({"fused (min-cut)", formatDouble(FusedMs, 3),
+             formatDouble(FusedFps, 3), formatDouble(FusedFps / UnfusedFps, 3)});
+  std::fputs(Tp.render().c_str(), stdout);
+  std::printf("max |fused - op-at-a-time| = %g\n", MaxDiff);
+  if (MaxDiff != 0.0) {
+    std::fprintf(stderr, "error: fused and op-at-a-time results differ\n");
+    return 1;
+  }
+
+  char Section[1024];
+  std::snprintf(
+      Section, sizeof(Section),
+      "{\"app\": \"harris\", \"width\": %d, \"height\": %d, "
+      "\"frames\": %d, \"reps\": %d, \"threads\": %u, "
+      "\"recorded_ops\": %zu, \"live_kernels\": %zu, "
+      "\"fused_launches\": %zu, "
+      "\"cold_record_gate_ms\": %.4f, \"cold_plan_ms\": %.4f, "
+      "\"cold_exec_ms\": %.4f, \"warm_record_gate_ms\": %.4f, "
+      "\"warm_exec_ms\": %.4f, "
+      "\"fused_frames_per_sec\": %.4f, \"unfused_frames_per_sec\": %.4f, "
+      "\"fused_over_unfused\": %.4f, \"max_abs_diff\": %g}",
+      Width, Height, Frames, Reps, resolveThreadCount(Exec.Threads),
+      RecordedOps, LiveKernels, FusedLaunches, ColdRecordGateMs, ColdPlanMs,
+      ColdExecMs, WarmRecordGateMs, WarmExecMs, FusedFps, UnfusedFps,
+      FusedFps / UnfusedFps, MaxDiff);
+  if (spliceJsonSection(OutFile, "lazy_fusion", Section)) {
+    std::printf("\nappended lazy_fusion section to %s\n", OutFile.c_str());
+  } else {
+    std::fprintf(stderr, "error: cannot write %s\n", OutFile.c_str());
+    return 1;
+  }
+  return 0;
+}

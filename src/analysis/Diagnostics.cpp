@@ -150,3 +150,10 @@ std::string DiagnosticEngine::renderJson() const {
   Out += "\n}\n";
   return Out;
 }
+
+const kf::DiagCodeInfo *kf::lookupDiagCode(const std::string &Code) {
+  for (const DiagCodeInfo &Info : DiagCodeRegistry)
+    if (Code == Info.Code)
+      return &Info;
+  return nullptr;
+}

@@ -35,6 +35,67 @@ enum class DiagSeverity : uint8_t { Note, Warning, Error };
 /// Printable severity name ("note", "warning", "error").
 const char *diagSeverityName(DiagSeverity Severity);
 
+/// One entry of the diagnostic-code registry.
+struct DiagCodeInfo {
+  const char *Code;
+  DiagSeverity Severity; ///< Severity the code is emitted with.
+};
+
+/// The registry of every stable diagnostic code the analyses emit, with
+/// the severity each is reported at. This is the single source of truth
+/// that keeps docs/ANALYSIS.md honest: tools/check_doc_links.py parses
+/// this table (keep one `{"KF-...", ...}` entry per line) and
+/// cross-checks it against every KF-* code the docs mention, and
+/// tests/test_analysis_json.cpp asserts it matches the emitting call
+/// sites. Frontend-originated problems (the lazy recorder and script
+/// parser, frontend/Lazy.h) reuse the KF-P codes of the matching lint
+/// rule rather than minting a parallel namespace.
+inline constexpr DiagCodeInfo DiagCodeRegistry[] = {
+    // Program/IR lint (analysis/ProgramLint.h).
+    {"KF-P00", DiagSeverity::Error},   // frontend parse/record failure
+    {"KF-P01", DiagSeverity::Error},   // dependence cycle
+    {"KF-P02", DiagSeverity::Error},   // image reference out of range
+    {"KF-P03", DiagSeverity::Error},   // image produced more than once
+    {"KF-P04", DiagSeverity::Error},   // malformed mask
+    {"KF-P05", DiagSeverity::Error},   // structurally invalid kernel body
+    {"KF-P06", DiagSeverity::Error},   // shape inconsistency / self-read
+    {"KF-P07", DiagSeverity::Error},   // channel out of range
+    {"KF-P08", DiagSeverity::Error},   // operator kind contradicts body
+    {"KF-P09", DiagSeverity::Warning}, // dead kernel
+    {"KF-P10", DiagSeverity::Warning}, // unused image
+    {"KF-P11", DiagSeverity::Warning}, // border-mode conflict
+    {"KF-P12", DiagSeverity::Error},   // invalid granularity
+    // Footprint/halo checks (analysis/FootprintCheck.h).
+    {"KF-F01", DiagSeverity::Error},
+    {"KF-F02", DiagSeverity::Error},
+    {"KF-F03", DiagSeverity::Error},
+    {"KF-F04", DiagSeverity::Error},
+    {"KF-F05", DiagSeverity::Error},
+    {"KF-F06", DiagSeverity::Error},
+    // Bytecode validation (analysis/BytecodeValidator.h).
+    {"KF-B01", DiagSeverity::Error},
+    {"KF-B02", DiagSeverity::Error},
+    {"KF-B03", DiagSeverity::Error},
+    {"KF-B04", DiagSeverity::Error},
+    {"KF-B05", DiagSeverity::Error},
+    {"KF-B06", DiagSeverity::Error},
+    {"KF-B07", DiagSeverity::Error},
+    {"KF-B08", DiagSeverity::Error},
+    {"KF-B09", DiagSeverity::Warning},
+    {"KF-B10", DiagSeverity::Error},
+    {"KF-B11", DiagSeverity::Error},
+    // Interval interpretation (analysis/IntervalAnalysis.h).
+    {"KF-V01", DiagSeverity::Warning},
+    {"KF-V02", DiagSeverity::Warning},
+    {"KF-V03", DiagSeverity::Warning},
+    {"KF-V04", DiagSeverity::Warning},
+    {"KF-V05", DiagSeverity::Note},
+    {"KF-V06", DiagSeverity::Note},
+};
+
+/// Registry entry for \p Code, or nullptr for unknown codes.
+const DiagCodeInfo *lookupDiagCode(const std::string &Code);
+
 /// Where a diagnostic points: the analyzed unit (program or fused-kernel
 /// name), and optionally a kernel/stage and an instruction index inside a
 /// compiled stage. Unset fields stay empty / negative.

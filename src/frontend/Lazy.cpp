@@ -1,0 +1,497 @@
+//===- frontend/Lazy.cpp - Record-and-fuse lazy frontend ------------------===//
+
+#include "frontend/Lazy.h"
+
+#include <algorithm>
+#include <climits>
+
+namespace kf {
+
+const char *lazyOpKindName(LazyOpKind Kind) {
+  switch (Kind) {
+  case LazyOpKind::Input:
+    return "input";
+  case LazyOpKind::Binary:
+    return "binary";
+  case LazyOpKind::Unary:
+    return "unary";
+  case LazyOpKind::Select:
+    return "select";
+  case LazyOpKind::Stencil:
+    return "stencil";
+  }
+  return "?";
+}
+
+int LazyPipeline::resolveOperand(const LazyImage &Handle) {
+  // A handle from another pipeline (or a default-constructed one) must not
+  // be dereferenced against this pipeline's node table. Map it to an index
+  // that can never be a recorded node so lowering reports KF-P02.
+  if (Handle.owner() != this)
+    return INT_MIN;
+  return Handle.node();
+}
+
+LazyImage LazyPipeline::input(std::string InputName, int Width, int Height,
+                              int Channels) {
+  LazyNode Node;
+  Node.Op = LazyOpKind::Input;
+  Node.Name = std::move(InputName);
+  Node.Width = Width;
+  Node.Height = Height;
+  Node.Channels = Channels;
+  return record(std::move(Node));
+}
+
+int LazyPipeline::addMask(int Width, int Height, std::vector<float> Weights) {
+  // Field-by-field assignment on purpose: the Mask convenience constructor
+  // asserts well-formedness, but lazy masks are untrusted and must reach
+  // the linter (KF-P04) intact.
+  Mask MaskValue;
+  MaskValue.Width = Width;
+  MaskValue.Height = Height;
+  MaskValue.Weights = std::move(Weights);
+  Masks.push_back(std::move(MaskValue));
+  return static_cast<int>(Masks.size()) - 1;
+}
+
+LazyImage LazyPipeline::binary(BinOp Op, LazyImage A, LazyImage B) {
+  LazyNode Node;
+  Node.Op = LazyOpKind::Binary;
+  Node.Bin = Op;
+  Node.A = resolveOperand(A);
+  Node.B = resolveOperand(B);
+  return record(std::move(Node));
+}
+
+LazyImage LazyPipeline::binary(BinOp Op, LazyImage A, float B) {
+  LazyNode Node;
+  Node.Op = LazyOpKind::Binary;
+  Node.Bin = Op;
+  Node.A = resolveOperand(A);
+  Node.BIsLit = true;
+  Node.LitB = B;
+  return record(std::move(Node));
+}
+
+LazyImage LazyPipeline::binary(BinOp Op, float A, LazyImage B) {
+  LazyNode Node;
+  Node.Op = LazyOpKind::Binary;
+  Node.Bin = Op;
+  Node.AIsLit = true;
+  Node.LitA = A;
+  Node.B = resolveOperand(B);
+  return record(std::move(Node));
+}
+
+LazyImage LazyPipeline::unary(UnOp Op, LazyImage A) {
+  LazyNode Node;
+  Node.Op = LazyOpKind::Unary;
+  Node.Un = Op;
+  Node.A = resolveOperand(A);
+  return record(std::move(Node));
+}
+
+LazyImage LazyPipeline::select(LazyImage Cond, LazyImage TrueValue,
+                               LazyImage FalseValue) {
+  LazyNode Node;
+  Node.Op = LazyOpKind::Select;
+  Node.C = resolveOperand(Cond);
+  Node.A = resolveOperand(TrueValue);
+  Node.B = resolveOperand(FalseValue);
+  return record(std::move(Node));
+}
+
+LazyImage LazyPipeline::convolve(LazyImage Src, int MaskIdx, BorderMode Border,
+                                 float BorderConstant, ReduceOp Op) {
+  LazyNode Node;
+  Node.Op = LazyOpKind::Stencil;
+  Node.A = resolveOperand(Src);
+  Node.MaskIdx = MaskIdx;
+  Node.Reduce = Op;
+  Node.Weighted = true;
+  Node.Border = Border;
+  Node.BorderConstant = BorderConstant;
+  return record(std::move(Node));
+}
+
+LazyImage LazyPipeline::windowReduce(ReduceOp Op, LazyImage Src, int MaskIdx,
+                                     BorderMode Border, float BorderConstant) {
+  LazyNode Node;
+  Node.Op = LazyOpKind::Stencil;
+  Node.A = resolveOperand(Src);
+  Node.MaskIdx = MaskIdx;
+  Node.Reduce = Op;
+  Node.Weighted = false;
+  Node.Border = Border;
+  Node.BorderConstant = BorderConstant;
+  return record(std::move(Node));
+}
+
+LazyImage LazyPipeline::record(LazyNode Node) {
+  Nodes.push_back(std::move(Node));
+  return {this, static_cast<int>(Nodes.size()) - 1};
+}
+
+//===----------------------------------------------------------------------===//
+// Lowering
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Propagated shape of one node during lowering.
+struct NodeShape {
+  int Width = 0;
+  int Height = 0;
+  int Channels = 0;
+  bool known() const { return Width > 0 && Height > 0 && Channels > 0; }
+};
+
+/// The image-operand node indices of \p Node, in slot order (condition
+/// first for selects, matching the lowered input order).
+void imageOperands(const LazyNode &Node, std::vector<int> &Out) {
+  Out.clear();
+  switch (Node.Op) {
+  case LazyOpKind::Input:
+    break;
+  case LazyOpKind::Unary:
+  case LazyOpKind::Stencil:
+    Out.push_back(Node.A);
+    break;
+  case LazyOpKind::Binary:
+    if (!Node.AIsLit)
+      Out.push_back(Node.A);
+    if (!Node.BIsLit)
+      Out.push_back(Node.B);
+    break;
+  case LazyOpKind::Select:
+    if (!Node.CIsLit)
+      Out.push_back(Node.C);
+    if (!Node.AIsLit)
+      Out.push_back(Node.A);
+    if (!Node.BIsLit)
+      Out.push_back(Node.B);
+    break;
+  }
+}
+
+/// Lowering context for one Program build (Full or Live). Maps node
+/// indices of the selected subset to image ids, mask indices to remapped
+/// mask indices, and builds one kernel per computing node.
+struct ProgramBuild {
+  Program *P = nullptr;
+  /// Node index -> image id (SIZE_MAX sentinel encoded as numImages()).
+  std::vector<ImageId> NodeImage;
+  /// Recorded mask index -> mask index in P (-1 = not yet copied).
+  std::vector<int> MaskMap;
+};
+
+} // namespace
+
+LazyLowering LazyPipeline::lower(const std::vector<LazyImage> &Outputs) const {
+  LazyLowering Result;
+  const int NumNodes = static_cast<int>(Nodes.size());
+
+  auto issue = [&Result](const char *Code, std::string Message,
+                         std::string Where = {}) {
+    Result.Issues.push_back({Code, std::move(Message), std::move(Where)});
+  };
+
+  // Display name of node \p Index for diagnostics and the Full program.
+  auto displayName = [this](int Index) {
+    const LazyNode &Node = Nodes[Index];
+    if (!Node.Name.empty())
+      return Node.Name;
+    std::string Fallback = "v";
+    Fallback += std::to_string(Index);
+    return Fallback;
+  };
+
+  // -- Validate the recorded stream (frontend-level checks the IR cannot
+  // represent). Everything else is left for the analyzer.
+  std::vector<int> Operands;
+  for (int I = 0; I < NumNodes; ++I) {
+    const LazyNode &Node = Nodes[I];
+    if (Node.Op == LazyOpKind::Input) {
+      if (Node.Width <= 0 || Node.Height <= 0 || Node.Channels <= 0)
+        issue("KF-P00",
+              "input '" + displayName(I) + "' has a non-positive shape " +
+                  std::to_string(Node.Width) + "x" +
+                  std::to_string(Node.Height) + "x" +
+                  std::to_string(Node.Channels),
+              displayName(I));
+      continue;
+    }
+    imageOperands(Node, Operands);
+    if (Operands.empty()) {
+      issue("KF-P00",
+            std::string(lazyOpKindName(Node.Op)) + " op '" + displayName(I) +
+                "' has no image operand (all-literal ops are not lowerable)",
+            displayName(I));
+      continue;
+    }
+    for (int Operand : Operands) {
+      if (Operand == INT_MIN) {
+        issue("KF-P02",
+              "op '" + displayName(I) +
+                  "' references a handle from a different pipeline "
+                  "(dangling handle)",
+              displayName(I));
+      } else if (Operand < 0 || Operand >= NumNodes) {
+        issue("KF-P02",
+              "op '" + displayName(I) + "' references node " +
+                  std::to_string(Operand) + " of a pipeline with " +
+                  std::to_string(NumNodes) + " ops (dangling handle)",
+              displayName(I));
+      }
+    }
+    if (Node.Op == LazyOpKind::Stencil &&
+        (Node.MaskIdx < 0 || Node.MaskIdx >= static_cast<int>(Masks.size())))
+      issue("KF-P05",
+            "stencil op '" + displayName(I) + "' references mask " +
+                std::to_string(Node.MaskIdx) + " of a pipeline with " +
+                std::to_string(Masks.size()) + " masks",
+            displayName(I));
+  }
+
+  // -- Validate the requested outputs.
+  std::vector<int> OutputNodes;
+  for (size_t I = 0; I < Outputs.size(); ++I) {
+    const LazyImage &Handle = Outputs[I];
+    int Node = Handle.owner() == this ? Handle.node() : INT_MIN;
+    if (Node == INT_MIN || Node < 0 || Node >= NumNodes) {
+      issue("KF-P02", "requested output " + std::to_string(I) +
+                          " is a dangling handle");
+      continue;
+    }
+    OutputNodes.push_back(Node);
+  }
+  if (OutputNodes.empty() && Result.Issues.empty())
+    issue("KF-P00", "materialization requested no outputs");
+
+  if (!Result.Issues.empty())
+    return Result; // Not structurally lowerable; reject before the IR.
+
+  // -- Shape propagation (fixpoint; cycles leave shapes unknown and get a
+  // 1x1 placeholder so the linter can still run and report KF-P01).
+  std::vector<NodeShape> Shapes(NumNodes);
+  for (int I = 0; I < NumNodes; ++I)
+    if (Nodes[I].Op == LazyOpKind::Input)
+      Shapes[I] = {Nodes[I].Width, Nodes[I].Height, Nodes[I].Channels};
+  for (int Round = 0; Round < NumNodes; ++Round) {
+    bool Changed = false;
+    for (int I = 0; I < NumNodes; ++I) {
+      if (Shapes[I].known() || Nodes[I].Op == LazyOpKind::Input)
+        continue;
+      imageOperands(Nodes[I], Operands);
+      for (int Operand : Operands) {
+        if (Shapes[Operand].known()) {
+          Shapes[I] = Shapes[Operand];
+          Changed = true;
+          break;
+        }
+      }
+    }
+    if (!Changed)
+      break;
+  }
+  for (NodeShape &Shape : Shapes)
+    if (!Shape.known())
+      Shape = {1, 1, 1}; // Placeholder; the cycle itself is linted (KF-P01).
+
+  // -- Liveness: nodes reachable from the requested outputs.
+  std::vector<bool> Live(NumNodes, false);
+  {
+    std::vector<int> Work(OutputNodes.begin(), OutputNodes.end());
+    while (!Work.empty()) {
+      int Node = Work.back();
+      Work.pop_back();
+      if (Live[Node])
+        continue;
+      Live[Node] = true;
+      imageOperands(Nodes[Node], Operands);
+      for (int Operand : Operands)
+        Work.push_back(Operand);
+    }
+  }
+
+  // -- Emit one Program over a node subset. Canonical naming ("v<pos>",
+  // "op<pos>", program name "lazy") erases user-chosen names so the
+  // structural hash keys on DAG shape alone; diagnostic naming keeps the
+  // user's value names so lint output reads like the client's code.
+  auto build = [&](bool Canonical,
+                   const std::vector<bool> *Subset) -> ProgramBuild {
+    ProgramBuild B;
+    std::string ProgName = Canonical ? "lazy" : Name;
+    B.P = new Program(std::move(ProgName));
+    B.NodeImage.assign(NumNodes, 0);
+    B.MaskMap.assign(Masks.size(), -1);
+
+    auto maskIndexIn = [&](int MaskIdx) {
+      if (Canonical) {
+        // Copy masks on first use so unused masks cannot perturb the hash.
+        if (B.MaskMap[MaskIdx] < 0)
+          B.MaskMap[MaskIdx] = B.P->addMask(Masks[MaskIdx]);
+        return B.MaskMap[MaskIdx];
+      }
+      return MaskIdx;
+    };
+    if (!Canonical)
+      for (const Mask &MaskValue : Masks)
+        B.P->addMask(MaskValue);
+
+    // Images first, in node order, so image ids are deterministic.
+    int Position = 0;
+    for (int I = 0; I < NumNodes; ++I) {
+      if (Subset && !(*Subset)[I])
+        continue;
+      std::string ImageName;
+      if (Canonical) {
+        ImageName = "v";
+        ImageName += std::to_string(Position);
+      } else {
+        ImageName = displayName(I);
+      }
+      B.NodeImage[I] = B.P->addImage(std::move(ImageName), Shapes[I].Width,
+                                     Shapes[I].Height, Shapes[I].Channels);
+      ++Position;
+    }
+
+    // One kernel per computing node.
+    ExprContext &Ctx = B.P->context();
+    Position = 0;
+    for (int I = 0; I < NumNodes; ++I) {
+      if (Subset && !(*Subset)[I])
+        continue;
+      int Pos = Position++;
+      const LazyNode &Node = Nodes[I];
+      if (Node.Op == LazyOpKind::Input)
+        continue;
+
+      Kernel K;
+      if (Canonical) {
+        K.Name = "op";
+        K.Name += std::to_string(Pos);
+      } else {
+        K.Name = "op:" + displayName(I);
+      }
+      K.Output = B.NodeImage[I];
+
+      // Map distinct image operands to input slots (reused slots for
+      // repeated operands, e.g. mul(x, x)).
+      imageOperands(Node, Operands);
+      auto inputSlot = [&](int Operand) {
+        ImageId Id = B.NodeImage[Operand];
+        for (size_t S = 0; S < K.Inputs.size(); ++S)
+          if (K.Inputs[S] == Id)
+            return static_cast<int>(S);
+        K.Inputs.push_back(Id);
+        return static_cast<int>(K.Inputs.size()) - 1;
+      };
+      auto operandExpr = [&](int Operand, bool IsLit, float Lit) {
+        return IsLit ? Ctx.floatConst(Lit) : Ctx.inputAt(inputSlot(Operand));
+      };
+
+      switch (Node.Op) {
+      case LazyOpKind::Input:
+        break;
+      case LazyOpKind::Binary:
+        K.Kind = OperatorKind::Point;
+        K.Body = Ctx.binary(Node.Bin,
+                            operandExpr(Node.A, Node.AIsLit, Node.LitA),
+                            operandExpr(Node.B, Node.BIsLit, Node.LitB));
+        break;
+      case LazyOpKind::Unary:
+        // Unary (like stencil) operands are always images; a literal-only
+        // unary was already rejected as KF-P00/KF-P02 above.
+        K.Kind = OperatorKind::Point;
+        K.Body = Ctx.unary(Node.Un, Ctx.inputAt(inputSlot(Node.A)));
+        break;
+      case LazyOpKind::Select:
+        K.Kind = OperatorKind::Point;
+        K.Body = Ctx.select(operandExpr(Node.C, Node.CIsLit, Node.LitC),
+                            operandExpr(Node.A, Node.AIsLit, Node.LitA),
+                            operandExpr(Node.B, Node.BIsLit, Node.LitB));
+        break;
+      case LazyOpKind::Stencil: {
+        K.Kind = OperatorKind::Local;
+        K.Border = Node.Border;
+        K.BorderConstant = Node.BorderConstant;
+        int Slot = inputSlot(Node.A);
+        const Expr *Element = Ctx.stencilInput(Slot);
+        if (Node.Weighted)
+          Element = Ctx.mul(Ctx.maskValue(), Element);
+        // A negative recorded mask index would trip the arena's assert;
+        // such nodes were already rejected above (KF-P05), but stay
+        // defensive: clamp to 0 so lowering remains total.
+        K.Body = Ctx.stencil(maskIndexIn(std::max(Node.MaskIdx, 0)),
+                             Node.Reduce, Element);
+        break;
+      }
+      }
+      B.P->addKernel(std::move(K));
+    }
+    return B;
+  };
+
+  // Full program: every node, user-facing names -- the lint target.
+  ProgramBuild FullBuild = build(/*Canonical=*/false, /*Subset=*/nullptr);
+  Result.Full.reset(FullBuild.P);
+
+  // Live program: pruned + canonical -- the execution/cache-key program.
+  ProgramBuild LiveBuild = build(/*Canonical=*/true, &Live);
+  Result.Live.reset(LiveBuild.P);
+
+  // Frame-filling map: user input name -> live image id.
+  for (int I = 0; I < NumNodes; ++I)
+    if (Live[I] && Nodes[I].Op == LazyOpKind::Input)
+      Result.LiveInputs.emplace_back(displayName(I), LiveBuild.NodeImage[I]);
+
+  // Requested outputs must survive as materialized buffers. An output that
+  // is itself an input, or that other live nodes consume (and fusion would
+  // therefore bury inside a block as an eliminated intermediate), gets an
+  // identity point kernel writing a dedicated terminal image.
+  std::vector<int> ConsumerCount(NumNodes, 0);
+  for (int I = 0; I < NumNodes; ++I) {
+    if (!Live[I])
+      continue;
+    imageOperands(Nodes[I], Operands);
+    for (int Operand : Operands)
+      ++ConsumerCount[Operand];
+  }
+  int ExportIndex = 0;
+  std::vector<ImageId> ExportOf(NumNodes, 0);
+  std::vector<bool> Exported(NumNodes, false);
+  for (int Node : OutputNodes) {
+    bool NeedsExport =
+        Nodes[Node].Op == LazyOpKind::Input || ConsumerCount[Node] > 0;
+    if (!NeedsExport) {
+      Result.LiveOutputs.push_back(LiveBuild.NodeImage[Node]);
+      continue;
+    }
+    if (!Exported[Node]) {
+      ExprContext &Ctx = Result.Live->context();
+      std::string OutName = "o";
+      OutName += std::to_string(ExportIndex++);
+      ImageId Out =
+          Result.Live->addImage(std::move(OutName), Shapes[Node].Width,
+                                Shapes[Node].Height, Shapes[Node].Channels);
+      Kernel Export;
+      Export.Name = "out";
+      Export.Name += std::to_string(Out);
+      Export.Kind = OperatorKind::Point;
+      Export.Inputs = {LiveBuild.NodeImage[Node]};
+      Export.Output = Out;
+      Export.Body = Ctx.inputAt(0);
+      Result.Live->addKernel(std::move(Export));
+      ExportOf[Node] = Out;
+      Exported[Node] = true;
+    }
+    Result.LiveOutputs.push_back(ExportOf[Node]);
+  }
+
+  Result.StructuralHash = Result.Live->structuralHash();
+  return Result;
+}
+
+} // namespace kf

@@ -1,0 +1,228 @@
+//===- frontend/Lazy.h - Record-and-fuse lazy frontend ----------*- C++ -*-===//
+///
+/// \file
+/// The lazy-evaluation frontend for dynamically built pipelines
+/// (docs/FRONTEND.md): clients issue image ops imperatively through small
+/// LazyImage value handles, a LazyPipeline accumulates the operation DAG
+/// without executing anything, and materialization (sim/LazyRuntime.h)
+/// lowers the recorded DAG to the Program IR, runs the full fusion +
+/// static-analysis gate, and executes through the session machinery.
+/// "Fusion of Array Operations at Runtime" (Kristensen et al.) is the
+/// model: record cheap, fuse at materialization, amortize by caching the
+/// compiled result under the DAG's structural shape.
+///
+/// Recording is total: no op ever fails at record time. Malformed
+/// recordings -- dangling handles, shape mismatches, cyclic raw node
+/// streams, bad masks -- lower to issues and IR the static analyzer
+/// rejects with stable KF-* diagnostics at materialization; lazy programs
+/// are untrusted input and must never crash the process.
+///
+/// This layer depends only on the IR. The gate and the executor live in
+/// sim/LazyRuntime.h; the op-per-line script loader (`kfc --lazy`) in
+/// frontend/LazyScript.h.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KF_FRONTEND_LAZY_H
+#define KF_FRONTEND_LAZY_H
+
+#include "ir/Program.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace kf {
+
+class LazyPipeline;
+
+/// A value handle into a LazyPipeline's recorded DAG. Cheap to copy;
+/// valid only against the pipeline that created it (a handle used with a
+/// different pipeline is a *dangling handle* and is rejected with KF-P02
+/// at materialization, never dereferenced).
+class LazyImage {
+public:
+  LazyImage() = default;
+
+  bool valid() const { return Owner != nullptr && Node >= 0; }
+  int node() const { return Node; }
+  const LazyPipeline *owner() const { return Owner; }
+
+private:
+  friend class LazyPipeline;
+  LazyImage(const LazyPipeline *OwnerIn, int NodeIn)
+      : Owner(OwnerIn), Node(NodeIn) {}
+
+  const LazyPipeline *Owner = nullptr;
+  int Node = -1;
+};
+
+/// Discriminator of one recorded operation.
+enum class LazyOpKind : uint8_t {
+  Input,   ///< External input image (name + shape); no computation.
+  Binary,  ///< Elementwise two-operand op (operands: A, B).
+  Unary,   ///< Elementwise one-operand op (operand: A).
+  Select,  ///< Elementwise Cond != 0 ? A : B (operands: C, A, B).
+  Stencil, ///< Window reduction over a mask (operand: A).
+};
+
+/// Printable op-kind name ("input", "binary", ...).
+const char *lazyOpKindName(LazyOpKind Kind);
+
+/// One recorded node of the lazy DAG. Operand slots hold node indices
+/// into the owning pipeline (negative = unset / literal); the raw
+/// record() entry point accepts arbitrary indices -- out-of-range and
+/// cyclic references are representable by design and rejected by the
+/// analyzer gate, not by the recorder.
+struct LazyNode {
+  LazyOpKind Op = LazyOpKind::Input;
+
+  /// Display name: the user-facing input/value name used in *diagnostic*
+  /// lowering. Execution lowering canonicalizes names away so the plan
+  /// key depends only on the DAG shape (see LazyPipeline::lower).
+  std::string Name;
+
+  // Input shape (Input nodes only).
+  int Width = 0;
+  int Height = 0;
+  int Channels = 1;
+
+  // Operand slots. A/B are the binary (or unary/stencil: A) operands,
+  // C the select condition. Negative index + *IsLit selects the literal.
+  int A = -1, B = -1, C = -1;
+  float LitA = 0.0f, LitB = 0.0f, LitC = 0.0f;
+  bool AIsLit = false, BIsLit = false, CIsLit = false;
+
+  BinOp Bin = BinOp::Add;
+  UnOp Un = UnOp::Neg;
+
+  // Stencil nodes: the window, its combine op, and border handling.
+  // Weighted stencils compute reduce(mv * src[]) (convolution under
+  // Sum); unweighted ones reduce the raw window pixels (erode/dilate
+  // under Min/Max).
+  ReduceOp Reduce = ReduceOp::Sum;
+  bool Weighted = true;
+  int MaskIdx = -1;
+  BorderMode Border = BorderMode::Clamp;
+  float BorderConstant = 0.0f;
+};
+
+/// One problem found while recording or lowering a lazy DAG -- before the
+/// static analyzer can see a Program. Carries the same stable KF-* code
+/// vocabulary the analyzer uses (docs/ANALYSIS.md):
+///   KF-P00  unparsable script line / op with no image operand
+///   KF-P02  dangling handle (foreign or out-of-range node reference)
+///   KF-P03  value redefinition in a script
+///   KF-P05  stencil referencing an undeclared mask
+struct LazyIssue {
+  std::string Code;    ///< Stable diagnostic code ("KF-P00", ...).
+  std::string Message; ///< Human-readable description.
+  std::string Where;   ///< Value/op name or script location, if any.
+};
+
+/// The lowering of a recorded DAG to Program IR. `Full` covers every
+/// recorded node under user-facing names -- the lint target, so
+/// diagnostics name the values the client wrote. `Live` is the pruned
+/// execution program: only nodes reachable from the requested outputs,
+/// images/kernels/masks renumbered and renamed canonically so two
+/// independently recorded DAGs of the same *shape* lower to structurally
+/// identical programs -- Live->structuralHash() is the plan-cache key
+/// that makes the second tenant with the same pipeline shape hit warm.
+struct LazyLowering {
+  std::unique_ptr<Program> Full;
+  std::unique_ptr<Program> Live;
+  std::vector<LazyIssue> Issues; ///< Frontend-level problems (reject when non-empty).
+
+  /// User input name -> Live image id (what a frame must fill).
+  std::vector<std::pair<std::string, ImageId>> LiveInputs;
+  /// Live image id of each requested output, in request order.
+  std::vector<ImageId> LiveOutputs;
+  /// Live->structuralHash(), 0 when lowering failed.
+  uint64_t StructuralHash = 0;
+
+  bool recordOk() const { return Issues.empty() && Live != nullptr; }
+};
+
+/// Records an operation DAG without executing anything. All record entry
+/// points are total -- malformed input surfaces at materialization as
+/// KF-* diagnostics, never as a crash or abort.
+class LazyPipeline {
+public:
+  explicit LazyPipeline(std::string NameIn = "lazy")
+      : Name(std::move(NameIn)) {}
+
+  const std::string &name() const { return Name; }
+  size_t numOps() const { return Nodes.size(); }
+  size_t numMasks() const { return Masks.size(); }
+  const LazyNode &op(size_t Index) const { return Nodes[Index]; }
+  const Mask &mask(size_t Index) const { return Masks[Index]; }
+
+  /// Declares an external input image. Non-positive extents are recorded
+  /// as-is and rejected at materialization (KF-P00).
+  LazyImage input(std::string InputName, int Width, int Height,
+                  int Channels = 1);
+
+  /// Declares a mask. Tolerant: extents and weight counts are recorded
+  /// verbatim (no constructor asserts) and validated by the analyzer
+  /// (KF-P04). Returns the mask index for convolve/windowReduce.
+  int addMask(int Width, int Height, std::vector<float> Weights);
+
+  // -- Point operators (elementwise; mirror the registry's point kernels).
+  LazyImage binary(BinOp Op, LazyImage A, LazyImage B);
+  LazyImage binary(BinOp Op, LazyImage A, float B);
+  LazyImage binary(BinOp Op, float A, LazyImage B);
+  LazyImage unary(UnOp Op, LazyImage A);
+  LazyImage select(LazyImage Cond, LazyImage TrueValue, LazyImage FalseValue);
+
+  LazyImage add(LazyImage A, LazyImage B) { return binary(BinOp::Add, A, B); }
+  LazyImage sub(LazyImage A, LazyImage B) { return binary(BinOp::Sub, A, B); }
+  LazyImage mul(LazyImage A, LazyImage B) { return binary(BinOp::Mul, A, B); }
+  LazyImage div(LazyImage A, LazyImage B) { return binary(BinOp::Div, A, B); }
+  LazyImage mul(LazyImage A, float B) { return binary(BinOp::Mul, A, B); }
+  LazyImage add(LazyImage A, float B) { return binary(BinOp::Add, A, B); }
+
+  // -- Local operators (window ops; mirror the registry's local kernels).
+
+  /// Convolution: reduce(mv * src[]) over \p MaskIdx with \p Op (Sum
+  /// yields the classic convolution).
+  LazyImage convolve(LazyImage Src, int MaskIdx,
+                     BorderMode Border = BorderMode::Clamp,
+                     float BorderConstant = 0.0f, ReduceOp Op = ReduceOp::Sum);
+
+  /// Unweighted window reduction of the raw pixels (Min = erode,
+  /// Max = dilate); the mask only defines the window extent.
+  LazyImage windowReduce(ReduceOp Op, LazyImage Src, int MaskIdx,
+                         BorderMode Border = BorderMode::Clamp,
+                         float BorderConstant = 0.0f);
+
+  /// Raw record entry: appends \p Node verbatim and returns its handle.
+  /// The untrusted back door the script frontend (and the malformed-DAG
+  /// tests) build on -- operand indices are NOT range-checked here, so
+  /// dangling references and cycles are representable; the gate rejects
+  /// them with exact KF-P codes.
+  LazyImage record(LazyNode Node);
+
+  /// An (unchecked) handle to node \p NodeIndex of this pipeline; the
+  /// index may be out of range (a deliberately dangling handle).
+  LazyImage handleAt(int NodeIndex) const { return {this, NodeIndex}; }
+
+  /// Lowers the recorded DAG for the requested \p Outputs. Never fails
+  /// hard: frontend-level problems land in LazyLowering::Issues and
+  /// anything structurally lowerable is lowered for the analyzer to
+  /// judge. See LazyLowering for the Full/Live split.
+  LazyLowering lower(const std::vector<LazyImage> &Outputs) const;
+
+private:
+  /// Resolves an operand handle to a node index for this pipeline;
+  /// foreign handles map to a dangling (out-of-range) index so the
+  /// lowering diagnoses them instead of reading another DAG's nodes.
+  int resolveOperand(const LazyImage &Handle);
+
+  std::string Name;
+  std::vector<LazyNode> Nodes;
+  std::vector<Mask> Masks;
+};
+
+} // namespace kf
+
+#endif // KF_FRONTEND_LAZY_H

@@ -1,0 +1,481 @@
+//===- frontend/LazyScript.cpp - Op-per-line lazy builder scripts ---------===//
+
+#include "frontend/LazyScript.h"
+
+#include <cerrno>
+#include <climits>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+namespace kf {
+
+std::vector<LazyImage> LazyScriptResult::outputs() const {
+  std::vector<LazyImage> Handles;
+  if (!Pipeline)
+    return Handles;
+  Handles.reserve(OutputNodes.size());
+  for (int Node : OutputNodes)
+    Handles.push_back(Pipeline->handleAt(Node));
+  return Handles;
+}
+
+namespace {
+
+/// Splits one line into whitespace-separated tokens; '#' starts a comment.
+std::vector<std::string> tokenize(const std::string &Line) {
+  std::vector<std::string> Tokens;
+  std::string Current;
+  for (char C : Line) {
+    if (C == '#')
+      break;
+    if (C == ' ' || C == '\t' || C == '\r') {
+      if (!Current.empty())
+        Tokens.push_back(std::move(Current));
+      Current.clear();
+    } else {
+      Current.push_back(C);
+    }
+  }
+  if (!Current.empty())
+    Tokens.push_back(std::move(Current));
+  return Tokens;
+}
+
+/// Full-token float parse ("0.25", "-1e3"); rejects trailing garbage and
+/// out-of-range magnitudes.
+bool parseFloatToken(const std::string &Token, float &Out) {
+  if (Token.empty())
+    return false;
+  errno = 0;
+  char *End = nullptr;
+  float Value = std::strtof(Token.c_str(), &End);
+  if (End != Token.c_str() + Token.size())
+    return false;
+  if (errno == ERANGE && std::abs(Value) == HUGE_VALF)
+    return false;
+  Out = Value;
+  return true;
+}
+
+/// Full-token non-negative int parse for shape fields.
+bool parseIntToken(const std::string &Token, int &Out) {
+  if (Token.empty())
+    return false;
+  errno = 0;
+  char *End = nullptr;
+  long Value = std::strtol(Token.c_str(), &End, 10);
+  if (End != Token.c_str() + Token.size())
+    return false;
+  if (errno == ERANGE || Value < INT_MIN || Value > INT_MAX)
+    return false;
+  Out = static_cast<int>(Value);
+  return true;
+}
+
+bool parseBorderToken(const std::string &Token, BorderMode &Out) {
+  if (Token == "clamp")
+    Out = BorderMode::Clamp;
+  else if (Token == "mirror")
+    Out = BorderMode::Mirror;
+  else if (Token == "repeat")
+    Out = BorderMode::Repeat;
+  else if (Token == "constant")
+    Out = BorderMode::Constant;
+  else
+    return false;
+  return true;
+}
+
+struct BinOpName {
+  const char *Name;
+  BinOp Op;
+};
+constexpr BinOpName BinOps[] = {
+    {"add", BinOp::Add},     {"sub", BinOp::Sub},     {"mul", BinOp::Mul},
+    {"div", BinOp::Div},     {"min", BinOp::Min},     {"max", BinOp::Max},
+    {"pow", BinOp::Pow},     {"cmplt", BinOp::CmpLT}, {"cmpgt", BinOp::CmpGT},
+};
+
+struct UnOpName {
+  const char *Name;
+  UnOp Op;
+};
+constexpr UnOpName UnOps[] = {
+    {"neg", UnOp::Neg}, {"abs", UnOp::Abs},     {"sqrt", UnOp::Sqrt},
+    {"exp", UnOp::Exp}, {"log", UnOp::Log},     {"floor", UnOp::Floor},
+};
+
+struct ReduceName {
+  const char *Name;
+  ReduceOp Op;
+};
+constexpr ReduceName Reduces[] = {
+    {"reduce_sum", ReduceOp::Sum},
+    {"reduce_product", ReduceOp::Product},
+    {"reduce_min", ReduceOp::Min},
+    {"reduce_max", ReduceOp::Max},
+};
+
+/// The parser state across the two passes.
+struct ScriptParser {
+  LazyScriptResult &Result;
+  std::map<std::string, int> ValueNodes; ///< value name -> node index
+  std::map<std::string, int> MaskIdxs;   ///< mask name -> mask index
+
+  void error(const char *Code, int LineNo, std::string Message) {
+    Result.Errors.push_back(
+        {Code, std::move(Message), "line " + std::to_string(LineNo)});
+  }
+
+  /// Resolves an operand token: float literal or defined value name.
+  /// Returns false (after reporting) for undefined names.
+  bool resolveOperand(const std::string &Token, int LineNo, bool AllowLiteral,
+                      int &NodeOut, bool &IsLitOut, float &LitOut) {
+    auto It = ValueNodes.find(Token);
+    if (It != ValueNodes.end()) {
+      NodeOut = It->second;
+      IsLitOut = false;
+      return true;
+    }
+    float Lit = 0.0f;
+    if (AllowLiteral && parseFloatToken(Token, Lit)) {
+      IsLitOut = true;
+      LitOut = Lit;
+      NodeOut = -1;
+      return true;
+    }
+    error("KF-P02", LineNo,
+          "undefined value '" + Token + "'" +
+              (AllowLiteral ? " (not a float literal either)" : ""));
+    return false;
+  }
+};
+
+} // namespace
+
+LazyScriptResult parseLazyScript(const std::string &Text,
+                                 const std::string &PipelineName) {
+  LazyScriptResult Result;
+  Result.Pipeline = std::make_unique<LazyPipeline>(PipelineName);
+  ScriptParser P{Result, {}, {}};
+
+  // Split into token lines once; both passes walk this.
+  std::vector<std::vector<std::string>> Lines;
+  {
+    std::istringstream Stream(Text);
+    std::string Line;
+    while (std::getline(Stream, Line))
+      Lines.push_back(tokenize(Line));
+  }
+
+  // Pass 1: assign node indices to every defining line, in order. This is
+  // what makes forward references (and therefore cycles) expressible --
+  // operands resolve to indices before the nodes exist.
+  int NextNode = 0;
+  for (size_t I = 0; I < Lines.size(); ++I) {
+    const std::vector<std::string> &Tokens = Lines[I];
+    int LineNo = static_cast<int>(I) + 1;
+    if (Tokens.empty() || Tokens[0] == "output" || Tokens[0] == "mask")
+      continue;
+    std::string DefName;
+    if (Tokens[0] == "input") {
+      if (Tokens.size() < 2)
+        continue; // Reported in pass 2.
+      DefName = Tokens[1];
+    } else if (Tokens.size() >= 2 && Tokens[1] == "=") {
+      DefName = Tokens[0];
+    } else {
+      continue; // Malformed; reported in pass 2.
+    }
+    if (P.ValueNodes.count(DefName)) {
+      P.error("KF-P03", LineNo, "value '" + DefName + "' redefined");
+      continue;
+    }
+    P.ValueNodes[DefName] = NextNode++;
+  }
+
+  // Pass 2: record the nodes. Every defining line accepted by pass 1 must
+  // record exactly one node so indices line up; malformed operand lists
+  // record a placeholder with dangling operands (the gate rejects the
+  // whole script anyway once Errors is non-empty).
+  LazyPipeline &LP = *Result.Pipeline;
+  std::vector<std::string> OutputNames;
+  std::map<std::string, int> Defined; // names already recorded (for KF-P03 skip)
+  for (size_t I = 0; I < Lines.size(); ++I) {
+    const std::vector<std::string> &Tokens = Lines[I];
+    int LineNo = static_cast<int>(I) + 1;
+    if (Tokens.empty())
+      continue;
+
+    if (Tokens[0] == "output") {
+      if (Tokens.size() < 2) {
+        P.error("KF-P00", LineNo, "output line names no values");
+        continue;
+      }
+      for (size_t T = 1; T < Tokens.size(); ++T)
+        OutputNames.push_back(Tokens[T]);
+      continue;
+    }
+
+    if (Tokens[0] == "mask") {
+      if (Tokens.size() < 5) {
+        P.error("KF-P00", LineNo,
+                "mask needs a name, extents, and weights: mask NAME W H w...");
+        continue;
+      }
+      if (P.MaskIdxs.count(Tokens[1])) {
+        P.error("KF-P03", LineNo, "mask '" + Tokens[1] + "' redefined");
+        continue;
+      }
+      int Width = 0, Height = 0;
+      if (!parseIntToken(Tokens[2], Width) ||
+          !parseIntToken(Tokens[3], Height)) {
+        P.error("KF-P00", LineNo, "mask extents must be integers");
+        continue;
+      }
+      std::vector<float> Weights;
+      bool WeightsOk = true;
+      for (size_t T = 4; T < Tokens.size(); ++T) {
+        float W = 0.0f;
+        if (!parseFloatToken(Tokens[T], W)) {
+          P.error("KF-P00", LineNo,
+                  "mask weight '" + Tokens[T] + "' is not a float");
+          WeightsOk = false;
+          break;
+        }
+        Weights.push_back(W);
+      }
+      if (!WeightsOk)
+        continue;
+      // Extent/weight-count mismatches are recorded verbatim; the
+      // analyzer rejects them with KF-P04 (tolerant recording contract).
+      P.MaskIdxs[Tokens[1]] = LP.addMask(Width, Height, std::move(Weights));
+      continue;
+    }
+
+    if (Tokens[0] == "input") {
+      if (Tokens.size() < 4 || Tokens.size() > 5) {
+        P.error("KF-P00", LineNo, "input needs: input NAME W H [C]");
+        if (Tokens.size() >= 2 && P.ValueNodes.count(Tokens[1]) &&
+            !Defined.count(Tokens[1])) {
+          // Keep indices aligned with pass 1's assignment.
+          Defined[Tokens[1]] = 1;
+          LP.input(Tokens[1], 0, 0, 0);
+        }
+        continue;
+      }
+      if (Defined.count(Tokens[1]))
+        continue; // Redefinition already reported in pass 1.
+      Defined[Tokens[1]] = 1;
+      int Width = 0, Height = 0, Channels = 1;
+      if (!parseIntToken(Tokens[2], Width) ||
+          !parseIntToken(Tokens[3], Height) ||
+          (Tokens.size() == 5 && !parseIntToken(Tokens[4], Channels))) {
+        P.error("KF-P00", LineNo, "input extents must be integers");
+        LP.input(Tokens[1], 0, 0, 0); // Keep indices aligned.
+        continue;
+      }
+      LP.input(Tokens[1], Width, Height, Channels);
+      continue;
+    }
+
+    if (Tokens.size() >= 2 && Tokens[1] == "=") {
+      if (Defined.count(Tokens[0]))
+        continue; // Redefinition already reported in pass 1.
+      if (!P.ValueNodes.count(Tokens[0]))
+        continue; // Pass 1 rejected this line.
+      Defined[Tokens[0]] = 1;
+
+      LazyNode Node; // Filled per op; recorded exactly once below.
+      bool Recognized = false;
+      bool OperandsOk = true;
+      const std::string &Op = Tokens.size() >= 3 ? Tokens[2] : Tokens[1];
+
+      for (const BinOpName &B : BinOps) {
+        if (Op != B.Name)
+          continue;
+        Recognized = true;
+        if (Tokens.size() != 5) {
+          P.error("KF-P00", LineNo,
+                  std::string(B.Name) + " needs two operands: NAME = " +
+                      B.Name + " A B");
+          OperandsOk = false;
+          break;
+        }
+        Node.Op = LazyOpKind::Binary;
+        Node.Bin = B.Op;
+        OperandsOk &= P.resolveOperand(Tokens[3], LineNo, true, Node.A,
+                                       Node.AIsLit, Node.LitA);
+        OperandsOk &= P.resolveOperand(Tokens[4], LineNo, true, Node.B,
+                                       Node.BIsLit, Node.LitB);
+        if (Node.AIsLit && Node.BIsLit) {
+          P.error("KF-P00", LineNo,
+                  "at least one operand of '" + Tokens[0] +
+                      "' must be a value (all-literal ops are not images)");
+          OperandsOk = false;
+        }
+        break;
+      }
+
+      if (!Recognized) {
+        for (const UnOpName &U : UnOps) {
+          if (Op != U.Name)
+            continue;
+          Recognized = true;
+          if (Tokens.size() != 4) {
+            P.error("KF-P00", LineNo,
+                    std::string(U.Name) + " needs one operand: NAME = " +
+                        U.Name + " A");
+            OperandsOk = false;
+            break;
+          }
+          Node.Op = LazyOpKind::Unary;
+          Node.Un = U.Op;
+          bool Lit = false;
+          float LitValue = 0.0f;
+          OperandsOk &=
+              P.resolveOperand(Tokens[3], LineNo, false, Node.A, Lit, LitValue);
+          break;
+        }
+      }
+
+      if (!Recognized && Op == "select") {
+        Recognized = true;
+        if (Tokens.size() != 6) {
+          P.error("KF-P00", LineNo, "select needs: NAME = select C A B");
+          OperandsOk = false;
+        } else {
+          Node.Op = LazyOpKind::Select;
+          OperandsOk &= P.resolveOperand(Tokens[3], LineNo, true, Node.C,
+                                         Node.CIsLit, Node.LitC);
+          OperandsOk &= P.resolveOperand(Tokens[4], LineNo, true, Node.A,
+                                         Node.AIsLit, Node.LitA);
+          OperandsOk &= P.resolveOperand(Tokens[5], LineNo, true, Node.B,
+                                         Node.BIsLit, Node.LitB);
+          if (Node.CIsLit && Node.AIsLit && Node.BIsLit) {
+            P.error("KF-P00", LineNo,
+                    "at least one operand of '" + Tokens[0] +
+                        "' must be a value");
+            OperandsOk = false;
+          }
+        }
+      }
+
+      if (!Recognized) {
+        bool IsConv = Op == "conv";
+        ReduceOp Reduce = ReduceOp::Sum;
+        bool IsReduce = false;
+        for (const ReduceName &R : Reduces) {
+          if (Op == R.Name) {
+            IsReduce = true;
+            Reduce = R.Op;
+            break;
+          }
+        }
+        if (IsConv || IsReduce) {
+          Recognized = true;
+          if (Tokens.size() < 5 || Tokens.size() > 7) {
+            P.error("KF-P00", LineNo,
+                    Op + " needs: NAME = " + Op + " MASK SRC [BORDER [CONST]]");
+            OperandsOk = false;
+          } else {
+            Node.Op = LazyOpKind::Stencil;
+            Node.Weighted = IsConv;
+            Node.Reduce = IsConv ? ReduceOp::Sum : Reduce;
+            auto MaskIt = P.MaskIdxs.find(Tokens[3]);
+            if (MaskIt == P.MaskIdxs.end()) {
+              P.error("KF-P05", LineNo,
+                      "undefined mask '" + Tokens[3] + "'");
+              OperandsOk = false;
+            } else {
+              Node.MaskIdx = MaskIt->second;
+            }
+            bool Lit = false;
+            float LitValue = 0.0f;
+            OperandsOk &= P.resolveOperand(Tokens[4], LineNo, false, Node.A,
+                                           Lit, LitValue);
+            if (Tokens.size() >= 6 &&
+                !parseBorderToken(Tokens[5], Node.Border)) {
+              P.error("KF-P00", LineNo,
+                      "unknown border mode '" + Tokens[5] +
+                          "' (clamp|mirror|repeat|constant)");
+              OperandsOk = false;
+            }
+            if (Tokens.size() == 7 &&
+                !parseFloatToken(Tokens[6], Node.BorderConstant)) {
+              P.error("KF-P00", LineNo,
+                      "border constant '" + Tokens[6] + "' is not a float");
+              OperandsOk = false;
+            }
+          }
+        }
+      }
+
+      if (!Recognized) {
+        P.error("KF-P00", LineNo, "unknown op '" + Op + "'");
+        OperandsOk = false;
+      }
+      if (!OperandsOk) {
+        // Record a placeholder so pass-1 indices stay aligned; the script
+        // is already rejected via Errors.
+        Node = LazyNode();
+        Node.Op = LazyOpKind::Unary;
+        Node.A = -1;
+      }
+      Node.Name = Tokens[0];
+      LP.record(std::move(Node));
+      continue;
+    }
+
+    P.error("KF-P00", LineNo,
+            "unparsable line (expected input/mask/output or NAME = OP ...)");
+  }
+
+  // Resolve the requested outputs.
+  for (const std::string &OutName : OutputNames) {
+    auto It = P.ValueNodes.find(OutName);
+    if (It == P.ValueNodes.end()) {
+      P.error("KF-P02", 0, "output names undefined value '" + OutName + "'");
+      continue;
+    }
+    Result.OutputNodes.push_back(It->second);
+  }
+  if (OutputNames.empty() && Result.Errors.empty())
+    P.error("KF-P00", 0, "script has no output line");
+
+  return Result;
+}
+
+LazyScriptResult parseLazyScriptFile(const std::string &Path) {
+  if (Path.empty()) {
+    LazyScriptResult Result;
+    Result.Errors.push_back(
+        {"KF-P00", "empty lazy script path", "--lazy"});
+    return Result;
+  }
+  std::ifstream Stream(Path);
+  if (!Stream) {
+    LazyScriptResult Result;
+    Result.Errors.push_back(
+        {"KF-P00", "cannot open lazy script '" + Path + "'", "--lazy"});
+    return Result;
+  }
+  std::ostringstream Buffer;
+  Buffer << Stream.rdbuf();
+  // Derive the pipeline name from the file stem, matching the .kfp
+  // frontend's behavior; the name never reaches the plan key (the live
+  // lowering canonicalizes it away).
+  std::string Name = Path;
+  size_t Slash = Name.find_last_of("/\\");
+  if (Slash != std::string::npos)
+    Name = Name.substr(Slash + 1);
+  size_t Dot = Name.find_last_of('.');
+  if (Dot != std::string::npos && Dot > 0)
+    Name = Name.substr(0, Dot);
+  return parseLazyScript(Buffer.str(), Name.empty() ? "lazy" : Name);
+}
+
+} // namespace kf

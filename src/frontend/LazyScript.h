@@ -1,0 +1,73 @@
+//===- frontend/LazyScript.h - Op-per-line lazy builder scripts -*- C++ -*-===//
+///
+/// \file
+/// The tiny op-per-line script format behind `kfc --lazy <script>`: each
+/// line records one operation into a LazyPipeline, exactly as a client of
+/// the handle API would. The format exists for CLI-driven testing of the
+/// lazy frontend -- it is a *builder transcript*, not a language: no
+/// expressions, no nesting, one op per line.
+///
+///   # comments and blank lines are skipped
+///   input  NAME W H [C]          # declare an external input image
+///   mask   NAME W H w0 w1 ...    # declare a mask (W*H weights)
+///   NAME = add A B               # binary: add sub mul div min max pow
+///                                #         cmplt cmpgt  (A/B: value name
+///                                #         or float literal)
+///   NAME = neg A                 # unary: neg abs sqrt exp log floor
+///   NAME = select C A B          # elementwise C != 0 ? A : B
+///   NAME = conv MASK SRC [BORDER [CONST]]      # convolution
+///   NAME = reduce_min  MASK SRC [BORDER [CONST]]  # also reduce_max,
+///                                #   reduce_sum, reduce_product
+///   output NAME [NAME ...]       # request values for materialization
+///
+/// BORDER is one of clamp|mirror|repeat|constant (CONST only with
+/// constant). Values may be used before they are defined -- the script is
+/// two-passed -- so acyclicity is NOT a property of the grammar: a cyclic
+/// script parses fine and is rejected by the analyzer gate with KF-P01,
+/// which is exactly the untrusted-input path the tests exercise.
+///
+/// Parse errors carry the frontend KF-* codes (see frontend/Lazy.h):
+/// KF-P00 malformed line, KF-P02 undefined value name, KF-P03 value
+/// redefinition, KF-P05 undefined mask name.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KF_FRONTEND_LAZYSCRIPT_H
+#define KF_FRONTEND_LAZYSCRIPT_H
+
+#include "frontend/Lazy.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace kf {
+
+/// Result of parsing a lazy builder script. The pipeline lives behind a
+/// stable pointer because LazyImage handles bind to the pipeline's
+/// address; outputs() mints handles against it on demand.
+struct LazyScriptResult {
+  std::unique_ptr<LazyPipeline> Pipeline;
+  std::vector<int> OutputNodes;  ///< Node indices named by `output` lines.
+  std::vector<LazyIssue> Errors; ///< Parse-level problems (KF-P00/02/03/05).
+
+  bool ok() const { return Errors.empty() && Pipeline != nullptr; }
+
+  /// Handles for the requested outputs, bound to *this* result's pipeline.
+  std::vector<LazyImage> outputs() const;
+};
+
+/// Parses script \p Text into a freshly recorded pipeline named
+/// \p PipelineName. Total: never throws or aborts; problems land in
+/// LazyScriptResult::Errors with line locations.
+LazyScriptResult parseLazyScript(const std::string &Text,
+                                 const std::string &PipelineName = "lazy");
+
+/// Reads and parses the script at \p Path. Unreadable or empty paths
+/// produce a KF-P00 error (the hardened `--lazy` contract: a diagnostic,
+/// never a crash).
+LazyScriptResult parseLazyScriptFile(const std::string &Path);
+
+} // namespace kf
+
+#endif // KF_FRONTEND_LAZYSCRIPT_H

@@ -24,6 +24,7 @@
 #include <gtest/gtest.h>
 
 #include <fstream>
+#include <iterator>
 #include <set>
 #include <string>
 
@@ -173,6 +174,39 @@ TEST(AnalysisJson, EveryEmittedCodeIsRegistered) {
     for (const Diagnostic &D : DE.diagnostics())
       EXPECT_TRUE(knownCodes().count(D.Code))
           << File << ": unregistered diagnostic code '" << D.Code << "'";
+  }
+}
+
+TEST(AnalysisJson, CodeRegistryTableMatchesTheKnownCodeList) {
+  // Diagnostics.h's DiagCodeRegistry (which tools/check_doc_links.py
+  // parses to keep the docs honest) and this file's knownCodes() list
+  // must agree exactly, in both directions.
+  EXPECT_EQ(std::size(DiagCodeRegistry), knownCodes().size());
+  for (const DiagCodeInfo &Info : DiagCodeRegistry)
+    EXPECT_TRUE(knownCodes().count(Info.Code))
+        << "registry code '" << Info.Code << "' missing from knownCodes()";
+  for (const std::string &Code : knownCodes()) {
+    const DiagCodeInfo *Info = lookupDiagCode(Code);
+    ASSERT_NE(Info, nullptr) << "known code '" << Code
+                             << "' missing from DiagCodeRegistry";
+    EXPECT_TRUE(severityEnum().count(diagSeverityName(Info->Severity)));
+  }
+  EXPECT_EQ(lookupDiagCode("KF-X99"), nullptr);
+}
+
+TEST(AnalysisJson, EmittedSeveritiesMatchTheRegistry) {
+  // Every diagnostic a fixture produces must carry the severity the
+  // registry table declares for its code.
+  for (const std::string &File : batteryFixtures()) {
+    DiagnosticEngine DE = analyzeFixture(File);
+    for (const Diagnostic &D : DE.diagnostics()) {
+      const DiagCodeInfo *Info = lookupDiagCode(D.Code);
+      ASSERT_NE(Info, nullptr) << File << ": " << D.Code;
+      EXPECT_EQ(Info->Severity, D.Severity)
+          << File << ": code " << D.Code << " emitted as "
+          << diagSeverityName(D.Severity) << " but registered as "
+          << diagSeverityName(Info->Severity);
+    }
   }
 }
 

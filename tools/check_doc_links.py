@@ -14,6 +14,14 @@ key of the committed BENCH_throughput.json -- a renamed (or silently
 dropped) section key fails here instead of vanishing unnoticed from the
 results file.
 
+Also cross-checks the diagnostic-code registry: every KF-* code the
+docs mention must be an entry of DiagCodeRegistry in
+src/analysis/Diagnostics.h, and every warning- or error-severity
+registry code must be documented somewhere under docs/ -- so the docs
+can neither cite a code the analyses cannot emit nor silently omit one
+a user can actually be stopped by (notes are informational and may stay
+undocumented).
+
 Run from anywhere: paths are resolved against the repo root (this
 script's parent directory). CI runs it as the docs link-check step.
 
@@ -96,6 +104,54 @@ def check_bench_sections(root: Path):
     return problems
 
 
+# One registry entry per line in Diagnostics.h (the header keeps this
+# format by contract; see the comment above DiagCodeRegistry).
+REGISTRY_ENTRY_RE = re.compile(
+    r'\{"(KF-[A-Z]\d{2})",\s*DiagSeverity::(\w+)\}')
+DOC_CODE_RE = re.compile(r"\bKF-[A-Z]\d{2}\b")
+
+
+def parse_code_registry(root: Path):
+    """DiagCodeRegistry of src/analysis/Diagnostics.h as {code: severity}."""
+    header = root / "src" / "analysis" / "Diagnostics.h"
+    registry = {}
+    for match in REGISTRY_ENTRY_RE.finditer(header.read_text(encoding="utf-8",
+                                                       errors="replace")):
+        registry[match.group(1)] = match.group(2)
+    return registry
+
+
+def check_diag_codes(root: Path):
+    """Docs and DiagCodeRegistry must agree on the KF-* code vocabulary."""
+    problems = []
+    registry = parse_code_registry(root)
+    if not registry:
+        return ["src/analysis/Diagnostics.h: DiagCodeRegistry not found "
+                "(format changed? this script parses one {\"KF-..\"} entry "
+                "per line)"]
+
+    mentioned = {}  # code -> first mentioning doc:line
+    for doc in doc_files(root):
+        for lineno, line in enumerate(
+                doc.read_text(encoding="utf-8",
+                              errors="replace").splitlines(), start=1):
+            for match in DOC_CODE_RE.finditer(line):
+                mentioned.setdefault(match.group(0),
+                                     f"{doc.relative_to(root)}:{lineno}")
+
+    for code, where in sorted(mentioned.items()):
+        if code not in registry:
+            problems.append(
+                f"{where}: documented code '{code}' is not in "
+                f"DiagCodeRegistry (src/analysis/Diagnostics.h)")
+    for code, severity in sorted(registry.items()):
+        if severity in ("Error", "Warning") and code not in mentioned:
+            problems.append(
+                f"src/analysis/Diagnostics.h: {severity.lower()}-severity "
+                f"code '{code}' is not documented anywhere under docs/")
+    return problems
+
+
 def main():
     root = Path(__file__).resolve().parent.parent
     failures = 0
@@ -105,8 +161,7 @@ def main():
         for lineno, target in check_file(doc, root):
             failures += 1
             print(f"{doc.relative_to(root)}:{lineno}: dead link: {target}")
-    sections = check_bench_sections(root)
-    for problem in sections:
+    for problem in check_bench_sections(root) + check_diag_codes(root):
         failures += 1
         print(problem)
     if failures:
@@ -114,7 +169,8 @@ def main():
               file=sys.stderr)
         return 1
     print(f"checked {checked} markdown file(s): all relative links resolve; "
-          f"all bench JSON sections present")
+          f"all bench JSON sections present; KF-* codes consistent with "
+          f"DiagCodeRegistry")
     return 0
 
 

@@ -24,6 +24,7 @@
 #include "backend/cpu/CppEmitter.h"
 #include "backend/cuda/CudaEmitter.h"
 #include "backend/opencl/ClEmitter.h"
+#include "frontend/LazyScript.h"
 #include "frontend/Parser.h"
 #include "frontend/Serializer.h"
 #include "fusion/BasicFusion.h"
@@ -34,6 +35,7 @@
 #include "ir/Simplify.h"
 #include "sim/CostModel.h"
 #include "sim/Executor.h"
+#include "sim/LazyRuntime.h"
 #include "sim/Metrics.h"
 #include "sim/Server.h"
 #include "sim/Session.h"
@@ -55,6 +57,16 @@ using namespace kf;
 static void printUsage() {
   std::printf(
       "usage: kfc <pipeline.kfp> [options]\n"
+      "       kfc --lazy <script.lz> [options]\n"
+      "  --lazy <script.lz>           record the op-per-line lazy builder\n"
+      "                               script (docs/FRONTEND.md), fuse and\n"
+      "                               gate it, then materialize --repeat\n"
+      "                               times (default 2: cold build + warm\n"
+      "                               plan-cache hit) and compare against\n"
+      "                               the unfused reference; honors\n"
+      "                               --analyze/--Werror, --style\n"
+      "                               optimized|none, and the --run\n"
+      "                               engine options below\n"
       "  --emit cuda|cpp|opencl|ir|kfp|dot  emit code instead of the "
       "report\n"
       "  --style optimized|basic|none fusion strategy (default optimized)\n"
@@ -114,6 +126,65 @@ static void printUsage() {
       "  --tg/--ts/--calu/--csfu/--cmshared/--gamma <num>  model knobs\n");
 }
 
+/// Parses the shared execution-engine options (--threads/--vm/--tiling/
+/// --opt/--tile) into \p Exec, hardened per the option-grammar rules:
+/// every unknown enumerator or malformed tile spec is a printed
+/// diagnostic and a false return, never a crash. Used by --run, --serve,
+/// and --lazy.
+static bool parseExecutionOptions(const CommandLine &Cl,
+                                  ExecutionOptions &Exec) {
+  Exec.Threads = static_cast<int>(Cl.getIntOption("threads", 0));
+  std::string VmName = Cl.getOption("vm", "auto");
+  if (VmName == "scalar")
+    Exec.Mode = VmMode::Scalar;
+  else if (VmName == "span")
+    Exec.Mode = VmMode::Span;
+  else if (VmName == "jit")
+    Exec.Mode = VmMode::Jit;
+  else if (VmName != "auto") {
+    std::fprintf(stderr,
+                 "error: invalid --vm '%s' (expected 'scalar', 'span' "
+                 "or 'jit')\n",
+                 VmName.c_str());
+    return false;
+  }
+  std::string TilingName = Cl.getOption("tiling", "auto");
+  if (TilingName == "interior")
+    Exec.Tiling = TilingStrategy::InteriorHalo;
+  else if (TilingName == "overlapped")
+    Exec.Tiling = TilingStrategy::Overlapped;
+  else if (TilingName == "tuned")
+    Exec.Tiling = TilingStrategy::Tuned;
+  else if (TilingName != "auto") {
+    std::fprintf(stderr,
+                 "error: invalid --tiling '%s' (expected 'interior', "
+                 "'overlapped' or 'tuned')\n",
+                 TilingName.c_str());
+    return false;
+  }
+  std::string OptName = Cl.getOption("opt", "auto");
+  if (OptName == "on")
+    Exec.Opt = OptMode::On;
+  else if (OptName == "off")
+    Exec.Opt = OptMode::Off;
+  else if (OptName != "auto") {
+    std::fprintf(stderr, "error: invalid --opt '%s' (expected 'on' or "
+                         "'off')\n",
+                 OptName.c_str());
+    return false;
+  }
+  std::string TileSpec = Cl.getOption("tile", "");
+  if (!TileSpec.empty() &&
+      !parseTileSpec(TileSpec.c_str(), Exec.TileWidth, Exec.TileHeight)) {
+    std::fprintf(stderr,
+                 "error: invalid --tile '%s' (expected 'WxH' with "
+                 "extents in [1, 65536])\n",
+                 TileSpec.c_str());
+    return false;
+  }
+  return true;
+}
+
 static std::string blockNames(const Program &P,
                               const std::vector<KernelId> &Block) {
   std::vector<std::string> Names;
@@ -122,11 +193,166 @@ static std::string blockNames(const Program &P,
   return "{" + joinStrings(Names, ", ") + "}";
 }
 
+/// The `kfc --lazy <script>` driver: records the builder script through
+/// the lazy frontend, runs the materialization gate, and (outside
+/// --analyze) executes the pipeline --repeat times against the shared
+/// plan cache -- the second materialization of the same shape must hit
+/// warm -- then differentially compares the fused result against the
+/// unfused AST reference.
+static int runLazyDriver(const CommandLine &Cl, DiagnosticEngine &DE,
+                         bool Analyze, bool Werror,
+                         const std::function<int()> &FinishAnalysis) {
+  // Hardened option grammar: an empty or whitespace-only script path is
+  // a diagnostic, never a crash or an open() of "".
+  std::string ScriptPath = trimString(Cl.getOption("lazy", ""));
+  if (ScriptPath.empty()) {
+    std::fprintf(stderr,
+                 "error: --lazy expects a non-empty script path\n");
+    return 1;
+  }
+
+  LazyScriptResult Script = parseLazyScriptFile(ScriptPath);
+  if (!Script.ok()) {
+    for (const LazyIssue &Issue : Script.Errors) {
+      DiagLocation Loc;
+      Loc.Unit = ScriptPath;
+      Loc.Kernel = Issue.Where;
+      DE.error(Issue.Code, Issue.Message, Loc);
+    }
+    if (Analyze)
+      return FinishAnalysis();
+    std::fputs(DE.renderText().c_str(), stdout);
+    std::fprintf(stderr, "error: lazy script '%s' rejected\n",
+                 ScriptPath.c_str());
+    return 1;
+  }
+
+  ExecutionOptions Exec;
+  if (!parseExecutionOptions(Cl, Exec))
+    return 1;
+
+  LazyGateOptions Gate;
+  Gate.Werror = Werror;
+  Gate.Legality.AllowMultipleDestinations = Cl.hasOption("multi-out");
+  std::string Style = Cl.getOption("style", "optimized");
+  if (Style == "none")
+    Gate.Fuse = false;
+  else if (Style != "optimized") {
+    std::fprintf(stderr,
+                 "error: invalid --style '%s' for --lazy (expected "
+                 "'optimized' or 'none')\n",
+                 Style.c_str());
+    return 1;
+  }
+  Gate.HW.GlobalAccessCycles =
+      Cl.getDoubleOption("tg", Gate.HW.GlobalAccessCycles);
+  Gate.HW.SharedAccessCycles =
+      Cl.getDoubleOption("ts", Gate.HW.SharedAccessCycles);
+  Gate.HW.AluCost = Cl.getDoubleOption("calu", Gate.HW.AluCost);
+  Gate.HW.SfuCost = Cl.getDoubleOption("csfu", Gate.HW.SfuCost);
+  Gate.HW.SharedMemThreshold =
+      Cl.getDoubleOption("cmshared", Gate.HW.SharedMemThreshold);
+  Gate.HW.Gamma = Cl.getDoubleOption("gamma", Gate.HW.Gamma);
+
+  MaterializedPipeline MP =
+      compileLazy(*Script.Pipeline, Script.outputs(), Gate);
+  for (const Diagnostic &Diag : MP.Diags.diagnostics())
+    DE.report(Diag);
+  if (Analyze)
+    return FinishAnalysis();
+  if (!MP.Ok) {
+    std::fputs(DE.renderText().c_str(), stdout);
+    std::fprintf(stderr,
+                 "error: lazy pipeline '%s' rejected by the analyzer\n",
+                 ScriptPath.c_str());
+    return 1;
+  }
+  if (!DE.empty())
+    std::fputs(DE.renderText().c_str(), stdout);
+
+  const Program &P = *MP.Prog;
+  std::printf("lazy pipeline '%s': %zu recorded ops -> %u live kernels "
+              "in %u fused launches (shape hash %016llx)\n",
+              Script.Pipeline->name().c_str(), Script.Pipeline->numOps(),
+              P.numKernels(), MP.Fused.numLaunches(),
+              static_cast<unsigned long long>(MP.StructuralHash));
+
+  // Deterministic inputs honoring the repo-wide [0, 1] contract.
+  Rng Gen(2026);
+  std::vector<Image> InputImages;
+  InputImages.reserve(MP.Inputs.size());
+  for (const auto &Entry : MP.Inputs) {
+    const ImageInfo &Info = P.image(Entry.second);
+    InputImages.push_back(
+        makeRandomImage(Info.Width, Info.Height, Info.Channels, Gen));
+  }
+  std::vector<std::pair<std::string, const Image *>> Inputs;
+  Inputs.reserve(MP.Inputs.size());
+  for (size_t I = 0; I != MP.Inputs.size(); ++I)
+    Inputs.emplace_back(MP.Inputs[I].first, &InputImages[I]);
+
+  // Repeat materializations against the process-wide plan cache; the
+  // default of two demonstrates the cold build followed by the warm
+  // same-shape hit.
+  int Repeat = std::max(1, static_cast<int>(Cl.getIntOption("repeat", 2)));
+  LazyRunResult Last;
+  for (int R = 0; R != Repeat; ++R) {
+    LazyRunResult Run = runLazy(MP, Inputs, Exec);
+    if (!Run.Ok) {
+      std::fputs(Run.Diags.renderText().c_str(), stdout);
+      std::fprintf(stderr, "error: lazy execution failed\n");
+      return 1;
+    }
+    std::printf("materialize %d: %s, compile %.3f ms, exec %.3f ms\n", R,
+                Run.Stats.PlanWasHit ? "warm (plan-cache hit)"
+                                     : "cold (compiled)",
+                Run.Stats.CompileMs, Run.Stats.ExecMs);
+    Last = std::move(Run);
+  }
+
+  // Differential probe: the unfused AST walker over the same live
+  // program and inputs must agree bit-for-bit.
+  std::vector<Image> Pool = makeImagePool(P);
+  for (const auto &Entry : MP.Inputs)
+    for (const auto &Given : Inputs)
+      if (Given.first == Entry.first)
+        Pool[Entry.second] = *Given.second;
+  runUnfused(P, Pool, Exec);
+  double MaxDiff = 0.0;
+  for (size_t I = 0; I != MP.Outputs.size(); ++I)
+    MaxDiff = std::max(
+        MaxDiff, maxAbsDifference(Last.Outputs[I], Pool[MP.Outputs[I]]));
+  for (size_t I = 0; I != MP.Outputs.size(); ++I) {
+    const Image &Out = Last.Outputs[I];
+    double Sum = 0.0;
+    for (int Y = 0; Y != Out.height(); ++Y)
+      for (int X = 0; X != Out.width(); ++X)
+        for (int C = 0; C != Out.channels(); ++C)
+          Sum += Out.at(X, Y, C);
+    std::printf("  output %zu: %dx%dx%d mean %.6f\n", I, Out.width(),
+                Out.height(), Out.channels(),
+                Sum / (static_cast<double>(Out.iterationSpace()) *
+                       Out.channels()));
+  }
+  std::printf("max |lazy - unfused| = %.3g%s\n", MaxDiff,
+              MaxDiff == 0.0 ? " (bit-identical)" : "");
+  if (MaxDiff != 0.0) {
+    std::fprintf(stderr,
+                 "error: lazy result differs from the reference\n");
+    return 1;
+  }
+  return 0;
+}
+
 int main(int Argc, char **Argv) {
   CommandLine Cl(Argc, Argv,
                  {"trace", "time", "fold", "multi-out", "run", "metrics",
                   "analyze", "Werror", "serve", "help"});
-  if (Cl.hasOption("help") || Cl.positional().size() != 1) {
+  // --lazy takes its script as the option value, so lazy mode runs with
+  // zero positionals; every other mode requires exactly the .kfp path.
+  const bool LazyMode = Cl.hasOption("lazy");
+  if (Cl.hasOption("help") ||
+      Cl.positional().size() != (LazyMode ? 0U : 1U)) {
     printUsage();
     return Cl.hasOption("help") ? 0 : 1;
   }
@@ -169,6 +395,9 @@ int main(int Argc, char **Argv) {
                 DE.warningCount());
     return DE.failed(Werror) ? 1 : 0;
   };
+
+  if (LazyMode)
+    return runLazyDriver(Cl, DE, Analyze, Werror, finishAnalysis);
 
   ParseResult Parsed =
       parsePipelineFile(Cl.positional().front(), /*Verify=*/!Analyze);
@@ -284,56 +513,8 @@ int main(int Argc, char **Argv) {
 
   if (Cl.hasOption("run") || Cl.hasOption("serve")) {
     ExecutionOptions Exec;
-    Exec.Threads = static_cast<int>(Cl.getIntOption("threads", 0));
-    std::string VmName = Cl.getOption("vm", "auto");
-    if (VmName == "scalar")
-      Exec.Mode = VmMode::Scalar;
-    else if (VmName == "span")
-      Exec.Mode = VmMode::Span;
-    else if (VmName == "jit")
-      Exec.Mode = VmMode::Jit;
-    else if (VmName != "auto") {
-      std::fprintf(stderr,
-                   "error: invalid --vm '%s' (expected 'scalar', 'span' "
-                   "or 'jit')\n",
-                   VmName.c_str());
+    if (!parseExecutionOptions(Cl, Exec))
       return 1;
-    }
-    std::string TilingName = Cl.getOption("tiling", "auto");
-    if (TilingName == "interior")
-      Exec.Tiling = TilingStrategy::InteriorHalo;
-    else if (TilingName == "overlapped")
-      Exec.Tiling = TilingStrategy::Overlapped;
-    else if (TilingName == "tuned")
-      Exec.Tiling = TilingStrategy::Tuned;
-    else if (TilingName != "auto") {
-      std::fprintf(stderr,
-                   "error: invalid --tiling '%s' (expected 'interior', "
-                   "'overlapped' or 'tuned')\n",
-                   TilingName.c_str());
-      return 1;
-    }
-    std::string OptName = Cl.getOption("opt", "auto");
-    if (OptName == "on")
-      Exec.Opt = OptMode::On;
-    else if (OptName == "off")
-      Exec.Opt = OptMode::Off;
-    else if (OptName != "auto") {
-      std::fprintf(stderr,
-                   "error: invalid --opt '%s' (expected 'on' or 'off')\n",
-                   OptName.c_str());
-      return 1;
-    }
-    std::string TileSpec = Cl.getOption("tile", "");
-    if (!TileSpec.empty() &&
-        !parseTileSpec(TileSpec.c_str(), Exec.TileWidth,
-                       Exec.TileHeight)) {
-      std::fprintf(stderr,
-                   "error: invalid --tile '%s' (expected 'WxH' with "
-                   "extents in [1, 65536])\n",
-                   TileSpec.c_str());
-      return 1;
-    }
 
     // Runs after the engines (and their thread pools, which export their
     // scheduling counters at destruction) are done.
